@@ -1,0 +1,81 @@
+// Command paperfigs regenerates the tables and figures of "Spatio-Temporal
+// Memory Streaming" (ISCA 2009) from the synthetic workload suite.
+//
+// Usage:
+//
+//	paperfigs -fig all
+//	paperfigs -fig 6            # Figure 6 only
+//	paperfigs -fig 10 -seeds 5  # Figure 10 with five seeds
+//	paperfigs -fig hybrid       # §5.5 naive-hybrid ablation
+//	paperfigs -fig table1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"stems/internal/figures"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "all", "which figure to regenerate: table1, 6, 7, 8, 9, 10, hybrid, or all")
+		seed     = flag.Int64("seed", 1, "base workload seed")
+		seeds    = flag.Int("seeds", 5, "independent runs for Figure 10 confidence intervals")
+		accesses = flag.Int("accesses", 0, "override per-workload trace length (0 = workload default)")
+		serial   = flag.Bool("serial", false, "disable per-workload parallelism")
+	)
+	flag.Parse()
+
+	p := figures.DefaultParams()
+	p.Seed = *seed
+	p.Seeds = *seeds
+	p.Accesses = *accesses
+	p.Parallel = !*serial
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*fig, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	all := want["all"]
+	ran := false
+
+	if all || want["table1"] {
+		fmt.Println(figures.RenderTable1())
+		ran = true
+	}
+	if all || want["6"] {
+		fmt.Println(figures.RenderFigure6(figures.Figure6(p)))
+		ran = true
+	}
+	if all || want["7"] {
+		fmt.Println(figures.RenderFigure7(figures.Figure7(p)))
+		ran = true
+	}
+	if all || want["8"] {
+		fmt.Println(figures.RenderFigure8(figures.Figure8(p)))
+		ran = true
+	}
+	if all || want["9"] {
+		fmt.Println(figures.RenderFigure9(figures.Figure9(p)))
+		ran = true
+	}
+	if all || want["10"] {
+		fmt.Println(figures.RenderFigure10(figures.Figure10(p)))
+		ran = true
+	}
+	if all || want["hybrid"] {
+		fmt.Println(figures.RenderHybrid(figures.HybridAblation(p)))
+		ran = true
+	}
+	if all || want["workloads"] {
+		fmt.Println(figures.RenderWorkloads(figures.Workloads(p)))
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want table1, 6, 7, 8, 9, 10, hybrid, workloads, all)\n", *fig)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,108 @@
+// Command stemsim runs one workload through the memory-hierarchy simulator
+// under a chosen prefetcher and prints the result: coverage, overprediction
+// rate, cycles, and speedup against the no-prefetch and stride baselines.
+//
+// Usage:
+//
+//	stemsim -workload DB2 -prefetcher stems
+//	stemsim -workload em3d -prefetcher all -accesses 200000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"stems/internal/config"
+	"stems/internal/sim"
+	"stems/internal/trace"
+	"stems/internal/workload"
+)
+
+func main() {
+	var (
+		wl        = flag.String("workload", "DB2", "workload name: "+strings.Join(workload.Names(), ", "))
+		traceFile = flag.String("trace", "", "binary trace file (from tracegen) to replay instead of generating")
+		pf        = flag.String("prefetcher", "all", "predictor: none, stride, sms, tms, stems, naive-hybrid, or all")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		accesses  = flag.Int("accesses", 0, "trace length (0 = workload default)")
+		paperL2   = flag.Bool("paper-l2", false, "use the full Table 1 8MB L2 instead of the scaled 1MB")
+	)
+	flag.Parse()
+
+	var (
+		spec workload.Spec
+		accs []trace.Access
+		err  error
+	)
+	if *traceFile != "" {
+		f, ferr := os.Open(*traceFile)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, ferr)
+			os.Exit(1)
+		}
+		r := trace.NewReader(f)
+		accs = trace.Collect(r, *accesses)
+		f.Close()
+		if r.Err() != nil {
+			fmt.Fprintln(os.Stderr, r.Err())
+			os.Exit(1)
+		}
+		spec = workload.Spec{Name: *traceFile, Class: "trace"}
+	} else {
+		spec, err = workload.ByName(*wl)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(os.Stderr, "available workloads:", strings.Join(workload.Names(), ", "))
+			os.Exit(2)
+		}
+		n := spec.DefaultAccesses
+		if *accesses > 0 {
+			n = *accesses
+		}
+		accs = spec.Generate(*seed, n)
+	}
+
+	var kinds []sim.Kind
+	if *pf == "all" {
+		kinds = sim.AllKinds()
+	} else {
+		kinds = []sim.Kind{sim.Kind(*pf)}
+	}
+
+	sys := config.ScaledSystem()
+	if *paperL2 {
+		sys = config.DefaultSystem()
+	}
+
+	fmt.Printf("workload %s (%s): %d accesses, seed %d\n\n", spec.Name, spec.Class, len(accs), *seed)
+	var noneCycles, strideCycles uint64
+	for _, kind := range kinds {
+		opt := sim.DefaultOptions()
+		opt.System = sys
+		opt.Scientific = spec.Scientific
+		m, err := sim.Build(kind, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		res := m.Run(trace.NewSliceSource(accs))
+		switch kind {
+		case sim.KindNone:
+			noneCycles = res.Cycles
+		case sim.KindStride:
+			strideCycles = res.Cycles
+		}
+		line := fmt.Sprintf("%-13s misses=%8d covered=%5.1f%% overpred=%6.1f%% cycles=%12d",
+			kind, res.BaselineMisses(), 100*res.Coverage(), 100*res.OverpredictionRate(), res.Cycles)
+		if strideCycles > 0 && kind != sim.KindNone && kind != sim.KindStride {
+			line += fmt.Sprintf("  speedup-vs-stride=%+6.1f%%",
+				100*(float64(strideCycles)/float64(res.Cycles)-1))
+		} else if noneCycles > 0 && kind == sim.KindStride {
+			line += fmt.Sprintf("  speedup-vs-none  =%+6.1f%%",
+				100*(float64(noneCycles)/float64(res.Cycles)-1))
+		}
+		fmt.Println(line)
+	}
+}

@@ -1,0 +1,123 @@
+// Command sweep runs one-dimensional parameter sweeps of the STeMS design
+// knobs DESIGN.md calls out, printing coverage, overprediction, and cycles
+// per setting — the interactive counterpart of the Benchmark Ablation
+// suite.
+//
+//	sweep -param rmob -workload em3d
+//	sweep -param lookahead -workload Zeus
+//	sweep -param pst -workload Qry2
+//	sweep -param recon -workload DB2
+//	sweep -param queues -workload DB2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"stems/internal/config"
+	"stems/internal/core"
+	"stems/internal/sim"
+	"stems/internal/stream"
+	"stems/internal/trace"
+	"stems/internal/workload"
+)
+
+// sweepPoint is one setting of the swept parameter.
+type sweepPoint struct {
+	label string
+	mod   func(*config.STeMS)
+}
+
+var sweeps = map[string][]sweepPoint{
+	"rmob": {
+		{"4K", func(c *config.STeMS) { c.RMOBEntries = 4 << 10 }},
+		{"16K", func(c *config.STeMS) { c.RMOBEntries = 16 << 10 }},
+		{"64K", func(c *config.STeMS) { c.RMOBEntries = 64 << 10 }},
+		{"128K", func(c *config.STeMS) { c.RMOBEntries = 128 << 10 }},
+		{"256K", func(c *config.STeMS) { c.RMOBEntries = 256 << 10 }},
+	},
+	"pst": {
+		{"1K", func(c *config.STeMS) { c.PSTEntries = 1 << 10 }},
+		{"4K", func(c *config.STeMS) { c.PSTEntries = 4 << 10 }},
+		{"16K", func(c *config.STeMS) { c.PSTEntries = 16 << 10 }},
+		{"64K", func(c *config.STeMS) { c.PSTEntries = 64 << 10 }},
+	},
+	"lookahead": {
+		{"2", func(c *config.STeMS) { c.Lookahead = 2 }},
+		{"4", func(c *config.STeMS) { c.Lookahead = 4 }},
+		{"8", func(c *config.STeMS) { c.Lookahead = 8 }},
+		{"12", func(c *config.STeMS) { c.Lookahead = 12 }},
+		{"16", func(c *config.STeMS) { c.Lookahead = 16 }},
+	},
+	"recon": {
+		{"0", func(c *config.STeMS) { c.ReconSearch = 0 }},
+		{"1", func(c *config.STeMS) { c.ReconSearch = 1 }},
+		{"2", func(c *config.STeMS) { c.ReconSearch = 2 }},
+		{"4", func(c *config.STeMS) { c.ReconSearch = 4 }},
+	},
+	"queues": {
+		{"1", func(c *config.STeMS) { c.StreamQueues = 1 }},
+		{"2", func(c *config.STeMS) { c.StreamQueues = 2 }},
+		{"4", func(c *config.STeMS) { c.StreamQueues = 4 }},
+		{"8", func(c *config.STeMS) { c.StreamQueues = 8 }},
+		{"16", func(c *config.STeMS) { c.StreamQueues = 16 }},
+	},
+	"svb": {
+		{"16", func(c *config.STeMS) { c.SVBEntries = 16 }},
+		{"32", func(c *config.STeMS) { c.SVBEntries = 32 }},
+		{"64", func(c *config.STeMS) { c.SVBEntries = 64 }},
+		{"128", func(c *config.STeMS) { c.SVBEntries = 128 }},
+	},
+}
+
+func main() {
+	var (
+		param    = flag.String("param", "rmob", "parameter to sweep: rmob, pst, lookahead, recon, queues, svb")
+		wl       = flag.String("workload", "DB2", "workload: "+strings.Join(workload.Names(), ", "))
+		seed     = flag.Int64("seed", 1, "workload seed")
+		accesses = flag.Int("accesses", 0, "trace length (0 = workload default)")
+	)
+	flag.Parse()
+
+	points, ok := sweeps[*param]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown parameter %q\n", *param)
+		os.Exit(2)
+	}
+	spec, err := workload.ByName(*wl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	n := spec.DefaultAccesses
+	if *accesses > 0 {
+		n = *accesses
+	}
+	accs := spec.Generate(*seed, n)
+
+	fmt.Printf("STeMS %s sweep on %s (%d accesses)\n\n", *param, spec.Name, n)
+	fmt.Printf("%-8s %9s %10s %12s %12s\n", *param, "covered", "overpred", "cycles", "recon-drop")
+	for _, pt := range points {
+		sc := config.DefaultSTeMS()
+		if spec.Scientific {
+			sc.Lookahead = 12
+		}
+		pt.mod(&sc)
+		m := sim.NewMachine(config.ScaledSystem(), sim.Nop{})
+		eng := m.AttachEngine(stream.Config{
+			Queues: sc.StreamQueues, Lookahead: sc.Lookahead, SVBEntries: sc.SVBEntries,
+		})
+		st := core.New(sc, eng)
+		m.SetPrefetcher(st)
+		res := m.Run(trace.NewSliceSource(accs))
+		rs := st.ReconStats()
+		dropFrac := 0.0
+		if total := rs.PlacedExact + rs.PlacedNear + rs.Dropped; total > 0 {
+			dropFrac = float64(rs.Dropped) / float64(total)
+		}
+		fmt.Printf("%-8s %8.1f%% %9.1f%% %12d %11.1f%%\n",
+			pt.label, 100*res.Coverage(), 100*res.OverpredictionRate(), res.Cycles, 100*dropFrac)
+	}
+}

@@ -1,0 +1,99 @@
+// Command tracegen generates a workload's access trace and writes it to a
+// binary trace file (or summarizes it), decoupling trace generation from
+// simulation the way the paper's methodology does (§5.1: traces are
+// collected once with in-order functional simulation, then analyzed under
+// every predictor).
+//
+//	tracegen -workload DB2 -o db2.trace
+//	tracegen -workload em3d -stats
+//	stemsim -trace db2.trace -prefetcher stems
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"stems/internal/mem"
+	"stems/internal/trace"
+	"stems/internal/workload"
+)
+
+func main() {
+	var (
+		wl       = flag.String("workload", "DB2", "workload name: "+strings.Join(workload.Names(), ", "))
+		out      = flag.String("o", "", "output trace file (empty = stats only)")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		accesses = flag.Int("accesses", 0, "trace length (0 = workload default)")
+		stats    = flag.Bool("stats", false, "print trace statistics")
+	)
+	flag.Parse()
+
+	spec, err := workload.ByName(*wl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	n := spec.DefaultAccesses
+	if *accesses > 0 {
+		n = *accesses
+	}
+	accs := spec.Generate(*seed, n)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		w := trace.NewWriter(f)
+		if err := w.WriteAll(accs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := w.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d accesses to %s\n", w.Count(), *out)
+	}
+
+	if *stats || *out == "" {
+		printStats(spec, accs)
+	}
+}
+
+func printStats(spec workload.Spec, accs []trace.Access) {
+	var writes, deps uint64
+	regions := map[mem.Addr]bool{}
+	blocks := map[mem.Addr]bool{}
+	pcs := map[uint64]bool{}
+	var think uint64
+	for _, a := range accs {
+		if a.Write {
+			writes++
+		}
+		if a.Dep {
+			deps++
+		}
+		regions[a.Addr.Region()] = true
+		blocks[a.Addr.Block()] = true
+		pcs[a.PC] = true
+		think += uint64(a.Think)
+	}
+	n := float64(len(accs))
+	fmt.Printf("workload:         %s (%s)\n", spec.Name, spec.Class)
+	fmt.Printf("accesses:         %d\n", len(accs))
+	fmt.Printf("writes:           %.1f%%\n", 100*float64(writes)/n)
+	fmt.Printf("dependent:        %.1f%%\n", 100*float64(deps)/n)
+	fmt.Printf("distinct blocks:  %d (%.1f MB footprint)\n",
+		len(blocks), float64(len(blocks))*mem.BlockSize/(1<<20))
+	fmt.Printf("distinct regions: %d\n", len(regions))
+	fmt.Printf("distinct PCs:     %d\n", len(pcs))
+	fmt.Printf("mean think:       %.1f cycles/access\n", float64(think)/n)
+}

@@ -1,0 +1,69 @@
+// pointerchase demonstrates the paper's §2.1 claim that temporal streaming
+// parallelizes dependence chains: a linked-list walk over scattered nodes
+// pays the full off-chip round trip per hop without prefetching, because
+// the next address is unknown until the current node arrives. A recorded
+// miss sequence contains the addresses themselves, so TMS and STeMS fetch
+// the chain elements in parallel.
+//
+//	go run ./examples/pointerchase
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"stems/internal/config"
+	"stems/internal/mem"
+	"stems/internal/sim"
+	"stems/internal/trace"
+)
+
+func buildChain(nodes, walks int) []trace.Access {
+	rng := rand.New(rand.NewSource(3))
+	order := rng.Perm(nodes)
+	base := mem.Addr(1 << 30)
+	var out []trace.Access
+	for w := 0; w < walks; w++ {
+		for _, n := range order {
+			out = append(out, trace.Access{
+				Addr:  base + mem.Addr(n)*mem.RegionSize, // one node per region
+				PC:    0x200,
+				Dep:   true, // address came from the previous node
+				Think: 30,
+			})
+		}
+	}
+	return out
+}
+
+func main() {
+	accs := buildChain(20_000, 5)
+	fmt.Printf("linked-list walk: 20000 scattered nodes x 5 iterations = %d accesses\n", len(accs))
+	fmt.Printf("every access is a dependent off-chip miss in the baseline\n\n")
+
+	opt := sim.DefaultOptions()
+	opt.System = config.ScaledSystem()
+	opt.Scientific = true // deeper stream lookahead, as for em3d (§4.3)
+
+	var baseCycles uint64
+	for _, kind := range []sim.Kind{sim.KindNone, sim.KindSMS, sim.KindTMS, sim.KindSTeMS} {
+		m, err := sim.Build(kind, opt)
+		if err != nil {
+			panic(err)
+		}
+		res := m.Run(trace.NewSliceSource(accs))
+		line := fmt.Sprintf("%-6s covered %5.1f%%, %11d cycles", kind, 100*res.Coverage(), res.Cycles)
+		if kind == sim.KindNone {
+			baseCycles = res.Cycles
+		} else {
+			line += fmt.Sprintf("  speedup %+.0f%%", 100*(float64(baseCycles)/float64(res.Cycles)-1))
+		}
+		fmt.Println(line)
+	}
+
+	fmt.Println(`
+SMS sees a different spatial "pattern" for every node region and one PC, so
+it cannot help. TMS and STeMS replay the recorded chain and turn serial
+400-cycle hops into streamed hits — the mechanism behind the paper's ~4x
+em3d and sparse speedups (§5.6).`)
+}

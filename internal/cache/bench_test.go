@@ -1,0 +1,27 @@
+package cache
+
+import (
+	"testing"
+
+	"stems/internal/mem"
+)
+
+func BenchmarkAccessHit(b *testing.B) {
+	c := New(Config{SizeBytes: 64 << 10, Ways: 2})
+	c.Fill(0x1000, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0x1000, false)
+	}
+}
+
+func BenchmarkAccessMissFill(b *testing.B) {
+	c := New(Config{SizeBytes: 64 << 10, Ways: 2})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := mem.Addr(i) * mem.BlockSize
+		if !c.Access(a, false) {
+			c.Fill(a, false)
+		}
+	}
+}

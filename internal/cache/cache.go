@@ -1,0 +1,200 @@
+// Package cache implements the set-associative caches used by the simulated
+// memory hierarchy (Table 1: split 64KB 2-way L1, unified 8MB 8-way L2, 64B
+// blocks). The spatial predictors need to observe block evictions to end
+// spatial generations (§2.4), so the cache reports every victim.
+package cache
+
+import (
+	"fmt"
+
+	"stems/internal/mem"
+)
+
+// Config describes a cache's geometry.
+type Config struct {
+	// SizeBytes is the total capacity in bytes.
+	SizeBytes int
+	// Ways is the set associativity.
+	Ways int
+}
+
+// Validate reports whether the configuration describes a realizable cache.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache: non-positive geometry %+v", c)
+	}
+	blocks := c.SizeBytes / mem.BlockSize
+	if blocks*mem.BlockSize != c.SizeBytes {
+		return fmt.Errorf("cache: size %d not a multiple of block size", c.SizeBytes)
+	}
+	if blocks%c.Ways != 0 {
+		return fmt.Errorf("cache: %d blocks not divisible by %d ways", blocks, c.Ways)
+	}
+	sets := blocks / c.Ways
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+type way struct {
+	tag   mem.Addr // block base address
+	valid bool
+	dirty bool
+	lru   uint64 // last-touch stamp; larger = more recent
+}
+
+// Cache is a set-associative, LRU-replacement, write-allocate cache of
+// 64-byte blocks. It tracks presence only (no data payload); the simulator
+// is trace-driven.
+type Cache struct {
+	cfg     Config
+	sets    [][]way
+	setMask uint64
+	stamp   uint64
+
+	// OnEvict, if non-nil, is invoked with the block base address of every
+	// valid block displaced by a fill (or removed by Invalidate). The
+	// spatial predictors use this to terminate generations.
+	OnEvict func(block mem.Addr)
+
+	hits, misses uint64
+}
+
+// New constructs a cache; it panics if cfg is invalid (a configuration bug,
+// not a runtime condition).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := cfg.SizeBytes / mem.BlockSize / cfg.Ways
+	c := &Cache{cfg: cfg, setMask: uint64(sets - 1)}
+	c.sets = make([][]way, sets)
+	backing := make([]way, sets*cfg.Ways)
+	for i := range c.sets {
+		c.sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	}
+	return c
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return len(c.sets) }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.cfg.Ways }
+
+func (c *Cache) setFor(block mem.Addr) []way {
+	return c.sets[block.BlockIndex()&c.setMask]
+}
+
+// Contains reports whether the block holding addr is present, without
+// touching LRU state or statistics.
+func (c *Cache) Contains(addr mem.Addr) bool {
+	block := addr.Block()
+	for i := range c.setFor(block) {
+		w := &c.setFor(block)[i]
+		if w.valid && w.tag == block {
+			return true
+		}
+	}
+	return false
+}
+
+// Access performs a demand reference to addr. It returns true on hit. On
+// hit the block's LRU state is refreshed (and marked dirty for writes). On
+// miss the cache is unchanged: the caller decides whether to Fill (modeling
+// the fill that follows the miss) so that prefetch buffers can intervene.
+func (c *Cache) Access(addr mem.Addr, write bool) bool {
+	block := addr.Block()
+	set := c.setFor(block)
+	c.stamp++
+	for i := range set {
+		if set[i].valid && set[i].tag == block {
+			set[i].lru = c.stamp
+			if write {
+				set[i].dirty = true
+			}
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	return false
+}
+
+// Fill installs the block holding addr, evicting the LRU way if the set is
+// full. Filling a block that is already present refreshes it instead.
+func (c *Cache) Fill(addr mem.Addr, write bool) {
+	block := addr.Block()
+	set := c.setFor(block)
+	c.stamp++
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == block {
+			set[i].lru = c.stamp
+			if write {
+				set[i].dirty = true
+			}
+			return
+		}
+		if !set[i].valid {
+			victim = i
+			// An invalid way is always the preferred victim; stop looking
+			// only if no matching tag can follow, which we cannot know, so
+			// keep scanning for the tag but remember this slot.
+			continue
+		}
+		if set[victim].valid && set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	// Prefer any invalid way over evicting.
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+	}
+	if set[victim].valid && c.OnEvict != nil {
+		c.OnEvict(set[victim].tag)
+	}
+	set[victim] = way{tag: block, valid: true, dirty: write, lru: c.stamp}
+}
+
+// Invalidate removes the block holding addr if present, reporting whether it
+// was. The eviction callback fires, matching the paper's rule that a
+// generation ends "when one of the accessed blocks is evicted or
+// invalidated from the L1 cache" (§2.4).
+func (c *Cache) Invalidate(addr mem.Addr) bool {
+	block := addr.Block()
+	set := c.setFor(block)
+	for i := range set {
+		if set[i].valid && set[i].tag == block {
+			set[i].valid = false
+			if c.OnEvict != nil {
+				c.OnEvict(block)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns cumulative demand hit and miss counts.
+func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// ResetStats clears hit/miss counters without touching cache contents.
+func (c *Cache) ResetStats() { c.hits, c.misses = 0, 0 }
+
+// Occupancy returns the number of valid blocks currently resident.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,217 @@
+// Package config collects every tunable of the reproduction in one place,
+// mirroring Table 1 of the paper (system parameters) and §4.3 (predictor
+// hardware budgets). Defaults correspond to the paper's configuration,
+// scaled where noted for trace-driven simulation speed.
+package config
+
+import "fmt"
+
+// System models the node parameters of Table 1 (left column) reduced to the
+// quantities our trace-driven timing model consumes.
+type System struct {
+	// L1SizeBytes and L1Ways describe the split L1d (64KB 2-way).
+	L1SizeBytes int
+	L1Ways      int
+	// L2SizeBytes and L2Ways describe the unified L2 (8MB 8-way).
+	L2SizeBytes int
+	L2Ways      int
+
+	// CoreCyclesPerAccess approximates the non-memory CPI contribution per
+	// traced access of the 4-wide OoO core.
+	CoreCyclesPerAccess uint64
+	// L2HitCycles is the L2 hit latency (Table 1: 25 cycles).
+	L2HitCycles uint64
+	// SVBHitCycles is the cost of consuming a ready block from the
+	// streamed value buffer.
+	SVBHitCycles uint64
+	// OffChipCycles is the end-to-end latency of an off-chip miss:
+	// 40ns DRAM + interconnect hops at 4GHz (Table 1) ≈ 400 cycles.
+	OffChipCycles uint64
+	// MLP is the average number of *independent* off-chip misses the OoO
+	// core overlaps (96-entry ROB). Dependent (pointer-chase) misses pay
+	// full latency; independent ones pay OffChipCycles/MLP. This is the
+	// mechanism behind §5.6's observation that SMS's spatially-predictable
+	// accesses "are already issued in parallel by out-of-order processing".
+	MLP float64
+	// MemChannels and ChannelOccupancy model bandwidth: each off-chip
+	// transfer (demand or prefetch) occupies one of MemChannels for
+	// ChannelOccupancy cycles; saturation delays completions.
+	MemChannels      int
+	ChannelOccupancy uint64
+}
+
+// DefaultSystem returns the Table 1 configuration.
+func DefaultSystem() System {
+	return System{
+		L1SizeBytes:         64 << 10,
+		L1Ways:              2,
+		L2SizeBytes:         8 << 20,
+		L2Ways:              8,
+		CoreCyclesPerAccess: 1,
+		L2HitCycles:         25,
+		SVBHitCycles:        4,
+		OffChipCycles:       400,
+		MLP:                 4.0,
+		MemChannels:         4,
+		ChannelOccupancy:    30,
+	}
+}
+
+// ScaledSystem returns the configuration used by the experiment harness:
+// Table 1 latencies and L1 geometry, but with the L2 scaled from 8MB to
+// 1MB. The paper simulates 5-billion-instruction samples against a 10GB
+// database; our traces are ~half a million accesses, so cache capacity must
+// shrink with the trace for workloads to exercise off-chip behaviour at
+// all — the standard scaling practice in trace-driven studies. The L1 keeps
+// its Table 1 size because spatial generation lifetimes (AGT behaviour)
+// depend on it directly.
+func ScaledSystem() System {
+	s := DefaultSystem()
+	s.L2SizeBytes = 1 << 20
+	return s
+}
+
+// Validate reports configuration errors.
+func (s System) Validate() error {
+	if s.L1SizeBytes <= 0 || s.L2SizeBytes <= 0 || s.L1Ways <= 0 || s.L2Ways <= 0 {
+		return fmt.Errorf("config: non-positive cache geometry")
+	}
+	if s.MLP < 1 {
+		return fmt.Errorf("config: MLP %v < 1", s.MLP)
+	}
+	if s.MemChannels <= 0 {
+		return fmt.Errorf("config: MemChannels %d <= 0", s.MemChannels)
+	}
+	if s.OffChipCycles == 0 {
+		return fmt.Errorf("config: zero off-chip latency")
+	}
+	return nil
+}
+
+// Stride holds the baseline stride prefetcher parameters (Table 1:
+// "32-entry buffer, max 16 distinct strides").
+type Stride struct {
+	TableEntries int // distinct PC entries tracked
+	Degree       int // blocks prefetched per detected stride
+}
+
+// DefaultStride returns the Table 1 stride configuration.
+func DefaultStride() Stride { return Stride{TableEntries: 16, Degree: 2} }
+
+// SMS holds Spatial Memory Streaming parameters (§2.4, §4.3).
+type SMS struct {
+	FilterEntries int // filter table entries (single-access regions)
+	AccumEntries  int // accumulation table entries (active generations)
+	PHTEntries    int // pattern history table entries (16K in the paper)
+	PHTWays       int
+	// UseCounters selects 2-bit saturating counters per block instead of a
+	// bit vector (§4.3: counters halve overpredictions at equal coverage;
+	// all paper results use counters).
+	UseCounters bool
+	// CounterThreshold is the minimum counter value considered a stable,
+	// predictable block.
+	CounterThreshold uint8
+}
+
+// DefaultSMS returns the paper's SMS configuration.
+func DefaultSMS() SMS {
+	return SMS{
+		FilterEntries:    32,
+		AccumEntries:     64,
+		PHTEntries:       16 << 10,
+		PHTWays:          8,
+		UseCounters:      true,
+		CounterThreshold: 2,
+	}
+}
+
+// TMS holds Temporal Memory Streaming parameters (§2.2, §4.3).
+type TMS struct {
+	// CMOBEntries is the circular miss-order buffer size (384K in the
+	// paper; configurable for simulation speed — coverage saturates far
+	// below the paper's size on our scaled workloads).
+	CMOBEntries int
+	// StreamQueues is the number of concurrently tracked streams (8).
+	StreamQueues int
+	// Lookahead is the number of blocks kept in flight per stream (8
+	// commercial, 12 scientific).
+	Lookahead int
+	// SVBEntries is the streamed value buffer capacity (64).
+	SVBEntries int
+}
+
+// DefaultTMS returns the paper's TMS configuration.
+func DefaultTMS() TMS {
+	return TMS{CMOBEntries: 384 << 10, StreamQueues: 8, Lookahead: 8, SVBEntries: 64}
+}
+
+// STeMS holds the spatio-temporal streaming parameters (§4).
+type STeMS struct {
+	// RMOBEntries is the region miss-order buffer size (128K in the paper
+	// — one third of TMS's CMOB thanks to spatial filtering, §4.3).
+	RMOBEntries int
+	// PSTEntries is the pattern sequence table size (16K).
+	PSTEntries int
+	PSTWays    int
+	// AGTEntries is the active generation table size (64).
+	AGTEntries int
+	// ReconBufEntries is the reconstruction buffer length (256).
+	ReconBufEntries int
+	// ReconSearch is how far (slots) reconstruction searches around an
+	// occupied slot for a free one (±2 places 99% of addresses, §4.3).
+	ReconSearch  int
+	StreamQueues int
+	Lookahead    int
+	SVBEntries   int
+	// UseCounters mirrors SMS.UseCounters for the PST.
+	UseCounters      bool
+	CounterThreshold uint8
+}
+
+// DefaultSTeMS returns the paper's STeMS configuration.
+func DefaultSTeMS() STeMS {
+	return STeMS{
+		RMOBEntries:      128 << 10,
+		PSTEntries:       16 << 10,
+		PSTWays:          8,
+		AGTEntries:       64,
+		ReconBufEntries:  256,
+		ReconSearch:      2,
+		StreamQueues:     8,
+		Lookahead:        8,
+		SVBEntries:       64,
+		UseCounters:      true,
+		CounterThreshold: 2,
+	}
+}
+
+// StorageBytes estimates predictor storage as §4.3 does.
+//
+// SMS PHT: 16K entries * 32 blocks * 2 bits = 128KB... the paper quotes
+// 64KB for standalone SMS (bit vectors); with counters the PST dominates.
+// We report both components so the Table 1 bench can print the §4.3 budget
+// comparison.
+type StorageBytes struct {
+	AGT  int
+	PST  int
+	PHT  int
+	RMOB int
+	CMOB int
+}
+
+// Storage computes the §4.3 storage budgets for the three predictors.
+func Storage(sms SMS, tms TMS, st STeMS) StorageBytes {
+	const (
+		pstEntryBytes  = 40 // 32 blocks * (2-bit counter + 8-bit delta)
+		rmobEntryBytes = 8  // 5B address + 2B PC + 1B delta
+		cmobEntryBytes = 5  // address only (TMS; ~5.3B in [26], rounded)
+		phtEntryBytes  = 4  // 32-bit pattern vector
+	)
+	return StorageBytes{
+		AGT:  st.AGTEntries * pstEntryBytes,
+		PST:  st.PSTEntries * pstEntryBytes,
+		PHT:  sms.PHTEntries * phtEntryBytes,
+		RMOB: st.RMOBEntries * rmobEntryBytes,
+		CMOB: tms.CMOBEntries * cmobEntryBytes,
+	}
+}

@@ -1,0 +1,90 @@
+package config
+
+import "testing"
+
+func TestDefaultSystemValid(t *testing.T) {
+	if err := DefaultSystem().Validate(); err != nil {
+		t.Fatalf("default system invalid: %v", err)
+	}
+}
+
+func TestSystemValidateRejectsBadConfigs(t *testing.T) {
+	mut := []func(*System){
+		func(s *System) { s.L1SizeBytes = 0 },
+		func(s *System) { s.L2SizeBytes = -1 },
+		func(s *System) { s.L1Ways = 0 },
+		func(s *System) { s.L2Ways = 0 },
+		func(s *System) { s.MLP = 0.5 },
+		func(s *System) { s.MemChannels = 0 },
+		func(s *System) { s.OffChipCycles = 0 },
+	}
+	for i, m := range mut {
+		s := DefaultSystem()
+		m(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestTable1Values(t *testing.T) {
+	s := DefaultSystem()
+	if s.L1SizeBytes != 64<<10 || s.L1Ways != 2 {
+		t.Errorf("L1 = %d/%d-way, want 64KB/2-way", s.L1SizeBytes, s.L1Ways)
+	}
+	if s.L2SizeBytes != 8<<20 || s.L2Ways != 8 {
+		t.Errorf("L2 = %d/%d-way, want 8MB/8-way", s.L2SizeBytes, s.L2Ways)
+	}
+	if s.L2HitCycles != 25 {
+		t.Errorf("L2 hit = %d cycles, want 25", s.L2HitCycles)
+	}
+}
+
+func TestPaperPredictorSizes(t *testing.T) {
+	sms, tms, st := DefaultSMS(), DefaultTMS(), DefaultSTeMS()
+	if sms.PHTEntries != 16<<10 {
+		t.Errorf("SMS PHT = %d, want 16K", sms.PHTEntries)
+	}
+	if tms.CMOBEntries != 384<<10 {
+		t.Errorf("TMS CMOB = %d, want 384K", tms.CMOBEntries)
+	}
+	if st.RMOBEntries != 128<<10 {
+		t.Errorf("STeMS RMOB = %d, want 128K", st.RMOBEntries)
+	}
+	if st.PSTEntries != 16<<10 || st.AGTEntries != 64 || st.ReconBufEntries != 256 {
+		t.Errorf("STeMS sizes = PST %d AGT %d recon %d", st.PSTEntries, st.AGTEntries, st.ReconBufEntries)
+	}
+	if st.ReconSearch != 2 {
+		t.Errorf("recon search = %d, want 2", st.ReconSearch)
+	}
+	if tms.StreamQueues != 8 || tms.Lookahead != 8 || tms.SVBEntries != 64 {
+		t.Errorf("TMS streaming = %+v", tms)
+	}
+}
+
+// §4.3: "A spatial sequence requires 32*10 bits = 40 bytes ... an AGT (64
+// entries) requires 2.5KB of SRAM. With 16K entries, the PST requires 640KB
+// per processor." RMOB: "8B per entry ... 128K entries (1MB) for STeMS"
+// versus 384K entries (~2MB) for TMS.
+func TestStorageMatchesSection43(t *testing.T) {
+	st := Storage(DefaultSMS(), DefaultTMS(), DefaultSTeMS())
+	if st.AGT != 2560 { // 2.5KB
+		t.Errorf("AGT storage = %d, want 2560", st.AGT)
+	}
+	if st.PST != 640<<10 {
+		t.Errorf("PST storage = %d, want 640KB", st.PST)
+	}
+	if st.RMOB != 1<<20 {
+		t.Errorf("RMOB storage = %d, want 1MB", st.RMOB)
+	}
+	if st.CMOB < (19<<16) || st.CMOB > (2<<20) { // ~1.9MB
+		t.Errorf("CMOB storage = %d, want ~2MB", st.CMOB)
+	}
+	if st.PHT != 64<<10 {
+		t.Errorf("PHT storage = %d, want 64KB", st.PHT)
+	}
+	// §4.3 headline: STeMS temporal storage is half of TMS's.
+	if !(st.RMOB*2 <= st.CMOB+st.RMOB) {
+		t.Errorf("RMOB (%d) not smaller than CMOB (%d)", st.RMOB, st.CMOB)
+	}
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"stems/internal/config"
+	"stems/internal/mem"
+	"stems/internal/trace"
+)
+
+// BenchmarkOnOffChipEvent measures predictor training+prediction throughput
+// in analysis mode (no fetch side effects).
+func BenchmarkOnOffChipEvent(b *testing.B) {
+	s := New(config.DefaultSTeMS(), nil)
+	accs := make([]trace.Access, 4096)
+	for i := range accs {
+		region := (i / 6) % 512
+		off := (i % 6) * 3
+		accs[i] = trace.Access{
+			Addr: mem.Addr(region*mem.RegionSize + off*mem.BlockSize),
+			PC:   uint64(i % 6),
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.OnOffChipEvent(accs[i%len(accs)], false)
+		if i%24 == 23 {
+			s.OnL1Evict(accs[(i-12)%len(accs)].Addr.Block())
+		}
+	}
+}
+
+// BenchmarkReconstruction measures Window throughput on a populated RMOB.
+func BenchmarkReconstruction(b *testing.B) {
+	pst := NewPST(1024, false, 1)
+	rmob := NewRMOB(64 << 10)
+	for r := 0; r < 1024; r++ {
+		pst.Train(Key{PC: uint64(r % 8), Offset: 0},
+			[]SeqElem{{Offset: 1, Delta: 0}, {Offset: 5, Delta: 1}, {Offset: 9, Delta: 0}})
+	}
+	for i := 0; i < 64<<10; i++ {
+		rmob.Append(RMOBEntry{
+			Block: mem.Addr(i % 4096 * mem.RegionSize),
+			PC:    uint64(i % 8),
+			Delta: uint8(i % 4),
+		})
+	}
+	rc := NewReconstructor(pst, rmob, 256, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pos := uint64(i % (32 << 10))
+		rc.Window(&pos, nil)
+	}
+}

@@ -1,0 +1,50 @@
+package core_test
+
+import (
+	"fmt"
+
+	"stems/internal/core"
+	"stems/internal/mem"
+)
+
+// ExampleReconstructor walks the paper's Figure 5: four RMOB entries and
+// three PST sequences reconstruct the observed total miss order
+// A, A+4, B, A+2, B+6, A-1, C, D, D+1, D+2.
+func ExampleReconstructor() {
+	A := mem.Addr(1*mem.RegionSize + 8*mem.BlockSize)
+	B := mem.Addr(2 * mem.RegionSize)
+	C := mem.Addr(3*mem.RegionSize + 5*mem.BlockSize)
+	D := mem.Addr(4*mem.RegionSize + 3*mem.BlockSize)
+
+	pst := core.NewPST(64, false, 1)
+	pst.Train(core.Key{PC: 1, Offset: A.RegionOffset()},
+		[]core.SeqElem{{Offset: 4, Delta: 0}, {Offset: 2, Delta: 1}, {Offset: -1, Delta: 1}})
+	pst.Train(core.Key{PC: 2, Offset: B.RegionOffset()},
+		[]core.SeqElem{{Offset: 6, Delta: 1}})
+	pst.Train(core.Key{PC: 4, Offset: D.RegionOffset()},
+		[]core.SeqElem{{Offset: 1, Delta: 0}, {Offset: 2, Delta: 0}})
+
+	rmob := core.NewRMOB(64)
+	rmob.Append(core.RMOBEntry{Block: A, PC: 1, Delta: 0})
+	rmob.Append(core.RMOBEntry{Block: B, PC: 2, Delta: 1})
+	rmob.Append(core.RMOBEntry{Block: C, PC: 3, Delta: 3})
+	rmob.Append(core.RMOBEntry{Block: D, PC: 4, Delta: 0})
+
+	rc := core.NewReconstructor(pst, rmob, 256, 2)
+	pos := uint64(0)
+	blocks := rc.Window(&pos, nil)
+
+	names := map[mem.Addr]string{
+		A: "A", A + 4*mem.BlockSize: "A+4", A + 2*mem.BlockSize: "A+2",
+		A - mem.BlockSize: "A-1", B: "B", B + 6*mem.BlockSize: "B+6",
+		C: "C", D: "D", D + mem.BlockSize: "D+1", D + 2*mem.BlockSize: "D+2",
+	}
+	for i, b := range blocks {
+		if i > 0 {
+			fmt.Print(" ")
+		}
+		fmt.Print(names[b])
+	}
+	fmt.Println()
+	// Output: A A+4 B A+2 B+6 A-1 C D D+1 D+2
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"stems/internal/mem"
+)
+
+func TestMetaModelCachesBlocks(t *testing.T) {
+	mm := NewMetaModel(2 * mem.BlockSize) // two metadata blocks
+	transfers := 0
+	mm.Transfer = func() { transfers++ }
+
+	k := Key{PC: 5, Offset: 3}
+	mm.TouchPST(k)
+	mm.TouchPST(k) // cached: no second transfer
+	if transfers != 1 {
+		t.Fatalf("transfers = %d, want 1", transfers)
+	}
+	lookups, misses := mm.Stats()
+	if lookups != 2 || misses != 1 {
+		t.Fatalf("stats = %d/%d, want 2/1", lookups, misses)
+	}
+}
+
+func TestMetaModelRMOBSpatialLocality(t *testing.T) {
+	mm := NewMetaModel(64 * mem.BlockSize)
+	transfers := 0
+	mm.Transfer = func() { transfers++ }
+	// Sequential RMOB positions share metadata blocks (8 entries each).
+	for p := uint64(0); p < 64; p++ {
+		mm.TouchRMOB(p)
+	}
+	if transfers != 8 {
+		t.Fatalf("transfers = %d, want 8 (64 entries / 8 per block)", transfers)
+	}
+}
+
+func TestMetaModelEviction(t *testing.T) {
+	mm := NewMetaModel(mem.BlockSize) // a single metadata block
+	transfers := 0
+	mm.Transfer = func() { transfers++ }
+	mm.TouchPST(Key{PC: 1})
+	mm.TouchPST(Key{PC: 2}) // evicts the first
+	mm.TouchPST(Key{PC: 1}) // must refetch
+	if transfers != 3 {
+		t.Fatalf("transfers = %d, want 3", transfers)
+	}
+}
+
+func TestMetaModelDistinctIDSpaces(t *testing.T) {
+	mm := NewMetaModel(64 * mem.BlockSize)
+	transfers := 0
+	mm.Transfer = func() { transfers++ }
+	mm.TouchRMOB(0)
+	mm.TouchPST(Key{PC: 0, Offset: 0})
+	if transfers != 2 {
+		t.Fatalf("PST and RMOB block 0 aliased: %d transfers", transfers)
+	}
+}
+
+func TestSTeMSWithMetaModel(t *testing.T) {
+	s := New(bitvecConfig(), nil)
+	mm := NewMetaModel(8 << 10)
+	transfers := 0
+	mm.Transfer = func() { transfers++ }
+	s.SetMetaModel(mm)
+	if s.Meta() != mm {
+		t.Fatal("Meta() accessor broken")
+	}
+	accs, _, _, _, _ := figure3Trace()
+	for pass := 0; pass < 2; pass++ {
+		for _, a := range accs {
+			s.OnOffChipEvent(a, false)
+		}
+		endAllGenerations(s, accs)
+	}
+	if transfers == 0 {
+		t.Fatal("no metadata traffic recorded")
+	}
+	lookups, misses := mm.Stats()
+	if misses > lookups {
+		t.Fatalf("misses %d > lookups %d", misses, lookups)
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"stems/internal/lru"
+	"stems/internal/mem"
+)
+
+// Key is the spatial lookup index: trigger PC + trigger block offset within
+// its region, the same code-correlated index SMS uses (§2.4, §4.2).
+type Key struct {
+	PC     uint64
+	Offset int
+}
+
+// SeqElem is one element of a spatial sequence: a block offset *relative to
+// the trigger block* and the reconstruction delta — the number of global
+// miss-order events interleaved since the previous access of this region
+// (Figure 3).
+type SeqElem struct {
+	Offset int8  // relative block offset, in (-RegionBlocks, RegionBlocks)
+	Delta  uint8 // interleaved foreign events before this access
+}
+
+// relRange is the number of representable relative offsets (−31..+31).
+const relRange = 2*mem.RegionBlocks - 1
+
+// PSTEntry is one pattern sequence: the latest observed access order with
+// deltas, plus a 2-bit saturating counter per relative offset providing the
+// hysteresis of §4.3 ("2-bit counters attain the same coverage while
+// roughly halving overpredictions").
+type PSTEntry struct {
+	Seq      []SeqElem
+	Counters [relRange]uint8
+}
+
+// counterAt returns the saturating counter for a relative offset.
+func (e *PSTEntry) counterAt(rel int8) uint8 {
+	return e.Counters[int(rel)+mem.RegionBlocks-1]
+}
+
+func (e *PSTEntry) bumpCounter(rel int8, up bool) {
+	i := int(rel) + mem.RegionBlocks - 1
+	if up {
+		if e.Counters[i] < 3 {
+			e.Counters[i]++
+		}
+	} else if e.Counters[i] > 0 {
+		e.Counters[i]--
+	}
+}
+
+// PST is the pattern sequence table: a fixed-capacity LRU table of spatial
+// sequences (§4.1: "upon generation termination, the pattern sequence table
+// stores the observed spatial sequence"). The paper sizes it at 16K entries
+// × 40B = 640KB, residing in main memory.
+type PST struct {
+	table *lru.Map[Key, *PSTEntry]
+	// useCounters selects hysteresis mode; when false the latest sequence
+	// is used verbatim (bit-vector-equivalent mode, for the ablation).
+	useCounters bool
+	threshold   uint8
+	trained     uint64
+}
+
+// NewPST creates a pattern sequence table with the given entry capacity.
+func NewPST(entries int, useCounters bool, threshold uint8) *PST {
+	return &PST{
+		table:       lru.New[Key, *PSTEntry](entries),
+		useCounters: useCounters,
+		threshold:   threshold,
+	}
+}
+
+// Train merges one finished generation's observed sequence into the table.
+// Counters for observed offsets saturate upward; offsets present in the
+// stored entry but absent from the new observation decay. The stored order
+// and deltas always follow the most recent observation (temporal
+// correlation favors recency, §2.1).
+func (p *PST) Train(k Key, observed []SeqElem) {
+	if len(observed) == 0 {
+		return
+	}
+	ent, ok := p.table.Peek(k)
+	if !ok {
+		ent = &PSTEntry{}
+	}
+	var seen [relRange]bool
+	capped := observed
+	if len(capped) > mem.RegionBlocks {
+		capped = capped[:mem.RegionBlocks]
+	}
+	for _, el := range capped {
+		seen[int(el.Offset)+mem.RegionBlocks-1] = true
+		ent.bumpCounter(el.Offset, true)
+	}
+	// Every un-observed offset decays — the hardware updates all 32
+	// counters of the entry on each generation commit (§4.3), which is
+	// what lets the table forget unstable blocks.
+	for i := range ent.Counters {
+		if !seen[i] && ent.Counters[i] > 0 {
+			ent.Counters[i]--
+		}
+	}
+	ent.Seq = append(ent.Seq[:0], capped...)
+	p.table.Put(k, ent)
+	p.trained++
+}
+
+// Lookup returns the stored sequence for k, nil if absent. The returned
+// entry is shared; callers must not mutate it.
+func (p *PST) Lookup(k Key) *PSTEntry {
+	ent, ok := p.table.Get(k)
+	if !ok {
+		return nil
+	}
+	return ent
+}
+
+// Predicts reports whether the entry (possibly nil) predicts the relative
+// offset with sufficient confidence.
+func (p *PST) Predicts(ent *PSTEntry, rel int8) bool {
+	if ent == nil {
+		return false
+	}
+	if !p.useCounters {
+		for _, el := range ent.Seq {
+			if el.Offset == rel {
+				return true
+			}
+		}
+		return false
+	}
+	return ent.counterAt(rel) >= p.threshold
+}
+
+// PredictedSeq returns the elements of ent that clear the confidence
+// threshold, in stored (most recent observed) order.
+func (p *PST) PredictedSeq(ent *PSTEntry) []SeqElem {
+	if ent == nil {
+		return nil
+	}
+	out := make([]SeqElem, 0, len(ent.Seq))
+	for _, el := range ent.Seq {
+		if p.Predicts(ent, el.Offset) {
+			out = append(out, el)
+		}
+	}
+	return out
+}
+
+// Len returns the number of stored patterns.
+func (p *PST) Len() int { return p.table.Len() }
+
+// Trained returns the number of Train calls that stored a sequence.
+func (p *PST) Trained() uint64 { return p.trained }

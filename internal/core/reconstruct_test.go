@@ -1,0 +1,302 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"stems/internal/mem"
+)
+
+// Figure 3 / Figure 5 worked example.
+//
+// Observed miss order: A, A+4, B, A+2, B+6, A-1, C, D, D+1, D+2
+// Trigger sequence (address,delta): (A,0) (B,1) (C,3) (D,0)
+// Spatial sequences (offset,delta): A: (4,0) (2,1) (-1,1)
+//
+//	B: (6,1)
+//	D: (1,0) (2,0)
+//
+// Reconstruction must reproduce the observed order exactly.
+func TestReconstructionFigure5(t *testing.T) {
+	const (
+		pc1, pc2, pc3, pc4 = 1, 2, 3, 4
+	)
+	// Concrete placements keeping every offset within its 2KB region:
+	// A at region 1 offset 8, B at region 2 offset 0,
+	// C at region 3 offset 5, D at region 4 offset 3.
+	A := mem.Addr(1*mem.RegionSize + 8*mem.BlockSize)
+	B := mem.Addr(2 * mem.RegionSize)
+	C := mem.Addr(3*mem.RegionSize + 5*mem.BlockSize)
+	D := mem.Addr(4*mem.RegionSize + 3*mem.BlockSize)
+	blk := func(base mem.Addr, off int) mem.Addr {
+		return mem.Addr(int64(base) + int64(off)*mem.BlockSize)
+	}
+
+	// Bit-vector mode so a single Train suffices for prediction.
+	pst := NewPST(64, false, 1)
+	pst.Train(Key{PC: pc1, Offset: A.RegionOffset()},
+		[]SeqElem{{Offset: 4, Delta: 0}, {Offset: 2, Delta: 1}, {Offset: -1, Delta: 1}})
+	pst.Train(Key{PC: pc2, Offset: B.RegionOffset()},
+		[]SeqElem{{Offset: 6, Delta: 1}})
+	pst.Train(Key{PC: pc4, Offset: D.RegionOffset()},
+		[]SeqElem{{Offset: 1, Delta: 0}, {Offset: 2, Delta: 0}})
+
+	rmob := NewRMOB(64)
+	rmob.Append(RMOBEntry{Block: A, PC: pc1, Delta: 0})
+	rmob.Append(RMOBEntry{Block: B, PC: pc2, Delta: 1})
+	rmob.Append(RMOBEntry{Block: C, PC: pc3, Delta: 3})
+	rmob.Append(RMOBEntry{Block: D, PC: pc4, Delta: 0})
+
+	rc := NewReconstructor(pst, rmob, 256, 2)
+	var regions []mem.Addr
+	pos := uint64(0)
+	got := rc.Window(&pos, func(region mem.Addr, k Key) {
+		regions = append(regions, region)
+	})
+
+	want := []mem.Addr{
+		A, blk(A, 4), B, blk(A, 2), blk(B, 6), blk(A, -1), C, D, blk(D, 1), blk(D, 2),
+	}
+	if len(got) != len(want) {
+		t.Fatalf("reconstructed %d blocks (%v), want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("slot %d: got %#x, want %#x", i, got[i], want[i])
+		}
+	}
+	st := rc.Stats()
+	if st.PlacedNear != 0 || st.Dropped != 0 {
+		t.Errorf("perfect example needed displacement: %+v", st)
+	}
+	if pos != 4 {
+		t.Errorf("cursor = %d, want 4 (all entries consumed)", pos)
+	}
+	// Regions with spatial patterns (A, B, D — not C) reported.
+	if len(regions) != 3 {
+		t.Errorf("onRegion fired %d times (%v), want 3", len(regions), regions)
+	}
+}
+
+func TestReconstructionCollisionSearch(t *testing.T) {
+	// Two RMOB entries whose deltas collide: entry 2 wants slot 1, but a
+	// spatial element of entry 1 also wants slot 1.
+	pst := NewPST(16, false, 1)
+	A := mem.Addr(1 * mem.RegionSize)
+	B := mem.Addr(2 * mem.RegionSize)
+	pst.Train(Key{PC: 1, Offset: 0}, []SeqElem{{Offset: 3, Delta: 0}}) // wants slot 1
+	rmob := NewRMOB(16)
+	rmob.Append(RMOBEntry{Block: A, PC: 1, Delta: 0})
+	rmob.Append(RMOBEntry{Block: B, PC: 2, Delta: 0}) // also wants slot 1
+
+	rc := NewReconstructor(pst, rmob, 16, 2)
+	pos := uint64(0)
+	got := rc.Window(&pos, nil)
+	if len(got) != 3 {
+		t.Fatalf("reconstructed %v, want 3 blocks", got)
+	}
+	st := rc.Stats()
+	if st.PlacedNear != 1 {
+		t.Errorf("PlacedNear = %d, want 1", st.PlacedNear)
+	}
+	// All three blocks present regardless of displacement.
+	present := map[mem.Addr]bool{}
+	for _, b := range got {
+		present[b] = true
+	}
+	for _, b := range []mem.Addr{A, A + 3*mem.BlockSize, B} {
+		if !present[b] {
+			t.Errorf("block %#x missing from reconstruction", b)
+		}
+	}
+}
+
+func TestReconstructionDropsWhenWindowFull(t *testing.T) {
+	pst := NewPST(16, false, 1)
+	rmob := NewRMOB(16)
+	// Three entries with delta 0 into a 2-slot buffer: third must wait for
+	// the next window.
+	for i := 1; i <= 3; i++ {
+		rmob.Append(RMOBEntry{Block: mem.Addr(i * mem.RegionSize), PC: uint64(i), Delta: 0})
+	}
+	rc := NewReconstructor(pst, rmob, 2, 2)
+	pos := uint64(0)
+	first := rc.Window(&pos, nil)
+	if len(first) != 2 || pos != 2 {
+		t.Fatalf("first window = %v (pos %d), want 2 blocks consumed", first, pos)
+	}
+	second := rc.Window(&pos, nil)
+	if len(second) != 1 || pos != 3 {
+		t.Fatalf("second window = %v (pos %d)", second, pos)
+	}
+	third := rc.Window(&pos, nil)
+	if third != nil {
+		t.Fatalf("exhausted RMOB produced %v", third)
+	}
+}
+
+func TestReconstructionOutOfRegionSuppressed(t *testing.T) {
+	// A (corrupt) pattern pointing outside the trigger's region must not
+	// produce a prediction.
+	pst := NewPST(16, false, 1)
+	A := mem.Addr(1*mem.RegionSize + 31*mem.BlockSize) // last block of region
+	pst.Train(Key{PC: 1, Offset: 31}, []SeqElem{{Offset: 1, Delta: 0}})
+	rmob := NewRMOB(4)
+	rmob.Append(RMOBEntry{Block: A, PC: 1, Delta: 0})
+	rc := NewReconstructor(pst, rmob, 8, 2)
+	pos := uint64(0)
+	got := rc.Window(&pos, nil)
+	if len(got) != 1 || got[0] != A {
+		t.Fatalf("out-of-region prediction leaked: %v", got)
+	}
+}
+
+func TestReconstructionUnstableElementsSkippedButSpaced(t *testing.T) {
+	// Counters mode: an unstable element is not fetched, but the slots it
+	// would occupy still advance, preserving later elements' positions.
+	pst := NewPST(16, true, 2)
+	A := mem.Addr(1 * mem.RegionSize)
+	seq := []SeqElem{{Offset: 1, Delta: 0}, {Offset: 2, Delta: 0}}
+	pst.Train(Key{PC: 1, Offset: 0}, seq)
+	pst.Train(Key{PC: 1, Offset: 0}, seq) // both offsets at counter 2
+	// Third training without offset 1: its counter decays to 1 (< thresh).
+	pst.Train(Key{PC: 1, Offset: 0}, []SeqElem{{Offset: 2, Delta: 1}})
+
+	rmob := NewRMOB(4)
+	rmob.Append(RMOBEntry{Block: A, PC: 1, Delta: 0})
+	rc := NewReconstructor(pst, rmob, 8, 0)
+	pos := uint64(0)
+	got := rc.Window(&pos, nil)
+	// Expect A and A+2 only; A+2's slot honors the latest stored deltas.
+	if len(got) != 2 || got[0] != A || got[1] != A+2*mem.BlockSize {
+		t.Fatalf("got %v, want [A, A+2]", got)
+	}
+}
+
+func TestReconstructorPanicsOnBadBuffer(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero-slot buffer")
+		}
+	}()
+	NewReconstructor(NewPST(4, true, 2), NewRMOB(4), 0, 2)
+}
+
+// TestReconstructionRoundTripProperty is the decomposition/reconstruction
+// inverse property behind Figure 3: take a random interleaved total miss
+// order over several regions, decompose it into the trigger sequence (with
+// deltas) and per-region spatial sequences (with deltas) exactly as §3
+// describes, and verify reconstruction reproduces the original order.
+func TestReconstructionRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		nRegions := 2 + rng.Intn(6)
+		// Build each region's access list: trigger block + up to 5 more
+		// distinct blocks in the same region.
+		type ev struct {
+			region int
+			block  mem.Addr
+		}
+		var order []ev
+		triggers := make([]mem.Addr, nRegions)
+		for r := 0; r < nRegions; r++ {
+			trigOff := rng.Intn(mem.RegionBlocks)
+			base := mem.Addr((10 + r) * mem.RegionSize)
+			triggers[r] = base + mem.Addr(trigOff)*mem.BlockSize
+			k := 1 + rng.Intn(5)
+			offs := rng.Perm(mem.RegionBlocks)[:k+1]
+			// Ensure the trigger comes first.
+			blocks := []mem.Addr{triggers[r]}
+			for _, o := range offs {
+				b := base + mem.Addr(o)*mem.BlockSize
+				if b != triggers[r] && len(blocks) < k+1 {
+					blocks = append(blocks, b)
+				}
+			}
+			for _, b := range blocks {
+				order = append(order, ev{region: r, block: b})
+			}
+		}
+		// Random interleave preserving per-region order: repeatedly pick a
+		// region whose next event exists.
+		perRegion := make([][]mem.Addr, nRegions)
+		for _, e := range order {
+			perRegion[e.region] = append(perRegion[e.region], e.block)
+		}
+		var total []mem.Addr
+		regionOf := map[mem.Addr]int{}
+		cursors := make([]int, nRegions)
+		remaining := len(order)
+		// The first event must be region 0's trigger? No: any trigger may
+		// lead, but each region's first event is its trigger by
+		// construction.
+		for remaining > 0 {
+			r := rng.Intn(nRegions)
+			if cursors[r] >= len(perRegion[r]) {
+				continue
+			}
+			b := perRegion[r][cursors[r]]
+			cursors[r]++
+			remaining--
+			regionOf[b] = r
+			total = append(total, b)
+		}
+		if len(total) > 200 {
+			continue
+		}
+
+		// Decompose: trigger deltas skip foreign events since the previous
+		// trigger; spatial deltas skip foreign events since the previous
+		// event of the same region.
+		pst := NewPST(64, false, 1)
+		rmob := NewRMOB(256)
+		lastTriggerIdx := -1
+		lastRegionIdx := make([]int, nRegions)
+		for i := range lastRegionIdx {
+			lastRegionIdx[i] = -1
+		}
+		seqs := make([][]SeqElem, nRegions)
+		for i, b := range total {
+			r := regionOf[b]
+			if b == triggers[r] {
+				delta := 0
+				if lastTriggerIdx >= 0 {
+					delta = i - lastTriggerIdx - 1
+				}
+				rmob.Append(RMOBEntry{Block: b, PC: uint64(100 + r), Delta: uint8(delta)})
+				lastTriggerIdx = i
+			} else {
+				delta := i - lastRegionIdx[r] - 1
+				rel := int8(int64(b>>6) - int64(triggers[r]>>6))
+				seqs[r] = append(seqs[r], SeqElem{Offset: rel, Delta: uint8(delta)})
+			}
+			lastRegionIdx[r] = i
+		}
+		for r := 0; r < nRegions; r++ {
+			if len(seqs[r]) > 0 {
+				pst.Train(Key{PC: uint64(100 + r), Offset: triggers[r].RegionOffset()}, seqs[r])
+			}
+		}
+
+		// Wait: trigger deltas above skip since the previous *trigger*,
+		// which counts foreign triggers as skipped events too — that is
+		// exactly the global-order semantics. Reconstruct and compare.
+		rc := NewReconstructor(pst, rmob, 256, 2)
+		pos := uint64(0)
+		got := rc.Window(&pos, nil)
+		if len(got) != len(total) {
+			t.Fatalf("trial %d: reconstructed %d of %d events\n got: %v\nwant: %v",
+				trial, len(got), len(total), got, total)
+		}
+		for i := range total {
+			if got[i] != total[i] {
+				t.Fatalf("trial %d: slot %d = %#x, want %#x\n got: %v\nwant: %v",
+					trial, i, got[i], total[i], got, total)
+			}
+		}
+		st := rc.Stats()
+		if st.PlacedNear != 0 || st.Dropped != 0 {
+			t.Fatalf("trial %d: consistent deltas needed displacement: %+v", trial, st)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import "stems/internal/mem"
+
+// RMOBEntry is one record of the region miss-order buffer: the miss block
+// address, the PC of the missing instruction (for the spatial lookup
+// index), and the reconstruction delta — global miss-order events skipped
+// since the previous RMOB append (§4.1: "Each RMOB entry contains the block
+// address, the PC of the miss instruction, and the reconstruction delta").
+type RMOBEntry struct {
+	Block mem.Addr
+	PC    uint64
+	Delta uint8
+}
+
+// RMOB is the region miss order buffer: a circular buffer in (simulated)
+// main memory holding the temporal sequence of spatial triggers and
+// spatially-unpredicted misses, plus an index mapping each block address to
+// its most recent position. Spatially predictable misses are filtered out,
+// which is why the paper's RMOB (128K entries) is one third the size of
+// TMS's CMOB (§4.3).
+type RMOB struct {
+	ring    []RMOBEntry
+	appends uint64
+	index   map[mem.Addr]uint64
+
+	staleLookups uint64
+}
+
+// NewRMOB creates a buffer with the given entry capacity.
+func NewRMOB(entries int) *RMOB {
+	if entries <= 0 {
+		panic("core: non-positive RMOB capacity")
+	}
+	return &RMOB{
+		ring:  make([]RMOBEntry, entries),
+		index: make(map[mem.Addr]uint64),
+	}
+}
+
+// Append records an entry and indexes it as the most recent occurrence of
+// its block.
+func (r *RMOB) Append(e RMOBEntry) {
+	r.ring[r.appends%uint64(len(r.ring))] = e
+	r.index[e.Block] = r.appends
+	r.appends++
+}
+
+// Lookup returns the most recent live position of block. Stale index
+// entries (lapped by the ring) are detected and discarded.
+func (r *RMOB) Lookup(block mem.Addr) (uint64, bool) {
+	pos, ok := r.index[block]
+	if !ok {
+		return 0, false
+	}
+	if r.appends-pos > uint64(len(r.ring)) || r.ring[pos%uint64(len(r.ring))].Block != block {
+		r.staleLookups++
+		delete(r.index, block)
+		return 0, false
+	}
+	return pos, true
+}
+
+// At returns the entry at an absolute position; ok is false if the position
+// has been overwritten or not yet written.
+func (r *RMOB) At(pos uint64) (RMOBEntry, bool) {
+	if pos >= r.appends || r.appends-pos > uint64(len(r.ring)) {
+		return RMOBEntry{}, false
+	}
+	return r.ring[pos%uint64(len(r.ring))], true
+}
+
+// Appends returns the total number of entries ever appended.
+func (r *RMOB) Appends() uint64 { return r.appends }
+
+// Len returns the number of live entries.
+func (r *RMOB) Len() int {
+	if r.appends < uint64(len(r.ring)) {
+		return int(r.appends)
+	}
+	return len(r.ring)
+}
+
+// StaleLookups returns the number of index entries found lapped.
+func (r *RMOB) StaleLookups() uint64 { return r.staleLookups }

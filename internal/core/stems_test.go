@@ -1,0 +1,430 @@
+package core
+
+import (
+	"testing"
+
+	"stems/internal/config"
+	"stems/internal/mem"
+	"stems/internal/stream"
+	"stems/internal/trace"
+)
+
+type recordingFetcher struct{ blocks []mem.Addr }
+
+func (f *recordingFetcher) Fetch(b mem.Addr) uint64 {
+	f.blocks = append(f.blocks, b)
+	return 0
+}
+
+// figure3Trace builds the observed miss order of Figure 3 with concrete
+// addresses and PCs: A, A+4, B, A+2, B+6, A-1, C, D, D+1, D+2.
+func figure3Trace() (accs []trace.Access, A, B, C, D mem.Addr) {
+	A = mem.Addr(1*mem.RegionSize + 8*mem.BlockSize)
+	B = mem.Addr(2 * mem.RegionSize)
+	C = mem.Addr(3*mem.RegionSize + 5*mem.BlockSize)
+	D = mem.Addr(4*mem.RegionSize + 3*mem.BlockSize)
+	blk := func(base mem.Addr, off int) mem.Addr {
+		return mem.Addr(int64(base) + int64(off)*mem.BlockSize)
+	}
+	accs = []trace.Access{
+		{Addr: A, PC: 1},
+		{Addr: blk(A, 4), PC: 11},
+		{Addr: B, PC: 2},
+		{Addr: blk(A, 2), PC: 12},
+		{Addr: blk(B, 6), PC: 21},
+		{Addr: blk(A, -1), PC: 13},
+		{Addr: C, PC: 3},
+		{Addr: D, PC: 4},
+		{Addr: blk(D, 1), PC: 41},
+		{Addr: blk(D, 2), PC: 42},
+	}
+	return accs, A, B, C, D
+}
+
+// endAllGenerations evicts every block of the trace from L1, terminating
+// all generations and training the PST.
+func endAllGenerations(s *STeMS, accs []trace.Access) {
+	for _, a := range accs {
+		s.OnL1Evict(a.Addr.Block())
+	}
+}
+
+func bitvecConfig() config.STeMS {
+	cfg := config.DefaultSTeMS()
+	cfg.UseCounters = false // one training pass suffices
+	return cfg
+}
+
+// TestTrainingDecomposesFigure3 verifies the training side of Figure 3:
+// after one observed pass and one filtered pass, the PST holds exactly the
+// paper's spatial sequences and the RMOB's second-pass entries carry the
+// paper's trigger deltas (A,0) (B,1) (C,3) (D,0).
+func TestTrainingDecomposesFigure3(t *testing.T) {
+	s := New(bitvecConfig(), nil) // analysis mode
+	accs, A, B, _, D := figure3Trace()
+
+	// Pass 1: everything is new; all 10 events enter the RMOB.
+	for _, a := range accs {
+		s.OnOffChipEvent(a, false)
+	}
+	if got := s.Stats().RMOBAppends; got != 10 {
+		t.Fatalf("pass-1 RMOB appends = %d, want 10", got)
+	}
+	endAllGenerations(s, accs)
+
+	// PST: spatial sequences with deltas exactly as in Figure 3.
+	checkSeq := func(pc uint64, trig mem.Addr, want []SeqElem) {
+		t.Helper()
+		ent := s.PST().Lookup(Key{PC: pc, Offset: trig.RegionOffset()})
+		if ent == nil {
+			t.Fatalf("PC %d: no PST entry", pc)
+		}
+		if len(ent.Seq) != len(want) {
+			t.Fatalf("PC %d: seq = %+v, want %+v", pc, ent.Seq, want)
+		}
+		for i := range want {
+			if ent.Seq[i] != want[i] {
+				t.Errorf("PC %d elem %d: got %+v, want %+v", pc, i, ent.Seq[i], want[i])
+			}
+		}
+	}
+	checkSeq(1, A, []SeqElem{{Offset: 4, Delta: 0}, {Offset: 2, Delta: 1}, {Offset: -1, Delta: 1}})
+	checkSeq(2, B, []SeqElem{{Offset: 6, Delta: 1}})
+	checkSeq(4, D, []SeqElem{{Offset: 1, Delta: 0}, {Offset: 2, Delta: 0}})
+
+	// Pass 2: spatial accesses are now predicted, so only the four
+	// triggers reach the RMOB — with Figure 3's deltas.
+	before := s.RMOB().Appends()
+	for _, a := range accs {
+		s.OnOffChipEvent(a, true) // covered: training only
+	}
+	appended := s.RMOB().Appends() - before
+	if appended != 4 {
+		t.Fatalf("pass-2 RMOB appends = %d, want 4 (triggers only)", appended)
+	}
+	if s.Stats().SpatialFiltered != 6 {
+		t.Fatalf("spatially filtered = %d, want 6", s.Stats().SpatialFiltered)
+	}
+	wantDeltas := []uint8{0, 1, 3, 0}
+	for i, want := range wantDeltas {
+		e, ok := s.RMOB().At(before + uint64(i))
+		if !ok {
+			t.Fatalf("RMOB entry %d unavailable", i)
+		}
+		if e.Delta != want {
+			t.Errorf("trigger %d delta = %d, want %d", i, e.Delta, want)
+		}
+	}
+}
+
+// TestEndToEndReplayCoversSequence: after one traversal, re-missing the
+// head reconstructs and streams the whole interleaved sequence.
+func TestEndToEndReplayCoversSequence(t *testing.T) {
+	f := &recordingFetcher{}
+	eng := stream.NewEngine(stream.Config{Queues: 8, Lookahead: 8, SVBEntries: 64}, f)
+	s := New(bitvecConfig(), eng)
+	accs, _, _, _, _ := figure3Trace()
+
+	for _, a := range accs {
+		s.OnOffChipEvent(a, false)
+	}
+	endAllGenerations(s, accs)
+
+	covered := 0
+	for _, a := range accs {
+		hit, _ := eng.Lookup(a.Addr)
+		if hit {
+			covered++
+		}
+		s.OnOffChipEvent(a, hit)
+	}
+	// Everything except the initiating miss should be covered.
+	if covered < len(accs)-1 {
+		t.Fatalf("replay covered %d of %d", covered, len(accs))
+	}
+	if s.Stats().ReconStreams == 0 {
+		t.Fatal("no reconstruction stream started")
+	}
+}
+
+// TestSpatialOnlyStreamCoversCompulsoryRegion: a pattern learned in some
+// regions applies to a region never seen before — the compulsory-miss
+// coverage that pure temporal streaming fundamentally cannot provide
+// (§2.1, §4.2). This is the DSS scan scenario.
+func TestSpatialOnlyStreamCoversCompulsoryRegion(t *testing.T) {
+	f := &recordingFetcher{}
+	eng := stream.NewEngine(stream.Config{Queues: 8, Lookahead: 8, SVBEntries: 64}, f)
+	s := New(bitvecConfig(), eng)
+
+	const scanPC = 77
+	offsets := []int{0, 3, 7, 12}
+	// Train the layout on two fresh regions (the scan's first pages).
+	for r := 1; r <= 2; r++ {
+		var accs []trace.Access
+		for _, off := range offsets {
+			a := trace.Access{
+				Addr: mem.Addr(r*mem.RegionSize + off*mem.BlockSize),
+				PC:   scanPC,
+			}
+			accs = append(accs, a)
+			s.OnOffChipEvent(a, false)
+		}
+		endAllGenerations(s, accs)
+	}
+
+	// A brand-new page: the trigger misses (no RMOB history), but the
+	// spatial-only stream must cover the remaining blocks.
+	const newRegion = 500
+	covered := 0
+	for i, off := range offsets {
+		a := trace.Access{
+			Addr: mem.Addr(newRegion*mem.RegionSize + off*mem.BlockSize),
+			PC:   scanPC,
+		}
+		hit, _ := eng.Lookup(a.Addr)
+		if hit {
+			covered++
+		}
+		s.OnOffChipEvent(a, hit)
+		if i == 0 && hit {
+			t.Fatal("compulsory trigger cannot be covered")
+		}
+	}
+	if covered != len(offsets)-1 {
+		t.Fatalf("spatial-only stream covered %d of %d non-trigger blocks",
+			covered, len(offsets)-1)
+	}
+	if s.Stats().SpatialOnlyStreams == 0 {
+		t.Fatal("no spatial-only stream started")
+	}
+}
+
+// TestSpatialOnlySkippedWhenReconstructionPredicted: if reconstruction
+// already predicted the region with the same index, a redundant spatial-only
+// stream must not launch.
+func TestSpatialOnlySkippedWhenReconstructionPredicted(t *testing.T) {
+	f := &recordingFetcher{}
+	eng := stream.NewEngine(stream.Config{Queues: 8, Lookahead: 8, SVBEntries: 64}, f)
+	s := New(bitvecConfig(), eng)
+	accs, _, _, _, _ := figure3Trace()
+	for _, a := range accs {
+		s.OnOffChipEvent(a, false)
+	}
+	endAllGenerations(s, accs)
+	for _, a := range accs {
+		hit, _ := eng.Lookup(a.Addr)
+		s.OnOffChipEvent(a, hit)
+	}
+	if got := s.Stats().SpatialOnlyStreams; got != 0 {
+		t.Fatalf("spatial-only streams = %d, want 0 (reconstruction handled all)", got)
+	}
+}
+
+// TestEachBlockRecordedOncePerGeneration: §4.3 — "Each block can only
+// appear once in a sequence."
+func TestEachBlockRecordedOncePerGeneration(t *testing.T) {
+	s := New(bitvecConfig(), nil)
+	A := mem.Addr(1 * mem.RegionSize)
+	seq := []trace.Access{
+		{Addr: A, PC: 1},
+		{Addr: A + 4*mem.BlockSize, PC: 2},
+		{Addr: A + 4*mem.BlockSize, PC: 2}, // repeat
+		{Addr: A + 9*mem.BlockSize, PC: 3},
+	}
+	for _, a := range seq {
+		s.OnOffChipEvent(a, false)
+	}
+	s.OnL1Evict(A)
+	ent := s.PST().Lookup(Key{PC: 1, Offset: 0})
+	if ent == nil {
+		t.Fatal("no trained entry")
+	}
+	if len(ent.Seq) != 2 {
+		t.Fatalf("sequence = %+v, want 2 distinct elements", ent.Seq)
+	}
+}
+
+// TestWritesIgnored: the coverage target is off-chip *read* misses.
+func TestWritesIgnored(t *testing.T) {
+	s := New(bitvecConfig(), nil)
+	s.OnOffChipEvent(trace.Access{Addr: 64, PC: 1, Write: true}, false)
+	if s.Stats().Events != 0 || s.Stats().RMOBAppends != 0 {
+		t.Fatal("write trained the predictor")
+	}
+}
+
+// TestAnalysisModeNoEngine: a nil engine must never be dereferenced.
+func TestAnalysisModeNoEngine(t *testing.T) {
+	s := New(config.DefaultSTeMS(), nil)
+	accs, _, _, _, _ := figure3Trace()
+	for pass := 0; pass < 3; pass++ {
+		for _, a := range accs {
+			s.OnOffChipEvent(a, false)
+		}
+		endAllGenerations(s, accs)
+	}
+	if s.Stats().Events != 30 {
+		t.Fatalf("events = %d, want 30", s.Stats().Events)
+	}
+}
+
+// TestCountersNeedTwoPasses: with default saturating counters, a single
+// observation is not enough to predict — the §4.3 hysteresis.
+func TestCountersNeedTwoPasses(t *testing.T) {
+	f := &recordingFetcher{}
+	eng := stream.NewEngine(stream.Config{SVBEntries: 64}, f)
+	s := New(config.DefaultSTeMS(), eng)
+	const pc = 9
+	offsets := []int{0, 5}
+	run := func(region int) (covered int) {
+		var accs []trace.Access
+		for _, off := range offsets {
+			a := trace.Access{Addr: mem.Addr(region*mem.RegionSize + off*mem.BlockSize), PC: pc}
+			accs = append(accs, a)
+			hit, _ := eng.Lookup(a.Addr)
+			if hit {
+				covered++
+			}
+			s.OnOffChipEvent(a, hit)
+		}
+		endAllGenerations(s, accs)
+		return covered
+	}
+	if run(1) != 0 {
+		t.Fatal("cold region covered")
+	}
+	if run(2) != 0 {
+		t.Fatal("counter=1 predicted (threshold is 2)")
+	}
+	if run(3) != 1 {
+		t.Fatal("counter=2 did not predict on third region")
+	}
+}
+
+// TestDeltaClamping: enormous gaps between events must clamp, not wrap.
+func TestDeltaClamping(t *testing.T) {
+	s := New(bitvecConfig(), nil)
+	A := mem.Addr(1 * mem.RegionSize)
+	s.OnOffChipEvent(trace.Access{Addr: A, PC: 1}, false)
+	// 300 foreign events spread over 10 regions (so region A's generation
+	// stays resident in the 64-entry AGT).
+	for i := 0; i < 300; i++ {
+		region := 10 + i%10
+		off := (i / 10) % mem.RegionBlocks
+		s.OnOffChipEvent(trace.Access{
+			Addr: mem.Addr(region*mem.RegionSize + off*mem.BlockSize), PC: 2,
+		}, false)
+	}
+	s.OnOffChipEvent(trace.Access{Addr: A + mem.BlockSize, PC: 3}, false)
+	s.OnL1Evict(A)
+	ent := s.PST().Lookup(Key{PC: 1, Offset: 0})
+	if ent == nil || len(ent.Seq) != 1 {
+		t.Fatalf("entry = %+v", ent)
+	}
+	if ent.Seq[0].Delta != 255 {
+		t.Fatalf("delta = %d, want clamped 255", ent.Seq[0].Delta)
+	}
+}
+
+// TestSpatialOnlyOnIndexMismatch exercises §4.2's "if they differ" branch:
+// a region predicted during reconstruction under one spatial index begins a
+// generation under a different index, so STeMS must launch a spatial-only
+// stream with the *correct* index's pattern.
+func TestSpatialOnlyOnIndexMismatch(t *testing.T) {
+	f := &recordingFetcher{}
+	eng := stream.NewEngine(stream.Config{Queues: 8, Lookahead: 8, SVBEntries: 64}, f)
+	s := New(bitvecConfig(), eng)
+
+	const (
+		pcA = 0xA0 // the code path reconstruction believes touched region R
+		pcB = 0xB0 // the code path that actually triggers the generation
+	)
+	R := mem.Addr(10 * mem.RegionSize)
+	other := mem.Addr(20 * mem.RegionSize)
+
+	// Train pattern B in unrelated regions so PST{pcB, 0} exists.
+	for r := 30; r <= 31; r++ {
+		base := mem.Addr(r * mem.RegionSize)
+		accs := []trace.Access{
+			{Addr: base, PC: pcB},
+			{Addr: base + 5*mem.BlockSize, PC: 0x1},
+			{Addr: base + 6*mem.BlockSize, PC: 0x2},
+		}
+		for _, a := range accs {
+			s.OnOffChipEvent(a, false)
+		}
+		endAllGenerations(s, accs)
+	}
+	// Train pattern A for region R itself and record it in the RMOB.
+	accsA := []trace.Access{
+		{Addr: R, PC: pcA},
+		{Addr: R + 1*mem.BlockSize, PC: 0x3},
+		{Addr: other, PC: 0x4},
+	}
+	for _, a := range accsA {
+		s.OnOffChipEvent(a, false)
+	}
+	endAllGenerations(s, accsA)
+
+	// Re-miss R under pcA: reconstruction runs and registers region R with
+	// index {pcA, 0}.
+	s.OnOffChipEvent(trace.Access{Addr: R, PC: pcA}, false)
+	if s.Stats().ReconStreams == 0 {
+		t.Fatal("setup failed: no reconstruction stream")
+	}
+	endAllGenerations(s, accsA)
+
+	// Now the generation for R opens under pcB — a *covered* trigger whose
+	// index mismatches the reconstruction's: spatial-only must fire with
+	// pattern B (offsets +5, +6 relative to the trigger).
+	f.blocks = nil
+	before := s.Stats().SpatialOnlyStreams
+	s.OnOffChipEvent(trace.Access{Addr: R, PC: pcB}, true)
+	if s.Stats().SpatialOnlyStreams != before+1 {
+		t.Fatalf("spatial-only streams = %d, want %d", s.Stats().SpatialOnlyStreams, before+1)
+	}
+	// The eager spatial-only stream fetches pattern B's blocks.
+	want := map[mem.Addr]bool{R + 5*mem.BlockSize: true, R + 6*mem.BlockSize: true}
+	found := 0
+	for _, b := range f.blocks {
+		if want[b] {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("pattern B blocks not fetched: %v", f.blocks)
+	}
+}
+
+// TestFilteredMissesShrinkRMOB reproduces §4.3's storage argument: with a
+// dense, stable spatial pattern, the RMOB records a small fraction of the
+// events TMS's CMOB would.
+func TestFilteredMissesShrinkRMOB(t *testing.T) {
+	s := New(bitvecConfig(), nil)
+	const perRegion = 8
+	// Two passes over 50 regions with a stable 8-block pattern.
+	for pass := 0; pass < 2; pass++ {
+		var accs []trace.Access
+		for r := 1; r <= 50; r++ {
+			for o := 0; o < perRegion; o++ {
+				a := trace.Access{
+					Addr: mem.Addr(r*mem.RegionSize + o*2*mem.BlockSize),
+					PC:   0x7,
+				}
+				accs = append(accs, a)
+				s.OnOffChipEvent(a, false)
+			}
+		}
+		endAllGenerations(s, accs)
+	}
+	events := s.Stats().Events
+	appends := s.Stats().RMOBAppends
+	// Pass 1 appends everything (nothing predicted yet); pass 2 appends
+	// only triggers: total ≈ (events/2) + 50.
+	if appends >= events*3/4 {
+		t.Fatalf("RMOB filter ineffective: %d appends of %d events", appends, events)
+	}
+	if s.Stats().SpatialFiltered == 0 {
+		t.Fatal("nothing filtered")
+	}
+}

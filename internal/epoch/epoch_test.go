@@ -1,0 +1,147 @@
+package epoch
+
+import (
+	"testing"
+
+	"stems/internal/mem"
+	"stems/internal/stream"
+	"stems/internal/trace"
+)
+
+type recordingFetcher struct{ blocks []mem.Addr }
+
+func (f *recordingFetcher) Fetch(b mem.Addr) uint64 {
+	f.blocks = append(f.blocks, b)
+	return 0
+}
+
+func newEpoch() (*Epoch, *recordingFetcher) {
+	f := &recordingFetcher{}
+	eng := stream.NewEngine(stream.Config{SVBEntries: 256}, f)
+	return New(DefaultConfig(), eng), f
+}
+
+func lead(block int) trace.Access {
+	return trace.Access{Addr: mem.Addr(block * mem.BlockSize), Dep: true}
+}
+
+func member(block int) trace.Access {
+	return trace.Access{Addr: mem.Addr(block * mem.BlockSize)}
+}
+
+// feed sends the access sequence as uncovered off-chip events.
+func feed(e *Epoch, accs ...trace.Access) {
+	for _, a := range accs {
+		e.OnOffChipEvent(a, false)
+	}
+}
+
+func TestEpochSegmentation(t *testing.T) {
+	e, _ := newEpoch()
+	// Three epochs: leads 10, 20, 30 with members.
+	feed(e,
+		lead(10), member(11), member(12),
+		lead(20), member(21),
+		lead(30),
+	)
+	// Epochs commit when the *next* lead arrives: 2 committed so far.
+	if e.Stats().Epochs != 2 {
+		t.Fatalf("epochs = %d, want 2", e.Stats().Epochs)
+	}
+	if e.TableLen() != 2 {
+		t.Fatalf("table entries = %d, want 2", e.TableLen())
+	}
+}
+
+func TestEpochPredictionOnRepeat(t *testing.T) {
+	e, f := newEpoch()
+	feed(e,
+		lead(10), member(11), member(12),
+		lead(20), member(21), member(22),
+		lead(30), member(31),
+		lead(40),
+	)
+	f.blocks = nil
+	// Re-missing lead 10 must prefetch epoch 10's members (11, 12), the
+	// next lead (20), and with EpochsAhead=2, epoch 20's members too.
+	feed(e, lead(10))
+	want := map[mem.Addr]bool{
+		member(11).Addr: true, member(12).Addr: true,
+		lead(20).Addr:   true,
+		member(21).Addr: true, member(22).Addr: true,
+		lead(30).Addr: true,
+	}
+	if len(f.blocks) != len(want) {
+		t.Fatalf("prefetched %d blocks (%v), want %d", len(f.blocks), f.blocks, len(want))
+	}
+	for _, b := range f.blocks {
+		if !want[b] {
+			t.Errorf("unexpected prefetch %v", b)
+		}
+	}
+}
+
+func TestEpochColdLeadNoPrediction(t *testing.T) {
+	e, f := newEpoch()
+	feed(e, lead(10), member(11), lead(20))
+	f.blocks = nil
+	feed(e, lead(99))
+	if len(f.blocks) != 0 {
+		t.Fatalf("cold lead prefetched %v", f.blocks)
+	}
+}
+
+func TestEpochMembershipCapped(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxEpochLen = 3
+	f := &recordingFetcher{}
+	eng := stream.NewEngine(stream.Config{SVBEntries: 256}, f)
+	e := New(cfg, eng)
+	accs := []trace.Access{lead(10)}
+	for i := 11; i < 30; i++ {
+		accs = append(accs, member(i))
+	}
+	accs = append(accs, lead(50))
+	feed(e, accs...)
+	f.blocks = nil
+	feed(e, lead(10))
+	// cap 3 includes the lead, so 2 members + next lead = 3 blocks from
+	// depth 1; depth 2 finds nothing (epoch 50 not committed).
+	if len(f.blocks) != 3 {
+		t.Fatalf("prefetched %d blocks (%v), want 3 under cap", len(f.blocks), f.blocks)
+	}
+}
+
+func TestEpochCoveredLeadTrainsButDoesNotPredict(t *testing.T) {
+	e, f := newEpoch()
+	feed(e, lead(10), member(11), lead(20))
+	f.blocks = nil
+	e.OnOffChipEvent(lead(10), true) // covered
+	if len(f.blocks) != 0 {
+		t.Fatal("covered lead triggered prediction")
+	}
+	// But the epoch bookkeeping advanced: the covered lead committed the
+	// previous epoch (2nd commit) and opened a new one, which the next
+	// lead commits (3rd).
+	e.OnOffChipEvent(member(12), false)
+	e.OnOffChipEvent(lead(30), false)
+	if e.Stats().Epochs != 3 {
+		t.Fatalf("epochs = %d, want 3 (covered lead still segments)", e.Stats().Epochs)
+	}
+}
+
+func TestEpochWritesIgnored(t *testing.T) {
+	e, _ := newEpoch()
+	e.OnOffChipEvent(trace.Access{Addr: 64, Dep: true, Write: true}, false)
+	if e.Stats().Epochs != 0 || e.TableLen() != 0 {
+		t.Fatal("write trained the epoch table")
+	}
+}
+
+func TestEpochAnalysisModeNilEngine(t *testing.T) {
+	e := New(DefaultConfig(), nil)
+	feed(e, lead(10), member(11), lead(20), lead(10)) // must not panic
+	if e.Stats().Epochs == 0 {
+		t.Fatal("no epochs recorded in analysis mode")
+	}
+}

@@ -1,0 +1,119 @@
+package figures
+
+import (
+	"testing"
+
+	"stems/internal/sim"
+	"stems/internal/workload"
+)
+
+// TestPaperClaims encodes the paper's comparative claims as assertions over
+// the real workload suite at moderate scale. These are the reproduction's
+// acceptance tests: if a refactor breaks one of the paper's orderings, this
+// test names the claim that regressed.
+func TestPaperClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("claims run at moderate scale; skipped in -short mode")
+	}
+	p := DefaultParams()
+	p.Accesses = 250_000
+	p.Parallel = true
+
+	type cell struct{ tms, sms, stems sim.Result }
+	results := map[string]cell{}
+	rows := forEachWorkload(p, func(spec workload.Spec) struct {
+		name string
+		c    cell
+	} {
+		return struct {
+			name string
+			c    cell
+		}{spec.Name, cell{
+			tms:   runOne(p, spec, sim.KindTMS, p.Seed),
+			sms:   runOne(p, spec, sim.KindSMS, p.Seed),
+			stems: runOne(p, spec, sim.KindSTeMS, p.Seed),
+		}}
+	})
+	for _, r := range rows {
+		results[r.name] = r.c
+	}
+
+	// §5.2/§2.2: "TMS is mostly ineffective for DSS workloads, which are
+	// dominated by scans of previously untouched data."
+	for _, q := range []string{"Qry2", "Qry16", "Qry17"} {
+		if cov := results[q].tms.Coverage(); cov > 0.15 {
+			t.Errorf("claim §2.2: TMS coverage on %s = %.1f%%, want near zero", q, 100*cov)
+		}
+	}
+
+	// §5.5: "STeMS achieves essentially the same coverage as SMS" in DSS.
+	for _, q := range []string{"Qry2", "Qry16", "Qry17"} {
+		c := results[q]
+		if c.stems.Coverage() < c.sms.Coverage()-0.05 {
+			t.Errorf("claim §5.5 (DSS): STeMS %.1f%% well below SMS %.1f%% on %s",
+				100*c.stems.Coverage(), 100*c.sms.Coverage(), q)
+		}
+	}
+
+	// §5.5: "STeMS predicts on average 8% more off-chip misses than the
+	// best of the underlying predictors" in OLTP/web — we assert it is at
+	// least competitive with the best (within 5 points) and above the
+	// worst by a clear margin.
+	for _, w := range []string{"Apache", "Zeus", "DB2", "Oracle"} {
+		c := results[w]
+		best := c.tms.Coverage()
+		worst := c.sms.Coverage()
+		if worst > best {
+			best, worst = worst, best
+		}
+		if c.stems.Coverage() < best-0.05 {
+			t.Errorf("claim §5.5 (OLTP/web): STeMS %.1f%% not competitive with best %.1f%% on %s",
+				100*c.stems.Coverage(), 100*best, w)
+		}
+		if c.stems.Coverage() < worst {
+			t.Errorf("claim §5.5 (OLTP/web): STeMS below the *worse* baseline on %s", w)
+		}
+	}
+
+	// §5.5: "em3d ... coverage falls between that of TMS and SMS."
+	{
+		c := results["em3d"]
+		if !(c.sms.Coverage() < c.stems.Coverage() && c.stems.Coverage() < c.tms.Coverage()) {
+			t.Errorf("claim §5.5 (em3d): want SMS (%.1f%%) < STeMS (%.1f%%) < TMS (%.1f%%)",
+				100*c.sms.Coverage(), 100*c.stems.Coverage(), 100*c.tms.Coverage())
+		}
+	}
+
+	// §5.6: "In OLTP ... SMS offers little performance improvement despite
+	// its high coverage" — SMS covers more than half of what TMS covers in
+	// DB2 while its speedup is far lower. We check the mechanism: SMS's
+	// covered misses are the independent ones, so TMS's cycle win per
+	// covered miss must be larger.
+	{
+		c := results["DB2"]
+		smsSaved := int64(0)
+		if c.sms.Cycles > 0 {
+			smsSaved = int64(c.tms.Cycles) - int64(c.sms.Cycles)
+		}
+		if smsSaved > 0 {
+			t.Errorf("claim §5.6 (OLTP): SMS (%d cycles) outperformed TMS (%d) on DB2",
+				c.sms.Cycles, c.tms.Cycles)
+		}
+	}
+
+	// §2.1/§5.6: temporal streaming parallelizes dependence chains — TMS
+	// must be several times faster than SMS on em3d and sparse.
+	for _, w := range []string{"em3d", "sparse"} {
+		c := results[w]
+		// At this scale TMS spends its first iteration training, so we
+		// require a 1.5x advantage rather than the asymptotic ~4x.
+		if c.tms.Cycles*3 > c.sms.Cycles*2 {
+			t.Errorf("claim §5.6 (%s): TMS cycles %d not well below SMS %d",
+				w, c.tms.Cycles, c.sms.Cycles)
+		}
+		// And STeMS inherits most of that benefit.
+		if c.stems.Cycles > c.sms.Cycles {
+			t.Errorf("claim §5.6 (%s): STeMS slower than SMS", w)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package hybrid
+
+import (
+	"testing"
+
+	"stems/internal/config"
+	"stems/internal/mem"
+	"stems/internal/stream"
+	"stems/internal/trace"
+)
+
+type recordingFetcher struct{ blocks []mem.Addr }
+
+func (f *recordingFetcher) Fetch(b mem.Addr) uint64 {
+	f.blocks = append(f.blocks, b)
+	return 0
+}
+
+func newHybrid() (*Hybrid, *stream.Engine, *recordingFetcher) {
+	f := &recordingFetcher{}
+	eng := stream.NewEngine(stream.Config{Queues: 8, Lookahead: 4, SVBEntries: 64}, f)
+	tc := config.DefaultTMS()
+	tc.CMOBEntries = 1024
+	tc.Lookahead = 4
+	return New(config.DefaultSMS(), tc, eng), eng, f
+}
+
+func acc(region, off int, pc uint64) trace.Access {
+	return trace.Access{Addr: mem.Addr(region*mem.RegionSize + off*mem.BlockSize), PC: pc}
+}
+
+// visitPage emits a trigger plus pattern accesses and reports them to the
+// hybrid as both L1 accesses and off-chip events.
+func visitPage(h *Hybrid, region int, pc uint64, offsets []int) {
+	for _, off := range offsets {
+		a := acc(region, off, pc)
+		h.OnAccess(a, false)
+		h.OnOffChipEvent(a, false)
+	}
+}
+
+func endPage(h *Hybrid, region int, off int) {
+	h.OnL1Evict(mem.Addr(region*mem.RegionSize + off*mem.BlockSize))
+}
+
+func TestTriggerRecording(t *testing.T) {
+	h, _, _ := newHybrid()
+	visitPage(h, 1, 100, []int{0, 3})
+	endPage(h, 1, 0)
+	if h.Stats().TriggerAppends != 1 {
+		t.Fatalf("trigger appends = %d, want 1 (only the region's first access)", h.Stats().TriggerAppends)
+	}
+}
+
+func TestBurstFetchesTriggersAndPatterns(t *testing.T) {
+	h, eng, f := newHybrid()
+	// Train: a sequence of three regions with a stable two-block pattern
+	// under one PC, twice (counters need two observations).
+	for pass := 0; pass < 2; pass++ {
+		for r := 1; r <= 3; r++ {
+			visitPage(h, r, 100, []int{0, 5})
+			endPage(h, r, 0)
+		}
+	}
+	eng.Drain() // clear training-time prefetches so dedup doesn't hide fetches
+	f.blocks = nil
+	burstBefore := h.Stats().BurstBlocks
+	// Re-miss region 1's trigger: the burst must fetch the following
+	// triggers *and* their spatial patterns simultaneously. (Trigger
+	// blocks fetched by training-time bursts still sit in the SVB and are
+	// deduplicated, so we check the burst attempt count for them and the
+	// raw fetches for the freshly-predicted pattern blocks.)
+	a := acc(1, 0, 100)
+	h.OnAccess(a, false)
+	h.OnOffChipEvent(a, false)
+	if h.Stats().Bursts == 0 {
+		t.Fatal("no burst fired")
+	}
+	if got := h.Stats().BurstBlocks - burstBefore; got < 4 {
+		t.Fatalf("burst attempted only %d blocks", got)
+	}
+	sawPattern := false
+	for _, b := range f.blocks {
+		if b.RegionOffset() == 5 {
+			sawPattern = true
+		}
+	}
+	if !sawPattern {
+		t.Fatalf("burst did not fetch any pattern block: %v", f.blocks)
+	}
+}
+
+func TestCoveredMissesDoNotBurst(t *testing.T) {
+	h, _, _ := newHybrid()
+	visitPage(h, 1, 100, []int{0, 5})
+	endPage(h, 1, 0)
+	before := h.Stats().Bursts
+	a := acc(1, 0, 100)
+	h.OnAccess(a, false)
+	h.OnOffChipEvent(a, true) // covered
+	if h.Stats().Bursts != before {
+		t.Fatal("covered miss burst")
+	}
+}
+
+func TestWritesIgnored(t *testing.T) {
+	h, _, _ := newHybrid()
+	a := acc(1, 0, 100)
+	a.Write = true
+	h.OnAccess(a, false)
+	h.OnOffChipEvent(a, false)
+	if h.Stats().TriggerAppends != 0 {
+		t.Fatal("write recorded as trigger")
+	}
+}
+
+func TestNameAndSpatialStats(t *testing.T) {
+	h, _, _ := newHybrid()
+	if h.Name() != "naive-hybrid" {
+		t.Fatalf("Name = %q", h.Name())
+	}
+	visitPage(h, 1, 100, []int{0, 1})
+	if h.SpatialStats().Triggers != 1 {
+		t.Fatalf("embedded SMS triggers = %d", h.SpatialStats().Triggers)
+	}
+}

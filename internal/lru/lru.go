@@ -1,0 +1,156 @@
+// Package lru provides a small fixed-capacity map with least-recently-used
+// replacement. It models the set-associative, LRU-replaced predictor tables
+// of the paper (PHT, PST, AGT, RMOB index) without simulating banking: a
+// fully-associative LRU table of N entries is a slightly generous stand-in
+// for an N-entry set-associative one, which only strengthens the baseline
+// predictors STeMS is compared against.
+package lru
+
+// entry is a node of the intrusive recency list.
+type entry[K comparable, V any] struct {
+	key        K
+	val        V
+	prev, next int // indices into Map.entries; -1 terminates
+}
+
+// Map is a fixed-capacity LRU map. The zero value is not usable; call New.
+type Map[K comparable, V any] struct {
+	capacity int
+	index    map[K]int
+	entries  []entry[K, V]
+	head     int // most recently used
+	tail     int // least recently used
+	free     []int
+}
+
+// New creates an LRU map holding at most capacity entries; capacity must be
+// positive.
+func New[K comparable, V any](capacity int) *Map[K, V] {
+	if capacity <= 0 {
+		panic("lru: non-positive capacity")
+	}
+	return &Map[K, V]{
+		capacity: capacity,
+		index:    make(map[K]int, capacity),
+		head:     -1,
+		tail:     -1,
+	}
+}
+
+// Len returns the current number of entries.
+func (m *Map[K, V]) Len() int { return len(m.index) }
+
+// Cap returns the capacity.
+func (m *Map[K, V]) Cap() int { return m.capacity }
+
+func (m *Map[K, V]) unlink(i int) {
+	e := &m.entries[i]
+	if e.prev >= 0 {
+		m.entries[e.prev].next = e.next
+	} else {
+		m.head = e.next
+	}
+	if e.next >= 0 {
+		m.entries[e.next].prev = e.prev
+	} else {
+		m.tail = e.prev
+	}
+	e.prev, e.next = -1, -1
+}
+
+func (m *Map[K, V]) pushFront(i int) {
+	e := &m.entries[i]
+	e.prev = -1
+	e.next = m.head
+	if m.head >= 0 {
+		m.entries[m.head].prev = i
+	}
+	m.head = i
+	if m.tail < 0 {
+		m.tail = i
+	}
+}
+
+// Get returns the value for k and refreshes its recency.
+func (m *Map[K, V]) Get(k K) (V, bool) {
+	i, ok := m.index[k]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	m.unlink(i)
+	m.pushFront(i)
+	return m.entries[i].val, true
+}
+
+// Peek returns the value for k without refreshing recency.
+func (m *Map[K, V]) Peek(k K) (V, bool) {
+	i, ok := m.index[k]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	return m.entries[i].val, true
+}
+
+// Put inserts or updates k, refreshing recency. If the insertion displaces
+// the LRU entry, Put returns that entry's key/value with evicted=true.
+func (m *Map[K, V]) Put(k K, v V) (evictedK K, evictedV V, evicted bool) {
+	if i, ok := m.index[k]; ok {
+		m.entries[i].val = v
+		m.unlink(i)
+		m.pushFront(i)
+		return
+	}
+	var slot int
+	switch {
+	case len(m.free) > 0:
+		slot = m.free[len(m.free)-1]
+		m.free = m.free[:len(m.free)-1]
+	case len(m.entries) < m.capacity:
+		m.entries = append(m.entries, entry[K, V]{})
+		slot = len(m.entries) - 1
+	default:
+		// Evict the LRU entry and reuse its slot.
+		slot = m.tail
+		victim := &m.entries[slot]
+		evictedK, evictedV, evicted = victim.key, victim.val, true
+		delete(m.index, victim.key)
+		m.unlink(slot)
+	}
+	m.entries[slot] = entry[K, V]{key: k, val: v, prev: -1, next: -1}
+	m.index[k] = slot
+	m.pushFront(slot)
+	return
+}
+
+// Delete removes k, reporting whether it was present.
+func (m *Map[K, V]) Delete(k K) bool {
+	i, ok := m.index[k]
+	if !ok {
+		return false
+	}
+	m.unlink(i)
+	delete(m.index, k)
+	m.free = append(m.free, i)
+	return true
+}
+
+// Each calls fn for every entry in MRU-to-LRU order; if fn returns false
+// iteration stops. Mutating the map inside fn is not allowed.
+func (m *Map[K, V]) Each(fn func(k K, v V) bool) {
+	for i := m.head; i >= 0; i = m.entries[i].next {
+		if !fn(m.entries[i].key, m.entries[i].val) {
+			return
+		}
+	}
+}
+
+// LRUKey returns the least-recently-used key, if any.
+func (m *Map[K, V]) LRUKey() (K, bool) {
+	if m.tail < 0 {
+		var zero K
+		return zero, false
+	}
+	return m.entries[m.tail].key, true
+}

@@ -1,0 +1,225 @@
+package lru
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGet(t *testing.T) {
+	m := New[string, int](2)
+	m.Put("a", 1)
+	m.Put("b", 2)
+	if v, ok := m.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d,%v", v, ok)
+	}
+	if _, ok := m.Get("c"); ok {
+		t.Fatal("Get of absent key succeeded")
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestEvictionOrder(t *testing.T) {
+	m := New[int, int](2)
+	m.Put(1, 10)
+	m.Put(2, 20)
+	m.Get(1) // 2 is now LRU
+	k, v, ev := m.Put(3, 30)
+	if !ev || k != 2 || v != 20 {
+		t.Fatalf("evicted (%d,%d,%v), want (2,20,true)", k, v, ev)
+	}
+	if _, ok := m.Peek(2); ok {
+		t.Fatal("evicted key still present")
+	}
+}
+
+func TestPeekDoesNotRefresh(t *testing.T) {
+	m := New[int, int](2)
+	m.Put(1, 10)
+	m.Put(2, 20)
+	m.Peek(1) // must NOT refresh; 1 stays LRU
+	k, _, ev := m.Put(3, 30)
+	if !ev || k != 1 {
+		t.Fatalf("evicted %d, want 1", k)
+	}
+}
+
+func TestPutUpdateRefreshes(t *testing.T) {
+	m := New[int, int](2)
+	m.Put(1, 10)
+	m.Put(2, 20)
+	m.Put(1, 11) // refresh 1; 2 becomes LRU
+	k, _, ev := m.Put(3, 30)
+	if !ev || k != 2 {
+		t.Fatalf("evicted %d, want 2", k)
+	}
+	if v, _ := m.Get(1); v != 11 {
+		t.Fatalf("updated value = %d, want 11", v)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	m := New[int, int](4)
+	m.Put(1, 10)
+	if !m.Delete(1) {
+		t.Fatal("Delete of present key failed")
+	}
+	if m.Delete(1) {
+		t.Fatal("Delete of absent key succeeded")
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len after delete = %d", m.Len())
+	}
+	// The freed slot is reusable without eviction.
+	m.Put(2, 20)
+	m.Put(3, 30)
+	m.Put(4, 40)
+	m.Put(5, 50)
+	if m.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", m.Len())
+	}
+}
+
+func TestEach(t *testing.T) {
+	m := New[int, int](3)
+	m.Put(1, 10)
+	m.Put(2, 20)
+	m.Put(3, 30)
+	m.Get(1) // MRU order: 1, 3, 2
+	var keys []int
+	m.Each(func(k, v int) bool {
+		keys = append(keys, k)
+		return true
+	})
+	want := []int{1, 3, 2}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("Each order = %v, want %v", keys, want)
+		}
+	}
+	// Early termination.
+	n := 0
+	m.Each(func(k, v int) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("Each early-stop visited %d", n)
+	}
+}
+
+func TestLRUKey(t *testing.T) {
+	m := New[int, int](3)
+	if _, ok := m.LRUKey(); ok {
+		t.Fatal("LRUKey on empty map")
+	}
+	m.Put(1, 1)
+	m.Put(2, 2)
+	if k, ok := m.LRUKey(); !ok || k != 1 {
+		t.Fatalf("LRUKey = %d,%v", k, ok)
+	}
+}
+
+func TestNewPanicsOnZeroCap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New[int, int](0)
+}
+
+// Property: the map never exceeds capacity and behaves identically to a
+// reference model under a random workload.
+func TestMatchesReferenceModel(t *testing.T) {
+	const capacity = 8
+	m := New[int, int](capacity)
+	type refEnt struct{ k, v int }
+	var ref []refEnt // front = LRU
+	refGet := func(k int) (int, bool) {
+		for i, e := range ref {
+			if e.k == k {
+				ref = append(append(ref[:i:i], ref[i+1:]...), e)
+				return e.v, true
+			}
+		}
+		return 0, false
+	}
+	refPut := func(k, v int) {
+		for i, e := range ref {
+			if e.k == k {
+				ref = append(append(ref[:i:i], ref[i+1:]...), refEnt{k, v})
+				return
+			}
+		}
+		if len(ref) == capacity {
+			ref = ref[1:]
+		}
+		ref = append(ref, refEnt{k, v})
+	}
+	refDel := func(k int) bool {
+		for i, e := range ref {
+			if e.k == k {
+				ref = append(ref[:i:i], ref[i+1:]...)
+				return true
+			}
+		}
+		return false
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	for step := 0; step < 20000; step++ {
+		k := rng.Intn(16)
+		switch rng.Intn(3) {
+		case 0:
+			m.Put(k, step)
+			refPut(k, step)
+		case 1:
+			gv, gok := m.Get(k)
+			rv, rok := refGet(k)
+			if gok != rok || (gok && gv != rv) {
+				t.Fatalf("step %d: Get(%d) = (%d,%v), ref (%d,%v)", step, k, gv, gok, rv, rok)
+			}
+		case 2:
+			if m.Delete(k) != refDel(k) {
+				t.Fatalf("step %d: Delete(%d) mismatch", step, k)
+			}
+		}
+		if m.Len() != len(ref) || m.Len() > capacity {
+			t.Fatalf("step %d: Len=%d ref=%d", step, m.Len(), len(ref))
+		}
+	}
+}
+
+// Property: after any sequence of Puts of distinct keys beyond capacity,
+// exactly the most recent `capacity` keys survive.
+func TestRetainsMostRecent(t *testing.T) {
+	f := func(keys []int16) bool {
+		m := New[int16, int](4)
+		seen := make(map[int16]bool)
+		var order []int16 // distinct keys in put order
+		for _, k := range keys {
+			if !seen[k] {
+				seen[k] = true
+				order = append(order, k)
+			}
+			m.Put(k, 0)
+		}
+		// This property needs each key put exactly once; restrict input.
+		if len(order) != len(keys) {
+			return true // skip inputs with duplicates
+		}
+		start := 0
+		if len(order) > 4 {
+			start = len(order) - 4
+		}
+		for _, k := range order[start:] {
+			if _, ok := m.Peek(k); !ok {
+				return false
+			}
+		}
+		return m.Len() <= 4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,56 @@
+// Package mem defines the address vocabulary shared by every component of
+// the STeMS reproduction: 64-byte cache blocks grouped into 2KB spatial
+// regions of 32 blocks, exactly as in the paper (§2.4: "SMS logically
+// partitions the memory space into fixed-size spatial regions of 2KB
+// (32 cache blocks)").
+package mem
+
+// Geometry constants. These mirror Table 1 and §2.4 of the paper. They are
+// compile-time constants rather than configuration because the 32-blocks-
+// per-region invariant is baked into pattern encodings (32 counters per PST
+// entry) throughout the predictors.
+const (
+	// BlockBits is log2 of the cache block size.
+	BlockBits = 6
+	// BlockSize is the cache block (line) size in bytes.
+	BlockSize = 1 << BlockBits
+	// RegionBlockBits is log2 of the number of blocks per spatial region.
+	RegionBlockBits = 5
+	// RegionBlocks is the number of cache blocks in one spatial region.
+	RegionBlocks = 1 << RegionBlockBits
+	// RegionBits is log2 of the spatial region size in bytes.
+	RegionBits = BlockBits + RegionBlockBits
+	// RegionSize is the spatial region size in bytes (2KB).
+	RegionSize = 1 << RegionBits
+)
+
+// Addr is a byte address in the simulated physical memory.
+type Addr uint64
+
+// Block returns the address truncated to its cache-block base.
+func (a Addr) Block() Addr { return a &^ (BlockSize - 1) }
+
+// Region returns the address truncated to its spatial-region base.
+func (a Addr) Region() Addr { return a &^ (RegionSize - 1) }
+
+// BlockIndex returns the block number (address divided by the block size);
+// useful as a dense map key.
+func (a Addr) BlockIndex() uint64 { return uint64(a) >> BlockBits }
+
+// RegionOffset returns the block offset of the address within its spatial
+// region, in [0, RegionBlocks).
+func (a Addr) RegionOffset() int {
+	return int((uint64(a) >> BlockBits) & (RegionBlocks - 1))
+}
+
+// BlockAt returns the base address of the block at the given offset within
+// the region containing a.
+func (a Addr) BlockAt(offset int) Addr {
+	return a.Region() + Addr(offset)<<BlockBits
+}
+
+// SameBlock reports whether two addresses fall in the same cache block.
+func SameBlock(a, b Addr) bool { return a.Block() == b.Block() }
+
+// SameRegion reports whether two addresses fall in the same spatial region.
+func SameRegion(a, b Addr) bool { return a.Region() == b.Region() }

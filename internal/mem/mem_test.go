@@ -1,0 +1,129 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometryConstants(t *testing.T) {
+	if BlockSize != 64 {
+		t.Errorf("BlockSize = %d, want 64", BlockSize)
+	}
+	if RegionSize != 2048 {
+		t.Errorf("RegionSize = %d, want 2048", RegionSize)
+	}
+	if RegionBlocks != 32 {
+		t.Errorf("RegionBlocks = %d, want 32", RegionBlocks)
+	}
+	if RegionBlocks*BlockSize != RegionSize {
+		t.Errorf("RegionBlocks*BlockSize = %d, want RegionSize %d",
+			RegionBlocks*BlockSize, RegionSize)
+	}
+}
+
+func TestBlockTruncation(t *testing.T) {
+	cases := []struct {
+		in, want Addr
+	}{
+		{0, 0},
+		{1, 0},
+		{63, 0},
+		{64, 64},
+		{65, 64},
+		{2047, 1984},
+		{2048, 2048},
+	}
+	for _, c := range cases {
+		if got := c.in.Block(); got != c.want {
+			t.Errorf("Addr(%d).Block() = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRegionTruncation(t *testing.T) {
+	cases := []struct {
+		in, want Addr
+	}{
+		{0, 0},
+		{2047, 0},
+		{2048, 2048},
+		{4095, 2048},
+		{0xdeadbeef, 0xdeadbeef &^ 2047},
+	}
+	for _, c := range cases {
+		if got := c.in.Region(); got != c.want {
+			t.Errorf("Addr(%#x).Region() = %#x, want %#x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRegionOffset(t *testing.T) {
+	for off := 0; off < RegionBlocks; off++ {
+		a := Addr(3*RegionSize + off*BlockSize + 17)
+		if got := a.RegionOffset(); got != off {
+			t.Errorf("RegionOffset(%#x) = %d, want %d", a, got, off)
+		}
+	}
+}
+
+func TestBlockAt(t *testing.T) {
+	base := Addr(7 * RegionSize)
+	a := base + 5*BlockSize + 3
+	for off := 0; off < RegionBlocks; off++ {
+		want := base + Addr(off*BlockSize)
+		if got := a.BlockAt(off); got != want {
+			t.Errorf("BlockAt(%d) = %#x, want %#x", off, got, want)
+		}
+	}
+}
+
+func TestSamePredicates(t *testing.T) {
+	if !SameBlock(100, 120) {
+		t.Error("SameBlock(100,120) = false, want true")
+	}
+	if SameBlock(60, 70) {
+		t.Error("SameBlock(60,70) = true, want false")
+	}
+	if !SameRegion(0, 2047) {
+		t.Error("SameRegion(0,2047) = false, want true")
+	}
+	if SameRegion(2047, 2048) {
+		t.Error("SameRegion(2047,2048) = true, want false")
+	}
+}
+
+// Property: reconstructing an address from its region base and offset lands
+// in the same block as the original address.
+func TestBlockAtRoundTrip(t *testing.T) {
+	f := func(raw uint64) bool {
+		a := Addr(raw)
+		return a.BlockAt(a.RegionOffset()) == a.Block()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Block and Region are idempotent and Region(a) <= Block(a) <= a.
+func TestTruncationOrdering(t *testing.T) {
+	f := func(raw uint64) bool {
+		a := Addr(raw)
+		b, r := a.Block(), a.Region()
+		return b.Block() == b && r.Region() == r && r <= b && b <= a &&
+			SameRegion(a, b) && a-b < BlockSize && a-r < RegionSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: BlockIndex is monotone within a block and distinct across blocks.
+func TestBlockIndex(t *testing.T) {
+	f := func(raw uint64) bool {
+		a := Addr(raw)
+		return a.BlockIndex() == uint64(a.Block())/BlockSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

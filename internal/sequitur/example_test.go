@@ -1,0 +1,27 @@
+package sequitur_test
+
+import (
+	"fmt"
+
+	"stems/internal/sequitur"
+)
+
+// ExampleGrammar compresses the classic "abab": the grammar's root becomes
+// two references to one rule whose body is "a b".
+func ExampleGrammar() {
+	g := sequitur.New()
+	for _, c := range "abab" {
+		g.Append(uint64(c))
+	}
+	root := g.RootSymbols()
+	fmt.Println("root symbols:", len(root))
+	fmt.Println("rules:", g.RuleCount())
+	body := sequitur.Body(root[0].Rule)
+	fmt.Printf("rule body: %c %c\n", rune(body[0].Terminal), rune(body[1].Terminal))
+	fmt.Println("rule uses:", root[0].Rule.Uses())
+	// Output:
+	// root symbols: 2
+	// rules: 1
+	// rule body: a b
+	// rule uses: 2
+}

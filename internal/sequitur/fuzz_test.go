@@ -1,0 +1,32 @@
+package sequitur
+
+import "testing"
+
+// FuzzGrammar feeds arbitrary byte strings (as small-alphabet symbol
+// streams) to the grammar and checks the three soundness properties:
+// lossless expansion, the two Sequitur invariants, and digram-index
+// completeness.
+func FuzzGrammar(f *testing.F) {
+	f.Add([]byte("abab"), uint8(4))
+	f.Add([]byte("aaaaaaa"), uint8(2))
+	f.Add([]byte{0, 0, 0, 1, 1, 1, 0, 1, 0, 0, 1, 1}, uint8(2))
+	f.Add([]byte("pease porridge hot pease porridge cold"), uint8(26))
+	f.Fuzz(func(t *testing.T, raw []byte, alphabet uint8) {
+		k := int(alphabet%30) + 2
+		g := New()
+		in := make([]uint64, len(raw))
+		for i, b := range raw {
+			in[i] = uint64(int(b) % k)
+			g.Append(in[i])
+		}
+		if !eq(g.Expand(), in) {
+			t.Fatalf("expansion mismatch for %v", in)
+		}
+		if v := g.CheckInvariants(); v != "" {
+			t.Fatalf("%s for %v", v, in)
+		}
+		if !indexComplete(g) {
+			t.Fatalf("incomplete digram index for %v", in)
+		}
+	})
+}

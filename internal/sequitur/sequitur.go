@@ -1,0 +1,381 @@
+// Package sequitur implements the Sequitur hierarchical grammar-compression
+// algorithm of Nevill-Manning and Witten (reference [9] of the paper),
+// which the paper uses to quantify temporal repetition in miss-address
+// sequences (§5.3, Figure 7): "Sequitur constructs a grammar whose
+// production rules correspond to repetitions in its input."
+//
+// The implementation maintains the algorithm's two invariants online:
+//
+//   - digram uniqueness: no pair of adjacent symbols appears more than once
+//     in the grammar;
+//   - rule utility: every rule except the root is referenced at least twice.
+package sequitur
+
+// symKind distinguishes terminals from rule references.
+type symKind uint8
+
+const (
+	kindTerminal symKind = iota
+	kindRule
+	kindGuard
+)
+
+// symbol is a node in a rule's circular doubly-linked list.
+type symbol struct {
+	next, prev *symbol
+	kind       symKind
+	value      uint64 // terminal payload
+	rule       *Rule  // referenced rule (kindRule) or owner (kindGuard)
+}
+
+// Rule is one production. Its body is a circular list anchored at guard.
+type Rule struct {
+	ID    int
+	guard *symbol
+	refs  map[*symbol]struct{} // referencing symbols in other rules
+}
+
+func newRule(id int) *Rule {
+	r := &Rule{ID: id, refs: make(map[*symbol]struct{}, 2)}
+	g := &symbol{kind: kindGuard, rule: r}
+	g.next, g.prev = g, g
+	r.guard = g
+	return r
+}
+
+func (r *Rule) first() *symbol { return r.guard.next }
+func (r *Rule) last() *symbol  { return r.guard.prev }
+
+// digramKey identifies a pair of adjacent symbols.
+type digramKey struct {
+	aKind, bKind symKind
+	a, b         uint64
+}
+
+func symID(s *symbol) uint64 {
+	if s.kind == kindRule {
+		return uint64(s.rule.ID)
+	}
+	return s.value
+}
+
+func keyOf(a, b *symbol) digramKey {
+	return digramKey{aKind: a.kind, bKind: b.kind, a: symID(a), b: symID(b)}
+}
+
+// Grammar is an online Sequitur grammar.
+type Grammar struct {
+	root    *Rule
+	digrams map[digramKey]*symbol // first symbol of the unique occurrence
+	nextID  int
+	length  int // terminals appended
+}
+
+// New creates an empty grammar.
+func New() *Grammar {
+	g := &Grammar{digrams: make(map[digramKey]*symbol), nextID: 1}
+	g.root = newRule(0)
+	return g
+}
+
+// Len returns the number of terminals appended so far.
+func (g *Grammar) Len() int { return g.length }
+
+// Append extends the input sequence by one terminal, restoring the grammar
+// invariants.
+func (g *Grammar) Append(v uint64) {
+	g.length++
+	s := &symbol{kind: kindTerminal, value: v}
+	g.insertAfter(g.root.last(), s)
+	g.check(s.prev)
+}
+
+// insertAfter links n after pos (no invariant maintenance).
+func (g *Grammar) insertAfter(pos, n *symbol) {
+	n.prev = pos
+	n.next = pos.next
+	pos.next.prev = n
+	pos.next = n
+}
+
+// removeDigram unindexes the digram starting at s if s is its indexed
+// occurrence, reporting whether an entry was deleted.
+func (g *Grammar) removeDigram(s *symbol) bool {
+	if s.kind == kindGuard || s.next.kind == kindGuard {
+		return false
+	}
+	k := keyOf(s, s.next)
+	if g.digrams[k] == s {
+		delete(g.digrams, k)
+		return true
+	}
+	return false
+}
+
+// symEq reports whether two symbols denote the same terminal or rule.
+func symEq(a, b *symbol) bool {
+	return a.kind == b.kind && symID(a) == symID(b)
+}
+
+// unlink removes s from its list, unindexing the digrams it participates
+// in. Runs of identical symbols ("aaa") hold overlapping occurrences of a
+// digram with only one indexed; if the indexed occurrence dies, a surviving
+// overlapped occurrence must be re-indexed or later duplicates would go
+// undetected.
+func (g *Grammar) unlink(s *symbol) {
+	p, nx := s.prev, s.next
+	r1 := g.removeDigram(p) // digram (p, s)
+	r2 := g.removeDigram(s) // digram (s, nx)
+	p.next = nx
+	nx.prev = p
+	if r1 && p.kind != kindGuard && p.prev.kind != kindGuard &&
+		symEq(p.prev, p) && symEq(p, s) {
+		g.digrams[keyOf(p.prev, p)] = p.prev
+	}
+	if r2 && nx.kind != kindGuard && nx.next.kind != kindGuard &&
+		symEq(s, nx) && symEq(nx, nx.next) {
+		g.digrams[keyOf(nx, nx.next)] = nx
+	}
+}
+
+// check enforces digram uniqueness for the digram beginning at s. Returns
+// true if the grammar changed.
+func (g *Grammar) check(s *symbol) bool {
+	if s == nil || s.kind == kindGuard || s.next.kind == kindGuard {
+		return false
+	}
+	k := keyOf(s, s.next)
+	other, ok := g.digrams[k]
+	if !ok {
+		g.digrams[k] = s
+		return false
+	}
+	if other == s {
+		return false
+	}
+	if other.next == s {
+		// Overlapping occurrence (aaa): leave as is.
+		return false
+	}
+	g.match(s, other)
+	return true
+}
+
+// match resolves a repeated digram: either reuse an existing whole rule or
+// create a new one.
+func (g *Grammar) match(s, other *symbol) {
+	// If the other occurrence is exactly the body of a rule, reuse it.
+	if other.prev.kind == kindGuard && other.next.next.kind == kindGuard {
+		r := other.prev.rule
+		g.substitute(s, r)
+		return
+	}
+	// Otherwise make a new rule for the digram.
+	r := newRule(g.nextID)
+	g.nextID++
+	a := g.copySym(other)
+	b := g.copySym(other.next)
+	g.insertAfter(r.guard, a)
+	g.insertAfter(a, b)
+	// Replace both occurrences (`other` first, as in the reference
+	// implementation), then point the digram index at the rule body.
+	g.substitute(other, r)
+	g.substitute(s, r)
+	g.digrams[keyOf(a, b)] = a
+}
+
+// copySym clones a symbol's content (not its links).
+func (g *Grammar) copySym(s *symbol) *symbol {
+	n := &symbol{kind: s.kind, value: s.value, rule: s.rule}
+	if n.kind == kindRule {
+		n.rule.refs[n] = struct{}{}
+	}
+	return n
+}
+
+// substitute replaces the digram starting at s with a reference to r,
+// then restores invariants around the new symbol.
+func (g *Grammar) substitute(s *symbol, r *Rule) {
+	prev := s.prev
+	b := s.next
+	g.unlink(s)
+	g.unlink(b)
+	g.release(s)
+	g.release(b)
+	ref := &symbol{kind: kindRule, rule: r}
+	r.refs[ref] = struct{}{}
+	g.insertAfter(prev, ref)
+	if !g.check(prev) {
+		g.check(ref)
+	}
+}
+
+// release drops a symbol's rule reference, enforcing rule utility: a rule
+// referenced once gets inlined at its remaining use.
+func (g *Grammar) release(s *symbol) {
+	if s.kind != kindRule {
+		return
+	}
+	delete(s.rule.refs, s)
+	if len(s.rule.refs) == 1 {
+		g.expandLastUse(s.rule)
+	}
+}
+
+// expandLastUse inlines rule r at its single remaining reference.
+func (g *Grammar) expandLastUse(r *Rule) {
+	var ref *symbol
+	for s := range r.refs {
+		ref = s
+	}
+	if ref == nil {
+		return
+	}
+	prev := ref.prev
+	first := r.first()
+	last := r.last()
+	if first.kind == kindGuard {
+		// Empty rule; just drop the reference.
+		g.unlink(ref)
+		delete(r.refs, ref)
+		return
+	}
+	nx := ref.next
+	r1 := g.removeDigram(ref.prev) // digram (prev, ref)
+	r2 := g.removeDigram(ref)      // digram (ref, nx)
+	// Splice the rule body in place of ref.
+	ref.prev.next = first
+	first.prev = ref.prev
+	nx.prev = last
+	last.next = nx
+	delete(r.refs, ref)
+	// Re-index surviving overlapped run occurrences (see unlink).
+	if r1 && prev.kind != kindGuard && prev.prev.kind != kindGuard &&
+		symEq(prev.prev, prev) && symEq(prev, ref) {
+		g.digrams[keyOf(prev.prev, prev)] = prev.prev
+	}
+	if r2 && nx.kind != kindGuard && nx.next.kind != kindGuard &&
+		symEq(ref, nx) && symEq(nx, nx.next) {
+		g.digrams[keyOf(nx, nx.next)] = nx
+	}
+	// Reindex the seam digrams.
+	g.indexSeam(prev)
+	g.indexSeam(last)
+}
+
+// indexSeam re-registers the digram starting at s without triggering
+// recursive rewrites (the body was already invariant-correct).
+func (g *Grammar) indexSeam(s *symbol) {
+	if s == nil || s.kind == kindGuard || s.next.kind == kindGuard {
+		return
+	}
+	k := keyOf(s, s.next)
+	if _, ok := g.digrams[k]; !ok {
+		g.digrams[k] = s
+	}
+}
+
+// walkRules visits the root and every rule reachable from it. fn returning
+// false stops the walk.
+func (g *Grammar) walkRules(fn func(*Rule) bool) {
+	seen := map[*Rule]bool{g.root: true}
+	queue := []*Rule{g.root}
+	for len(queue) > 0 {
+		r := queue[0]
+		queue = queue[1:]
+		if !fn(r) {
+			return
+		}
+		for s := r.first(); s.kind != kindGuard; s = s.next {
+			if s.kind == kindRule && !seen[s.rule] {
+				seen[s.rule] = true
+				queue = append(queue, s.rule)
+			}
+		}
+	}
+}
+
+// Sym is the exported view of a grammar symbol.
+type Sym struct {
+	// Terminal is the value for terminal symbols.
+	Terminal uint64
+	// Rule is non-nil for rule references.
+	Rule *Rule
+}
+
+// RootSymbols returns the root production's symbols in order.
+func (g *Grammar) RootSymbols() []Sym { return ruleSymbols(g.root) }
+
+// Body returns a rule's symbols in order.
+func Body(r *Rule) []Sym { return ruleSymbols(r) }
+
+func ruleSymbols(r *Rule) []Sym {
+	var out []Sym
+	for s := r.first(); s.kind != kindGuard; s = s.next {
+		if s.kind == kindRule {
+			out = append(out, Sym{Rule: s.rule})
+		} else {
+			out = append(out, Sym{Terminal: s.value})
+		}
+	}
+	return out
+}
+
+// Uses returns the rule's reference count.
+func (r *Rule) Uses() int { return len(r.refs) }
+
+// Expand reproduces the original input sequence from the grammar.
+func (g *Grammar) Expand() []uint64 {
+	var out []uint64
+	var rec func(r *Rule)
+	rec = func(r *Rule) {
+		for s := r.first(); s.kind != kindGuard; s = s.next {
+			if s.kind == kindRule {
+				rec(s.rule)
+			} else {
+				out = append(out, s.value)
+			}
+		}
+	}
+	rec(g.root)
+	return out
+}
+
+// RuleCount returns the number of live rules (excluding the root).
+func (g *Grammar) RuleCount() int {
+	n := -1
+	g.walkRules(func(*Rule) bool { n++; return true })
+	return n
+}
+
+// CheckInvariants verifies digram uniqueness and rule utility, returning a
+// description of the first violation ("" if none). Used by property tests.
+func (g *Grammar) CheckInvariants() string {
+	type occ struct {
+		rule *Rule
+		pos  int
+	}
+	seen := make(map[digramKey]occ)
+	violation := ""
+	g.walkRules(func(r *Rule) bool {
+		pos := 0
+		for s := r.first(); s.kind != kindGuard && s.next.kind != kindGuard; s = s.next {
+			k := keyOf(s, s.next)
+			if prev, ok := seen[k]; ok {
+				// Overlapping digrams in a run (aaa) are permitted.
+				if !(prev.rule == r && prev.pos == pos-1) {
+					violation = "digram uniqueness violated"
+					return false
+				}
+			}
+			seen[k] = occ{rule: r, pos: pos}
+			pos++
+		}
+		if r != g.root && len(r.refs) < 2 {
+			violation = "rule utility violated"
+			return false
+		}
+		return true
+	})
+	return violation
+}

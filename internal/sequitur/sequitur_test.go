@@ -1,0 +1,259 @@
+package sequitur
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func build(input []uint64) *Grammar {
+	g := New()
+	for _, v := range input {
+		g.Append(v)
+	}
+	return g
+}
+
+func str(s string) []uint64 {
+	out := make([]uint64, len(s))
+	for i := range s {
+		out[i] = uint64(s[i])
+	}
+	return out
+}
+
+func eq(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestExpandReproducesInput(t *testing.T) {
+	cases := [][]uint64{
+		{},
+		{1},
+		{1, 2},
+		{1, 1},
+		{1, 1, 1},
+		{1, 1, 1, 1},
+		str("abab"),
+		str("abcabc"),
+		str("abcabcabc"),
+		str("aaabaaab"),
+		str("abracadabraabracadabra"),
+		str("pease porridge hot, pease porridge cold"),
+	}
+	for _, in := range cases {
+		g := build(in)
+		if got := g.Expand(); !eq(got, in) {
+			t.Errorf("Expand mismatch for %v: got %v", in, got)
+		}
+		if v := g.CheckInvariants(); v != "" {
+			t.Errorf("invariants for %v: %s", in, v)
+		}
+	}
+}
+
+func TestABABFormsOneRule(t *testing.T) {
+	// The canonical example: abab -> root: A A, A -> a b.
+	g := build(str("abab"))
+	if g.RuleCount() != 1 {
+		t.Fatalf("rules = %d, want 1", g.RuleCount())
+	}
+	root := g.RootSymbols()
+	if len(root) != 2 || root[0].Rule == nil || root[1].Rule == nil || root[0].Rule != root[1].Rule {
+		t.Fatalf("root = %+v, want two references to the same rule", root)
+	}
+	body := Body(root[0].Rule)
+	if len(body) != 2 || body[0].Terminal != 'a' || body[1].Terminal != 'b' {
+		t.Fatalf("rule body = %+v, want [a b]", body)
+	}
+	if root[0].Rule.Uses() != 2 {
+		t.Fatalf("rule uses = %d, want 2", root[0].Rule.Uses())
+	}
+}
+
+func TestHierarchicalRules(t *testing.T) {
+	// abcabcabc compresses with a rule for abc (possibly nested).
+	g := build(str("abcabcabc"))
+	if g.RuleCount() < 1 {
+		t.Fatal("no rules formed")
+	}
+	if !eq(g.Expand(), str("abcabcabc")) {
+		t.Fatal("expansion mismatch")
+	}
+}
+
+func TestRuleUtilityInlining(t *testing.T) {
+	// "abcdbcabcdbc": rule for bc forms, then rules for abcd..., and
+	// intermediate rules used once must be inlined. The invariant checker
+	// is the oracle here.
+	in := str("abcdbcabcdbc")
+	g := build(in)
+	if v := g.CheckInvariants(); v != "" {
+		t.Fatalf("invariant: %s", v)
+	}
+	if !eq(g.Expand(), in) {
+		t.Fatal("expansion mismatch")
+	}
+}
+
+func TestLenCountsTerminals(t *testing.T) {
+	g := build(str("hello"))
+	if g.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", g.Len())
+	}
+}
+
+func TestCompressionOnRepetitiveInput(t *testing.T) {
+	// 64 copies of a 16-symbol phrase: the root must be far shorter than
+	// the input.
+	var in []uint64
+	phrase := str("the quick brown ")
+	for i := 0; i < 64; i++ {
+		in = append(in, phrase...)
+	}
+	g := build(in)
+	if len(g.RootSymbols()) >= len(in)/4 {
+		t.Fatalf("root has %d symbols for input of %d — no compression", len(g.RootSymbols()), len(in))
+	}
+	if !eq(g.Expand(), in) {
+		t.Fatal("expansion mismatch")
+	}
+}
+
+func TestRandomInputsProperty(t *testing.T) {
+	f := func(raw []byte, alphabet uint8) bool {
+		k := int(alphabet%8) + 2
+		in := make([]uint64, len(raw))
+		for i, b := range raw {
+			in[i] = uint64(int(b) % k)
+		}
+		g := build(in)
+		return eq(g.Expand(), in) && g.CheckInvariants() == ""
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLongStructuredInput(t *testing.T) {
+	// Miss-stream-like input: repetitive sequences with glitches, as in
+	// §5.3's workload traces.
+	rng := rand.New(rand.NewSource(3))
+	var in []uint64
+	seqs := make([][]uint64, 20)
+	for i := range seqs {
+		seqs[i] = make([]uint64, 10+rng.Intn(40))
+		for j := range seqs[i] {
+			seqs[i][j] = uint64(rng.Intn(5000))
+		}
+	}
+	for len(in) < 50000 {
+		s := seqs[rng.Intn(len(seqs))]
+		for _, v := range s {
+			if rng.Float64() < 0.02 {
+				in = append(in, uint64(rng.Intn(5000))) // glitch
+			}
+			in = append(in, v)
+		}
+	}
+	g := build(in)
+	if !eq(g.Expand(), in) {
+		t.Fatal("expansion mismatch on structured input")
+	}
+	if v := g.CheckInvariants(); v != "" {
+		t.Fatalf("invariant: %s", v)
+	}
+	// Strong compression expected.
+	if len(g.RootSymbols()) > len(in)/3 {
+		t.Fatalf("weak compression: root %d of %d", len(g.RootSymbols()), len(in))
+	}
+}
+
+func BenchmarkAppend(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]uint64, 4096)
+	for i := range vals {
+		vals[i] = uint64(rng.Intn(512))
+	}
+	b.ResetTimer()
+	g := New()
+	for i := 0; i < b.N; i++ {
+		g.Append(vals[i%len(vals)])
+	}
+}
+
+// indexComplete checks that every digram occurring in the grammar has an
+// index entry — required for the online duplicate detection to be sound.
+func indexComplete(g *Grammar) bool {
+	ok := true
+	g.walkRules(func(r *Rule) bool {
+		for s := r.first(); s.kind != kindGuard && s.next.kind != kindGuard; s = s.next {
+			if _, found := g.digrams[keyOf(s, s.next)]; !found {
+				ok = false
+				return false
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// TestExhaustiveSmallInputs checks every input over alphabet {0,1,2} up to
+// length 12: expansion must reproduce the input, both grammar invariants
+// must hold, and the digram index must stay complete after every append.
+func TestExhaustiveSmallInputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive search skipped in -short mode")
+	}
+	var rec func(in []uint64)
+	rec = func(in []uint64) {
+		if len(in) >= 1 {
+			g := build(in)
+			if !eq(g.Expand(), in) {
+				t.Fatalf("expand mismatch for %v", in)
+			}
+			if v := g.CheckInvariants(); v != "" {
+				t.Fatalf("%s for %v", v, in)
+			}
+			if !indexComplete(g) {
+				t.Fatalf("incomplete digram index for %v", in)
+			}
+		}
+		if len(in) >= 12 {
+			return
+		}
+		buf := append([]uint64(nil), in...)
+		for v := uint64(0); v < 3; v++ {
+			rec(append(buf, v))
+		}
+	}
+	rec(nil)
+}
+
+// Property: the index stays complete on random inputs with heavy runs
+// (the overlapping-digram corner case).
+func TestIndexCompletenessProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		g := New()
+		for _, b := range raw {
+			// Alphabet of 3 with long runs.
+			g.Append(uint64(b % 3))
+			if !indexComplete(g) {
+				return false
+			}
+		}
+		return g.CheckInvariants() == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,336 @@
+// Package sim is the trace-driven memory-hierarchy simulator: it replays an
+// access stream through L1/L2 caches, a streamed value buffer, and a
+// prefetcher, producing the coverage/overprediction accounting of Figure 9
+// and the timing model behind Figure 10.
+//
+// The paper evaluates with FLEXUS cycle-accurate full-system simulation;
+// this engine is the substitution documented in DESIGN.md. Predictors see
+// exactly the signals they see in the paper — the L1 access stream, L1
+// evictions, and off-chip read events — and the timing model captures the
+// first-order effects the paper's speedups rest on: dependent-miss
+// serialization, OoO overlap of independent misses, prefetch timeliness,
+// and bandwidth contention.
+package sim
+
+import (
+	"fmt"
+
+	"stems/internal/cache"
+	"stems/internal/config"
+	"stems/internal/mem"
+	"stems/internal/stream"
+	"stems/internal/trace"
+)
+
+// Prefetcher is the interface every predictor implements. All methods are
+// invoked synchronously from the replay loop.
+type Prefetcher interface {
+	// Name identifies the predictor in reports.
+	Name() string
+	// OnAccess observes every L1 access, with its hit/miss outcome.
+	OnAccess(a trace.Access, l1Hit bool)
+	// OnL1Evict observes L1 victim blocks (spatial generation endings).
+	OnL1Evict(block mem.Addr)
+	// OnOffChipEvent observes every demand read that missed both caches;
+	// covered reports whether the streamed value buffer supplied it.
+	OnOffChipEvent(a trace.Access, covered bool)
+}
+
+// Nop is the no-prefetching baseline.
+type Nop struct{}
+
+// Name implements Prefetcher.
+func (Nop) Name() string { return "none" }
+
+// OnAccess implements Prefetcher.
+func (Nop) OnAccess(trace.Access, bool) {}
+
+// OnL1Evict implements Prefetcher.
+func (Nop) OnL1Evict(mem.Addr) {}
+
+// OnOffChipEvent implements Prefetcher.
+func (Nop) OnOffChipEvent(trace.Access, bool) {}
+
+// Result summarizes one simulation run.
+type Result struct {
+	Prefetcher string
+
+	Accesses uint64
+	Reads    uint64
+	Writes   uint64
+	L1Hits   uint64
+	L2Hits   uint64
+
+	// OffChipReads counts uncovered demand read misses (paid full or
+	// MLP-divided latency).
+	OffChipReads uint64
+	// Covered counts demand reads satisfied by the SVB — the paper's
+	// "covered" misses ("predicted correctly and still reside in the SVB
+	// at the time of the processor request", §5.5).
+	Covered uint64
+	// Overpredicted counts prefetched blocks never consumed (§5.5:
+	// "erroneously fetched blocks ... normalized against the number of
+	// off-chip read misses in the baseline system").
+	Overpredicted uint64
+	Fetched       uint64
+	// MetaTransfers counts metadata-block fetches when predictor
+	// virtualization is enabled.
+	MetaTransfers uint64
+
+	Cycles uint64
+}
+
+// BaselineMisses returns the off-chip read misses the baseline system would
+// take: every covered miss would have gone off chip without the prefetcher.
+func (r Result) BaselineMisses() uint64 { return r.Covered + r.OffChipReads }
+
+// Coverage returns covered / baseline misses.
+func (r Result) Coverage() float64 {
+	if b := r.BaselineMisses(); b > 0 {
+		return float64(r.Covered) / float64(b)
+	}
+	return 0
+}
+
+// OverpredictionRate returns overpredictions / baseline misses.
+func (r Result) OverpredictionRate() float64 {
+	if b := r.BaselineMisses(); b > 0 {
+		return float64(r.Overpredicted) / float64(b)
+	}
+	return 0
+}
+
+// String renders a one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("%s: accesses=%d misses=%d covered=%.1f%% overpred=%.1f%% cycles=%d",
+		r.Prefetcher, r.Accesses, r.BaselineMisses(),
+		100*r.Coverage(), 100*r.OverpredictionRate(), r.Cycles)
+}
+
+// Machine is one simulated node: caches, memory channels, SVB, prefetcher.
+type Machine struct {
+	cfg    config.System
+	l1, l2 *cache.Cache
+	engine *stream.Engine // nil when running without a prefetch buffer
+	pf     Prefetcher
+
+	cycle    uint64
+	channels []uint64 // per-channel next-free cycle
+
+	res Result
+}
+
+// NewMachine builds a node around the given prefetcher. For the
+// no-prefetch baseline pass pf == Nop{} and no engine is created.
+func NewMachine(cfg config.System, pf Prefetcher) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	m := &Machine{
+		cfg:      cfg,
+		l1:       cache.New(cache.Config{SizeBytes: cfg.L1SizeBytes, Ways: cfg.L1Ways}),
+		l2:       cache.New(cache.Config{SizeBytes: cfg.L2SizeBytes, Ways: cfg.L2Ways}),
+		pf:       pf,
+		channels: make([]uint64, cfg.MemChannels),
+	}
+	m.l1.OnEvict = func(b mem.Addr) { m.pf.OnL1Evict(b) }
+	m.res.Prefetcher = pf.Name()
+	return m
+}
+
+// AttachEngine wires a streaming engine into the machine: the machine
+// provides the clock, the duplicate-fetch filter, and the bandwidth model.
+// Prefetchers must be constructed against the returned engine.
+func (m *Machine) AttachEngine(cfg stream.Config) *stream.Engine {
+	m.engine = stream.NewEngine(cfg, fetcherFunc(m.prefetchTransfer))
+	m.engine.Clock = func() uint64 { return m.cycle }
+	m.engine.ShouldFetch = func(b mem.Addr) bool {
+		return !m.l1.Contains(b) && !m.l2.Contains(b)
+	}
+	return m.engine
+}
+
+// SetPrefetcher replaces the prefetcher (used because the prefetcher needs
+// the engine, which needs the machine).
+func (m *Machine) SetPrefetcher(pf Prefetcher) {
+	m.pf = pf
+	m.res.Prefetcher = pf.Name()
+}
+
+// fetcherFunc adapts a function to stream.Fetcher.
+type fetcherFunc func(block mem.Addr) uint64
+
+func (f fetcherFunc) Fetch(block mem.Addr) uint64 { return f(block) }
+
+// issueTransfer allocates the earliest-available memory channel. It returns
+// the cycle the transfer starts (after any queuing) and completes.
+func (m *Machine) issueTransfer() (start, completion uint64) {
+	best := 0
+	for i, free := range m.channels {
+		if free < m.channels[best] {
+			best = i
+		}
+	}
+	start = m.cycle
+	if m.channels[best] > start {
+		start = m.channels[best]
+	}
+	m.channels[best] = start + m.cfg.ChannelOccupancy
+	return start, start + m.cfg.OffChipCycles
+}
+
+// prefetchTransfer is the stream engine's fetch path: it consumes channel
+// bandwidth and reports when the block lands in the SVB.
+func (m *Machine) prefetchTransfer(mem.Addr) uint64 {
+	_, completion := m.issueTransfer()
+	m.res.Fetched++
+	return completion
+}
+
+// ChargeTransfer consumes one memory-channel slot without moving data into
+// the SVB — the path used for virtualized predictor metadata traffic (§6).
+func (m *Machine) ChargeTransfer() {
+	m.issueTransfer()
+	m.res.MetaTransfers++
+}
+
+// Step replays one access.
+func (m *Machine) Step(a trace.Access) {
+	m.res.Accesses++
+	if a.Write {
+		m.res.Writes++
+	} else {
+		m.res.Reads++
+	}
+
+	// Think models the committed work *preceding* the access, so it
+	// elapses before the reference (and before the prefetchers observe it).
+	m.cycle += m.cfg.CoreCyclesPerAccess + uint64(a.Think)
+	l1Hit := m.l1.Access(a.Addr, a.Write)
+	m.pf.OnAccess(a, l1Hit)
+	if l1Hit {
+		m.res.L1Hits++
+		return
+	}
+
+	// Stores invalidate any prefetched copy: the SVB must never serve data
+	// that a store has made stale.
+	if a.Write && m.engine != nil {
+		m.engine.Invalidate(a.Addr)
+	}
+	// Probe the SVB (reads only; stores drain through the write path).
+	if !a.Write && m.engine != nil {
+		if hit, readyAt := m.engine.Lookup(a.Addr); hit {
+			m.res.Covered++
+			m.l2.Fill(a.Addr, false)
+			m.l1.Fill(a.Addr, false)
+			m.cycle += m.cfg.SVBHitCycles
+			if readyAt > m.cycle {
+				m.cycle = readyAt // in flight: wait for arrival
+			}
+			m.pf.OnOffChipEvent(a, true)
+			return
+		}
+	}
+
+	if m.l2.Access(a.Addr, a.Write) {
+		m.res.L2Hits++
+		m.l1.Fill(a.Addr, a.Write)
+		if !a.Write {
+			m.cycle += m.cfg.L2HitCycles
+		}
+		return
+	}
+
+	// Off-chip.
+	m.l2.Fill(a.Addr, a.Write)
+	m.l1.Fill(a.Addr, a.Write)
+	if a.Write {
+		// Store-wait-free (§5.1): stores never stall the core, and their
+		// bandwidth drains in the background.
+		return
+	}
+	m.res.OffChipReads++
+	// The demand transfer reserves its channel first (demand priority),
+	// then the prefetcher reacts *at miss-issue time* — streams launched
+	// by this miss overlap with its latency, which is where streaming's
+	// lookahead comes from.
+	start, completion := m.issueTransfer()
+	m.pf.OnOffChipEvent(a, false)
+	if a.Dep {
+		// A dependent miss (pointer chase) serializes: the core waits for
+		// the full round trip. This is what temporal streaming's
+		// parallelization of dependence chains eliminates (§2.1).
+		m.cycle = completion
+	} else {
+		// Independent misses overlap in the OoO window; the average
+		// exposed penalty is latency/MLP plus any bandwidth queuing
+		// (§5.6: spatially predictable OLTP accesses "are already issued
+		// in parallel by out-of-order processing").
+		m.cycle += (start - m.cycle) + m.cfg.OffChipCycles/uint64(m.cfg.MLP)
+	}
+}
+
+// Run replays the whole source and finalizes accounting.
+func (m *Machine) Run(src trace.Source) Result {
+	var a trace.Access
+	for src.Next(&a) {
+		m.Step(a)
+	}
+	return m.Finish()
+}
+
+// Finish drains the SVB (unconsumed prefetches become overpredictions) and
+// returns the result.
+func (m *Machine) Finish() Result {
+	if m.engine != nil {
+		m.engine.Drain()
+		m.res.Overpredicted = m.engine.Stats().Overpredicted
+	}
+	m.res.Cycles = m.cycle
+	return m.res
+}
+
+// Cycle returns the current simulation time.
+func (m *Machine) Cycle() uint64 { return m.cycle }
+
+// Invalidate models a coherence invalidation of the block holding addr:
+// the block is removed from both caches and the SVB. An L1 invalidation
+// ends the owning spatial generation, exactly like an eviction (§2.4: a
+// generation ends "when one of the accessed blocks is evicted or
+// invalidated from the L1 cache"); an unconsumed SVB entry counts as an
+// overprediction.
+func (m *Machine) Invalidate(addr mem.Addr) {
+	m.l1.Invalidate(addr) // fires OnEvict -> pf.OnL1Evict
+	m.l2.Invalidate(addr)
+	if m.engine != nil {
+		m.engine.Invalidate(addr)
+	}
+}
+
+// CollectMissStream replays src through the cache hierarchy with no
+// prefetching, invoking onMiss for every off-chip demand read miss and
+// onEvict for every L1 eviction. This is the trace-analysis front end used
+// by the Figure 6–8 studies, which classify the *baseline* miss stream.
+func CollectMissStream(cfg config.System, src trace.Source, onMiss func(trace.Access), onEvict func(mem.Addr)) {
+	l1 := cache.New(cache.Config{SizeBytes: cfg.L1SizeBytes, Ways: cfg.L1Ways})
+	l2 := cache.New(cache.Config{SizeBytes: cfg.L2SizeBytes, Ways: cfg.L2Ways})
+	if onEvict != nil {
+		l1.OnEvict = onEvict
+	}
+	var a trace.Access
+	for src.Next(&a) {
+		if l1.Access(a.Addr, a.Write) {
+			continue
+		}
+		if l2.Access(a.Addr, a.Write) {
+			l1.Fill(a.Addr, a.Write)
+			continue
+		}
+		l2.Fill(a.Addr, a.Write)
+		l1.Fill(a.Addr, a.Write)
+		if !a.Write && onMiss != nil {
+			onMiss(a)
+		}
+	}
+}

@@ -1,0 +1,457 @@
+package sim
+
+import (
+	"testing"
+
+	"stems/internal/config"
+	"stems/internal/mem"
+	"stems/internal/stream"
+	"stems/internal/trace"
+)
+
+func testSystem() config.System {
+	s := config.DefaultSystem()
+	s.L1SizeBytes = 1 << 10 // 16 blocks: evictions happen fast in tests
+	s.L2SizeBytes = 8 << 10
+	return s
+}
+
+func read(block int) trace.Access {
+	return trace.Access{Addr: mem.Addr(block * mem.BlockSize)}
+}
+
+func TestL1HitCost(t *testing.T) {
+	m := NewMachine(testSystem(), Nop{})
+	m.Step(read(1)) // off-chip miss
+	c := m.Cycle()
+	m.Step(read(1)) // L1 hit
+	if got := m.Cycle() - c; got != testSystem().CoreCyclesPerAccess {
+		t.Fatalf("L1 hit cost = %d, want %d", got, testSystem().CoreCyclesPerAccess)
+	}
+}
+
+func TestOffChipCosts(t *testing.T) {
+	sys := testSystem()
+	m := NewMachine(sys, Nop{})
+	c0 := m.Cycle()
+	m.Step(read(1)) // independent off-chip miss
+	indep := m.Cycle() - c0
+	wantIndep := sys.CoreCyclesPerAccess + sys.OffChipCycles/uint64(sys.MLP)
+	if indep != wantIndep {
+		t.Fatalf("independent miss cost = %d, want %d", indep, wantIndep)
+	}
+	c1 := m.Cycle()
+	m.Step(trace.Access{Addr: mem.Addr(99 * mem.BlockSize), Dep: true})
+	dep := m.Cycle() - c1
+	wantDep := sys.CoreCyclesPerAccess + sys.OffChipCycles
+	if dep != wantDep {
+		t.Fatalf("dependent miss cost = %d, want %d", dep, wantDep)
+	}
+}
+
+func TestL2HitCost(t *testing.T) {
+	sys := testSystem()
+	m := NewMachine(sys, Nop{})
+	m.Step(read(1))
+	// Evict block 1 from the tiny L1 (same set: stride = sets*64).
+	sets := (sys.L1SizeBytes / 64) / sys.L1Ways
+	for i := 1; i <= sys.L1Ways; i++ {
+		m.Step(read(1 + i*sets))
+	}
+	c := m.Cycle()
+	m.Step(read(1)) // L1 miss, L2 hit
+	got := m.Cycle() - c
+	want := sys.CoreCyclesPerAccess + sys.L2HitCycles
+	if got != want {
+		t.Fatalf("L2 hit cost = %d, want %d", got, want)
+	}
+}
+
+func TestWritesNeverStall(t *testing.T) {
+	sys := testSystem()
+	m := NewMachine(sys, Nop{})
+	c := m.Cycle()
+	m.Step(trace.Access{Addr: 0x100000, Write: true}) // off-chip write
+	if got := m.Cycle() - c; got != sys.CoreCyclesPerAccess {
+		t.Fatalf("write stalled %d cycles (store-wait-free model)", got)
+	}
+	res := m.Finish()
+	if res.OffChipReads != 0 {
+		t.Fatal("write counted as off-chip read")
+	}
+	if res.Writes != 1 {
+		t.Fatalf("writes = %d", res.Writes)
+	}
+}
+
+func TestThinkTimeAccrues(t *testing.T) {
+	m := NewMachine(testSystem(), Nop{})
+	m.Step(read(1))
+	c := m.Cycle()
+	m.Step(trace.Access{Addr: 64, Think: 500})
+	if got := m.Cycle() - c; got != 500+testSystem().CoreCyclesPerAccess {
+		t.Fatalf("think cost = %d", got)
+	}
+}
+
+// coveringPrefetcher fetches a fixed block on the first off-chip event.
+type coveringPrefetcher struct {
+	engine *stream.Engine
+	target mem.Addr
+	done   bool
+}
+
+func (p *coveringPrefetcher) Name() string                { return "test-cover" }
+func (p *coveringPrefetcher) OnAccess(trace.Access, bool) {}
+func (p *coveringPrefetcher) OnL1Evict(mem.Addr)          {}
+func (p *coveringPrefetcher) OnOffChipEvent(a trace.Access, covered bool) {
+	if !p.done {
+		p.engine.Direct(p.target)
+		p.done = true
+	}
+}
+
+func TestSVBCoverageAccounting(t *testing.T) {
+	sys := testSystem()
+	m := NewMachine(sys, Nop{})
+	eng := m.AttachEngine(stream.Config{SVBEntries: 8})
+	pf := &coveringPrefetcher{engine: eng, target: read(50).Addr}
+	m.SetPrefetcher(pf)
+
+	m.Step(read(1))  // miss -> prefetch block 50 issued
+	m.Step(read(50)) // must hit the SVB
+	res := m.Finish()
+	if res.Covered != 1 {
+		t.Fatalf("covered = %d, want 1", res.Covered)
+	}
+	if res.OffChipReads != 1 {
+		t.Fatalf("off-chip reads = %d, want 1 (the trigger)", res.OffChipReads)
+	}
+	if res.BaselineMisses() != 2 {
+		t.Fatalf("baseline misses = %d, want 2", res.BaselineMisses())
+	}
+	if res.Coverage() != 0.5 {
+		t.Fatalf("coverage = %v, want 0.5", res.Coverage())
+	}
+}
+
+func TestUnusedPrefetchIsOverprediction(t *testing.T) {
+	m := NewMachine(testSystem(), Nop{})
+	eng := m.AttachEngine(stream.Config{SVBEntries: 8})
+	pf := &coveringPrefetcher{engine: eng, target: read(777).Addr}
+	m.SetPrefetcher(pf)
+	m.Step(read(1))
+	res := m.Finish()
+	if res.Overpredicted != 1 {
+		t.Fatalf("overpredicted = %d, want 1", res.Overpredicted)
+	}
+	if res.OverpredictionRate() != 1.0 {
+		t.Fatalf("rate = %v, want 1.0", res.OverpredictionRate())
+	}
+}
+
+func TestInFlightSVBHitWaits(t *testing.T) {
+	sys := testSystem()
+	m := NewMachine(sys, Nop{})
+	eng := m.AttachEngine(stream.Config{SVBEntries: 8})
+	pf := &coveringPrefetcher{engine: eng, target: read(50).Addr}
+	m.SetPrefetcher(pf)
+	m.Step(read(1)) // prefetch issues ~here; ready at ~issue+400
+	c := m.Cycle()
+	m.Step(read(50)) // SVB hit but in flight: waits for arrival
+	wait := m.Cycle() - c
+	if wait <= sys.SVBHitCycles+sys.CoreCyclesPerAccess {
+		t.Fatalf("in-flight hit did not wait (cost %d)", wait)
+	}
+	if wait > sys.OffChipCycles+sys.CoreCyclesPerAccess {
+		t.Fatalf("in-flight hit waited longer than a full miss (%d)", wait)
+	}
+}
+
+func TestChannelBackpressure(t *testing.T) {
+	// With one channel and heavy occupancy, back-to-back misses queue.
+	sys := testSystem()
+	sys.MemChannels = 1
+	sys.ChannelOccupancy = 300
+	m := NewMachine(sys, Nop{})
+	var last uint64
+	for i := 0; i < 8; i++ {
+		m.Step(trace.Access{Addr: mem.Addr(0x100000 + i*64)})
+		d := m.Cycle() - last
+		last = m.Cycle()
+		_ = d
+	}
+	congested := m.Cycle()
+
+	sys.MemChannels = 8
+	m2 := NewMachine(sys, Nop{})
+	for i := 0; i < 8; i++ {
+		m2.Step(trace.Access{Addr: mem.Addr(0x100000 + i*64)})
+	}
+	if congested <= m2.Cycle() {
+		t.Fatalf("1-channel run (%d cycles) not slower than 8-channel (%d)", congested, m2.Cycle())
+	}
+}
+
+func TestBuildAllKinds(t *testing.T) {
+	for _, kind := range AllKinds() {
+		opt := DefaultOptions()
+		opt.System = testSystem()
+		m, err := Build(kind, opt)
+		if err != nil {
+			t.Fatalf("Build(%s): %v", kind, err)
+		}
+		// A tiny run must not panic and must count accesses.
+		src := trace.NewSliceSource([]trace.Access{read(1), read(2), read(1)})
+		res := m.Run(src)
+		if res.Accesses != 3 {
+			t.Fatalf("%s: accesses = %d", kind, res.Accesses)
+		}
+		if res.Prefetcher == "" {
+			t.Fatalf("%s: empty prefetcher name", kind)
+		}
+	}
+	if _, err := Build("bogus", DefaultOptions()); err == nil {
+		t.Fatal("Build(bogus) succeeded")
+	}
+}
+
+func TestScientificLookahead(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Scientific = true
+	if got := opt.lookahead(8); got != 12 {
+		t.Fatalf("scientific lookahead = %d, want 12", got)
+	}
+	opt.Scientific = false
+	if got := opt.lookahead(8); got != 8 {
+		t.Fatalf("commercial lookahead = %d, want 8", got)
+	}
+}
+
+func TestCollectMissStream(t *testing.T) {
+	sys := testSystem()
+	var misses []mem.Addr
+	var evicts int
+	accs := []trace.Access{
+		read(1), read(1), // second is an L1 hit
+		{Addr: 0x40000, Write: true}, // write miss: not reported
+		read(2),
+	}
+	CollectMissStream(sys, trace.NewSliceSource(accs),
+		func(a trace.Access) { misses = append(misses, a.Addr.Block()) },
+		func(mem.Addr) { evicts++ })
+	want := []mem.Addr{read(1).Addr.Block(), read(2).Addr.Block()}
+	if len(misses) != len(want) {
+		t.Fatalf("misses = %v, want %v", misses, want)
+	}
+	for i := range want {
+		if misses[i] != want[i] {
+			t.Fatalf("miss %d = %v, want %v", i, misses[i], want[i])
+		}
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Prefetcher: "x", Covered: 50, OffChipReads: 50, Overpredicted: 10}
+	s := r.String()
+	if s == "" {
+		t.Fatal("empty result string")
+	}
+	if r.Coverage() != 0.5 || r.OverpredictionRate() != 0.1 {
+		t.Fatalf("coverage=%v over=%v", r.Coverage(), r.OverpredictionRate())
+	}
+	var zero Result
+	if zero.Coverage() != 0 || zero.OverpredictionRate() != 0 {
+		t.Fatal("zero result rates not zero")
+	}
+}
+
+func TestNewMachinePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for invalid system")
+		}
+	}()
+	NewMachine(config.System{}, Nop{})
+}
+
+// TestFetchConservation: every prefetched block is eventually either
+// consumed (covered) or accounted as an overprediction — across all
+// predictor kinds and a mix of traces.
+func TestFetchConservation(t *testing.T) {
+	traces := map[string][]trace.Access{}
+	// Structured: repeated region sweeps.
+	var structured []trace.Access
+	for pass := 0; pass < 3; pass++ {
+		for r := 1; r <= 200; r++ {
+			for _, off := range []int{0, 3, 7} {
+				structured = append(structured, trace.Access{
+					Addr: mem.Addr(r*mem.RegionSize + off*mem.BlockSize),
+					PC:   0x11,
+				})
+			}
+		}
+	}
+	traces["structured"] = structured
+	// Adversarial: pseudo-random addresses, some writes and deps.
+	var random []trace.Access
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < 3000; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		random = append(random, trace.Access{
+			Addr:  mem.Addr(x % (1 << 26)),
+			PC:    x % 97,
+			Write: x%11 == 0,
+			Dep:   x%5 == 0,
+		})
+	}
+	traces["random"] = random
+
+	for name, accs := range traces {
+		for _, kind := range AllKinds() {
+			opt := DefaultOptions()
+			opt.System = testSystem()
+			m, err := Build(kind, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := m.Run(trace.NewSliceSource(accs))
+			if res.Fetched != res.Covered+res.Overpredicted {
+				t.Errorf("%s/%s: fetched %d != covered %d + overpredicted %d",
+					name, kind, res.Fetched, res.Covered, res.Overpredicted)
+			}
+		}
+	}
+}
+
+// TestDeterministicReplay: the same trace through the same predictor gives
+// bit-identical results.
+func TestDeterministicReplay(t *testing.T) {
+	accs := make([]trace.Access, 0, 2000)
+	for r := 0; r < 100; r++ {
+		for _, off := range []int{0, 5, 9} {
+			accs = append(accs, trace.Access{
+				Addr: mem.Addr(r*mem.RegionSize + off*mem.BlockSize), PC: 3,
+			})
+		}
+	}
+	for _, kind := range AllKinds() {
+		opt := DefaultOptions()
+		opt.System = testSystem()
+		m1, _ := Build(kind, opt)
+		m2, _ := Build(kind, opt)
+		r1 := m1.Run(trace.NewSliceSource(accs))
+		r2 := m2.Run(trace.NewSliceSource(accs))
+		if r1 != r2 {
+			t.Errorf("%s: nondeterministic results:\n%+v\n%+v", kind, r1, r2)
+		}
+	}
+}
+
+// TestAdaptiveBuildOption: the factory threads the adaptive flag through.
+func TestAdaptiveBuildOption(t *testing.T) {
+	opt := DefaultOptions()
+	opt.System = testSystem()
+	opt.AdaptiveLookahead = true
+	for _, kind := range []Kind{KindTMS, KindSTeMS} {
+		m, err := Build(kind, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Run(trace.NewSliceSource([]trace.Access{read(1), read(2)}))
+	}
+}
+
+// invalObserver records generation-ending notifications.
+type invalObserver struct {
+	Nop
+	evicts []mem.Addr
+}
+
+func (o *invalObserver) OnL1Evict(b mem.Addr) { o.evicts = append(o.evicts, b) }
+
+func TestInvalidateEndsGenerations(t *testing.T) {
+	obs := &invalObserver{}
+	m := NewMachine(testSystem(), Nop{})
+	m.SetPrefetcher(obs)
+	m.Step(read(1))
+	m.Invalidate(read(1).Addr)
+	if len(obs.evicts) == 0 || obs.evicts[len(obs.evicts)-1] != read(1).Addr.Block() {
+		t.Fatalf("invalidation did not notify the prefetcher: %v", obs.evicts)
+	}
+	// The block is gone from both levels: the next access goes off chip.
+	before := m.Finish().OffChipReads
+	m.Step(read(1))
+	if m.res.OffChipReads != before+1 {
+		t.Fatal("invalidated block still resident")
+	}
+}
+
+func TestInvalidateDropsSVBEntry(t *testing.T) {
+	m := NewMachine(testSystem(), Nop{})
+	eng := m.AttachEngine(stream.Config{SVBEntries: 8})
+	pf := &coveringPrefetcher{engine: eng, target: read(50).Addr}
+	m.SetPrefetcher(pf)
+	m.Step(read(1)) // issues the prefetch of block 50
+	m.Invalidate(read(50).Addr)
+	m.Step(read(50)) // must NOT be covered now
+	res := m.Finish()
+	if res.Covered != 0 {
+		t.Fatal("invalidated SVB entry served a hit")
+	}
+	if res.Overpredicted != 1 {
+		t.Fatalf("overpredicted = %d, want 1", res.Overpredicted)
+	}
+}
+
+// TestVirtualizedMetaBuild: the factory's predictor-virtualization path
+// produces metadata traffic that shows up in the result.
+func TestVirtualizedMetaBuild(t *testing.T) {
+	opt := DefaultOptions()
+	opt.System = testSystem()
+	opt.VirtualizedMeta = true
+	opt.VirtualMetaCacheBytes = 1 << 10
+	m, err := Build(KindSTeMS, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accs []trace.Access
+	for r := 0; r < 64; r++ {
+		for _, off := range []int{0, 3} {
+			accs = append(accs, trace.Access{
+				Addr: mem.Addr(r*mem.RegionSize + off*mem.BlockSize), PC: 1,
+			})
+		}
+	}
+	res := m.Run(trace.NewSliceSource(accs))
+	if res.MetaTransfers == 0 {
+		t.Fatal("virtualized metadata produced no transfers")
+	}
+	// Without virtualization there must be none.
+	opt.VirtualizedMeta = false
+	m2, _ := Build(KindSTeMS, opt)
+	if res2 := m2.Run(trace.NewSliceSource(accs)); res2.MetaTransfers != 0 {
+		t.Fatal("dedicated-storage run counted metadata transfers")
+	}
+}
+
+// TestStoreInvalidatesSVBEntry: a store to a prefetched block must drop the
+// stale SVB copy so a later read refetches coherent data.
+func TestStoreInvalidatesSVBEntry(t *testing.T) {
+	m := NewMachine(testSystem(), Nop{})
+	eng := m.AttachEngine(stream.Config{SVBEntries: 8})
+	pf := &coveringPrefetcher{engine: eng, target: read(50).Addr}
+	m.SetPrefetcher(pf)
+	m.Step(read(1))                                        // prefetch block 50
+	m.Step(trace.Access{Addr: read(50).Addr, Write: true}) // store to it
+	m.Step(read(50))
+	res := m.Finish()
+	if res.Covered != 0 {
+		t.Fatal("stale SVB entry served a read after a store")
+	}
+	if res.Overpredicted != 1 {
+		t.Fatalf("overpredicted = %d, want 1 (invalidated prefetch)", res.Overpredicted)
+	}
+}

@@ -1,0 +1,28 @@
+package sms
+
+import (
+	"testing"
+
+	"stems/internal/config"
+	"stems/internal/mem"
+	"stems/internal/trace"
+)
+
+func BenchmarkOnAccess(b *testing.B) {
+	s := New(config.DefaultSMS(), nil)
+	accs := make([]trace.Access, 4096)
+	for i := range accs {
+		region := (i / 5) % 700
+		accs[i] = trace.Access{
+			Addr: mem.Addr(region*mem.RegionSize + (i%5)*4*mem.BlockSize),
+			PC:   uint64(i % 5),
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.OnAccess(accs[i%len(accs)], false)
+		if i%20 == 19 {
+			s.OnL1Evict(accs[(i-10)%len(accs)].Addr.Block())
+		}
+	}
+}

@@ -1,0 +1,242 @@
+// Package sms implements Spatial Memory Streaming (Somogyi et al., ISCA
+// 2006), the spatial-correlation baseline of the paper (§2.3–2.4).
+//
+// SMS observes all L1 accesses. The first access to an inactive 2KB region
+// (the trigger) looks up the pattern history table (PHT) with a PC+offset
+// index and prefetches the blocks of the stored pattern. Accesses then
+// accumulate in an active generation table (AGT, split into a filter table
+// for single-access regions and an accumulation table) until a block of the
+// generation is evicted from L1, at which point the observed pattern trains
+// the PHT.
+//
+// Following §4.3 of the STeMS paper, the PHT stores a 2-bit saturating
+// counter per block ("compared with bit vectors, 2-bit counters attain the
+// same coverage while roughly halving overpredictions"); bit-vector mode is
+// retained for the ablation benchmark.
+package sms
+
+import (
+	"stems/internal/config"
+	"stems/internal/lru"
+	"stems/internal/mem"
+	"stems/internal/stream"
+	"stems/internal/trace"
+)
+
+// Key is the PHT prediction index: the PC of the trigger instruction
+// combined with the trigger's block offset within its region (§2.4).
+type Key struct {
+	PC     uint64
+	Offset int
+}
+
+// Pattern is one PHT entry.
+type Pattern struct {
+	// Counters holds a 2-bit saturating counter per region block
+	// (counters mode).
+	Counters [mem.RegionBlocks]uint8
+	// Bits is the last observed footprint (bit-vector mode).
+	Bits uint32
+}
+
+// predictMask returns the offsets predicted by the pattern.
+func (p Pattern) predictMask(useCounters bool, threshold uint8) uint32 {
+	if !useCounters {
+		return p.Bits
+	}
+	var mask uint32
+	for off, c := range p.Counters {
+		if c >= threshold {
+			mask |= 1 << off
+		}
+	}
+	return mask
+}
+
+// generation is an active spatial generation.
+type generation struct {
+	pc       uint64 // trigger PC
+	off      int    // trigger offset
+	observed uint32 // offsets touched this generation
+}
+
+// Stats counts predictor activity.
+type Stats struct {
+	Triggers    uint64 // generations opened
+	PHTHits     uint64 // triggers that found a pattern
+	Trained     uint64 // generations committed to the PHT
+	Predicted   uint64 // blocks prefetched
+	FilterDrops uint64 // single-access generations discarded
+}
+
+// SMS is the prefetcher. With a nil engine it runs in analysis mode:
+// training and prediction bookkeeping happen but no fetches are issued —
+// the mode used by the Figure 6 joint-coverage classifier.
+type SMS struct {
+	cfg    config.SMS
+	engine *stream.Engine
+
+	filter *lru.Map[mem.Addr, generation]
+	accum  *lru.Map[mem.Addr, generation]
+	pht    *lru.Map[Key, Pattern]
+
+	// predicted maps active regions to the offset mask predicted at
+	// trigger time; used to answer WasPredicted for misses inside the
+	// generation (Figure 6 classification and the STeMS RMOB filter use
+	// the same notion).
+	predicted map[mem.Addr]uint32
+
+	stats Stats
+}
+
+// New creates an SMS prefetcher. engine may be nil for analysis mode.
+func New(cfg config.SMS, engine *stream.Engine) *SMS {
+	if cfg.PHTEntries <= 0 {
+		cfg = config.DefaultSMS()
+	}
+	return &SMS{
+		cfg:       cfg,
+		engine:    engine,
+		filter:    lru.New[mem.Addr, generation](cfg.FilterEntries),
+		accum:     lru.New[mem.Addr, generation](cfg.AccumEntries),
+		pht:       lru.New[Key, Pattern](cfg.PHTEntries),
+		predicted: make(map[mem.Addr]uint32),
+	}
+}
+
+// Name implements the Prefetcher interface.
+func (s *SMS) Name() string { return "sms" }
+
+// Stats returns cumulative predictor statistics.
+func (s *SMS) Stats() Stats { return s.stats }
+
+// OnAccess observes one L1 access (hit or miss), opening, extending, or
+// (indirectly) training generations.
+func (s *SMS) OnAccess(a trace.Access, l1Hit bool) {
+	region := a.Addr.Region()
+	off := a.Addr.RegionOffset()
+	bit := uint32(1) << off
+
+	if g, ok := s.accum.Get(region); ok {
+		g.observed |= bit
+		s.accum.Put(region, g)
+		return
+	}
+	if g, ok := s.filter.Peek(region); ok {
+		if off == g.off {
+			return // repeated touch of the trigger block
+		}
+		// Second distinct block: promote to the accumulation table.
+		s.filter.Delete(region)
+		g.observed |= bit
+		if k, v, ev := s.accum.Put(region, g); ev {
+			s.retire(k, v)
+		}
+		return
+	}
+
+	// Trigger access: open a generation and predict.
+	s.stats.Triggers++
+	s.predictFor(region, a.PC, off)
+	g := generation{pc: a.PC, off: off, observed: bit}
+	if k, _, ev := s.filter.Put(region, g); ev {
+		// Single-access region aged out of the filter: no training.
+		s.stats.FilterDrops++
+		delete(s.predicted, k)
+	}
+}
+
+// predictFor looks up the PHT and fetches the predicted blocks.
+func (s *SMS) predictFor(region mem.Addr, pc uint64, off int) {
+	pat, ok := s.pht.Get(Key{PC: pc, Offset: off})
+	if !ok {
+		s.predicted[region] = 0
+		return
+	}
+	s.stats.PHTHits++
+	mask := pat.predictMask(s.cfg.UseCounters, s.cfg.CounterThreshold)
+	mask &^= 1 << off // the trigger block itself is the current demand miss
+	s.predicted[region] = mask
+	if s.engine == nil {
+		return
+	}
+	for o := 0; o < mem.RegionBlocks; o++ {
+		if mask&(1<<o) != 0 {
+			s.engine.Direct(region.BlockAt(o))
+			s.stats.Predicted++
+		}
+	}
+}
+
+// OnL1Evict ends the generation containing the evicted block, if any, and
+// trains the PHT with its observed footprint (§2.4).
+func (s *SMS) OnL1Evict(block mem.Addr) {
+	region := block.Region()
+	bit := uint32(1) << block.RegionOffset()
+	if g, ok := s.accum.Peek(region); ok {
+		if g.observed&bit != 0 {
+			s.accum.Delete(region)
+			s.retire(region, g)
+		}
+		return
+	}
+	if g, ok := s.filter.Peek(region); ok {
+		if g.observed&bit != 0 {
+			s.filter.Delete(region)
+			delete(s.predicted, region)
+			s.stats.FilterDrops++
+		}
+	}
+}
+
+// retire commits a finished generation to the PHT.
+func (s *SMS) retire(region mem.Addr, g generation) {
+	delete(s.predicted, region)
+	key := Key{PC: g.pc, Offset: g.off}
+	pat, _ := s.pht.Peek(key)
+	if s.cfg.UseCounters {
+		for o := 0; o < mem.RegionBlocks; o++ {
+			if g.observed&(1<<o) != 0 {
+				if pat.Counters[o] < 3 {
+					pat.Counters[o]++
+				}
+			} else if pat.Counters[o] > 0 {
+				pat.Counters[o]--
+			}
+		}
+	}
+	pat.Bits = g.observed
+	s.pht.Put(key, pat)
+	s.stats.Trained++
+}
+
+// OnOffChipEvent implements the Prefetcher interface; SMS trains at access
+// granularity so nothing happens here.
+func (s *SMS) OnOffChipEvent(trace.Access, bool) {}
+
+// WasPredicted reports whether addr falls in an active generation whose
+// trigger-time PHT lookup predicted this block. Trigger accesses are never
+// spatially predicted (§2.3: the first miss to each region is the
+// fundamental spatial blind spot).
+func (s *SMS) WasPredicted(addr mem.Addr) bool {
+	mask, ok := s.predicted[addr.Region()]
+	return ok && mask&(1<<addr.RegionOffset()) != 0
+}
+
+// Pattern returns the predicted offset mask for a lookup index, for use by
+// hybrid designs that consult the PHT out of band (§3.1's naive hybrid
+// fetches "elements of the predicted spatial pattern" for every temporally
+// predicted trigger).
+func (s *SMS) Pattern(pc uint64, offset int) (uint32, bool) {
+	pat, ok := s.pht.Get(Key{PC: pc, Offset: offset})
+	if !ok {
+		return 0, false
+	}
+	return pat.predictMask(s.cfg.UseCounters, s.cfg.CounterThreshold), true
+}
+
+// ActiveGenerations returns the number of currently open generations.
+func (s *SMS) ActiveGenerations() int { return s.filter.Len() + s.accum.Len() }
+
+// PHTLen returns the number of learned patterns.
+func (s *SMS) PHTLen() int { return s.pht.Len() }

@@ -1,0 +1,234 @@
+// Package stats provides the small statistical toolkit used by the
+// evaluation harness: counters, histograms, and Student-t 95% confidence
+// intervals over repeated seeded runs (standing in for the paper's SimFlex
+// sampling methodology, §5.1).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs (0 for fewer than two
+// samples).
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// GeoMean returns the geometric mean of xs; all values must be positive.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// t975 holds two-sided 95% Student-t critical values indexed by degrees of
+// freedom (index 0 unused). Beyond the table, the normal approximation 1.96
+// is used.
+var t975 = []float64{
+	0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+	2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+	2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045,
+	2.042,
+}
+
+// CI95 returns the half-width of the two-sided 95% confidence interval for
+// the mean of xs (0 for fewer than two samples).
+func CI95(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	df := n - 1
+	t := 1.96
+	if df < len(t975) {
+		t = t975[df]
+	}
+	return t * StdDev(xs) / math.Sqrt(float64(n))
+}
+
+// Sample accumulates observations and summarizes them.
+type Sample struct {
+	xs []float64
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) { s.xs = append(s.xs, x) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the sample mean.
+func (s *Sample) Mean() float64 { return Mean(s.xs) }
+
+// CI95 returns the 95% confidence half-width.
+func (s *Sample) CI95() float64 { return CI95(s.xs) }
+
+// Values returns a copy of the observations.
+func (s *Sample) Values() []float64 { return append([]float64(nil), s.xs...) }
+
+// String formats the sample as "mean ± ci".
+func (s *Sample) String() string {
+	return fmt.Sprintf("%.3f ± %.3f", s.Mean(), s.CI95())
+}
+
+// Hist is an integer-bucketed histogram over a fixed closed range; values
+// outside the range accumulate in Under/Over.
+type Hist struct {
+	Lo, Hi      int
+	Buckets     []uint64
+	Under, Over uint64
+	Total       uint64
+}
+
+// NewHist creates a histogram covering [lo, hi].
+func NewHist(lo, hi int) *Hist {
+	if hi < lo {
+		panic(fmt.Sprintf("stats: invalid histogram range [%d,%d]", lo, hi))
+	}
+	return &Hist{Lo: lo, Hi: hi, Buckets: make([]uint64, hi-lo+1)}
+}
+
+// Add records a value.
+func (h *Hist) Add(v int) {
+	h.Total++
+	switch {
+	case v < h.Lo:
+		h.Under++
+	case v > h.Hi:
+		h.Over++
+	default:
+		h.Buckets[v-h.Lo]++
+	}
+}
+
+// Count returns the number of observations equal to v within range.
+func (h *Hist) Count(v int) uint64 {
+	if v < h.Lo || v > h.Hi {
+		return 0
+	}
+	return h.Buckets[v-h.Lo]
+}
+
+// Frac returns the fraction of all observations equal to v.
+func (h *Hist) Frac(v int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Count(v)) / float64(h.Total)
+}
+
+// CumFracWithin returns the fraction of observations whose absolute value is
+// at most w — the paper's "reordering window" metric (§5.4).
+func (h *Hist) CumFracWithin(w int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	var n uint64
+	for v := -w; v <= w; v++ {
+		n += h.Count(v)
+	}
+	return float64(n) / float64(h.Total)
+}
+
+// CDF returns cumulative fractions at each bucket from Lo to Hi, including
+// Under mass before Lo.
+func (h *Hist) CDF() []float64 {
+	out := make([]float64, len(h.Buckets))
+	if h.Total == 0 {
+		return out
+	}
+	run := h.Under
+	for i, b := range h.Buckets {
+		run += b
+		out[i] = float64(run) / float64(h.Total)
+	}
+	return out
+}
+
+// Counters is an ordered set of named uint64 counters, used for simulation
+// statistics reports.
+type Counters struct {
+	names  []string
+	values map[string]uint64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{values: make(map[string]uint64)}
+}
+
+// Inc adds delta to the named counter, creating it at first use.
+func (c *Counters) Inc(name string, delta uint64) {
+	if _, ok := c.values[name]; !ok {
+		c.names = append(c.names, name)
+	}
+	c.values[name] += delta
+}
+
+// Get returns the counter's value (0 if never incremented).
+func (c *Counters) Get(name string) uint64 { return c.values[name] }
+
+// Names returns counter names in first-use order.
+func (c *Counters) Names() []string { return append([]string(nil), c.names...) }
+
+// String renders the counters one per line, aligned.
+func (c *Counters) String() string {
+	var b strings.Builder
+	width := 0
+	for _, n := range c.names {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	for _, n := range c.names {
+		fmt.Fprintf(&b, "%-*s %12d\n", width, n, c.values[n])
+	}
+	return b.String()
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using nearest-rank.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

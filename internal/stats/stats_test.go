@@ -1,0 +1,213 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if !almost(Mean(nil), 0) {
+		t.Error("Mean(nil) != 0")
+	}
+	if !almost(Mean([]float64{2, 4, 6}), 4) {
+		t.Error("Mean([2,4,6]) != 4")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if !almost(StdDev([]float64{5}), 0) {
+		t.Error("StdDev of singleton != 0")
+	}
+	// Known: sample stddev of {2,4,4,4,5,5,7,9} = 2.138089935...
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2.13808993529939) > 1e-9 {
+		t.Errorf("StdDev = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if !almost(GeoMean([]float64{1, 4}), 2) {
+		t.Errorf("GeoMean([1,4]) = %v, want 2", GeoMean([]float64{1, 4}))
+	}
+	if !almost(GeoMean(nil), 0) {
+		t.Error("GeoMean(nil) != 0")
+	}
+}
+
+func TestCI95KnownValue(t *testing.T) {
+	// n=2, values {0, 2}: mean 1, sd sqrt(2), t(1 df)=12.706,
+	// ci = 12.706*sqrt(2)/sqrt(2) = 12.706.
+	got := CI95([]float64{0, 2})
+	if math.Abs(got-12.706) > 1e-9 {
+		t.Errorf("CI95 = %v, want 12.706", got)
+	}
+	if CI95([]float64{1}) != 0 {
+		t.Error("CI95 of singleton != 0")
+	}
+}
+
+func TestCI95LargeNUsesNormal(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i % 2) // alternating 0/1
+	}
+	want := 1.96 * StdDev(xs) / 10
+	if !almost(CI95(xs), want) {
+		t.Errorf("CI95 large-n = %v, want %v", CI95(xs), want)
+	}
+}
+
+func TestSample(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{1, 2, 3} {
+		s.Add(x)
+	}
+	if s.N() != 3 || !almost(s.Mean(), 2) {
+		t.Errorf("Sample N=%d mean=%v", s.N(), s.Mean())
+	}
+	if !strings.Contains(s.String(), "±") {
+		t.Errorf("Sample.String() = %q", s.String())
+	}
+	v := s.Values()
+	v[0] = 99
+	if s.Mean() != 2 {
+		t.Error("Values() did not return a copy")
+	}
+}
+
+func TestHistBasics(t *testing.T) {
+	h := NewHist(-2, 2)
+	for _, v := range []int{-3, -2, -1, 0, 1, 1, 2, 3, 4} {
+		h.Add(v)
+	}
+	if h.Total != 9 {
+		t.Errorf("Total = %d", h.Total)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Errorf("Under/Over = %d/%d, want 1/2", h.Under, h.Over)
+	}
+	if h.Count(1) != 2 || h.Count(5) != 0 {
+		t.Errorf("Count(1)=%d Count(5)=%d", h.Count(1), h.Count(5))
+	}
+	if !almost(h.Frac(1), 2.0/9) {
+		t.Errorf("Frac(1) = %v", h.Frac(1))
+	}
+}
+
+func TestHistCumFracWithin(t *testing.T) {
+	h := NewHist(-6, 6)
+	for _, v := range []int{1, 1, 1, 2, -2, 4} {
+		h.Add(v)
+	}
+	if !almost(h.CumFracWithin(1), 3.0/6) {
+		t.Errorf("within 1 = %v", h.CumFracWithin(1))
+	}
+	if !almost(h.CumFracWithin(2), 5.0/6) {
+		t.Errorf("within 2 = %v", h.CumFracWithin(2))
+	}
+	if !almost(h.CumFracWithin(6), 1) {
+		t.Errorf("within 6 = %v", h.CumFracWithin(6))
+	}
+}
+
+func TestHistCDF(t *testing.T) {
+	h := NewHist(0, 2)
+	for _, v := range []int{0, 1, 2, 2} {
+		h.Add(v)
+	}
+	cdf := h.CDF()
+	want := []float64{0.25, 0.5, 1.0}
+	for i := range want {
+		if !almost(cdf[i], want[i]) {
+			t.Errorf("CDF[%d] = %v, want %v", i, cdf[i], want[i])
+		}
+	}
+	if len(NewHist(0, 3).CDF()) != 4 {
+		t.Error("empty hist CDF wrong length")
+	}
+}
+
+func TestHistPanicsOnBadRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewHist(2,1) did not panic")
+		}
+	}()
+	NewHist(2, 1)
+}
+
+func TestCounters(t *testing.T) {
+	c := NewCounters()
+	c.Inc("reads", 3)
+	c.Inc("writes", 1)
+	c.Inc("reads", 2)
+	if c.Get("reads") != 5 || c.Get("writes") != 1 || c.Get("absent") != 0 {
+		t.Errorf("counters wrong: %v", c.String())
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "reads" || names[1] != "writes" {
+		t.Errorf("Names() = %v", names)
+	}
+	if !strings.Contains(c.String(), "reads") {
+		t.Errorf("String() = %q", c.String())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if Percentile(xs, 50) != 5 {
+		t.Errorf("P50 = %v", Percentile(xs, 50))
+	}
+	if Percentile(xs, 100) != 10 {
+		t.Errorf("P100 = %v", Percentile(xs, 100))
+	}
+	if Percentile(xs, 0) != 1 {
+		t.Errorf("P0 = %v", Percentile(xs, 0))
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("Percentile(nil) != 0")
+	}
+}
+
+// Property: mean lies within [min, max]; CI is non-negative.
+func TestMeanBoundsProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			xs[i] = float64(r)
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		m := Mean(xs)
+		return m >= lo-1e-9 && m <= hi+1e-9 && CI95(xs) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: histogram mass is conserved: Under + Over + buckets == Total.
+func TestHistMassConservation(t *testing.T) {
+	f := func(vals []int8) bool {
+		h := NewHist(-5, 5)
+		for _, v := range vals {
+			h.Add(int(v))
+		}
+		var sum uint64 = h.Under + h.Over
+		for _, b := range h.Buckets {
+			sum += b
+		}
+		return sum == h.Total && h.Total == uint64(len(vals))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,386 @@
+// Package stream implements the streaming back end shared by the temporal
+// and spatio-temporal prefetchers: a set of stream queues holding predicted
+// address sequences, and the Streamed Value Buffer (SVB) holding prefetched
+// blocks until the processor consumes them (§4.2, §4.3 of the paper).
+//
+// Throttling follows the paper: a newly allocated stream fetches a single
+// probe block; once the processor consumes it the stream is trusted and kept
+// topped up to its lookahead depth. Streams are victimized LRU-by-activity
+// when all queues are busy. Blocks evicted from the SVB unconsumed are
+// overpredictions.
+package stream
+
+import "stems/internal/mem"
+
+// Fetcher issues an off-chip transfer for a prefetched block and returns
+// the cycle at which the block will be ready in the SVB. The simulator's
+// memory-channel model implements this, so bandwidth contention delays
+// prefetch readiness.
+type Fetcher interface {
+	Fetch(block mem.Addr) (readyAt uint64)
+}
+
+// Config sizes the streaming engine.
+type Config struct {
+	Queues     int // concurrent stream queues (paper: 8)
+	Lookahead  int // blocks kept in flight per stream (paper: 8 or 12)
+	SVBEntries int // streamed value buffer capacity (paper: 64)
+	// RefillThreshold: when a stream's pending addresses drop below this,
+	// its Refill callback is invoked to extend the queue (reconstruction
+	// resumes, or more CMOB entries are read). Defaults to Lookahead.
+	RefillThreshold int
+	// Adaptive enables dynamic lookahead adjustment between MinLookahead
+	// and MaxLookahead: the engine deepens streams whose hits arrive late
+	// (consumers waiting on in-flight blocks) and shallows them when hits
+	// are comfortably early. This implements the direction of the paper's
+	// related work (§6): self-repairing prefetchers "dynamically adjust
+	// lookahead to ensure prefetches arrive just in time" and adaptive
+	// stream detection "dynamically adjusts prefetch aggressiveness".
+	Adaptive     bool
+	MinLookahead int
+	MaxLookahead int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Queues <= 0 {
+		c.Queues = 8
+	}
+	if c.Lookahead <= 0 {
+		c.Lookahead = 8
+	}
+	if c.SVBEntries <= 0 {
+		c.SVBEntries = 64
+	}
+	if c.RefillThreshold <= 0 {
+		c.RefillThreshold = c.Lookahead
+	}
+	if c.Adaptive {
+		if c.MinLookahead <= 0 {
+			c.MinLookahead = 2
+		}
+		if c.MaxLookahead < c.Lookahead {
+			c.MaxLookahead = 2 * c.Lookahead
+		}
+	}
+	return c
+}
+
+// Queue is one stream: a FIFO of predicted block addresses plus in-flight
+// accounting.
+type Queue struct {
+	id      int
+	pending []mem.Addr
+	// Refill, if non-nil, is invoked when pending drops below the
+	// threshold; the owner appends more addresses via Extend. It is the
+	// hook through which STeMS "resumes reconstruction from where it left
+	// off" (§4.2).
+	Refill func(q *Queue)
+	// Tag lets the owner attach identifying state (e.g. the RMOB cursor).
+	Tag any
+
+	inflight  int
+	activity  uint64 // last fetch or hit stamp, for LRU victimization
+	active    bool
+	probation bool // only one block fetched until first consumption
+	refilling bool
+	dead      int // generation guard: bumped when victimized
+}
+
+// Len returns the number of pending (not yet fetched) addresses.
+func (q *Queue) Len() int { return len(q.pending) }
+
+// Stats aggregates engine activity.
+type Stats struct {
+	Fetched       uint64 // blocks sent to the memory system
+	Consumed      uint64 // SVB hits (useful prefetches)
+	Overpredicted uint64 // blocks evicted from the SVB unconsumed
+	Streams       uint64 // streams allocated
+	Victimized    uint64 // streams killed for reallocation
+	Skipped       uint64 // fetches suppressed (duplicate/present blocks)
+	LateHits      uint64 // SVB hits that waited on an in-flight block
+	AdaptRaises   uint64 // adaptive lookahead increases
+	AdaptLowers   uint64 // adaptive lookahead decreases
+}
+
+type svbEntry struct {
+	block    mem.Addr
+	readyAt  uint64
+	owner    int // queue id, -1 for direct fetches
+	ownerGen int
+	stamp    uint64
+}
+
+// Engine owns the stream queues and the SVB.
+type Engine struct {
+	cfg     Config
+	fetcher Fetcher
+	// Clock returns the current simulation cycle; used for LRU stamps.
+	Clock func() uint64
+	// ShouldFetch, if non-nil, suppresses fetches for blocks the caller
+	// knows are already on chip (e.g. present in L1/L2).
+	ShouldFetch func(block mem.Addr) bool
+
+	queues []Queue
+	svb    map[mem.Addr]*svbEntry
+	stamp  uint64
+	stats  Stats
+
+	// Adaptive lookahead state.
+	curLookahead int
+	adaptWindow  uint64 // consumptions observed in the current window
+	adaptLate    uint64 // late consumptions in the current window
+}
+
+// NewEngine creates a streaming engine with the given fetcher.
+func NewEngine(cfg Config, fetcher Fetcher) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:          cfg,
+		fetcher:      fetcher,
+		Clock:        func() uint64 { return 0 },
+		svb:          make(map[mem.Addr]*svbEntry, cfg.SVBEntries),
+		queues:       make([]Queue, cfg.Queues),
+		curLookahead: cfg.Lookahead,
+	}
+	for i := range e.queues {
+		e.queues[i].id = i
+	}
+	return e
+}
+
+// Stats returns a snapshot of cumulative statistics.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Config returns the engine's effective configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// NewStream allocates a stream queue (victimizing the least-recently-active
+// one if necessary), seeds it with addrs, and fetches the probe block.
+// It returns the queue so the owner can set Refill/Tag before extending.
+func (e *Engine) NewStream(addrs []mem.Addr) *Queue {
+	return e.newStream(addrs, true)
+}
+
+// NewEagerStream is NewStream without the single-probe-block probation:
+// the stream immediately fills its lookahead. Used for spatial-only streams,
+// whose pattern confidence comes from the PST's saturating counters rather
+// than from consumption of a probe (§4.2).
+func (e *Engine) NewEagerStream(addrs []mem.Addr) *Queue {
+	return e.newStream(addrs, false)
+}
+
+func (e *Engine) newStream(addrs []mem.Addr, probation bool) *Queue {
+	victim := &e.queues[0]
+	for i := range e.queues {
+		q := &e.queues[i]
+		if !q.active {
+			victim = q
+			break
+		}
+		if q.activity < victim.activity {
+			victim = q
+		}
+	}
+	if victim.active {
+		e.stats.Victimized++
+		// Blocks the dead stream already fetched remain in the SVB; if
+		// never consumed they will age out as overpredictions, matching
+		// the paper's accounting.
+	}
+	victim.dead++
+	*victim = Queue{id: victim.id, dead: victim.dead, active: true, probation: probation}
+	victim.pending = append(victim.pending, addrs...)
+	victim.activity = e.tick()
+	e.stats.Streams++
+	e.pump(victim)
+	return victim
+}
+
+// Extend appends more predicted addresses to a live stream.
+func (e *Engine) Extend(q *Queue, addrs []mem.Addr) {
+	if !q.active {
+		return
+	}
+	q.pending = append(q.pending, addrs...)
+	e.pump(q)
+}
+
+// Lookup performs a demand-side probe of the SVB for the block containing
+// addr. On a hit the entry is consumed and the owning stream advances. It
+// returns whether the block was present and the cycle at which it is (or
+// will be) ready — a demand hit on an in-flight prefetch still waits for
+// readyAt (timeliness, §5.6).
+func (e *Engine) Lookup(addr mem.Addr) (hit bool, readyAt uint64) {
+	block := addr.Block()
+	ent, ok := e.svb[block]
+	if !ok {
+		return false, 0
+	}
+	delete(e.svb, block)
+	e.stats.Consumed++
+	readyAt = ent.readyAt
+	if e.cfg.Adaptive {
+		e.adapt(readyAt > e.Clock())
+	} else if readyAt > e.Clock() {
+		e.stats.LateHits++
+	}
+	if ent.owner >= 0 {
+		q := &e.queues[ent.owner]
+		if q.active && q.dead == ent.ownerGen {
+			if q.inflight > 0 {
+				q.inflight--
+			}
+			q.activity = e.tick()
+			if q.probation {
+				// Probe consumed: the stream is useful; open it up.
+				q.probation = false
+			}
+			e.pump(q)
+		}
+	}
+	return true, readyAt
+}
+
+// Contains reports whether block is currently buffered, without consuming.
+func (e *Engine) Contains(addr mem.Addr) bool {
+	_, ok := e.svb[addr.Block()]
+	return ok
+}
+
+// Direct fetches a single block into the SVB without stream ownership —
+// the path used by the stride and SMS prefetchers, which predict sets of
+// blocks rather than ordered streams.
+func (e *Engine) Direct(block mem.Addr) {
+	e.fetchInto(block, -1, 0)
+}
+
+// Invalidate removes a block (e.g. on a store to it), counting it as an
+// overprediction if never consumed.
+func (e *Engine) Invalidate(addr mem.Addr) {
+	block := addr.Block()
+	if _, ok := e.svb[block]; ok {
+		delete(e.svb, block)
+		e.stats.Overpredicted++
+	}
+}
+
+// Drain counts all still-buffered blocks as overpredictions; call at end of
+// simulation so unconsumed prefetches are accounted.
+func (e *Engine) Drain() {
+	e.stats.Overpredicted += uint64(len(e.svb))
+	e.svb = make(map[mem.Addr]*svbEntry, e.cfg.SVBEntries)
+}
+
+// adapt updates the dynamic lookahead from one consumption observation.
+// Over each 64-consumption window: a high late rate deepens streams (up to
+// MaxLookahead), a very low one shallows them (down to MinLookahead),
+// trading timeliness against mispredictions as §4.3 describes.
+func (e *Engine) adapt(late bool) {
+	if late {
+		e.adaptLate++
+		e.stats.LateHits++
+	}
+	e.adaptWindow++
+	if e.adaptWindow < 64 {
+		return
+	}
+	rate := float64(e.adaptLate) / float64(e.adaptWindow)
+	e.adaptWindow, e.adaptLate = 0, 0
+	switch {
+	case rate > 0.25 && e.curLookahead < e.cfg.MaxLookahead:
+		e.curLookahead++
+		e.stats.AdaptRaises++
+	case rate < 0.05 && e.curLookahead > e.cfg.MinLookahead:
+		e.curLookahead--
+		e.stats.AdaptLowers++
+	}
+}
+
+// Lookahead returns the current (possibly adapted) stream depth.
+func (e *Engine) Lookahead() int { return e.curLookahead }
+
+// pump tops a stream up to its lookahead, honoring probation, and triggers
+// the refill callback when the queue runs low.
+func (e *Engine) pump(q *Queue) {
+	limit := e.curLookahead
+	if q.probation {
+		limit = 1
+	}
+	for q.inflight < limit && len(q.pending) > 0 {
+		block := q.pending[0].Block()
+		q.pending = q.pending[1:]
+		if e.fetchInto(block, q.id, q.dead) {
+			q.inflight++
+		}
+	}
+	if len(q.pending) < e.cfg.RefillThreshold && q.Refill != nil && !q.refilling {
+		q.refilling = true
+		q.Refill(q)
+		q.refilling = false
+		// One more pump pass in case the refill delivered addresses and
+		// we still have lookahead headroom.
+		for q.inflight < limit && len(q.pending) > 0 {
+			block := q.pending[0].Block()
+			q.pending = q.pending[1:]
+			if e.fetchInto(block, q.id, q.dead) {
+				q.inflight++
+			}
+		}
+	}
+}
+
+// fetchInto issues the transfer and installs the SVB entry, evicting the
+// oldest unconsumed entry if the SVB is full. Returns false if the fetch
+// was suppressed.
+func (e *Engine) fetchInto(block mem.Addr, owner int, ownerGen int) bool {
+	if _, dup := e.svb[block]; dup {
+		e.stats.Skipped++
+		return false
+	}
+	if e.ShouldFetch != nil && !e.ShouldFetch(block) {
+		e.stats.Skipped++
+		return false
+	}
+	if len(e.svb) >= e.cfg.SVBEntries {
+		e.evictOldest()
+	}
+	readyAt := e.fetcher.Fetch(block)
+	e.svb[block] = &svbEntry{
+		block:    block,
+		readyAt:  readyAt,
+		owner:    owner,
+		ownerGen: ownerGen,
+		stamp:    e.tick(),
+	}
+	e.stats.Fetched++
+	return true
+}
+
+func (e *Engine) evictOldest() {
+	var victim *svbEntry
+	for _, ent := range e.svb {
+		if victim == nil || ent.stamp < victim.stamp {
+			victim = ent
+		}
+	}
+	if victim != nil {
+		delete(e.svb, victim.block)
+		e.stats.Overpredicted++
+		if victim.owner >= 0 {
+			q := &e.queues[victim.owner]
+			if q.active && q.dead == victim.ownerGen && q.inflight > 0 {
+				q.inflight--
+			}
+		}
+	}
+}
+
+func (e *Engine) tick() uint64 {
+	// Combine the simulation clock with a monotonic tiebreaker so LRU is
+	// total even within one cycle.
+	e.stamp++
+	return e.Clock()<<16 | (e.stamp & 0xffff)
+}
+
+// SVBOccupancy returns the number of blocks currently buffered.
+func (e *Engine) SVBOccupancy() int { return len(e.svb) }

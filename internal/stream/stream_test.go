@@ -1,0 +1,357 @@
+package stream
+
+import (
+	"testing"
+	"testing/quick"
+
+	"stems/internal/mem"
+)
+
+// instantFetcher completes every fetch immediately and records the order.
+type instantFetcher struct {
+	fetched []mem.Addr
+	when    uint64
+}
+
+func (f *instantFetcher) Fetch(b mem.Addr) uint64 {
+	f.fetched = append(f.fetched, b)
+	return f.when
+}
+
+func blocks(idx ...int) []mem.Addr {
+	out := make([]mem.Addr, len(idx))
+	for i, x := range idx {
+		out[i] = mem.Addr(x * mem.BlockSize)
+	}
+	return out
+}
+
+func TestProbationFetchesOneBlock(t *testing.T) {
+	f := &instantFetcher{}
+	e := NewEngine(Config{Queues: 2, Lookahead: 4, SVBEntries: 16}, f)
+	e.NewStream(blocks(1, 2, 3, 4, 5))
+	if len(f.fetched) != 1 {
+		t.Fatalf("new stream fetched %d blocks, want 1 (probation)", len(f.fetched))
+	}
+	if f.fetched[0] != blocks(1)[0] {
+		t.Fatalf("probe block = %v, want first address", f.fetched[0])
+	}
+}
+
+func TestConsumptionOpensStream(t *testing.T) {
+	f := &instantFetcher{}
+	e := NewEngine(Config{Queues: 2, Lookahead: 3, SVBEntries: 16}, f)
+	e.NewStream(blocks(1, 2, 3, 4, 5, 6, 7, 8))
+	hit, _ := e.Lookup(blocks(1)[0])
+	if !hit {
+		t.Fatal("probe block not in SVB")
+	}
+	// After consuming the probe, the stream tops up to lookahead 3.
+	if len(f.fetched) != 1+3 {
+		t.Fatalf("after probe consumption fetched %d total, want 4", len(f.fetched))
+	}
+	// Consuming one more keeps 3 in flight.
+	if hit, _ := e.Lookup(blocks(2)[0]); !hit {
+		t.Fatal("block 2 not streamed")
+	}
+	if len(f.fetched) != 1+4 {
+		t.Fatalf("fetched %d total, want 5", len(f.fetched))
+	}
+}
+
+func TestStreamFollowsOrder(t *testing.T) {
+	f := &instantFetcher{}
+	e := NewEngine(Config{Queues: 1, Lookahead: 2, SVBEntries: 16}, f)
+	e.NewStream(blocks(10, 11, 12, 13, 14))
+	want := blocks(10, 11, 12, 13, 14)
+	for _, b := range want {
+		hit, _ := e.Lookup(b)
+		if !hit {
+			t.Fatalf("block %v not available in stream order", b)
+		}
+	}
+	if got := e.Stats().Consumed; got != 5 {
+		t.Fatalf("consumed = %d, want 5", got)
+	}
+	if got := e.Stats().Overpredicted; got != 0 {
+		t.Fatalf("overpredicted = %d, want 0", got)
+	}
+}
+
+func TestMissWithoutPrefetch(t *testing.T) {
+	e := NewEngine(Config{}, &instantFetcher{})
+	if hit, _ := e.Lookup(blocks(5)[0]); hit {
+		t.Fatal("lookup hit in empty SVB")
+	}
+}
+
+func TestLRUVictimization(t *testing.T) {
+	f := &instantFetcher{}
+	e := NewEngine(Config{Queues: 2, Lookahead: 1, SVBEntries: 16}, f)
+	q0 := e.NewStream(blocks(1, 2))
+	e.NewStream(blocks(10, 11))
+	// Touch q0 so q1 is LRU.
+	e.Lookup(blocks(1)[0])
+	q2 := e.NewStream(blocks(20, 21))
+	if e.Stats().Victimized != 1 {
+		t.Fatalf("victimized = %d, want 1", e.Stats().Victimized)
+	}
+	if q2.id == q0.id {
+		t.Fatal("victimized the recently active stream")
+	}
+}
+
+func TestVictimBlocksBecomeOverpredictions(t *testing.T) {
+	f := &instantFetcher{}
+	e := NewEngine(Config{Queues: 1, Lookahead: 2, SVBEntries: 8}, f)
+	e.NewStream(blocks(1, 2, 3))
+	e.NewStream(blocks(50, 51)) // victimizes stream 0; block 1 unconsumed
+	e.Lookup(blocks(50)[0])
+	e.Drain()
+	// Block 1 (probe of dead stream) and block 51's probe state: blocks
+	// fetched but never consumed count as overpredictions on drain.
+	if over := e.Stats().Overpredicted; over == 0 {
+		t.Fatalf("overpredicted = %d, want > 0", over)
+	}
+}
+
+func TestSVBEvictionCountsOverprediction(t *testing.T) {
+	f := &instantFetcher{}
+	e := NewEngine(Config{Queues: 1, Lookahead: 8, SVBEntries: 4}, f)
+	for i := 0; i < 8; i++ {
+		e.Direct(blocks(i)[0])
+	}
+	if e.SVBOccupancy() != 4 {
+		t.Fatalf("occupancy = %d, want 4", e.SVBOccupancy())
+	}
+	if over := e.Stats().Overpredicted; over != 4 {
+		t.Fatalf("overpredicted = %d, want 4", over)
+	}
+}
+
+func TestDuplicateFetchSuppressed(t *testing.T) {
+	f := &instantFetcher{}
+	e := NewEngine(Config{}, f)
+	e.Direct(blocks(3)[0])
+	e.Direct(blocks(3)[0])
+	if len(f.fetched) != 1 {
+		t.Fatalf("duplicate fetch issued: %d", len(f.fetched))
+	}
+	if e.Stats().Skipped != 1 {
+		t.Fatalf("skipped = %d, want 1", e.Stats().Skipped)
+	}
+}
+
+func TestShouldFetchFilter(t *testing.T) {
+	f := &instantFetcher{}
+	e := NewEngine(Config{}, f)
+	e.ShouldFetch = func(b mem.Addr) bool { return b != blocks(7)[0] }
+	e.Direct(blocks(7)[0])
+	e.Direct(blocks(8)[0])
+	if len(f.fetched) != 1 || f.fetched[0] != blocks(8)[0] {
+		t.Fatalf("filter not applied: %v", f.fetched)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	e := NewEngine(Config{}, &instantFetcher{})
+	e.Direct(blocks(1)[0])
+	e.Invalidate(blocks(1)[0])
+	if e.Contains(blocks(1)[0]) {
+		t.Fatal("block survived invalidation")
+	}
+	if e.Stats().Overpredicted != 1 {
+		t.Fatalf("overpredicted = %d, want 1", e.Stats().Overpredicted)
+	}
+	// Invalidating an absent block is a no-op.
+	e.Invalidate(blocks(2)[0])
+	if e.Stats().Overpredicted != 1 {
+		t.Fatal("invalidate of absent block counted")
+	}
+}
+
+func TestRefillCallback(t *testing.T) {
+	f := &instantFetcher{}
+	e := NewEngine(Config{Queues: 1, Lookahead: 2, SVBEntries: 16, RefillThreshold: 2}, f)
+	refills := 0
+	next := 100
+	q := e.NewStream(blocks(1))
+	q.Refill = func(q *Queue) {
+		refills++
+		if refills > 3 {
+			return
+		}
+		e.Extend(q, blocks(next, next+1, next+2))
+		next += 3
+	}
+	// Consume the probe; pump will refill since pending is empty.
+	e.Lookup(blocks(1)[0])
+	if refills == 0 {
+		t.Fatal("refill never invoked")
+	}
+	// The refilled addresses must now stream.
+	if hit, _ := e.Lookup(blocks(100)[0]); !hit {
+		t.Fatal("refilled block not streamed")
+	}
+}
+
+func TestExtendInactiveQueueIgnored(t *testing.T) {
+	f := &instantFetcher{}
+	e := NewEngine(Config{Queues: 1, Lookahead: 2, SVBEntries: 16}, f)
+	q0 := e.NewStream(blocks(1, 2))
+	e.NewStream(blocks(10, 11)) // victimizes q0's slot, q0 pointer now reused
+	before := len(f.fetched)
+	// q0 and the new queue share the slot; Extend on the live queue works,
+	// but extending via a stale pointer to a dead generation is the same
+	// struct — the engine guards by generation on SVB entries. Here we just
+	// verify Extend on an inactive queue value is ignored.
+	dead := &Queue{id: 0, active: false}
+	e.Extend(dead, blocks(30))
+	if len(f.fetched) != before {
+		t.Fatal("extend on inactive queue issued fetches")
+	}
+	_ = q0
+}
+
+func TestTimelinessReadyAt(t *testing.T) {
+	f := &instantFetcher{when: 500}
+	e := NewEngine(Config{}, f)
+	e.Direct(blocks(1)[0])
+	hit, readyAt := e.Lookup(blocks(1)[0])
+	if !hit || readyAt != 500 {
+		t.Fatalf("hit=%v readyAt=%d, want true/500", hit, readyAt)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	e := NewEngine(Config{}, &instantFetcher{})
+	cfg := e.Config()
+	if cfg.Queues != 8 || cfg.Lookahead != 8 || cfg.SVBEntries != 64 || cfg.RefillThreshold != 8 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}
+
+// latencyFetcher completes fetches a fixed delay after the current clock.
+type latencyFetcher struct {
+	clock *uint64
+	delay uint64
+}
+
+func (f *latencyFetcher) Fetch(b mem.Addr) uint64 { return *f.clock + f.delay }
+
+func TestAdaptiveLookaheadDeepensUnderLateHits(t *testing.T) {
+	var clock uint64
+	f := &latencyFetcher{clock: &clock, delay: 400}
+	e := NewEngine(Config{
+		Queues: 1, Lookahead: 2, SVBEntries: 256,
+		Adaptive: true, MinLookahead: 2, MaxLookahead: 16,
+	}, f)
+	e.Clock = func() uint64 { return clock }
+
+	// One long stream consumed quickly: every hit is late at depth 2, so
+	// the engine must deepen.
+	addrs := make([]mem.Addr, 4096)
+	for i := range addrs {
+		addrs[i] = mem.Addr(i * mem.BlockSize)
+	}
+	q := e.NewStream(addrs)
+	_ = q
+	for _, a := range addrs {
+		clock += 10 // consumer moves much faster than the 400-cycle memory
+		hit, _ := e.Lookup(a)
+		if !hit {
+			break
+		}
+	}
+	if e.Lookahead() <= 2 {
+		t.Fatalf("lookahead stayed at %d despite chronic late hits", e.Lookahead())
+	}
+	if e.Stats().AdaptRaises == 0 || e.Stats().LateHits == 0 {
+		t.Fatalf("adaptation stats empty: %+v", e.Stats())
+	}
+}
+
+func TestAdaptiveLookaheadShallowsWhenEarly(t *testing.T) {
+	var clock uint64
+	f := &latencyFetcher{clock: &clock, delay: 5}
+	e := NewEngine(Config{
+		Queues: 1, Lookahead: 8, SVBEntries: 256,
+		Adaptive: true, MinLookahead: 2, MaxLookahead: 16,
+	}, f)
+	e.Clock = func() uint64 { return clock }
+	addrs := make([]mem.Addr, 4096)
+	for i := range addrs {
+		addrs[i] = mem.Addr(i * mem.BlockSize)
+	}
+	e.NewStream(addrs)
+	for _, a := range addrs {
+		clock += 100 // slow consumer: everything arrives early
+		if hit, _ := e.Lookup(a); !hit {
+			break
+		}
+	}
+	if e.Lookahead() >= 8 {
+		t.Fatalf("lookahead stayed at %d despite early hits", e.Lookahead())
+	}
+	if e.Stats().AdaptLowers == 0 {
+		t.Fatal("no adaptive decreases recorded")
+	}
+}
+
+func TestAdaptiveDefaults(t *testing.T) {
+	e := NewEngine(Config{Adaptive: true, Lookahead: 8}, &instantFetcher{})
+	cfg := e.Config()
+	if cfg.MinLookahead != 2 || cfg.MaxLookahead != 16 {
+		t.Fatalf("adaptive defaults = %+v", cfg)
+	}
+	if e.Lookahead() != 8 {
+		t.Fatalf("initial lookahead = %d", e.Lookahead())
+	}
+}
+
+// Property: fetch accounting is conserved under random operation mixes:
+// Fetched == Consumed + Overpredicted + SVBOccupancy at every step, and the
+// SVB never exceeds capacity.
+func TestAccountingConservationProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		e := NewEngine(Config{Queues: 2, Lookahead: 3, SVBEntries: 8}, &instantFetcher{})
+		check := func() bool {
+			st := e.Stats()
+			return st.Fetched == st.Consumed+st.Overpredicted+uint64(e.SVBOccupancy()) &&
+				e.SVBOccupancy() <= 8
+		}
+		for _, op := range ops {
+			block := blocks(int(op % 64))[0]
+			switch op % 5 {
+			case 0:
+				e.NewStream([]mem.Addr{block, block + 64, block + 128})
+			case 1:
+				e.Direct(block)
+			case 2:
+				e.Lookup(block)
+			case 3:
+				e.Invalidate(block)
+			case 4:
+				e.NewEagerStream([]mem.Addr{block, block + 192})
+			}
+			if !check() {
+				return false
+			}
+		}
+		e.Drain()
+		st := e.Stats()
+		return st.Fetched == st.Consumed+st.Overpredicted && e.SVBOccupancy() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEagerStreamSkipsProbation(t *testing.T) {
+	f := &instantFetcher{}
+	e := NewEngine(Config{Queues: 2, Lookahead: 4, SVBEntries: 16}, f)
+	e.NewEagerStream(blocks(1, 2, 3, 4, 5, 6))
+	if len(f.fetched) != 4 {
+		t.Fatalf("eager stream fetched %d blocks, want lookahead 4", len(f.fetched))
+	}
+}

@@ -1,0 +1,128 @@
+package stride
+
+import (
+	"testing"
+
+	"stems/internal/config"
+	"stems/internal/mem"
+	"stems/internal/stream"
+	"stems/internal/trace"
+)
+
+type recordingFetcher struct{ blocks []mem.Addr }
+
+func (f *recordingFetcher) Fetch(b mem.Addr) uint64 {
+	f.blocks = append(f.blocks, b)
+	return 0
+}
+
+func newTestStride() (*Stride, *recordingFetcher) {
+	f := &recordingFetcher{}
+	eng := stream.NewEngine(stream.Config{SVBEntries: 256}, f)
+	return New(config.DefaultStride(), eng), f
+}
+
+func miss(addr mem.Addr, pc uint64) trace.Access {
+	return trace.Access{Addr: addr, PC: pc}
+}
+
+func TestDetectsConstantStride(t *testing.T) {
+	s, f := newTestStride()
+	// Three misses at stride 128 from one PC: first sets last, second sets
+	// stride (transient), third confirms (steady) and prefetches.
+	s.OnAccess(miss(0, 7), false)
+	s.OnAccess(miss(128, 7), false)
+	s.OnAccess(miss(256, 7), false)
+	if len(f.blocks) == 0 {
+		t.Fatal("steady stride issued no prefetches")
+	}
+	want := mem.Addr(256 + 128).Block()
+	if f.blocks[0] != want {
+		t.Fatalf("first prefetch = %v, want %v", f.blocks[0], want)
+	}
+	if len(f.blocks) != config.DefaultStride().Degree {
+		t.Fatalf("issued %d prefetches, want degree %d", len(f.blocks), config.DefaultStride().Degree)
+	}
+}
+
+func TestIgnoresHitsAndWrites(t *testing.T) {
+	s, f := newTestStride()
+	s.OnAccess(miss(0, 7), true) // hit: not trained
+	s.OnAccess(trace.Access{Addr: 128, PC: 7, Write: true}, false)
+	s.OnAccess(miss(256, 7), false)
+	s.OnAccess(miss(384, 7), false)
+	// Only two training misses so far (256, 384): transient, no prefetch.
+	if len(f.blocks) != 0 {
+		t.Fatalf("prefetched too eagerly: %v", f.blocks)
+	}
+}
+
+func TestIrregularAddressesNoPrefetch(t *testing.T) {
+	s, f := newTestStride()
+	for _, a := range []mem.Addr{0, 8192, 640, 100000, 4096} {
+		s.OnAccess(miss(a, 7), false)
+	}
+	if len(f.blocks) != 0 {
+		t.Fatalf("irregular stream prefetched %v", f.blocks)
+	}
+}
+
+func TestPerPCTraining(t *testing.T) {
+	s, f := newTestStride()
+	// Interleave two PCs, each with its own stride; both should lock on.
+	for i := 0; i < 4; i++ {
+		s.OnAccess(miss(mem.Addr(i*128), 1), false)
+		s.OnAccess(miss(mem.Addr(1<<20+i*256), 2), false)
+	}
+	if len(f.blocks) == 0 {
+		t.Fatal("interleaved strides never locked on")
+	}
+	if s.Issued() == 0 {
+		t.Fatal("Issued() = 0")
+	}
+}
+
+func TestNegativeStride(t *testing.T) {
+	s, f := newTestStride()
+	s.OnAccess(miss(10000*64, 7), false)
+	s.OnAccess(miss(9999*64, 7), false)
+	s.OnAccess(miss(9998*64, 7), false)
+	if len(f.blocks) == 0 {
+		t.Fatal("negative stride not detected")
+	}
+	if f.blocks[0] != mem.Addr(9997*64) {
+		t.Fatalf("prefetch = %v, want %v", f.blocks[0], mem.Addr(9997*64))
+	}
+}
+
+func TestZeroStrideIgnored(t *testing.T) {
+	s, f := newTestStride()
+	for i := 0; i < 5; i++ {
+		s.OnAccess(miss(4096, 7), false)
+	}
+	if len(f.blocks) != 0 {
+		t.Fatalf("zero stride prefetched %v", f.blocks)
+	}
+}
+
+func TestStrideChangeResetsConfidence(t *testing.T) {
+	s, f := newTestStride()
+	s.OnAccess(miss(0, 7), false)
+	s.OnAccess(miss(128, 7), false)  // stride 128 transient
+	s.OnAccess(miss(1024, 7), false) // stride change: back to transient
+	if len(f.blocks) != 0 {
+		t.Fatalf("prefetched on stride change: %v", f.blocks)
+	}
+	s.OnAccess(miss(2048, 7), false) // 1024 again: still needs confirmation
+	s.OnAccess(miss(3072, 7), false) // confirmed
+	if len(f.blocks) == 0 {
+		t.Fatal("new stride never confirmed")
+	}
+}
+
+func TestDefaultConfigApplied(t *testing.T) {
+	s := New(config.Stride{}, stream.NewEngine(stream.Config{}, &recordingFetcher{}))
+	if s.cfg.TableEntries != config.DefaultStride().TableEntries {
+		t.Fatalf("default not applied: %+v", s.cfg)
+	}
+}

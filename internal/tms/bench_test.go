@@ -1,0 +1,27 @@
+package tms
+
+import (
+	"testing"
+
+	"stems/internal/config"
+	"stems/internal/mem"
+	"stems/internal/stream"
+	"stems/internal/trace"
+)
+
+type nullFetcher struct{}
+
+func (nullFetcher) Fetch(mem.Addr) uint64 { return 0 }
+
+func BenchmarkOnOffChipEvent(b *testing.B) {
+	eng := stream.NewEngine(stream.Config{}, nullFetcher{})
+	tm := New(config.DefaultTMS(), eng)
+	accs := make([]trace.Access, 8192)
+	for i := range accs {
+		accs[i] = trace.Access{Addr: mem.Addr((i % 4096) * mem.BlockSize)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm.OnOffChipEvent(accs[i%len(accs)], false)
+	}
+}

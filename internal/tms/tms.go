@@ -1,0 +1,161 @@
+// Package tms implements Temporal Memory Streaming (Wenisch et al., ISCA
+// 2005), the temporal-correlation baseline of the paper (§2.1–2.2).
+//
+// TMS records the sequence of off-chip read misses in a large circular
+// buffer (the CMOB, ~2MB per processor, held in main memory) together with
+// an index mapping each address to its most recent position. On an
+// unpredicted off-chip miss, TMS locates the previous occurrence of the
+// address and streams the blocks that followed it, throttled by consumption
+// from the streamed value buffer.
+package tms
+
+import (
+	"stems/internal/config"
+	"stems/internal/mem"
+	"stems/internal/stream"
+	"stems/internal/trace"
+)
+
+// Stats counts predictor activity.
+type Stats struct {
+	Appends      uint64 // entries recorded in the CMOB
+	StreamsBegun uint64 // successful index lookups that started a stream
+	LookupMisses uint64 // off-chip misses with no prior occurrence
+	StaleLookups uint64 // index entries invalidated by CMOB wrap-around
+}
+
+// cursor is the per-stream read position in the CMOB (stored in Queue.Tag).
+type cursor struct {
+	pos uint64 // next CMOB position to read
+}
+
+// TMS is the prefetcher.
+type TMS struct {
+	cfg    config.TMS
+	engine *stream.Engine
+
+	cmob    []mem.Addr          // ring buffer of miss block addresses
+	appends uint64              // total entries ever appended
+	index   map[mem.Addr]uint64 // block -> most recent append position
+
+	stats Stats
+}
+
+// New creates a TMS prefetcher streaming through engine.
+func New(cfg config.TMS, engine *stream.Engine) *TMS {
+	if cfg.CMOBEntries <= 0 {
+		cfg = config.DefaultTMS()
+	}
+	return &TMS{
+		cfg:    cfg,
+		engine: engine,
+		cmob:   make([]mem.Addr, cfg.CMOBEntries),
+		index:  make(map[mem.Addr]uint64),
+	}
+}
+
+// Name implements the Prefetcher interface.
+func (t *TMS) Name() string { return "tms" }
+
+// Stats returns cumulative statistics.
+func (t *TMS) Stats() Stats { return t.stats }
+
+// OnAccess implements the Prefetcher interface; TMS trains only on
+// off-chip events.
+func (t *TMS) OnAccess(trace.Access, bool) {}
+
+// OnL1Evict implements the Prefetcher interface; TMS has no generations.
+func (t *TMS) OnL1Evict(mem.Addr) {}
+
+// OnOffChipEvent records the miss in the CMOB and, for uncovered misses,
+// attempts to start a new stream from the previous occurrence of the
+// address. Covered misses (SVB hits) are appended too — the recorded
+// sequence must stay complete for future traversals — but do not spawn
+// streams ("off-chip misses can initiate new streams", §4.2).
+func (t *TMS) OnOffChipEvent(a trace.Access, covered bool) {
+	if a.Write {
+		return
+	}
+	block := a.Addr.Block()
+	var prev uint64
+	prevOK := false
+	if !covered {
+		prev, prevOK = t.lookup(block)
+	}
+	t.append(block)
+	if covered {
+		return
+	}
+	if !prevOK {
+		t.stats.LookupMisses++
+		return
+	}
+	t.startStream(prev + 1)
+}
+
+// lookup returns the most recent valid CMOB position of block.
+func (t *TMS) lookup(block mem.Addr) (uint64, bool) {
+	pos, ok := t.index[block]
+	if !ok {
+		return 0, false
+	}
+	if t.appends-pos > uint64(len(t.cmob)) || t.cmob[pos%uint64(len(t.cmob))] != block {
+		// The ring lapped this entry; the mapping is stale.
+		t.stats.StaleLookups++
+		delete(t.index, block)
+		return 0, false
+	}
+	return pos, true
+}
+
+func (t *TMS) append(block mem.Addr) {
+	t.cmob[t.appends%uint64(len(t.cmob))] = block
+	t.index[block] = t.appends
+	t.appends++
+	t.stats.Appends++
+}
+
+// readChunk copies up to n CMOB entries starting at c.pos, advancing the
+// cursor. It stops at the append head or when the ring has overwritten the
+// requested region.
+func (t *TMS) readChunk(c *cursor, n int) []mem.Addr {
+	out := make([]mem.Addr, 0, n)
+	for len(out) < n && c.pos < t.appends {
+		if t.appends-c.pos > uint64(len(t.cmob)) {
+			// Fell too far behind; the ring overwrote this position.
+			break
+		}
+		out = append(out, t.cmob[c.pos%uint64(len(t.cmob))])
+		c.pos++
+	}
+	return out
+}
+
+func (t *TMS) startStream(from uint64) {
+	c := &cursor{pos: from}
+	chunk := t.readChunk(c, 2*t.cfg.Lookahead)
+	if len(chunk) == 0 {
+		t.stats.LookupMisses++
+		return
+	}
+	t.stats.StreamsBegun++
+	q := t.engine.NewStream(chunk)
+	q.Tag = c
+	q.Refill = func(q *stream.Queue) {
+		cur, ok := q.Tag.(*cursor)
+		if !ok {
+			return
+		}
+		if more := t.readChunk(cur, 2*t.cfg.Lookahead); len(more) > 0 {
+			t.engine.Extend(q, more)
+		}
+	}
+}
+
+// CMOBLen returns the number of live entries in the circular buffer.
+func (t *TMS) CMOBLen() int {
+	if t.appends < uint64(len(t.cmob)) {
+		return int(t.appends)
+	}
+	return len(t.cmob)
+}

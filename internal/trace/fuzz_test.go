@@ -1,0 +1,30 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReader ensures arbitrary bytes never panic the trace reader and that
+// all failures surface as ErrBadTrace (or clean EOF).
+func FuzzReader(f *testing.F) {
+	var valid bytes.Buffer
+	w := NewWriter(&valid)
+	_ = w.Write(Access{Addr: 4096, PC: 7})
+	_ = w.Flush()
+	f.Add(valid.Bytes())
+	f.Add([]byte("STEMSTRC"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		var a Access
+		n := 0
+		for r.Next(&a) {
+			n++
+			if n > 1<<20 {
+				t.Fatal("reader yielded implausibly many records")
+			}
+		}
+		_ = r.Err() // must not panic; may be nil or ErrBadTrace
+	})
+}

@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"stems/internal/mem"
+)
+
+// Binary trace format: a fixed magic/version header followed by
+// fixed-width little-endian records. The format exists so traces can be
+// generated once (cmd/tracegen) and replayed against many predictor
+// configurations, the way the paper analyzes one FLEXUS trace per workload
+// under every predictor (§5.1).
+//
+//	header:  "STEMSTRC" | uint32 version | uint32 reserved
+//	record:  uint64 addr | uint64 pc | uint16 think | uint8 flags | 5 pad
+//
+// flags: bit0 = write, bit1 = dependent.
+
+const (
+	traceMagic   = "STEMSTRC"
+	traceVersion = 1
+	recordBytes  = 8 + 8 + 2 + 1 + 5
+)
+
+const (
+	flagWrite = 1 << 0
+	flagDep   = 1 << 1
+)
+
+// ErrBadTrace reports a malformed trace stream.
+var ErrBadTrace = errors.New("trace: malformed trace file")
+
+// Writer streams accesses to an io.Writer in the binary format.
+type Writer struct {
+	w     *bufio.Writer
+	n     uint64
+	wrote bool
+}
+
+// NewWriter creates a Writer; the header is emitted on the first Write.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+func (w *Writer) header() error {
+	if w.wrote {
+		return nil
+	}
+	w.wrote = true
+	if _, err := w.w.WriteString(traceMagic); err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], traceVersion)
+	_, err := w.w.Write(hdr[:])
+	return err
+}
+
+// Write appends one access record.
+func (w *Writer) Write(a Access) error {
+	if err := w.header(); err != nil {
+		return err
+	}
+	var rec [recordBytes]byte
+	binary.LittleEndian.PutUint64(rec[0:], uint64(a.Addr))
+	binary.LittleEndian.PutUint64(rec[8:], a.PC)
+	binary.LittleEndian.PutUint16(rec[16:], a.Think)
+	var flags byte
+	if a.Write {
+		flags |= flagWrite
+	}
+	if a.Dep {
+		flags |= flagDep
+	}
+	rec[18] = flags
+	if _, err := w.w.Write(rec[:]); err != nil {
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// WriteAll appends every access of a slice.
+func (w *Writer) WriteAll(accs []Access) error {
+	for _, a := range accs {
+		if err := w.Write(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush writes buffered data (and the header, for empty traces).
+func (w *Writer) Flush() error {
+	if err := w.header(); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+// Count returns the number of records written.
+func (w *Writer) Count() uint64 { return w.n }
+
+// Reader replays a binary trace as a Source.
+type Reader struct {
+	r      *bufio.Reader
+	err    error
+	opened bool
+	n      uint64
+}
+
+// NewReader wraps an io.Reader holding a binary trace.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+func (r *Reader) open() error {
+	if r.opened {
+		return nil
+	}
+	r.opened = true
+	var hdr [len(traceMagic) + 8]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if string(hdr[:len(traceMagic)]) != traceMagic {
+		return fmt.Errorf("%w: bad magic", ErrBadTrace)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[len(traceMagic):]); v != traceVersion {
+		return fmt.Errorf("%w: unsupported version %d", ErrBadTrace, v)
+	}
+	return nil
+}
+
+// Next implements Source. After the stream ends (or errors), Err reports
+// any failure other than a clean EOF.
+func (r *Reader) Next(a *Access) bool {
+	if r.err != nil {
+		return false
+	}
+	if err := r.open(); err != nil {
+		r.err = err
+		return false
+	}
+	var rec [recordBytes]byte
+	if _, err := io.ReadFull(r.r, rec[:]); err != nil {
+		if err != io.EOF {
+			r.err = fmt.Errorf("%w: truncated record: %v", ErrBadTrace, err)
+		}
+		return false
+	}
+	a.Addr = mem.Addr(binary.LittleEndian.Uint64(rec[0:]))
+	a.PC = binary.LittleEndian.Uint64(rec[8:])
+	a.Think = binary.LittleEndian.Uint16(rec[16:])
+	a.Write = rec[18]&flagWrite != 0
+	a.Dep = rec[18]&flagDep != 0
+	r.n++
+	return true
+}
+
+// Err returns the first error encountered (nil on clean EOF).
+func (r *Reader) Err() error { return r.err }
+
+// Count returns the number of records read so far.
+func (r *Reader) Count() uint64 { return r.n }

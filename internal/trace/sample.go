@@ -1,0 +1,52 @@
+package trace
+
+// Sampler implements systematic trace sampling in the spirit of the
+// paper's SimFlex/SMARTS methodology (§5.1, references [27][28]): the
+// stream alternates between warm-up spans of SkipLen accesses and
+// measurement spans of MeasureLen accesses. Every access passes through —
+// the caches and predictors must stay functionally warm — and the consumer
+// restricts its *statistics* to accesses for which LastMeasured reports
+// true.
+//
+// Because this simulator is fast enough to replay full traces, the sampler
+// exists to bound analysis cost on very long traces and to test
+// methodology sensitivity.
+type Sampler struct {
+	Src        Source
+	SkipLen    int // functional-warming accesses per period
+	MeasureLen int // measured accesses per period
+
+	n            uint64
+	lastMeasured bool
+}
+
+// NewSampler creates a systematic sampler over src.
+func NewSampler(src Source, skipLen, measureLen int) *Sampler {
+	if skipLen < 0 {
+		skipLen = 0
+	}
+	if measureLen <= 0 {
+		measureLen = 1
+	}
+	return &Sampler{Src: src, SkipLen: skipLen, MeasureLen: measureLen}
+}
+
+// Next implements Source; every underlying access passes through.
+func (s *Sampler) Next(a *Access) bool {
+	if !s.Src.Next(a) {
+		return false
+	}
+	period := uint64(s.SkipLen + s.MeasureLen)
+	s.lastMeasured = s.n%period >= uint64(s.SkipLen)
+	s.n++
+	return true
+}
+
+// LastMeasured reports whether the most recently delivered access falls in
+// a measurement span.
+func (s *Sampler) LastMeasured() bool { return s.lastMeasured }
+
+// MeasuredFraction returns the configured duty cycle.
+func (s *Sampler) MeasuredFraction() float64 {
+	return float64(s.MeasureLen) / float64(s.SkipLen+s.MeasureLen)
+}

@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"testing"
+
+	"stems/internal/mem"
+)
+
+func TestSamplerDutyCycle(t *testing.T) {
+	in := mkAccesses(100)
+	s := NewSampler(NewSliceSource(in), 3, 2) // skip 3, measure 2
+	var measured, total int
+	var a Access
+	for s.Next(&a) {
+		total++
+		if s.LastMeasured() {
+			measured++
+		}
+	}
+	if total != 100 {
+		t.Fatalf("sampler dropped accesses: %d", total)
+	}
+	if measured != 40 { // 2 of every 5
+		t.Fatalf("measured = %d, want 40", measured)
+	}
+	if s.MeasuredFraction() != 0.4 {
+		t.Fatalf("duty cycle = %v", s.MeasuredFraction())
+	}
+}
+
+func TestSamplerPhasePattern(t *testing.T) {
+	s := NewSampler(NewSliceSource(mkAccesses(10)), 2, 1)
+	want := []bool{false, false, true, false, false, true, false, false, true, false}
+	var a Access
+	for i := 0; s.Next(&a); i++ {
+		if s.LastMeasured() != want[i] {
+			t.Fatalf("access %d measured=%v, want %v", i, s.LastMeasured(), want[i])
+		}
+	}
+}
+
+func TestSamplerNoSkip(t *testing.T) {
+	s := NewSampler(NewSliceSource(mkAccesses(5)), 0, 3)
+	var a Access
+	for s.Next(&a) {
+		if !s.LastMeasured() {
+			t.Fatal("skip=0 sampler left unmeasured accesses")
+		}
+	}
+}
+
+func TestSamplerPassesAccessesUnchanged(t *testing.T) {
+	in := []Access{{Addr: mem.Addr(4096), PC: 7, Dep: true, Think: 9}}
+	s := NewSampler(NewSliceSource(in), 1, 1)
+	var a Access
+	if !s.Next(&a) || a != in[0] {
+		t.Fatalf("access mutated: %+v", a)
+	}
+}
+
+func TestSamplerDefensiveParams(t *testing.T) {
+	s := NewSampler(NewSliceSource(mkAccesses(3)), -5, 0)
+	if s.SkipLen != 0 || s.MeasureLen != 1 {
+		t.Fatalf("defaults = %d/%d", s.SkipLen, s.MeasureLen)
+	}
+}
