@@ -1,0 +1,238 @@
+// Tests of the public engine API: predictor registry semantics, Runner
+// option defaulting, and the parallel sweep executor's determinism and
+// cancellation behaviour.
+package stems_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"stems"
+	"stems/internal/sim"
+)
+
+// ---- registry ----
+
+func TestPredictorsContainBuiltins(t *testing.T) {
+	got := stems.Predictors()
+	want := []string{"none", "stride", "sms", "tms", "stems", "naive-hybrid", "epoch"}
+	if len(got) < len(want) {
+		t.Fatalf("Predictors() = %v, missing built-ins", got)
+	}
+	for i, name := range want {
+		if got[i] != name {
+			t.Fatalf("Predictors()[%d] = %q, want %q (full: %v)", i, got[i], name, got)
+		}
+	}
+}
+
+func TestRegisterPredictorErrors(t *testing.T) {
+	nop := func(m *stems.Machine, opt stems.Options) error { return nil }
+	if err := stems.RegisterPredictor("", nop); err == nil {
+		t.Fatal("registering an empty name succeeded")
+	}
+	if err := stems.RegisterPredictor("t-nil", nil); err == nil {
+		t.Fatal("registering a nil builder succeeded")
+	}
+	if err := stems.RegisterPredictor("stems", nop); err == nil {
+		t.Fatal("shadowing the built-in stems predictor succeeded")
+	}
+	if err := stems.RegisterPredictor("t-custom", nop); err != nil {
+		t.Fatalf("first registration failed: %v", err)
+	}
+	if err := stems.RegisterPredictor("t-custom", nop); err == nil {
+		t.Fatal("duplicate registration succeeded")
+	}
+	found := false
+	for _, name := range stems.Predictors() {
+		if name == "t-custom" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("registered predictor missing from Predictors(): %v", stems.Predictors())
+	}
+}
+
+func TestRegisteredPredictorRuns(t *testing.T) {
+	// A predictor registered through the public API builds and runs by
+	// name like the built-ins.
+	err := stems.RegisterPredictor("t-noppf", func(m *stems.Machine, opt stems.Options) error {
+		return nil // no engine, no prefetcher: behaves like "none"
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := stems.New(
+		stems.WithPredictor("t-noppf"),
+		stems.WithWorkload("DB2"),
+		stems.WithAccesses(5_000),
+		stems.WithSystem(stems.ScaledSystem()),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accesses != 5_000 {
+		t.Fatalf("accesses = %d, want 5000", res.Accesses)
+	}
+}
+
+// ---- Runner options ----
+
+func TestRunnerDefaultsMatchSimDefaults(t *testing.T) {
+	r, err := stems.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := r.Options(), sim.DefaultOptions(); got != want {
+		t.Fatalf("default options diverge from sim.DefaultOptions():\ngot  %+v\nwant %+v", got, want)
+	}
+	if r.Predictor() != "stems" {
+		t.Fatalf("default predictor = %q, want stems", r.Predictor())
+	}
+	if r.Label() != "stems/DB2" {
+		t.Fatalf("default label = %q", r.Label())
+	}
+}
+
+func TestRunnerUnknownPredictor(t *testing.T) {
+	_, err := stems.New(stems.WithPredictor("does-not-exist"))
+	if err == nil {
+		t.Fatal("unknown predictor accepted")
+	}
+	// The error derives the legal names from the registry.
+	if !strings.Contains(err.Error(), "stride") || !strings.Contains(err.Error(), "naive-hybrid") {
+		t.Fatalf("error does not list registered predictors: %v", err)
+	}
+}
+
+func TestRunnerUnknownWorkload(t *testing.T) {
+	if _, err := stems.New(stems.WithWorkload("nope")); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestRunnerConflictingSources(t *testing.T) {
+	_, err := stems.New(
+		stems.WithWorkload("DB2"),
+		stems.WithTrace([]stems.Access{{Addr: 64}}),
+	)
+	if err == nil {
+		t.Fatal("conflicting sources accepted")
+	}
+}
+
+func TestRunnerScientificDefaulting(t *testing.T) {
+	sci, err := stems.New(stems.WithWorkload("em3d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sci.Options().Scientific {
+		t.Fatal("em3d did not default to the scientific lookahead")
+	}
+	com, err := stems.New(stems.WithWorkload("DB2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if com.Options().Scientific {
+		t.Fatal("DB2 defaulted to the scientific lookahead")
+	}
+	forced, err := stems.New(stems.WithWorkload("DB2"), stems.WithScientificLookahead())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !forced.Options().Scientific {
+		t.Fatal("WithScientificLookahead ignored")
+	}
+	// Seeding the option block explicitly must not suppress the
+	// workload-class defaulting.
+	seeded, err := stems.New(stems.WithOptions(stems.DefaultOptions()), stems.WithWorkload("em3d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seeded.Options().Scientific {
+		t.Fatal("WithOptions suppressed the em3d scientific default")
+	}
+	// WithOptions voids an earlier WithScientificLookahead wholesale, so
+	// the workload class decides again rather than a stale flag.
+	clobbered, err := stems.New(
+		stems.WithScientificLookahead(),
+		stems.WithOptions(stems.DefaultOptions()),
+		stems.WithWorkload("em3d"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clobbered.Options().Scientific {
+		t.Fatal("stale scientificSet suppressed the em3d default after WithOptions")
+	}
+}
+
+func TestWithTraceNilReplaysNothing(t *testing.T) {
+	// A nil trace is an explicit (empty) source, not "fall back to DB2".
+	r, err := stems.New(stems.WithTrace(nil), stems.WithPredictor("none"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accesses != 0 {
+		t.Fatalf("nil trace replayed %d accesses", res.Accesses)
+	}
+}
+
+func TestWithConfigureRunsAfterDefaulting(t *testing.T) {
+	r, err := stems.New(
+		stems.WithWorkload("em3d"),
+		stems.WithConfigure(func(o *stems.Options) { o.Scientific = false }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Options().Scientific {
+		t.Fatal("configure hook did not override the workload default")
+	}
+}
+
+func TestRunnerRunMatchesDirectBuild(t *testing.T) {
+	// The Runner must reproduce exactly what wiring the internals by hand
+	// produces — the public API is a veneer, not a different simulator.
+	const n = 20_000
+	r, err := stems.New(
+		stems.WithWorkload("Apache"),
+		stems.WithPredictor("stems"),
+		stems.WithSystem(stems.ScaledSystem()),
+		stems.WithAccesses(n),
+		stems.WithSeed(42),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec, err := stems.WorkloadByName("Apache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := sim.DefaultOptions()
+	opt.System = stems.ScaledSystem()
+	opt.Scientific = spec.Scientific
+	m, err := sim.Build(sim.KindSTeMS, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.Run(stems.NewSliceSource(spec.Generate(42, n)))
+	if got != want {
+		t.Fatalf("Runner result diverges from direct build:\ngot  %+v\nwant %+v", got, want)
+	}
+}

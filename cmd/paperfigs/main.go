@@ -21,11 +21,12 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "which figure to regenerate: table1, 6, 7, 8, 9, 10, hybrid, or all")
-		seed     = flag.Int64("seed", 1, "base workload seed")
-		seeds    = flag.Int("seeds", 5, "independent runs for Figure 10 confidence intervals")
-		accesses = flag.Int("accesses", 0, "override per-workload trace length (0 = workload default)")
-		serial   = flag.Bool("serial", false, "disable per-workload parallelism")
+		fig         = flag.String("fig", "all", "which figure to regenerate: table1, 6, 7, 8, 9, 10, hybrid, or all")
+		seed        = flag.Int64("seed", 1, "base workload seed")
+		seeds       = flag.Int("seeds", 5, "independent runs for Figure 10 confidence intervals")
+		accesses    = flag.Int("accesses", 0, "override per-workload trace length (0 = workload default)")
+		serial      = flag.Bool("serial", false, "disable per-workload parallelism")
+		parallelism = flag.Int("parallelism", 0, "concurrent workloads (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -34,6 +35,7 @@ func main() {
 	p.Seeds = *seeds
 	p.Accesses = *accesses
 	p.Parallel = !*serial
+	p.Parallelism = *parallelism
 
 	want := map[string]bool{}
 	for _, f := range strings.Split(*fig, ",") {

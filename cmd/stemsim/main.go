@@ -9,97 +9,108 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
-	"stems/internal/config"
-	"stems/internal/sim"
-	"stems/internal/trace"
-	"stems/internal/workload"
+	"stems"
 )
 
 func main() {
+	predictors := stems.Predictors()
 	var (
-		wl        = flag.String("workload", "DB2", "workload name: "+strings.Join(workload.Names(), ", "))
+		wl        = flag.String("workload", "DB2", "workload name: "+strings.Join(stems.WorkloadNames(), ", "))
 		traceFile = flag.String("trace", "", "binary trace file (from tracegen) to replay instead of generating")
-		pf        = flag.String("prefetcher", "all", "predictor: none, stride, sms, tms, stems, naive-hybrid, or all")
+		pf        = flag.String("prefetcher", "all", "predictor: "+strings.Join(predictors, ", ")+", or all")
 		seed      = flag.Int64("seed", 1, "workload seed")
 		accesses  = flag.Int("accesses", 0, "trace length (0 = workload default)")
 		paperL2   = flag.Bool("paper-l2", false, "use the full Table 1 8MB L2 instead of the scaled 1MB")
+		serial    = flag.Bool("serial", false, "run the predictors one at a time instead of in parallel")
 	)
 	flag.Parse()
 
-	var (
-		spec workload.Spec
-		accs []trace.Access
-		err  error
-	)
-	if *traceFile != "" {
-		f, ferr := os.Open(*traceFile)
-		if ferr != nil {
-			fmt.Fprintln(os.Stderr, ferr)
-			os.Exit(1)
-		}
-		r := trace.NewReader(f)
-		accs = trace.Collect(r, *accesses)
-		f.Close()
-		if r.Err() != nil {
-			fmt.Fprintln(os.Stderr, r.Err())
-			os.Exit(1)
-		}
-		spec = workload.Spec{Name: *traceFile, Class: "trace"}
+	var kinds []string
+	if *pf == "all" {
+		kinds = predictors
 	} else {
-		spec, err = workload.ByName(*wl)
+		kinds = []string{*pf}
+	}
+
+	sys := stems.ScaledSystem()
+	if *paperL2 {
+		sys = stems.PaperSystem()
+	}
+
+	// The access stream is materialized once and shared read-only by
+	// every runner — generating per predictor would cost len(kinds)
+	// copies of a multi-hundred-thousand-entry trace.
+	opts := []stems.Option{stems.WithSystem(sys)}
+	header := ""
+	if *traceFile != "" {
+		accs, err := stems.ReadTraceFile(*traceFile, *accesses)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			fmt.Fprintln(os.Stderr, "available workloads:", strings.Join(workload.Names(), ", "))
+			os.Exit(1)
+		}
+		opts = append(opts, stems.WithTrace(accs))
+		header = fmt.Sprintf("trace %s: %d accesses", *traceFile, len(accs))
+	} else {
+		spec, err := stems.WorkloadByName(*wl)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
 		n := spec.DefaultAccesses
 		if *accesses > 0 {
 			n = *accesses
 		}
-		accs = spec.Generate(*seed, n)
+		opts = append(opts, stems.WithTrace(spec.Generate(*seed, n)))
+		if spec.Scientific {
+			opts = append(opts, stems.WithScientificLookahead())
+		}
+		header = fmt.Sprintf("workload %s (%s): %d accesses, seed %d", spec.Name, spec.Class, n, *seed)
 	}
 
-	var kinds []sim.Kind
-	if *pf == "all" {
-		kinds = sim.AllKinds()
-	} else {
-		kinds = []sim.Kind{sim.Kind(*pf)}
-	}
-
-	sys := config.ScaledSystem()
-	if *paperL2 {
-		sys = config.DefaultSystem()
-	}
-
-	fmt.Printf("workload %s (%s): %d accesses, seed %d\n\n", spec.Name, spec.Class, len(accs), *seed)
-	var noneCycles, strideCycles uint64
-	for _, kind := range kinds {
-		opt := sim.DefaultOptions()
-		opt.System = sys
-		opt.Scientific = spec.Scientific
-		m, err := sim.Build(kind, opt)
+	grid := make([]*stems.Runner, len(kinds))
+	for i, kind := range kinds {
+		r, err := stems.New(append([]stems.Option{stems.WithPredictor(kind)}, opts...)...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		res := m.Run(trace.NewSliceSource(accs))
+		grid[i] = r
+	}
+
+	parallelism := 0 // GOMAXPROCS
+	if *serial {
+		parallelism = 1
+	}
+	results, err := stems.Sweep(context.Background(), grid, stems.WithParallelism(parallelism))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s\n\n", header)
+	// Predictors() orders the baselines first, so the speedup references
+	// are available by the time the streamed predictors print.
+	var noneCycles, strideCycles uint64
+	for i, kind := range kinds {
+		res := results[i]
 		switch kind {
-		case sim.KindNone:
+		case "none":
 			noneCycles = res.Cycles
-		case sim.KindStride:
+		case "stride":
 			strideCycles = res.Cycles
 		}
 		line := fmt.Sprintf("%-13s misses=%8d covered=%5.1f%% overpred=%6.1f%% cycles=%12d",
 			kind, res.BaselineMisses(), 100*res.Coverage(), 100*res.OverpredictionRate(), res.Cycles)
-		if strideCycles > 0 && kind != sim.KindNone && kind != sim.KindStride {
+		if strideCycles > 0 && kind != "none" && kind != "stride" {
 			line += fmt.Sprintf("  speedup-vs-stride=%+6.1f%%",
 				100*(float64(strideCycles)/float64(res.Cycles)-1))
-		} else if noneCycles > 0 && kind == sim.KindStride {
+		} else if noneCycles > 0 && kind == "stride" {
 			line += fmt.Sprintf("  speedup-vs-none  =%+6.1f%%",
 				100*(float64(noneCycles)/float64(res.Cycles)-1))
 		}

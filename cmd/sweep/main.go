@@ -1,7 +1,8 @@
 // Command sweep runs one-dimensional parameter sweeps of the STeMS design
 // knobs DESIGN.md calls out, printing coverage, overprediction, and cycles
 // per setting — the interactive counterpart of the Benchmark Ablation
-// suite.
+// suite. Points run in parallel through stems.Sweep; results print in
+// sweep order regardless of which finishes first.
 //
 //	sweep -param rmob -workload em3d
 //	sweep -param lookahead -workload Zeus
@@ -11,73 +12,72 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
-	"stems/internal/config"
-	"stems/internal/core"
-	"stems/internal/sim"
-	"stems/internal/stream"
-	"stems/internal/trace"
-	"stems/internal/workload"
+	"stems"
 )
 
 // sweepPoint is one setting of the swept parameter.
 type sweepPoint struct {
 	label string
-	mod   func(*config.STeMS)
+	mod   func(*stems.Options)
 }
 
 var sweeps = map[string][]sweepPoint{
 	"rmob": {
-		{"4K", func(c *config.STeMS) { c.RMOBEntries = 4 << 10 }},
-		{"16K", func(c *config.STeMS) { c.RMOBEntries = 16 << 10 }},
-		{"64K", func(c *config.STeMS) { c.RMOBEntries = 64 << 10 }},
-		{"128K", func(c *config.STeMS) { c.RMOBEntries = 128 << 10 }},
-		{"256K", func(c *config.STeMS) { c.RMOBEntries = 256 << 10 }},
+		{"4K", func(o *stems.Options) { o.STeMS.RMOBEntries = 4 << 10 }},
+		{"16K", func(o *stems.Options) { o.STeMS.RMOBEntries = 16 << 10 }},
+		{"64K", func(o *stems.Options) { o.STeMS.RMOBEntries = 64 << 10 }},
+		{"128K", func(o *stems.Options) { o.STeMS.RMOBEntries = 128 << 10 }},
+		{"256K", func(o *stems.Options) { o.STeMS.RMOBEntries = 256 << 10 }},
 	},
 	"pst": {
-		{"1K", func(c *config.STeMS) { c.PSTEntries = 1 << 10 }},
-		{"4K", func(c *config.STeMS) { c.PSTEntries = 4 << 10 }},
-		{"16K", func(c *config.STeMS) { c.PSTEntries = 16 << 10 }},
-		{"64K", func(c *config.STeMS) { c.PSTEntries = 64 << 10 }},
+		{"1K", func(o *stems.Options) { o.STeMS.PSTEntries = 1 << 10 }},
+		{"4K", func(o *stems.Options) { o.STeMS.PSTEntries = 4 << 10 }},
+		{"16K", func(o *stems.Options) { o.STeMS.PSTEntries = 16 << 10 }},
+		{"64K", func(o *stems.Options) { o.STeMS.PSTEntries = 64 << 10 }},
 	},
+	// The lookahead points clear the scientific flag so the swept value
+	// reaches the engine instead of the §4.3 class default of 12.
 	"lookahead": {
-		{"2", func(c *config.STeMS) { c.Lookahead = 2 }},
-		{"4", func(c *config.STeMS) { c.Lookahead = 4 }},
-		{"8", func(c *config.STeMS) { c.Lookahead = 8 }},
-		{"12", func(c *config.STeMS) { c.Lookahead = 12 }},
-		{"16", func(c *config.STeMS) { c.Lookahead = 16 }},
+		{"2", func(o *stems.Options) { o.Scientific = false; o.STeMS.Lookahead = 2 }},
+		{"4", func(o *stems.Options) { o.Scientific = false; o.STeMS.Lookahead = 4 }},
+		{"8", func(o *stems.Options) { o.Scientific = false; o.STeMS.Lookahead = 8 }},
+		{"12", func(o *stems.Options) { o.Scientific = false; o.STeMS.Lookahead = 12 }},
+		{"16", func(o *stems.Options) { o.Scientific = false; o.STeMS.Lookahead = 16 }},
 	},
 	"recon": {
-		{"0", func(c *config.STeMS) { c.ReconSearch = 0 }},
-		{"1", func(c *config.STeMS) { c.ReconSearch = 1 }},
-		{"2", func(c *config.STeMS) { c.ReconSearch = 2 }},
-		{"4", func(c *config.STeMS) { c.ReconSearch = 4 }},
+		{"0", func(o *stems.Options) { o.STeMS.ReconSearch = 0 }},
+		{"1", func(o *stems.Options) { o.STeMS.ReconSearch = 1 }},
+		{"2", func(o *stems.Options) { o.STeMS.ReconSearch = 2 }},
+		{"4", func(o *stems.Options) { o.STeMS.ReconSearch = 4 }},
 	},
 	"queues": {
-		{"1", func(c *config.STeMS) { c.StreamQueues = 1 }},
-		{"2", func(c *config.STeMS) { c.StreamQueues = 2 }},
-		{"4", func(c *config.STeMS) { c.StreamQueues = 4 }},
-		{"8", func(c *config.STeMS) { c.StreamQueues = 8 }},
-		{"16", func(c *config.STeMS) { c.StreamQueues = 16 }},
+		{"1", func(o *stems.Options) { o.STeMS.StreamQueues = 1 }},
+		{"2", func(o *stems.Options) { o.STeMS.StreamQueues = 2 }},
+		{"4", func(o *stems.Options) { o.STeMS.StreamQueues = 4 }},
+		{"8", func(o *stems.Options) { o.STeMS.StreamQueues = 8 }},
+		{"16", func(o *stems.Options) { o.STeMS.StreamQueues = 16 }},
 	},
 	"svb": {
-		{"16", func(c *config.STeMS) { c.SVBEntries = 16 }},
-		{"32", func(c *config.STeMS) { c.SVBEntries = 32 }},
-		{"64", func(c *config.STeMS) { c.SVBEntries = 64 }},
-		{"128", func(c *config.STeMS) { c.SVBEntries = 128 }},
+		{"16", func(o *stems.Options) { o.STeMS.SVBEntries = 16 }},
+		{"32", func(o *stems.Options) { o.STeMS.SVBEntries = 32 }},
+		{"64", func(o *stems.Options) { o.STeMS.SVBEntries = 64 }},
+		{"128", func(o *stems.Options) { o.STeMS.SVBEntries = 128 }},
 	},
 }
 
 func main() {
 	var (
-		param    = flag.String("param", "rmob", "parameter to sweep: rmob, pst, lookahead, recon, queues, svb")
-		wl       = flag.String("workload", "DB2", "workload: "+strings.Join(workload.Names(), ", "))
-		seed     = flag.Int64("seed", 1, "workload seed")
-		accesses = flag.Int("accesses", 0, "trace length (0 = workload default)")
+		param       = flag.String("param", "rmob", "parameter to sweep: rmob, pst, lookahead, recon, queues, svb")
+		wl          = flag.String("workload", "DB2", "workload: "+strings.Join(stems.WorkloadNames(), ", "))
+		seed        = flag.Int64("seed", 1, "workload seed")
+		accesses    = flag.Int("accesses", 0, "trace length (0 = workload default)")
+		parallelism = flag.Int("parallelism", 0, "concurrent sweep points (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -86,7 +86,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown parameter %q\n", *param)
 		os.Exit(2)
 	}
-	spec, err := workload.ByName(*wl)
+	spec, err := stems.WorkloadByName(*wl)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -95,29 +95,44 @@ func main() {
 	if *accesses > 0 {
 		n = *accesses
 	}
+
+	// Generate the trace once; every sweep point replays the same
+	// read-only slice instead of regenerating it per point.
 	accs := spec.Generate(*seed, n)
+
+	grid := make([]*stems.Runner, len(points))
+	for i, pt := range points {
+		opts := []stems.Option{
+			stems.WithTrace(accs),
+			stems.WithPredictor("stems"),
+			stems.WithSystem(stems.ScaledSystem()),
+			stems.WithConfigure(pt.mod),
+			stems.WithLabel(pt.label),
+		}
+		if spec.Scientific {
+			opts = append(opts, stems.WithScientificLookahead())
+		}
+		r, err := stems.New(opts...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		grid[i] = r
+	}
+
+	results, err := stems.Sweep(context.Background(), grid,
+		stems.WithParallelism(*parallelism))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	fmt.Printf("STeMS %s sweep on %s (%d accesses)\n\n", *param, spec.Name, n)
 	fmt.Printf("%-8s %9s %10s %12s %12s\n", *param, "covered", "overpred", "cycles", "recon-drop")
-	for _, pt := range points {
-		sc := config.DefaultSTeMS()
-		if spec.Scientific {
-			sc.Lookahead = 12
-		}
-		pt.mod(&sc)
-		m := sim.NewMachine(config.ScaledSystem(), sim.Nop{})
-		eng := m.AttachEngine(stream.Config{
-			Queues: sc.StreamQueues, Lookahead: sc.Lookahead, SVBEntries: sc.SVBEntries,
-		})
-		st := core.New(sc, eng)
-		m.SetPrefetcher(st)
-		res := m.Run(trace.NewSliceSource(accs))
-		rs := st.ReconStats()
-		dropFrac := 0.0
-		if total := rs.PlacedExact + rs.PlacedNear + rs.Dropped; total > 0 {
-			dropFrac = float64(rs.Dropped) / float64(total)
-		}
+	for i, pt := range points {
+		res := results[i]
 		fmt.Printf("%-8s %8.1f%% %9.1f%% %12d %11.1f%%\n",
-			pt.label, 100*res.Coverage(), 100*res.OverpredictionRate(), res.Cycles, 100*dropFrac)
+			pt.label, 100*res.Coverage(), 100*res.OverpredictionRate(), res.Cycles,
+			100*res.ReconDropFraction())
 	}
 }

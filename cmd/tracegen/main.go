@@ -15,14 +15,13 @@ import (
 	"os"
 	"strings"
 
+	"stems"
 	"stems/internal/mem"
-	"stems/internal/trace"
-	"stems/internal/workload"
 )
 
 func main() {
 	var (
-		wl       = flag.String("workload", "DB2", "workload name: "+strings.Join(workload.Names(), ", "))
+		wl       = flag.String("workload", "DB2", "workload name: "+strings.Join(stems.WorkloadNames(), ", "))
 		out      = flag.String("o", "", "output trace file (empty = stats only)")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		accesses = flag.Int("accesses", 0, "trace length (0 = workload default)")
@@ -30,7 +29,7 @@ func main() {
 	)
 	flag.Parse()
 
-	spec, err := workload.ByName(*wl)
+	spec, err := stems.WorkloadByName(*wl)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -47,7 +46,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		w := trace.NewWriter(f)
+		w := stems.NewTraceWriter(f)
 		if err := w.WriteAll(accs); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -68,7 +67,7 @@ func main() {
 	}
 }
 
-func printStats(spec workload.Spec, accs []trace.Access) {
+func printStats(spec stems.Workload, accs []stems.Access) {
 	var writes, deps uint64
 	regions := map[mem.Addr]bool{}
 	blocks := map[mem.Addr]bool{}

@@ -1,7 +1,8 @@
-// custom shows the two extension points of the library: implementing your
-// own workload (any trace.Source) and your own prefetcher (the
-// sim.Prefetcher interface), then running them through the same machine
-// and metrics as the paper's predictors.
+// custom shows the two extension points of the public API: registering
+// your own predictor (stems.RegisterPredictor) and supplying your own
+// workload (any stems.Source), then running both through the same Runner,
+// Sweep, and metrics as the paper's predictors — without importing any
+// internal package.
 //
 // The custom prefetcher here is a simple next-line prefetcher; the custom
 // workload is a strided matrix-column walk that defeats it half the time.
@@ -10,13 +11,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"stems/internal/config"
-	"stems/internal/mem"
-	"stems/internal/sim"
-	"stems/internal/stream"
-	"stems/internal/trace"
+	"stems"
 )
 
 // columnWalk yields column-major reads over a row-major matrix: large
@@ -29,13 +27,13 @@ type columnWalk struct {
 	limit      int
 }
 
-func (w *columnWalk) Next(a *trace.Access) bool {
+func (w *columnWalk) Next(a *stems.Access) bool {
 	if w.emitted >= w.limit {
 		return false
 	}
-	const base = mem.Addr(1 << 30)
-	addr := base + mem.Addr((w.r*w.cols+w.c)*8)
-	*a = trace.Access{Addr: addr, PC: 0x300, Think: 60}
+	const base = stems.Addr(1 << 30)
+	addr := base + stems.Addr((w.r*w.cols+w.c)*8)
+	*a = stems.Access{Addr: addr, PC: 0x300, Think: 60}
 	w.r++
 	if w.r == w.rows {
 		w.r = 0
@@ -51,44 +49,56 @@ func (w *columnWalk) Next(a *trace.Access) bool {
 // nextLine is the custom prefetcher: on every demand read miss it fetches
 // the following cache block into the streamed value buffer.
 type nextLine struct {
-	engine *stream.Engine
+	engine *stems.StreamEngine
 }
 
 func (p *nextLine) Name() string                        { return "next-line" }
-func (p *nextLine) OnAccess(a trace.Access, l1Hit bool) {}
-func (p *nextLine) OnL1Evict(mem.Addr)                  {}
-func (p *nextLine) OnOffChipEvent(a trace.Access, covered bool) {
+func (p *nextLine) OnAccess(a stems.Access, l1Hit bool) {}
+func (p *nextLine) OnL1Evict(stems.Addr)                {}
+func (p *nextLine) OnOffChipEvent(a stems.Access, covered bool) {
 	if !a.Write {
-		p.engine.Direct(a.Addr.Block() + mem.BlockSize)
+		p.engine.Direct(a.Addr.Block() + stems.BlockSize)
 	}
 }
 
 func main() {
-	sys := config.ScaledSystem()
-
-	run := func(label string, build func(m *sim.Machine)) sim.Result {
-		m := sim.NewMachine(sys, sim.Nop{})
-		build(m)
-		res := m.Run(&columnWalk{rows: 512, cols: 2048, limit: 300_000})
-		fmt.Printf("%-10s covered %5.1f%% overpred %5.1f%% cycles %d\n",
-			label, 100*res.Coverage(), 100*res.OverpredictionRate(), res.Cycles)
-		return res
-	}
-
-	run("none", func(m *sim.Machine) {})
-	run("next-line", func(m *sim.Machine) {
-		eng := m.AttachEngine(stream.Config{SVBEntries: 64})
+	// Register the out-of-tree predictor once; from here on it builds by
+	// name exactly like the seven built-ins.
+	err := stems.RegisterPredictor("next-line", func(m *stems.Machine, opt stems.Options) error {
+		eng := m.AttachEngine(stems.StreamConfig{SVBEntries: 64})
 		m.SetPrefetcher(&nextLine{engine: eng})
+		return nil
 	})
-
-	// The paper's predictors drop into the same harness unchanged.
-	opt := sim.DefaultOptions()
-	opt.System = sys
-	m, err := sim.Build(sim.KindSTeMS, opt)
 	if err != nil {
 		panic(err)
 	}
-	res := m.Run(&columnWalk{rows: 512, cols: 2048, limit: 300_000})
-	fmt.Printf("%-10s covered %5.1f%% overpred %5.1f%% cycles %d\n",
-		"stems", 100*res.Coverage(), 100*res.OverpredictionRate(), res.Cycles)
+
+	// One runner per predictor, all replaying the same custom workload.
+	// WithSourceFunc hands each run a fresh walk, so the comparison is
+	// apples to apples (and safe under Sweep's parallelism).
+	walk := func() stems.Source {
+		return &columnWalk{rows: 512, cols: 2048, limit: 300_000}
+	}
+	var grid []*stems.Runner
+	for _, pf := range []string{"none", "next-line", "stems"} {
+		r, err := stems.New(
+			stems.WithSourceFunc(walk),
+			stems.WithPredictor(pf),
+			stems.WithSystem(stems.ScaledSystem()),
+			stems.WithLabel(pf),
+		)
+		if err != nil {
+			panic(err)
+		}
+		grid = append(grid, r)
+	}
+
+	results, err := stems.Sweep(context.Background(), grid)
+	if err != nil {
+		panic(err)
+	}
+	for i, res := range results {
+		fmt.Printf("%-10s covered %5.1f%% overpred %5.1f%% cycles %d\n",
+			grid[i].Label(), 100*res.Coverage(), 100*res.OverpredictionRate(), res.Cycles)
+	}
 }

@@ -13,22 +13,20 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
-	"stems/internal/config"
-	"stems/internal/mem"
-	"stems/internal/sim"
-	"stems/internal/trace"
+	"stems"
 )
 
 // buildScan constructs the Figure 2 scan: `pages` buffer-pool pages at
 // shuffled physical frames, each visited through the same field layout,
 // with the whole scan repeated `sweeps` times (a query re-run).
-func buildScan(pages, sweeps int) []trace.Access {
+func buildScan(pages, sweeps int) []stems.Access {
 	rng := rand.New(rand.NewSource(7))
 	frames := rng.Perm(pages)
-	base := mem.Addr(1 << 30)
+	base := stems.Addr(1 << 30)
 
 	// The per-page access recipe of §3: page ID, lock bits, slot indices,
 	// then data rows.
@@ -45,13 +43,13 @@ func buildScan(pages, sweeps int) []trace.Access {
 		{"row2", 25, 0x105},
 	}
 
-	var out []trace.Access
+	var out []stems.Access
 	for s := 0; s < sweeps; s++ {
 		for logical := 0; logical < pages; logical++ {
-			pageBase := base + mem.Addr(frames[logical])*mem.RegionSize
+			pageBase := base + stems.Addr(frames[logical])*stems.RegionSize
 			for i, f := range fields {
-				out = append(out, trace.Access{
-					Addr:  pageBase + mem.Addr(f.offset)*mem.BlockSize,
+				out = append(out, stems.Access{
+					Addr:  pageBase + stems.Addr(f.offset)*stems.BlockSize,
 					PC:    f.pc,
 					Dep:   i == 0, // the next page comes from the index leaf
 					Think: 120,
@@ -66,21 +64,30 @@ func main() {
 	accs := buildScan(3000, 4)
 	fmt.Printf("index scan: 3000 scattered pages x 6 fields x 4 sweeps = %d accesses\n\n", len(accs))
 
-	opt := sim.DefaultOptions()
-	opt.System = config.ScaledSystem()
-
-	var strideCycles uint64
-	for _, kind := range []sim.Kind{sim.KindStride, sim.KindTMS, sim.KindSMS, sim.KindSTeMS} {
-		m, err := sim.Build(kind, opt)
+	predictors := []string{"stride", "tms", "sms", "stems"}
+	grid := make([]*stems.Runner, len(predictors))
+	for i, pf := range predictors {
+		r, err := stems.New(
+			stems.WithTrace(accs),
+			stems.WithPredictor(pf),
+			stems.WithSystem(stems.ScaledSystem()),
+		)
 		if err != nil {
 			panic(err)
 		}
-		res := m.Run(trace.NewSliceSource(accs))
+		grid[i] = r
+	}
+	results, err := stems.Sweep(context.Background(), grid)
+	if err != nil {
+		panic(err)
+	}
+
+	strideCycles := results[0].Cycles
+	for i, pf := range predictors {
+		res := results[i]
 		line := fmt.Sprintf("%-7s covered %5.1f%% of %d misses, %d cycles",
-			kind, 100*res.Coverage(), res.BaselineMisses(), res.Cycles)
-		if kind == sim.KindStride {
-			strideCycles = res.Cycles
-		} else {
+			pf, 100*res.Coverage(), res.BaselineMisses(), res.Cycles)
+		if pf != "stride" {
 			line += fmt.Sprintf("  (%+.1f%% vs stride baseline)",
 				100*(float64(strideCycles)/float64(res.Cycles)-1))
 		}

@@ -9,24 +9,22 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
-	"stems/internal/config"
-	"stems/internal/mem"
-	"stems/internal/sim"
-	"stems/internal/trace"
+	"stems"
 )
 
-func buildChain(nodes, walks int) []trace.Access {
+func buildChain(nodes, walks int) []stems.Access {
 	rng := rand.New(rand.NewSource(3))
 	order := rng.Perm(nodes)
-	base := mem.Addr(1 << 30)
-	var out []trace.Access
+	base := stems.Addr(1 << 30)
+	var out []stems.Access
 	for w := 0; w < walks; w++ {
 		for _, n := range order {
-			out = append(out, trace.Access{
-				Addr:  base + mem.Addr(n)*mem.RegionSize, // one node per region
+			out = append(out, stems.Access{
+				Addr:  base + stems.Addr(n)*stems.RegionSize, // one node per region
 				PC:    0x200,
 				Dep:   true, // address came from the previous node
 				Think: 30,
@@ -41,21 +39,30 @@ func main() {
 	fmt.Printf("linked-list walk: 20000 scattered nodes x 5 iterations = %d accesses\n", len(accs))
 	fmt.Printf("every access is a dependent off-chip miss in the baseline\n\n")
 
-	opt := sim.DefaultOptions()
-	opt.System = config.ScaledSystem()
-	opt.Scientific = true // deeper stream lookahead, as for em3d (§4.3)
-
-	var baseCycles uint64
-	for _, kind := range []sim.Kind{sim.KindNone, sim.KindSMS, sim.KindTMS, sim.KindSTeMS} {
-		m, err := sim.Build(kind, opt)
+	predictors := []string{"none", "sms", "tms", "stems"}
+	grid := make([]*stems.Runner, len(predictors))
+	for i, pf := range predictors {
+		r, err := stems.New(
+			stems.WithTrace(accs),
+			stems.WithPredictor(pf),
+			stems.WithSystem(stems.ScaledSystem()),
+			stems.WithScientificLookahead(), // deeper streams, as for em3d (§4.3)
+		)
 		if err != nil {
 			panic(err)
 		}
-		res := m.Run(trace.NewSliceSource(accs))
-		line := fmt.Sprintf("%-6s covered %5.1f%%, %11d cycles", kind, 100*res.Coverage(), res.Cycles)
-		if kind == sim.KindNone {
-			baseCycles = res.Cycles
-		} else {
+		grid[i] = r
+	}
+	results, err := stems.Sweep(context.Background(), grid)
+	if err != nil {
+		panic(err)
+	}
+
+	baseCycles := results[0].Cycles
+	for i, pf := range predictors {
+		res := results[i]
+		line := fmt.Sprintf("%-6s covered %5.1f%%, %11d cycles", pf, 100*res.Coverage(), res.Cycles)
+		if pf != "none" {
 			line += fmt.Sprintf("  speedup %+.0f%%", 100*(float64(baseCycles)/float64(res.Cycles)-1))
 		}
 		fmt.Println(line)

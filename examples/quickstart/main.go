@@ -1,47 +1,59 @@
-// Quickstart: build a STeMS prefetcher, run it over an OLTP-like access
-// trace, and print what it covered.
+// Quickstart: run a STeMS prefetcher over an OLTP-like access trace
+// through the public stems API and print what it covered.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"stems/internal/config"
-	"stems/internal/sim"
-	"stems/internal/trace"
-	"stems/internal/workload"
+	"stems"
 )
 
 func main() {
-	// 1. Pick a workload from the paper's suite and generate a trace.
-	spec, err := workload.ByName("DB2")
-	if err != nil {
-		panic(err)
-	}
-	accs := spec.Generate(1, 100_000)
-	fmt.Printf("workload: %s (%s), %d accesses\n", spec.Name, spec.Class, len(accs))
+	ctx := context.Background()
 
-	// 2. Build a simulated node with the STeMS prefetcher. The factory
-	//    wires the L1/L2 caches, the streamed value buffer, and the
-	//    predictor together per the paper's §4.3 configuration.
-	opt := sim.DefaultOptions()
-	opt.System = config.ScaledSystem()
-	machine, err := sim.Build(sim.KindSTeMS, opt)
+	// 1. Configure a run: a workload from the paper's suite, the STeMS
+	//    predictor, and the scaled experiment system. The Runner wires the
+	//    L1/L2 caches, the streamed value buffer, and the predictor
+	//    together per the paper's §4.3 configuration.
+	r, err := stems.New(
+		stems.WithWorkload("DB2"),
+		stems.WithPredictor("stems"),
+		stems.WithSystem(stems.ScaledSystem()),
+		stems.WithAccesses(100_000),
+	)
 	if err != nil {
 		panic(err)
 	}
 
-	// 3. Replay the trace and read the results.
-	res := machine.Run(trace.NewSliceSource(accs))
+	// 2. Replay the trace and read the results.
+	res, err := r.Run(ctx)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("run: %s\n", r.Label())
 	fmt.Printf("off-chip read misses (baseline): %d\n", res.BaselineMisses())
 	fmt.Printf("covered by STeMS:                %d (%.1f%%)\n", res.Covered, 100*res.Coverage())
 	fmt.Printf("overpredicted:                   %d (%.1f%%)\n", res.Overpredicted, 100*res.OverpredictionRate())
 	fmt.Printf("simulated cycles:                %d\n", res.Cycles)
 
-	// 4. Compare against the no-prefetch machine.
-	base, _ := sim.Build(sim.KindNone, opt)
-	baseRes := base.Run(trace.NewSliceSource(accs))
+	// 3. Compare against the no-prefetch machine: same configuration,
+	//    different predictor.
+	base, err := stems.New(
+		stems.WithWorkload("DB2"),
+		stems.WithPredictor("none"),
+		stems.WithSystem(stems.ScaledSystem()),
+		stems.WithAccesses(100_000),
+	)
+	if err != nil {
+		panic(err)
+	}
+	baseRes, err := base.Run(ctx)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("speedup over no prefetching:     %+.1f%%\n",
 		100*(float64(baseRes.Cycles)/float64(res.Cycles)-1))
 }

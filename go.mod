@@ -1,0 +1,3 @@
+module stems
+
+go 1.24

@@ -145,6 +145,24 @@ func DefaultTMS() TMS {
 	return TMS{CMOBEntries: 384 << 10, StreamQueues: 8, Lookahead: 8, SVBEntries: 64}
 }
 
+// Epoch sizes the §6 epoch-based correlation prefetcher (Chou, MICRO 2007
+// — reference [6]), included as an extension baseline.
+type Epoch struct {
+	// TableEntries is the correlation table capacity (lead addresses).
+	TableEntries int
+	// MaxEpochLen caps recorded epoch membership.
+	MaxEpochLen int
+	// EpochsAhead is how many future epochs are prefetched per lead hit
+	// (depth 1 fetches the next epoch; deeper lookahead chains through
+	// stored leads).
+	EpochsAhead int
+}
+
+// DefaultEpoch mirrors the reference's low-cost design point.
+func DefaultEpoch() Epoch {
+	return Epoch{TableEntries: 16 << 10, MaxEpochLen: 8, EpochsAhead: 2}
+}
+
 // STeMS holds the spatio-temporal streaming parameters (§4).
 type STeMS struct {
 	// RMOBEntries is the region miss-order buffer size (128K in the paper

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"stems/internal/sim"
+	"stems/internal/stream"
+)
+
+func init() {
+	sim.MustRegister(sim.KindSTeMS, func(m *sim.Machine, opt sim.Options) error {
+		sc := opt.STeMS
+		sc.Lookahead = opt.StreamLookahead(sc.Lookahead)
+		eng := m.AttachEngine(stream.Config{
+			Queues: sc.StreamQueues, Lookahead: sc.Lookahead, SVBEntries: sc.SVBEntries,
+			Adaptive: opt.AdaptiveLookahead,
+		})
+		st := New(sc, eng)
+		if opt.VirtualizedMeta {
+			size := opt.VirtualMetaCacheBytes
+			if size <= 0 {
+				size = 64 << 10 // a few L2 ways, as in [2]
+			}
+			mm := NewMetaModel(size)
+			mm.Transfer = m.ChargeTransfer
+			st.SetMetaModel(mm)
+		}
+		m.SetPrefetcher(st)
+		return nil
+	})
+}
+
+// ContributeResult implements sim.ResultContributor: reconstruction
+// placement outcomes surface in the run Result so callers outside this
+// package (cmd/sweep, the public API) can report the §4.3 drop rate.
+func (s *STeMS) ContributeResult(r *sim.Result) {
+	rs := s.recon.Stats()
+	r.ReconPlacedExact = rs.PlacedExact
+	r.ReconPlacedNear = rs.PlacedNear
+	r.ReconDropped = rs.Dropped
+}

@@ -15,27 +15,21 @@
 package epoch
 
 import (
+	"stems/internal/config"
 	"stems/internal/lru"
 	"stems/internal/mem"
 	"stems/internal/stream"
 	"stems/internal/trace"
 )
 
-// Config sizes the epoch prefetcher.
-type Config struct {
-	// TableEntries is the correlation table capacity (lead addresses).
-	TableEntries int
-	// MaxEpochLen caps recorded epoch membership.
-	MaxEpochLen int
-	// EpochsAhead is how many future epochs are prefetched per lead hit
-	// (depth 1 fetches the next epoch; deeper lookahead chains through
-	// stored leads).
-	EpochsAhead int
-}
+// Config sizes the epoch prefetcher. It lives in the config package with
+// the other predictor configurations so the sim layer can reference it
+// without importing this package (the registry inverts that dependency).
+type Config = config.Epoch
 
 // DefaultConfig mirrors the reference's low-cost design point.
 func DefaultConfig() Config {
-	return Config{TableEntries: 16 << 10, MaxEpochLen: 8, EpochsAhead: 2}
+	return config.DefaultEpoch()
 }
 
 // entry is one correlation-table record: the epoch that followed a lead.

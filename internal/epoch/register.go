@@ -1,0 +1,16 @@
+package epoch
+
+import (
+	"stems/internal/sim"
+	"stems/internal/stream"
+)
+
+func init() {
+	sim.MustRegister(sim.KindEpoch, func(m *sim.Machine, opt sim.Options) error {
+		eng := m.AttachEngine(stream.Config{
+			Queues: 1, Lookahead: 8, SVBEntries: opt.TMS.SVBEntries,
+		})
+		m.SetPrefetcher(New(opt.Epoch, eng))
+		return nil
+	})
+}

@@ -8,18 +8,21 @@
 package figures
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
 
 	"stems/internal/analysis"
 	"stems/internal/config"
+	"stems/internal/par"
 	"stems/internal/sim"
 	"stems/internal/stats"
 	"stems/internal/trace"
 	"stems/internal/workload"
+
+	// The figure harness builds every predictor kind by name.
+	_ "stems/internal/predictors"
 )
 
 // Params controls experiment scale.
@@ -36,6 +39,9 @@ type Params struct {
 	System config.System
 	// Parallel enables running workloads on separate goroutines.
 	Parallel bool
+	// Parallelism bounds the worker goroutines when Parallel is set
+	// (0 = GOMAXPROCS).
+	Parallelism int
 }
 
 // DefaultParams returns the scale used for EXPERIMENTS.md.
@@ -62,25 +68,12 @@ func (p Params) traceFor(spec workload.Spec) []trace.Access {
 // preserving suite order in the output.
 func forEachWorkload[T any](p Params, fn func(spec workload.Spec) T) []T {
 	specs := workload.Suite()
-	out := make([]T, len(specs))
-	if !p.Parallel {
-		for i, spec := range specs {
-			out[i] = fn(spec)
-		}
-		return out
+	workers := 1
+	if p.Parallel {
+		workers = p.Parallelism // 0 = GOMAXPROCS
 	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i, spec := range specs {
-		wg.Add(1)
-		go func(i int, spec workload.Spec) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			out[i] = fn(spec)
-		}(i, spec)
-	}
-	wg.Wait()
+	out, _ := par.Map(context.Background(), len(specs), workers,
+		func(_ context.Context, i int) (T, error) { return fn(specs[i]), nil })
 	return out
 }
 

@@ -1,0 +1,17 @@
+package hybrid
+
+import (
+	"stems/internal/sim"
+	"stems/internal/stream"
+)
+
+func init() {
+	sim.MustRegister(sim.KindNaiveHybrid, func(m *sim.Machine, opt sim.Options) error {
+		eng := m.AttachEngine(stream.Config{
+			Queues: opt.TMS.StreamQueues, Lookahead: opt.StreamLookahead(opt.TMS.Lookahead),
+			SVBEntries: opt.TMS.SVBEntries,
+		})
+		m.SetPrefetcher(New(opt.SMS, opt.TMS, eng))
+		return nil
+	})
+}

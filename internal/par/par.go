@@ -1,0 +1,85 @@
+// Package par is the shared fan-out executor: a bounded worker pool that
+// maps a function over an index range with deterministic output ordering,
+// context cancellation, and fail-fast error propagation. The public sweep
+// API and the figures harness both run on it.
+package par
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Map runs fn(ctx, i) for i in [0, n) on up to parallelism goroutines and
+// returns the results indexed by i — output order never depends on
+// scheduling. parallelism <= 0 selects GOMAXPROCS. A failing fn cancels
+// the derived context and unstarted work; Map then returns the
+// lowest-index non-cancellation error (the root cause, not collateral
+// cancellations) alongside the partial results, or the context error when
+// the parent context itself was cancelled.
+func Map[T any](ctx context.Context, n, parallelism int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]T, n)
+	if n == 0 {
+		return results, ctx.Err()
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				res, err := fn(ctx, i)
+				if err != nil {
+					errs[i] = err
+					cancel()
+					continue
+				}
+				results[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Report the lowest-index root-cause failure. Runs cancelled as
+	// collateral of another run's error sit at lower indices than the run
+	// that failed, so a bare cancellation only wins when every failure is
+	// one (i.e. the parent context was cancelled).
+	var firstCancel error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if firstCancel == nil {
+				firstCancel = err
+			}
+			continue
+		}
+		return results, err
+	}
+	return results, firstCancel
+}

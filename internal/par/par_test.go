@@ -1,0 +1,92 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrderIndependentOfParallelism(t *testing.T) {
+	const n = 100
+	fn := func(_ context.Context, i int) (int, error) { return i * i, nil }
+	serial, err := Map(context.Background(), n, 1, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := Map(context.Background(), n, 16, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != i*i || wide[i] != serial[i] {
+			t.Fatalf("results[%d]: serial=%d wide=%d want %d", i, serial[i], wide[i], i*i)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(context.Background(), 0, 4, func(context.Context, int) (int, error) {
+		t.Fatal("fn called for empty range")
+		return 0, nil
+	})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}
+
+func TestMapErrorCancelsRemaining(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	_, err := Map(context.Background(), 1000, 4, func(ctx context.Context, i int) (int, error) {
+		ran.Add(1)
+		if i == 3 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if got := ran.Load(); got >= 1000 {
+		t.Fatalf("all %d items ran despite early failure", got)
+	}
+}
+
+func TestMapReportsRootCauseError(t *testing.T) {
+	// Two genuine failures plus collateral cancellations: the reported
+	// error must be a real failure (the lowest-index one that actually
+	// ran), never a bystander's context.Canceled.
+	for trial := 0; trial < 20; trial++ {
+		_, err := Map(context.Background(), 50, 8, func(_ context.Context, i int) (int, error) {
+			if i == 7 || i == 40 {
+				return 0, fmt.Errorf("fail-%d", i)
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatal("no error reported")
+		}
+		if got := err.Error(); got != "fail-7" && got != "fail-40" {
+			t.Fatalf("err = %q, want a root-cause failure, not a cancellation", got)
+		}
+	}
+}
+
+func TestMapContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	_, err := Map(ctx, 1000, 2, func(ctx context.Context, i int) (int, error) {
+		if ran.Add(1) == 5 {
+			cancel()
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got >= 1000 {
+		t.Fatal("cancellation did not stop the map")
+	}
+}

@@ -1,0 +1,15 @@
+// Package predictors links every built-in predictor into the binary.
+// Importing it (blank) triggers each predictor package's self-registration
+// with the sim registry, making all seven paper kinds resolvable through
+// sim.Build. The public stems package imports it, so users of the public
+// API never need to.
+package predictors
+
+import (
+	_ "stems/internal/core"   // stems
+	_ "stems/internal/epoch"  // epoch
+	_ "stems/internal/hybrid" // naive-hybrid
+	_ "stems/internal/sms"    // sms
+	_ "stems/internal/stride" // stride
+	_ "stems/internal/tms"    // tms
+)

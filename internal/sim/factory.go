@@ -1,16 +1,7 @@
 package sim
 
 import (
-	"fmt"
-
 	"stems/internal/config"
-	"stems/internal/core"
-	"stems/internal/epoch"
-	"stems/internal/hybrid"
-	"stems/internal/sms"
-	"stems/internal/stream"
-	"stems/internal/stride"
-	"stems/internal/tms"
 )
 
 // Kind names a predictor configuration.
@@ -18,7 +9,9 @@ type Kind string
 
 // The evaluated systems. Baseline is the Figure 10 reference (stride
 // prefetcher only); None disables prefetching entirely (used by the trace
-// analyses).
+// analyses). Every kind except None self-registers from its own package
+// (see Register); import stems or stems/internal/predictors to have the
+// full set available.
 const (
 	KindNone        Kind = "none"
 	KindStride      Kind = "stride"
@@ -31,11 +24,6 @@ const (
 	KindEpoch Kind = "epoch"
 )
 
-// AllKinds lists every buildable predictor.
-func AllKinds() []Kind {
-	return []Kind{KindNone, KindStride, KindSMS, KindTMS, KindSTeMS, KindNaiveHybrid, KindEpoch}
-}
-
 // Options collects the per-component configurations.
 type Options struct {
 	System config.System
@@ -43,7 +31,7 @@ type Options struct {
 	SMS    config.SMS
 	TMS    config.TMS
 	STeMS  config.STeMS
-	Epoch  epoch.Config
+	Epoch  config.Epoch
 	// Scientific selects the deeper stream lookahead of §4.3 ("a lookahead
 	// of eight for commercial workloads, but 12 for our scientific
 	// applications").
@@ -69,73 +57,17 @@ func DefaultOptions() Options {
 		SMS:    config.DefaultSMS(),
 		TMS:    config.DefaultTMS(),
 		STeMS:  config.DefaultSTeMS(),
-		Epoch:  epoch.DefaultConfig(),
+		Epoch:  config.DefaultEpoch(),
 	}
 }
 
-func (o Options) lookahead(base int) int {
+// StreamLookahead applies the §4.3 workload-class rule to a predictor's
+// configured lookahead: scientific applications stream 12 deep, commercial
+// workloads keep the configured base. Registered builders use this to size
+// their engines.
+func (o Options) StreamLookahead(base int) int {
 	if o.Scientific {
 		return 12
 	}
 	return base
-}
-
-// Build constructs a machine with the named predictor wired to a streaming
-// engine sized per the paper (§4.3).
-func Build(kind Kind, opt Options) (*Machine, error) {
-	m := NewMachine(opt.System, Nop{})
-	switch kind {
-	case KindNone:
-		return m, nil
-	case KindStride:
-		eng := m.AttachEngine(stream.Config{
-			Queues: 1, Lookahead: 4, SVBEntries: 32,
-		})
-		m.SetPrefetcher(stride.New(opt.Stride, eng))
-	case KindSMS:
-		eng := m.AttachEngine(stream.Config{
-			Queues: 1, Lookahead: opt.SMS.PHTEntries, SVBEntries: 64,
-		})
-		m.SetPrefetcher(sms.New(opt.SMS, eng))
-	case KindTMS:
-		tc := opt.TMS
-		tc.Lookahead = opt.lookahead(tc.Lookahead)
-		eng := m.AttachEngine(stream.Config{
-			Queues: tc.StreamQueues, Lookahead: tc.Lookahead, SVBEntries: tc.SVBEntries,
-			Adaptive: opt.AdaptiveLookahead,
-		})
-		m.SetPrefetcher(tms.New(tc, eng))
-	case KindSTeMS:
-		sc := opt.STeMS
-		sc.Lookahead = opt.lookahead(sc.Lookahead)
-		eng := m.AttachEngine(stream.Config{
-			Queues: sc.StreamQueues, Lookahead: sc.Lookahead, SVBEntries: sc.SVBEntries,
-			Adaptive: opt.AdaptiveLookahead,
-		})
-		st := core.New(sc, eng)
-		if opt.VirtualizedMeta {
-			size := opt.VirtualMetaCacheBytes
-			if size <= 0 {
-				size = 64 << 10 // a few L2 ways, as in [2]
-			}
-			mm := core.NewMetaModel(size)
-			mm.Transfer = m.ChargeTransfer
-			st.SetMetaModel(mm)
-		}
-		m.SetPrefetcher(st)
-	case KindNaiveHybrid:
-		eng := m.AttachEngine(stream.Config{
-			Queues: opt.TMS.StreamQueues, Lookahead: opt.lookahead(opt.TMS.Lookahead),
-			SVBEntries: opt.TMS.SVBEntries,
-		})
-		m.SetPrefetcher(hybrid.New(opt.SMS, opt.TMS, eng))
-	case KindEpoch:
-		eng := m.AttachEngine(stream.Config{
-			Queues: 1, Lookahead: 8, SVBEntries: opt.TMS.SVBEntries,
-		})
-		m.SetPrefetcher(epoch.New(opt.Epoch, eng))
-	default:
-		return nil, fmt.Errorf("sim: unknown predictor kind %q", kind)
-	}
-	return m, nil
 }

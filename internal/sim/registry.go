@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Builder wires one predictor configuration into a freshly constructed
+// machine: it attaches a streaming engine (if the predictor needs one) and
+// installs the prefetcher. Builders must be safe for concurrent use — the
+// sweep executor builds machines from many goroutines.
+type Builder func(m *Machine, opt Options) error
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[Kind]Builder{}
+)
+
+// Register adds a predictor to the registry under name. It fails on an
+// empty name, a nil builder, or a duplicate registration — predictor
+// identity is global, and silently replacing a builder would make results
+// depend on package-initialization order.
+func Register(name Kind, b Builder) error {
+	if name == "" {
+		return fmt.Errorf("sim: predictor name must not be empty")
+	}
+	if b == nil {
+		return fmt.Errorf("sim: predictor %q registered with nil builder", name)
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("sim: predictor %q already registered", name)
+	}
+	registry[name] = b
+	return nil
+}
+
+// MustRegister is Register for package init functions: it panics on error.
+func MustRegister(name Kind, b Builder) {
+	if err := Register(name, b); err != nil {
+		panic(err)
+	}
+}
+
+// IsRegistered reports whether a predictor is buildable under name.
+func IsRegistered(name Kind) bool {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	_, ok := registry[name]
+	return ok
+}
+
+// canonical is the paper's reporting order for the built-in predictors:
+// baselines first, so reports can compute speedups against the earlier
+// rows.
+var canonical = []Kind{KindNone, KindStride, KindSMS, KindTMS, KindSTeMS, KindNaiveHybrid, KindEpoch}
+
+// AllKinds lists every registered predictor: the built-in kinds in the
+// paper's order, then any externally registered predictors sorted by name.
+// Note that built-ins self-register from their packages — a caller that
+// has imported neither stems (the public API) nor internal/predictors sees
+// only what it registered itself, plus KindNone.
+func AllKinds() []Kind {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]Kind, 0, len(registry))
+	seen := make(map[Kind]bool, len(registry))
+	for _, k := range canonical {
+		if _, ok := registry[k]; ok {
+			out = append(out, k)
+			seen[k] = true
+		}
+	}
+	extra := make([]Kind, 0, len(registry)-len(out))
+	for k := range registry {
+		if !seen[k] {
+			extra = append(extra, k)
+		}
+	}
+	sort.Slice(extra, func(i, j int) bool { return extra[i] < extra[j] })
+	return append(out, extra...)
+}
+
+// Build constructs a machine with the named predictor wired to a streaming
+// engine sized per the paper (§4.3). Predictors resolve through the
+// registry; unknown names report the registered alternatives.
+func Build(kind Kind, opt Options) (*Machine, error) {
+	registryMu.RLock()
+	b, ok := registry[kind]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown predictor kind %q (registered: %v)", kind, AllKinds())
+	}
+	m := NewMachine(opt.System, Nop{})
+	if err := b(m, opt); err != nil {
+		return nil, fmt.Errorf("sim: building predictor %q: %w", kind, err)
+	}
+	return m, nil
+}
+
+func init() {
+	// The no-prefetching baseline is the one kind the sim layer owns: a
+	// machine is born with Nop{} installed and no engine attached.
+	MustRegister(KindNone, func(*Machine, Options) error { return nil })
+}

@@ -77,7 +77,28 @@ type Result struct {
 	// virtualization is enabled.
 	MetaTransfers uint64
 
+	// Reconstruction placement outcomes (§4.2), contributed by predictors
+	// that reconstruct a total miss order (STeMS). Zero for the others.
+	ReconPlacedExact uint64
+	ReconPlacedNear  uint64
+	ReconDropped     uint64
+
 	Cycles uint64
+}
+
+// ReconDropFraction returns the share of reconstructed addresses that
+// found no slot (§4.3 reports ±2-slot search places 99%).
+func (r Result) ReconDropFraction() float64 {
+	if total := r.ReconPlacedExact + r.ReconPlacedNear + r.ReconDropped; total > 0 {
+		return float64(r.ReconDropped) / float64(total)
+	}
+	return 0
+}
+
+// ResultContributor is an optional Prefetcher extension: predictors that
+// keep counters of their own publish them into the Result at Finish time.
+type ResultContributor interface {
+	ContributeResult(*Result)
 }
 
 // BaselineMisses returns the off-chip read misses the baseline system would
@@ -286,6 +307,9 @@ func (m *Machine) Finish() Result {
 	if m.engine != nil {
 		m.engine.Drain()
 		m.res.Overpredicted = m.engine.Stats().Overpredicted
+	}
+	if c, ok := m.pf.(ResultContributor); ok {
+		c.ContributeResult(&m.res)
 	}
 	m.res.Cycles = m.cycle
 	return m.res

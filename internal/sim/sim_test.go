@@ -193,38 +193,34 @@ func TestChannelBackpressure(t *testing.T) {
 	}
 }
 
-func TestBuildAllKinds(t *testing.T) {
-	for _, kind := range AllKinds() {
-		opt := DefaultOptions()
-		opt.System = testSystem()
-		m, err := Build(kind, opt)
-		if err != nil {
-			t.Fatalf("Build(%s): %v", kind, err)
-		}
-		// A tiny run must not panic and must count accesses.
-		src := trace.NewSliceSource([]trace.Access{read(1), read(2), read(1)})
-		res := m.Run(src)
-		if res.Accesses != 3 {
-			t.Fatalf("%s: accesses = %d", kind, res.Accesses)
-		}
-		if res.Prefetcher == "" {
-			t.Fatalf("%s: empty prefetcher name", kind)
-		}
-	}
-	if _, err := Build("bogus", DefaultOptions()); err == nil {
-		t.Fatal("Build(bogus) succeeded")
-	}
-}
-
 func TestScientificLookahead(t *testing.T) {
 	opt := DefaultOptions()
 	opt.Scientific = true
-	if got := opt.lookahead(8); got != 12 {
+	if got := opt.StreamLookahead(8); got != 12 {
 		t.Fatalf("scientific lookahead = %d, want 12", got)
 	}
 	opt.Scientific = false
-	if got := opt.lookahead(8); got != 8 {
+	if got := opt.StreamLookahead(8); got != 8 {
 		t.Fatalf("commercial lookahead = %d, want 8", got)
+	}
+}
+
+func TestRegistryErrors(t *testing.T) {
+	if err := Register("", func(*Machine, Options) error { return nil }); err == nil {
+		t.Fatal("registering an empty name succeeded")
+	}
+	if err := Register("test-nil-builder", nil); err == nil {
+		t.Fatal("registering a nil builder succeeded")
+	}
+	// "none" is registered by this package's init.
+	if err := Register(KindNone, func(*Machine, Options) error { return nil }); err == nil {
+		t.Fatal("duplicate registration of KindNone succeeded")
+	}
+	if !IsRegistered(KindNone) {
+		t.Fatal("KindNone not registered")
+	}
+	if _, err := Build("bogus", DefaultOptions()); err == nil {
+		t.Fatal("Build(bogus) succeeded")
 	}
 }
 
@@ -275,95 +271,6 @@ func TestNewMachinePanicsOnBadConfig(t *testing.T) {
 	NewMachine(config.System{}, Nop{})
 }
 
-// TestFetchConservation: every prefetched block is eventually either
-// consumed (covered) or accounted as an overprediction — across all
-// predictor kinds and a mix of traces.
-func TestFetchConservation(t *testing.T) {
-	traces := map[string][]trace.Access{}
-	// Structured: repeated region sweeps.
-	var structured []trace.Access
-	for pass := 0; pass < 3; pass++ {
-		for r := 1; r <= 200; r++ {
-			for _, off := range []int{0, 3, 7} {
-				structured = append(structured, trace.Access{
-					Addr: mem.Addr(r*mem.RegionSize + off*mem.BlockSize),
-					PC:   0x11,
-				})
-			}
-		}
-	}
-	traces["structured"] = structured
-	// Adversarial: pseudo-random addresses, some writes and deps.
-	var random []trace.Access
-	x := uint64(0x9e3779b97f4a7c15)
-	for i := 0; i < 3000; i++ {
-		x ^= x << 13
-		x ^= x >> 7
-		x ^= x << 17
-		random = append(random, trace.Access{
-			Addr:  mem.Addr(x % (1 << 26)),
-			PC:    x % 97,
-			Write: x%11 == 0,
-			Dep:   x%5 == 0,
-		})
-	}
-	traces["random"] = random
-
-	for name, accs := range traces {
-		for _, kind := range AllKinds() {
-			opt := DefaultOptions()
-			opt.System = testSystem()
-			m, err := Build(kind, opt)
-			if err != nil {
-				t.Fatal(err)
-			}
-			res := m.Run(trace.NewSliceSource(accs))
-			if res.Fetched != res.Covered+res.Overpredicted {
-				t.Errorf("%s/%s: fetched %d != covered %d + overpredicted %d",
-					name, kind, res.Fetched, res.Covered, res.Overpredicted)
-			}
-		}
-	}
-}
-
-// TestDeterministicReplay: the same trace through the same predictor gives
-// bit-identical results.
-func TestDeterministicReplay(t *testing.T) {
-	accs := make([]trace.Access, 0, 2000)
-	for r := 0; r < 100; r++ {
-		for _, off := range []int{0, 5, 9} {
-			accs = append(accs, trace.Access{
-				Addr: mem.Addr(r*mem.RegionSize + off*mem.BlockSize), PC: 3,
-			})
-		}
-	}
-	for _, kind := range AllKinds() {
-		opt := DefaultOptions()
-		opt.System = testSystem()
-		m1, _ := Build(kind, opt)
-		m2, _ := Build(kind, opt)
-		r1 := m1.Run(trace.NewSliceSource(accs))
-		r2 := m2.Run(trace.NewSliceSource(accs))
-		if r1 != r2 {
-			t.Errorf("%s: nondeterministic results:\n%+v\n%+v", kind, r1, r2)
-		}
-	}
-}
-
-// TestAdaptiveBuildOption: the factory threads the adaptive flag through.
-func TestAdaptiveBuildOption(t *testing.T) {
-	opt := DefaultOptions()
-	opt.System = testSystem()
-	opt.AdaptiveLookahead = true
-	for _, kind := range []Kind{KindTMS, KindSTeMS} {
-		m, err := Build(kind, opt)
-		if err != nil {
-			t.Fatal(err)
-		}
-		m.Run(trace.NewSliceSource([]trace.Access{read(1), read(2)}))
-	}
-}
-
 // invalObserver records generation-ending notifications.
 type invalObserver struct {
 	Nop
@@ -403,37 +310,6 @@ func TestInvalidateDropsSVBEntry(t *testing.T) {
 	}
 	if res.Overpredicted != 1 {
 		t.Fatalf("overpredicted = %d, want 1", res.Overpredicted)
-	}
-}
-
-// TestVirtualizedMetaBuild: the factory's predictor-virtualization path
-// produces metadata traffic that shows up in the result.
-func TestVirtualizedMetaBuild(t *testing.T) {
-	opt := DefaultOptions()
-	opt.System = testSystem()
-	opt.VirtualizedMeta = true
-	opt.VirtualMetaCacheBytes = 1 << 10
-	m, err := Build(KindSTeMS, opt)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var accs []trace.Access
-	for r := 0; r < 64; r++ {
-		for _, off := range []int{0, 3} {
-			accs = append(accs, trace.Access{
-				Addr: mem.Addr(r*mem.RegionSize + off*mem.BlockSize), PC: 1,
-			})
-		}
-	}
-	res := m.Run(trace.NewSliceSource(accs))
-	if res.MetaTransfers == 0 {
-		t.Fatal("virtualized metadata produced no transfers")
-	}
-	// Without virtualization there must be none.
-	opt.VirtualizedMeta = false
-	m2, _ := Build(KindSTeMS, opt)
-	if res2 := m2.Run(trace.NewSliceSource(accs)); res2.MetaTransfers != 0 {
-		t.Fatal("dedicated-storage run counted metadata transfers")
 	}
 }
 

@@ -1,0 +1,16 @@
+package sms
+
+import (
+	"stems/internal/sim"
+	"stems/internal/stream"
+)
+
+func init() {
+	sim.MustRegister(sim.KindSMS, func(m *sim.Machine, opt sim.Options) error {
+		eng := m.AttachEngine(stream.Config{
+			Queues: 1, Lookahead: opt.SMS.PHTEntries, SVBEntries: 64,
+		})
+		m.SetPrefetcher(New(opt.SMS, eng))
+		return nil
+	})
+}

@@ -1,0 +1,16 @@
+package stride
+
+import (
+	"stems/internal/sim"
+	"stems/internal/stream"
+)
+
+func init() {
+	sim.MustRegister(sim.KindStride, func(m *sim.Machine, opt sim.Options) error {
+		eng := m.AttachEngine(stream.Config{
+			Queues: 1, Lookahead: 4, SVBEntries: 32,
+		})
+		m.SetPrefetcher(New(opt.Stride, eng))
+		return nil
+	})
+}

@@ -1,0 +1,19 @@
+package tms
+
+import (
+	"stems/internal/sim"
+	"stems/internal/stream"
+)
+
+func init() {
+	sim.MustRegister(sim.KindTMS, func(m *sim.Machine, opt sim.Options) error {
+		tc := opt.TMS
+		tc.Lookahead = opt.StreamLookahead(tc.Lookahead)
+		eng := m.AttachEngine(stream.Config{
+			Queues: tc.StreamQueues, Lookahead: tc.Lookahead, SVBEntries: tc.SVBEntries,
+			Adaptive: opt.AdaptiveLookahead,
+		})
+		m.SetPrefetcher(New(tc, eng))
+		return nil
+	})
+}

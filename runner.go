@@ -1,0 +1,306 @@
+package stems
+
+import (
+	"context"
+	"fmt"
+
+	"stems/internal/sim"
+	"stems/internal/trace"
+)
+
+// Runner is one fully configured simulation: a predictor, a system
+// configuration, and an access stream. Build it with New, execute it with
+// Run; a Runner is reusable (every Run constructs a fresh machine and a
+// fresh trace) and safe to execute concurrently with other Runners, which
+// is what Sweep does.
+type Runner struct {
+	predictor string
+	opt       Options
+	label     string
+
+	// Exactly one access-stream source; workloadName is the default.
+	workloadName string
+	spec         Workload
+	specSet      bool
+	traceFile    string
+	traceAccs    []Access
+	traceSet     bool
+	sourceFn     func() Source
+
+	seed     int64
+	accesses int
+
+	scientificSet bool
+	configure     []func(*Options)
+
+	errs []error
+}
+
+// Option configures a Runner.
+type Option func(*Runner)
+
+// WithWorkload selects a workload from the paper's suite by name (see
+// WorkloadNames). Scientific workloads automatically get the deeper §4.3
+// stream lookahead unless WithScientificLookahead overrides it.
+func WithWorkload(name string) Option {
+	return func(r *Runner) {
+		spec, err := WorkloadByName(name)
+		if err != nil {
+			r.errs = append(r.errs, err)
+			return
+		}
+		r.spec, r.specSet = spec, true
+	}
+}
+
+// WithWorkloadSpec supplies a workload spec directly — the hook for
+// out-of-tree workloads with a Generate function.
+func WithWorkloadSpec(spec Workload) Option {
+	return func(r *Runner) {
+		if spec.Generate == nil {
+			r.errs = append(r.errs, fmt.Errorf("stems: workload spec %q has no Generate function", spec.Name))
+			return
+		}
+		r.spec, r.specSet = spec, true
+	}
+}
+
+// WithTraceFile replays a binary trace file written by cmd/tracegen (or
+// NewTraceWriter) instead of generating a workload.
+func WithTraceFile(path string) Option {
+	return func(r *Runner) { r.traceFile = path }
+}
+
+// WithTrace replays an in-memory access slice. The slice is only read, so
+// many Runners may share it. A nil slice replays zero accesses, like an
+// empty one — it does not fall back to the default workload.
+func WithTrace(accs []Access) Option {
+	return func(r *Runner) {
+		r.traceAccs = accs
+		r.traceSet = true
+	}
+}
+
+// WithSourceFunc replays a custom access stream. The function is invoked
+// once per Run so that repeated (and parallel) runs each get a fresh
+// Source.
+func WithSourceFunc(fn func() Source) Option {
+	return func(r *Runner) { r.sourceFn = fn }
+}
+
+// WithPredictor selects the predictor by registered name (see Predictors
+// and RegisterPredictor). The default is "stems".
+func WithPredictor(name string) Option {
+	return func(r *Runner) { r.predictor = name }
+}
+
+// WithSystem replaces the simulated node configuration. The default is
+// the paper's Table 1 system; the command-line tools pass ScaledSystem.
+func WithSystem(sys System) Option {
+	return func(r *Runner) { r.opt.System = sys }
+}
+
+// WithOptions replaces the whole simulator option block (predictor
+// sizings, system, flags) in one call, voiding earlier option edits —
+// including an earlier WithScientificLookahead. Later options still apply
+// on top, and the workload-class Scientific defaulting still runs — pin
+// the flag with WithScientificLookahead or WithConfigure if the workload
+// must not decide it.
+func WithOptions(opt Options) Option {
+	return func(r *Runner) {
+		r.opt = opt
+		r.scientificSet = false
+	}
+}
+
+// WithConfigure edits the effective simulator options in place — the
+// escape hatch for sweeping individual predictor parameters:
+//
+//	stems.WithConfigure(func(o *stems.Options) { o.STeMS.RMOBEntries = 64 << 10 })
+//
+// Configure functions run last, after every other option and after
+// workload-based defaulting (e.g. the scientific lookahead), so what they
+// set is what the build sees.
+func WithConfigure(fn func(*Options)) Option {
+	return func(r *Runner) { r.configure = append(r.configure, fn) }
+}
+
+// WithSeed sets the workload generator seed (default 1).
+func WithSeed(seed int64) Option {
+	return func(r *Runner) { r.seed = seed }
+}
+
+// WithAccesses caps the trace length. Zero keeps the workload's default
+// length (for workload sources) or the full trace (for file, slice, and
+// custom sources).
+func WithAccesses(n int) Option {
+	return func(r *Runner) { r.accesses = n }
+}
+
+// WithScientificLookahead forces the deeper stream lookahead of §4.3
+// regardless of workload class.
+func WithScientificLookahead() Option {
+	return func(r *Runner) {
+		r.opt.Scientific = true
+		r.scientificSet = true
+	}
+}
+
+// WithAdaptiveLookahead enables the streaming engine's dynamic lookahead
+// extension for the stream-based predictors.
+func WithAdaptiveLookahead() Option {
+	return func(r *Runner) { r.opt.AdaptiveLookahead = true }
+}
+
+// WithVirtualizedMetadata routes STeMS metadata through an on-chip cache
+// of the given size (§6 predictor virtualization), charging misses to
+// memory bandwidth. A size of 0 selects the reference 64KB.
+func WithVirtualizedMetadata(bytes int) Option {
+	return func(r *Runner) {
+		r.opt.VirtualizedMeta = true
+		r.opt.VirtualMetaCacheBytes = bytes
+	}
+}
+
+// WithLabel names the run in progress reports and Label (defaults to
+// "predictor/source").
+func WithLabel(label string) Option {
+	return func(r *Runner) { r.label = label }
+}
+
+// New builds a Runner from functional options over the paper's defaults:
+// predictor "stems", the DB2 OLTP workload at its default trace length,
+// seed 1, and DefaultOptions. It validates the predictor name against the
+// registry and that at most one access-stream source was chosen.
+func New(opts ...Option) (*Runner, error) {
+	r := &Runner{
+		predictor:    string(sim.KindSTeMS),
+		opt:          sim.DefaultOptions(),
+		workloadName: "DB2",
+		seed:         1,
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	if len(r.errs) > 0 {
+		return nil, r.errs[0]
+	}
+
+	sources := 0
+	for _, set := range []bool{r.specSet, r.traceFile != "", r.traceSet, r.sourceFn != nil} {
+		if set {
+			sources++
+		}
+	}
+	if sources > 1 {
+		return nil, fmt.Errorf("stems: conflicting access-stream sources: choose one of WithWorkload/WithWorkloadSpec, WithTraceFile, WithTrace, WithSourceFunc")
+	}
+	if sources == 0 {
+		spec, err := WorkloadByName(r.workloadName)
+		if err != nil {
+			return nil, err
+		}
+		r.spec, r.specSet = spec, true
+	}
+
+	if !sim.IsRegistered(sim.Kind(r.predictor)) {
+		return nil, fmt.Errorf("stems: unknown predictor %q (registered: %v)", r.predictor, Predictors())
+	}
+	if r.specSet && !r.scientificSet {
+		r.opt.Scientific = r.spec.Scientific
+	}
+	for _, fn := range r.configure {
+		fn(&r.opt)
+	}
+	return r, nil
+}
+
+// Predictor returns the registered predictor name this Runner builds.
+func (r *Runner) Predictor() string { return r.predictor }
+
+// Options returns the effective simulator options (defaults plus applied
+// functional options).
+func (r *Runner) Options() Options { return r.opt }
+
+// Label identifies the run in progress reports.
+func (r *Runner) Label() string {
+	if r.label != "" {
+		return r.label
+	}
+	switch {
+	case r.specSet:
+		return r.predictor + "/" + r.spec.Name
+	case r.traceFile != "":
+		return r.predictor + "/" + r.traceFile
+	default:
+		return r.predictor + "/custom"
+	}
+}
+
+// source materializes the configured access stream for one run.
+func (r *Runner) source() (Source, error) {
+	switch {
+	case r.specSet:
+		n := r.spec.DefaultAccesses
+		if r.accesses > 0 {
+			n = r.accesses
+		}
+		return trace.NewSliceSource(r.spec.Generate(r.seed, n)), nil
+	case r.traceFile != "":
+		accs, err := ReadTraceFile(r.traceFile, r.accesses)
+		if err != nil {
+			return nil, err
+		}
+		return trace.NewSliceSource(accs), nil
+	case r.traceSet:
+		if r.accesses > 0 && r.accesses < len(r.traceAccs) {
+			return trace.NewSliceSource(r.traceAccs[:r.accesses]), nil
+		}
+		return trace.NewSliceSource(r.traceAccs), nil
+	default:
+		src := r.sourceFn()
+		if src == nil {
+			return nil, fmt.Errorf("stems: WithSourceFunc returned a nil Source")
+		}
+		if r.accesses > 0 {
+			return trace.NewLimit(src, r.accesses), nil
+		}
+		return src, nil
+	}
+}
+
+// ctxCheckInterval is how many accesses replay between context polls: a
+// power of two, coarse enough to stay off the hot path, fine enough that
+// cancellation lands within microseconds of simulated work.
+const ctxCheckInterval = 1 << 13
+
+// Run builds a fresh machine, replays the configured access stream, and
+// returns the result. The context cancels a run in flight (checked every
+// few thousand accesses).
+func (r *Runner) Run(ctx context.Context) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	src, err := r.source()
+	if err != nil {
+		return Result{}, err
+	}
+	m, err := sim.Build(sim.Kind(r.predictor), r.opt)
+	if err != nil {
+		return Result{}, err
+	}
+	var a Access
+	var n uint64
+	for src.Next(&a) {
+		m.Step(a)
+		n++
+		if n%ctxCheckInterval == 0 {
+			select {
+			case <-ctx.Done():
+				return Result{}, ctx.Err()
+			default:
+			}
+		}
+	}
+	return m.Finish(), nil
+}

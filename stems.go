@@ -1,0 +1,161 @@
+// Package stems is the public engine API of the STeMS reproduction
+// (Somogyi, Wenisch, Ailamaki, Falsafi: "Spatio-Temporal Memory
+// Streaming", ISCA 2009): a trace-driven memory-hierarchy simulator with
+// the paper's predictor suite, a registry for third-party predictors, a
+// functional-options Runner for single simulations, and a parallel Sweep
+// executor for grids of runs.
+//
+// A minimal run:
+//
+//	r, err := stems.New(
+//		stems.WithWorkload("DB2"),
+//		stems.WithPredictor("stems"),
+//	)
+//	if err != nil { ... }
+//	res, err := r.Run(context.Background())
+//	fmt.Printf("coverage %.1f%%\n", 100*res.Coverage())
+//
+// Custom predictors register once and then build by name like the
+// built-ins:
+//
+//	stems.RegisterPredictor("next-line", func(m *stems.Machine, opt stems.Options) error {
+//		eng := m.AttachEngine(stream.Config{SVBEntries: 64})
+//		m.SetPrefetcher(&nextLine{engine: eng})
+//		return nil
+//	})
+//
+// See README.md for the architecture map of the internal packages.
+package stems
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"stems/internal/config"
+	"stems/internal/mem"
+	"stems/internal/sim"
+	"stems/internal/stream"
+	"stems/internal/trace"
+	"stems/internal/workload"
+
+	// Link the seven built-in predictors into every user of the public
+	// API; each self-registers with the sim registry.
+	_ "stems/internal/predictors"
+)
+
+// Aliases re-export the engine's core types so the public API is usable
+// without importing internal packages.
+type (
+	// Access is one replayed memory reference.
+	Access = trace.Access
+	// Source yields an access stream.
+	Source = trace.Source
+	// Machine is one simulated node: caches, memory channels, streamed
+	// value buffer, prefetcher.
+	Machine = sim.Machine
+	// Prefetcher is the interface custom predictors implement.
+	Prefetcher = sim.Prefetcher
+	// Builder wires a predictor into a fresh Machine; see
+	// RegisterPredictor.
+	Builder = sim.Builder
+	// Options collects the per-component simulator configurations.
+	Options = sim.Options
+	// Result summarizes one simulation run.
+	Result = sim.Result
+	// System is the simulated node configuration (Table 1).
+	System = config.System
+	// Workload describes one synthetic workload of the paper's suite.
+	Workload = workload.Spec
+	// TraceWriter/TraceReader stream the binary trace format of
+	// cmd/tracegen.
+	TraceWriter = trace.Writer
+	TraceReader = trace.Reader
+	// Addr is a byte address in the simulated physical address space.
+	Addr = mem.Addr
+	// StreamEngine is the streamed value buffer and fetch engine a
+	// predictor issues prefetches through (see Machine.AttachEngine).
+	StreamEngine = stream.Engine
+	// StreamConfig sizes a StreamEngine.
+	StreamConfig = stream.Config
+)
+
+// Address-space geometry re-exports for predictor and workload authors.
+const (
+	// BlockSize is the cache block (line) size in bytes.
+	BlockSize = mem.BlockSize
+	// RegionSize is the spatial region size in bytes.
+	RegionSize = mem.RegionSize
+)
+
+// DefaultOptions returns the paper's configuration (Table 1 system, §4.3
+// predictor sizing). Runner options start from these defaults.
+func DefaultOptions() Options { return sim.DefaultOptions() }
+
+// PaperSystem is the full Table 1 node (8MB L2).
+func PaperSystem() System { return config.DefaultSystem() }
+
+// ScaledSystem is the reduced-footprint experiment node used by the
+// command-line tools (1MB L2, scaled to the synthetic trace lengths).
+func ScaledSystem() System { return config.ScaledSystem() }
+
+// RegisterPredictor adds a predictor under name, making it buildable via
+// WithPredictor(name) exactly like the built-in kinds. It fails on an
+// empty name, a nil builder, or a name already taken (including the seven
+// built-ins).
+func RegisterPredictor(name string, b Builder) error {
+	return sim.Register(sim.Kind(name), b)
+}
+
+// Predictors lists every registered predictor name: the built-in kinds in
+// the paper's reporting order (baselines first), then custom registrations
+// sorted by name.
+func Predictors() []string {
+	kinds := sim.AllKinds()
+	out := make([]string, len(kinds))
+	for i, k := range kinds {
+		out[i] = string(k)
+	}
+	return out
+}
+
+// Workloads returns the paper's ten-workload suite in figure order.
+func Workloads() []Workload { return workload.Suite() }
+
+// WorkloadNames lists the suite's workload names in order.
+func WorkloadNames() []string { return workload.Names() }
+
+// WorkloadByName finds a suite workload by its paper label (e.g. "DB2",
+// "em3d"); the error lists the available names.
+func WorkloadByName(name string) (Workload, error) {
+	spec, err := workload.ByName(name)
+	if err != nil {
+		return Workload{}, fmt.Errorf("%w (available: %v)", err, workload.Names())
+	}
+	return spec, nil
+}
+
+// NewTraceWriter wraps w with the binary trace encoder.
+func NewTraceWriter(w io.Writer) *TraceWriter { return trace.NewWriter(w) }
+
+// NewTraceReader wraps r with the binary trace decoder.
+func NewTraceReader(r io.Reader) *TraceReader { return trace.NewReader(r) }
+
+// NewSliceSource adapts an in-memory access slice to a Source.
+func NewSliceSource(accs []Access) Source { return trace.NewSliceSource(accs) }
+
+// ReadTraceFile loads up to max accesses (0 = all) from a binary trace
+// file written by NewTraceWriter / cmd/tracegen.
+func ReadTraceFile(path string, max int) ([]Access, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := trace.NewReader(f)
+	accs := trace.Collect(r, max)
+	if r.Err() != nil {
+		return nil, fmt.Errorf("reading trace %s: %w", path, r.Err())
+	}
+	return accs, nil
+}

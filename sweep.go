@@ -1,0 +1,70 @@
+package stems
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"stems/internal/par"
+)
+
+// Progress observes sweep completion: completed runs so far, the grid
+// size, the finished run's label, and its result. Calls are serialized
+// but arrive in completion order, not grid order.
+type Progress func(completed, total int, label string, res Result)
+
+// sweepConfig collects Sweep's execution options.
+type sweepConfig struct {
+	parallelism int
+	progress    Progress
+}
+
+// SweepOption configures Sweep's execution (not the runs themselves —
+// those are configured per Runner).
+type SweepOption func(*sweepConfig)
+
+// WithParallelism bounds the worker goroutines (default GOMAXPROCS).
+// Parallelism 1 executes the grid serially in order; because every run is
+// deterministic and isolated, any parallelism produces identical results.
+func WithParallelism(n int) SweepOption {
+	return func(c *sweepConfig) { c.parallelism = n }
+}
+
+// WithProgress installs a completion callback.
+func WithProgress(fn Progress) SweepOption {
+	return func(c *sweepConfig) { c.progress = fn }
+}
+
+// Sweep executes a grid of configured Runners across a worker pool and
+// returns their Results in grid order — result i belongs to grid[i]
+// regardless of scheduling, so sweeps are reproducible under any
+// parallelism. A failing run cancels the remaining work and its error is
+// returned (runs cancelled as collateral never mask it); cancelling ctx
+// stops runs in flight.
+func Sweep(ctx context.Context, grid []*Runner, opts ...SweepOption) ([]Result, error) {
+	cfg := sweepConfig{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	for i, r := range grid {
+		if r == nil {
+			return nil, fmt.Errorf("stems: Sweep grid[%d] is nil", i)
+		}
+	}
+
+	var mu sync.Mutex
+	completed := 0
+	return par.Map(ctx, len(grid), cfg.parallelism, func(ctx context.Context, i int) (Result, error) {
+		res, err := grid[i].Run(ctx)
+		if err != nil {
+			return Result{}, fmt.Errorf("stems: sweep run %d (%s): %w", i, grid[i].Label(), err)
+		}
+		if cfg.progress != nil {
+			mu.Lock()
+			completed++
+			cfg.progress(completed, len(grid), grid[i].Label(), res)
+			mu.Unlock()
+		}
+		return res, nil
+	})
+}

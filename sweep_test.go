@@ -1,0 +1,147 @@
+package stems_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"stems"
+)
+
+// sweepGrid builds a small cross-product grid: three predictors over two
+// workloads at reduced trace lengths.
+func sweepGrid(t *testing.T) []*stems.Runner {
+	t.Helper()
+	var grid []*stems.Runner
+	for _, wl := range []string{"DB2", "em3d"} {
+		for _, pf := range []string{"stride", "tms", "stems"} {
+			r, err := stems.New(
+				stems.WithWorkload(wl),
+				stems.WithPredictor(pf),
+				stems.WithSystem(stems.ScaledSystem()),
+				stems.WithAccesses(15_000),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			grid = append(grid, r)
+		}
+	}
+	return grid
+}
+
+// TestSweepDeterministic: the same grid produces byte-identical results at
+// parallelism 1 and N — run under -race in CI, this is the ordering and
+// data-race acceptance test.
+func TestSweepDeterministic(t *testing.T) {
+	ctx := context.Background()
+	serial, err := stems.Sweep(ctx, sweepGrid(t), stems.WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := stems.Sweep(ctx, sweepGrid(t), stems.WithParallelism(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(wide) {
+		t.Fatalf("result lengths differ: %d vs %d", len(serial), len(wide))
+	}
+	for i := range serial {
+		if serial[i] != wide[i] {
+			t.Fatalf("grid[%d]: parallelism changed the result:\nserial %+v\nwide   %+v",
+				i, serial[i], wide[i])
+		}
+	}
+}
+
+func TestSweepProgress(t *testing.T) {
+	grid := sweepGrid(t)
+	var mu sync.Mutex
+	var seen []string
+	last := 0
+	results, err := stems.Sweep(context.Background(), grid,
+		stems.WithParallelism(4),
+		stems.WithProgress(func(completed, total int, label string, res stems.Result) {
+			mu.Lock()
+			defer mu.Unlock()
+			if completed != last+1 || total != len(grid) {
+				t.Errorf("progress (%d,%d) after %d", completed, total, last)
+			}
+			last = completed
+			seen = append(seen, label)
+			if res.Accesses == 0 {
+				t.Errorf("progress for %s carried an empty result", label)
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(grid) || last != len(grid) || len(seen) != len(grid) {
+		t.Fatalf("progress saw %d/%d completions", last, len(grid))
+	}
+}
+
+func TestSweepNilRunner(t *testing.T) {
+	if _, err := stems.Sweep(context.Background(), []*stems.Runner{nil}); err == nil {
+		t.Fatal("nil runner accepted")
+	}
+}
+
+func TestSweepCancellation(t *testing.T) {
+	// A large grid of long runs; cancel shortly after starting. The sweep
+	// must return promptly with context.Canceled instead of finishing the
+	// grid.
+	var grid []*stems.Runner
+	for i := 0; i < 32; i++ {
+		r, err := stems.New(
+			stems.WithWorkload("DB2"),
+			stems.WithPredictor("stems"),
+			stems.WithSystem(stems.ScaledSystem()),
+			stems.WithSeed(int64(i+1)),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grid = append(grid, r)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := stems.Sweep(ctx, grid, stems.WithParallelism(2))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Generous bound: a full 32-run grid takes far longer than this.
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
+// TestSweepRunErrorPropagates: a failing run cancels the sweep and
+// surfaces its error.
+func TestSweepRunErrorPropagates(t *testing.T) {
+	bad, err := stems.New(
+		stems.WithSourceFunc(func() stems.Source { return nil }), // Run fails
+		stems.WithPredictor("none"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := stems.New(
+		stems.WithWorkload("DB2"),
+		stems.WithPredictor("none"),
+		stems.WithAccesses(1_000),
+		stems.WithSystem(stems.ScaledSystem()),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stems.Sweep(context.Background(), []*stems.Runner{bad, ok}); err == nil {
+		t.Fatal("sweep swallowed a run error")
+	}
+}
