@@ -1,0 +1,111 @@
+// Allocation-regression tests: the replay loop is the simulator's hot path
+// and is required to be allocation-free in steady state — predictor tables
+// index through flat pre-sized probe arrays (internal/flat), stream/SVB
+// storage is pooled, and generation records are recycled. A regression here
+// silently taxes every figure, sweep, and benchmark, so it fails loudly
+// instead.
+package stems_test
+
+import (
+	"testing"
+
+	"stems/internal/config"
+	"stems/internal/lru"
+	"stems/internal/sim"
+	"stems/internal/trace"
+	"stems/internal/workload"
+)
+
+// warmSTeMSMachine builds a STeMS machine and replays one full DB2 trace
+// through it so every table is at capacity, every pool is populated, and
+// every scratch buffer has reached its high-water mark.
+func warmSTeMSMachine(t *testing.T) (*sim.Machine, []trace.Access) {
+	t.Helper()
+	spec, err := workload.ByName("DB2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accs := spec.Generate(1, 200_000)
+	opt := sim.DefaultOptions()
+	opt.System = config.ScaledSystem()
+	m, err := sim.Build(sim.KindSTeMS, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range accs {
+		m.Step(a)
+	}
+	return m, accs
+}
+
+// TestMachineStepZeroAlloc asserts that the steady-state replay loop — the
+// full STeMS predictor behind Machine.Step — performs zero heap
+// allocations per access.
+func TestMachineStepZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	m, accs := warmSTeMSMachine(t)
+	pos := 0
+	const stepsPerRun = 1000
+	avg := testing.AllocsPerRun(50, func() {
+		for i := 0; i < stepsPerRun; i++ {
+			m.Step(accs[pos%len(accs)])
+			pos++
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("Machine.Step allocated %.3f objects per %d steady-state steps, want 0",
+			avg, stepsPerRun)
+	}
+}
+
+// TestLRUMapZeroAlloc asserts that lru.Map Get/Put perform no allocations
+// once the table is at capacity — the mix includes hits (recency refresh),
+// misses, and inserts that force LRU eviction.
+func TestLRUMapZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	const capacity = 1024
+	m := lru.New[uint64, uint64](capacity)
+	for k := uint64(0); k < capacity; k++ {
+		m.Put(k, k)
+	}
+	k := uint64(0)
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 1000; i++ {
+			if _, ok := m.Get(k % (2 * capacity)); !ok {
+				m.Put(k%(2*capacity), k) // insert with eviction
+			}
+			k++
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("lru.Map Get/Put allocated %.3f objects per 1000 ops at capacity, want 0", avg)
+	}
+}
+
+// TestLRUMapDeleteZeroAlloc covers the Delete/reinsert cycle the STeMS AGT
+// drives on every generation retirement.
+func TestLRUMapDeleteZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	const capacity = 64
+	m := lru.New[uint64, int](capacity)
+	for k := uint64(0); k < capacity; k++ {
+		m.Put(k, int(k))
+	}
+	k := uint64(0)
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 256; i++ {
+			m.Delete(k % capacity)
+			m.Put(k%capacity, int(k))
+			k++
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("lru.Map Delete/Put allocated %.3f objects per 256 ops, want 0", avg)
+	}
+}

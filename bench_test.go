@@ -255,33 +255,50 @@ func BenchmarkAblationStreamQueues(b *testing.B) {
 	}
 }
 
-// BenchmarkSimStepSTeMS measures raw simulator throughput with the full
-// STeMS predictor attached (accesses per second).
-func BenchmarkSimStepSTeMS(b *testing.B) {
+// benchSimStep replays a DB2 trace through machines built by mk, starting
+// a fresh machine at every pass over the trace so no predictor or cache
+// state bleeds between b.N scalings — earlier versions stepped one
+// ever-warmer machine, which made runs at different b.N incomparable. The
+// accesses/sec metric is the cross-PR throughput number recorded in
+// README.md's Performance section.
+func benchSimStep(b *testing.B, mk func(b *testing.B) *sim.Machine) {
+	b.Helper()
 	spec, _ := workload.ByName("DB2")
 	accs := spec.Generate(1, 200_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; {
+		m := mk(b)
+		for j := 0; j < len(accs) && i < b.N; j++ {
+			m.Step(accs[j])
+			i++
+		}
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)/secs, "accesses/sec")
+	}
+}
+
+// BenchmarkSimStepSTeMS measures raw simulator throughput with the full
+// STeMS predictor attached.
+func BenchmarkSimStepSTeMS(b *testing.B) {
 	opt := sim.DefaultOptions()
 	opt.System = config.ScaledSystem()
-	m, err := sim.Build(sim.KindSTeMS, opt)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		m.Step(accs[i%len(accs)])
-	}
+	benchSimStep(b, func(b *testing.B) *sim.Machine {
+		m, err := sim.Build(sim.KindSTeMS, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return m
+	})
 }
 
 // BenchmarkSimStepBaseline measures simulator throughput with no
 // prefetcher, isolating cache-model cost.
 func BenchmarkSimStepBaseline(b *testing.B) {
-	spec, _ := workload.ByName("DB2")
-	accs := spec.Generate(1, 200_000)
-	m := sim.NewMachine(config.ScaledSystem(), sim.Nop{})
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		m.Step(accs[i%len(accs)])
-	}
+	benchSimStep(b, func(b *testing.B) *sim.Machine {
+		return sim.NewMachine(config.ScaledSystem(), sim.Nop{})
+	})
 }
 
 // BenchmarkWorkloadGen measures trace generation throughput.

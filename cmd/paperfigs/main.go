@@ -8,27 +8,54 @@
 //	paperfigs -fig 10 -seeds 5  # Figure 10 with five seeds
 //	paperfigs -fig hybrid       # §5.5 naive-hybrid ablation
 //	paperfigs -fig table1
+//	paperfigs -fig all -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// All requested figures share one trace arena, so each workload trace is
+// generated exactly once per invocation regardless of how many figures,
+// predictor kinds, and seeds replay it.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"stems/internal/figures"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		fig         = flag.String("fig", "all", "which figure to regenerate: table1, 6, 7, 8, 9, 10, hybrid, or all")
+		fig         = flag.String("fig", "all", "which figure to regenerate: table1, 6, 7, 8, 9, 10, hybrid, workloads, or all")
 		seed        = flag.Int64("seed", 1, "base workload seed")
 		seeds       = flag.Int("seeds", 5, "independent runs for Figure 10 confidence intervals")
 		accesses    = flag.Int("accesses", 0, "override per-workload trace length (0 = workload default)")
 		serial      = flag.Bool("serial", false, "disable per-workload parallelism")
 		parallelism = flag.Int("parallelism", 0, "concurrent workloads (0 = GOMAXPROCS)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	p := figures.DefaultParams()
 	p.Seed = *seed
@@ -78,6 +105,21 @@ func main() {
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown figure %q (want table1, 6, 7, 8, 9, 10, hybrid, workloads, all)\n", *fig)
-		os.Exit(2)
+		return 2
 	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows live objects
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			return 1
+		}
+	}
+	return 0
 }

@@ -96,21 +96,21 @@ func main() {
 		n = *accesses
 	}
 
-	// Generate the trace once; every sweep point replays the same
-	// read-only slice instead of regenerating it per point.
-	accs := spec.Generate(*seed, n)
+	// Every sweep point shares one trace arena: the first point to run
+	// generates the trace, the rest replay the same read-only slice.
+	arena := stems.NewArena()
 
 	grid := make([]*stems.Runner, len(points))
 	for i, pt := range points {
 		opts := []stems.Option{
-			stems.WithTrace(accs),
+			stems.WithWorkload(spec.Name),
+			stems.WithSharedTrace(arena),
+			stems.WithSeed(*seed),
+			stems.WithAccesses(n),
 			stems.WithPredictor("stems"),
 			stems.WithSystem(stems.ScaledSystem()),
 			stems.WithConfigure(pt.mod),
 			stems.WithLabel(pt.label),
-		}
-		if spec.Scientific {
-			opts = append(opts, stems.WithScientificLookahead())
 		}
 		r, err := stems.New(opts...)
 		if err != nil {

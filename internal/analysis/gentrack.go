@@ -6,6 +6,8 @@
 package analysis
 
 import (
+	"sort"
+
 	"stems/internal/mem"
 	"stems/internal/trace"
 )
@@ -81,10 +83,19 @@ func (t *GenTracker) OnEvict(block mem.Addr) {
 	t.emit(region, g)
 }
 
-// Flush closes every remaining generation (end of trace).
+// Flush closes every remaining generation (end of trace) in region-address
+// order. Go map iteration order is randomized, and downstream consumers
+// (the Figure 8 per-index sequence history) are order-sensitive when two
+// open generations share a lookup index, so an ordered flush is what makes
+// repeated analyses byte-identical at a fixed seed.
 func (t *GenTracker) Flush() {
-	for region, g := range t.active {
-		t.emit(region, g)
+	regions := make([]mem.Addr, 0, len(t.active))
+	for region := range t.active {
+		regions = append(regions, region)
+	}
+	sort.Slice(regions, func(i, j int) bool { return regions[i] < regions[j] })
+	for _, region := range regions {
+		t.emit(region, t.active[region])
 	}
 	t.active = make(map[mem.Addr]*genState)
 }

@@ -91,9 +91,9 @@ func (c *Cache) setFor(block mem.Addr) []way {
 // touching LRU state or statistics.
 func (c *Cache) Contains(addr mem.Addr) bool {
 	block := addr.Block()
-	for i := range c.setFor(block) {
-		w := &c.setFor(block)[i]
-		if w.valid && w.tag == block {
+	set := c.setFor(block)
+	for i := range set {
+		if set[i].valid && set[i].tag == block {
 			return true
 		}
 	}
@@ -129,6 +129,7 @@ func (c *Cache) Fill(addr mem.Addr, write bool) {
 	set := c.setFor(block)
 	c.stamp++
 	victim := 0
+	firstInvalid := -1
 	for i := range set {
 		if set[i].valid && set[i].tag == block {
 			set[i].lru = c.stamp
@@ -138,10 +139,10 @@ func (c *Cache) Fill(addr mem.Addr, write bool) {
 			return
 		}
 		if !set[i].valid {
-			victim = i
-			// An invalid way is always the preferred victim; stop looking
-			// only if no matching tag can follow, which we cannot know, so
-			// keep scanning for the tag but remember this slot.
+			if firstInvalid < 0 {
+				// The preferred victim, but keep scanning for the tag.
+				firstInvalid = i
+			}
 			continue
 		}
 		if set[victim].valid && set[i].lru < set[victim].lru {
@@ -149,11 +150,8 @@ func (c *Cache) Fill(addr mem.Addr, write bool) {
 		}
 	}
 	// Prefer any invalid way over evicting.
-	for i := range set {
-		if !set[i].valid {
-			victim = i
-			break
-		}
+	if firstInvalid >= 0 {
+		victim = firstInvalid
 	}
 	if set[victim].valid && c.OnEvict != nil {
 		c.OnEvict(set[victim].tag)

@@ -12,6 +12,15 @@ type Key struct {
 	Offset int
 }
 
+// pack folds a Key into one machine word for the monomorphic probe table:
+// the region offset occupies the low 5 bits, the PC the rest. Injective
+// for any PC below 2^59 — instruction addresses are at most 57-bit virtual
+// addresses on today's largest machines, and the synthetic suite's PCs are
+// tiny — so table behavior is identical to keying on the struct.
+func (k Key) pack() uint64 {
+	return k.PC<<mem.RegionBlockBits | uint64(k.Offset&(mem.RegionBlocks-1))
+}
+
 // SeqElem is one element of a spatial sequence: a block offset *relative to
 // the trigger block* and the reconstruction delta — the number of global
 // miss-order events interleaved since the previous access of this region
@@ -28,10 +37,21 @@ const relRange = 2*mem.RegionBlocks - 1
 // deltas, plus a 2-bit saturating counter per relative offset providing the
 // hysteresis of §4.3 ("2-bit counters attain the same coverage while
 // roughly halving overpredictions").
+//
+// The sequence is a fixed inline array (a generation records at most one
+// element per region block), so entries are plain 128-byte values stored
+// directly in the table — a PST lookup on the replay loop touches the
+// entry without chasing a heap pointer, and the table never allocates.
 type PSTEntry struct {
-	Seq      []SeqElem
+	seq      [mem.RegionBlocks]SeqElem
+	seqLen   uint8
 	Counters [relRange]uint8
 }
+
+// Sequence returns the stored spatial sequence, most recent observation
+// order. The slice aliases the entry's inline storage; treat it as
+// read-only and do not hold it across Train calls.
+func (e *PSTEntry) Sequence() []SeqElem { return e.seq[:e.seqLen] }
 
 // counterAt returns the saturating counter for a relative offset.
 func (e *PSTEntry) counterAt(rel int8) uint8 {
@@ -54,7 +74,7 @@ func (e *PSTEntry) bumpCounter(rel int8, up bool) {
 // stores the observed spatial sequence"). The paper sizes it at 16K entries
 // × 40B = 640KB, residing in main memory.
 type PST struct {
-	table *lru.Map[Key, *PSTEntry]
+	table *lru.U64Map[PSTEntry] // keyed by Key.pack(); entries by value
 	// useCounters selects hysteresis mode; when false the latest sequence
 	// is used verbatim (bit-vector-equivalent mode, for the ablation).
 	useCounters bool
@@ -65,7 +85,7 @@ type PST struct {
 // NewPST creates a pattern sequence table with the given entry capacity.
 func NewPST(entries int, useCounters bool, threshold uint8) *PST {
 	return &PST{
-		table:       lru.New[Key, *PSTEntry](entries),
+		table:       lru.NewU64[PSTEntry](entries),
 		useCounters: useCounters,
 		threshold:   threshold,
 	}
@@ -80,9 +100,10 @@ func (p *PST) Train(k Key, observed []SeqElem) {
 	if len(observed) == 0 {
 		return
 	}
-	ent, ok := p.table.Peek(k)
+	// Mutate in place when present; recency is refreshed by the final Put.
+	ent, ok := p.table.Peek(k.pack())
 	if !ok {
-		ent = &PSTEntry{}
+		ent = PSTEntry{}
 	}
 	var seen [relRange]bool
 	capped := observed
@@ -101,15 +122,16 @@ func (p *PST) Train(k Key, observed []SeqElem) {
 			ent.Counters[i]--
 		}
 	}
-	ent.Seq = append(ent.Seq[:0], capped...)
-	p.table.Put(k, ent)
+	ent.seqLen = uint8(copy(ent.seq[:], capped))
+	p.table.Put(k.pack(), ent)
 	p.trained++
 }
 
 // Lookup returns the stored sequence for k, nil if absent. The returned
-// entry is shared; callers must not mutate it.
+// pointer aliases the table's storage: read-only, and valid only until
+// the next Train (an insert may displace the entry).
 func (p *PST) Lookup(k Key) *PSTEntry {
-	ent, ok := p.table.Get(k)
+	ent, ok := p.table.GetRef(k.pack())
 	if !ok {
 		return nil
 	}
@@ -123,7 +145,7 @@ func (p *PST) Predicts(ent *PSTEntry, rel int8) bool {
 		return false
 	}
 	if !p.useCounters {
-		for _, el := range ent.Seq {
+		for _, el := range ent.Sequence() {
 			if el.Offset == rel {
 				return true
 			}
@@ -133,19 +155,39 @@ func (p *PST) Predicts(ent *PSTEntry, rel int8) bool {
 	return ent.counterAt(rel) >= p.threshold
 }
 
+// predictsHot is Predicts for callers that already hold a non-nil entry —
+// small enough to inline into the reconstruction expansion loop.
+func (p *PST) predictsHot(ent *PSTEntry, rel int8) bool {
+	if p.useCounters {
+		return ent.counterAt(rel) >= p.threshold
+	}
+	for _, el := range ent.Sequence() {
+		if el.Offset == rel {
+			return true
+		}
+	}
+	return false
+}
+
 // PredictedSeq returns the elements of ent that clear the confidence
 // threshold, in stored (most recent observed) order.
 func (p *PST) PredictedSeq(ent *PSTEntry) []SeqElem {
+	return p.AppendPredicted(nil, ent)
+}
+
+// AppendPredicted appends the confident elements of ent to dst and returns
+// the extended slice — the allocation-free form of PredictedSeq for callers
+// that reuse a scratch buffer.
+func (p *PST) AppendPredicted(dst []SeqElem, ent *PSTEntry) []SeqElem {
 	if ent == nil {
-		return nil
+		return dst
 	}
-	out := make([]SeqElem, 0, len(ent.Seq))
-	for _, el := range ent.Seq {
+	for _, el := range ent.Sequence() {
 		if p.Predicts(ent, el.Offset) {
-			out = append(out, el)
+			dst = append(dst, el)
 		}
 	}
-	return out
+	return dst
 }
 
 // Len returns the number of stored patterns.

@@ -19,8 +19,8 @@ func TestPSTTrainAndLookup(t *testing.T) {
 	if ent == nil {
 		t.Fatal("trained entry not found")
 	}
-	if len(ent.Seq) != 2 || ent.Seq[0].Offset != 4 || ent.Seq[1].Offset != -1 {
-		t.Fatalf("stored seq = %+v", ent.Seq)
+	if len(ent.Sequence()) != 2 || ent.Sequence()[0].Offset != 4 || ent.Sequence()[1].Offset != -1 {
+		t.Fatalf("stored seq = %+v", ent.Sequence())
 	}
 	if p.Trained() != 1 || p.Len() != 1 {
 		t.Fatalf("Trained=%d Len=%d", p.Trained(), p.Len())
@@ -67,8 +67,8 @@ func TestPSTLatestOrderWins(t *testing.T) {
 	p.Train(k, []SeqElem{{Offset: 2, Delta: 0}, {Offset: 7, Delta: 3}})
 	p.Train(k, []SeqElem{{Offset: 7, Delta: 1}, {Offset: 2, Delta: 0}})
 	ent := p.Lookup(k)
-	if ent.Seq[0].Offset != 7 || ent.Seq[0].Delta != 1 {
-		t.Fatalf("latest order not stored: %+v", ent.Seq)
+	if ent.Sequence()[0].Offset != 7 || ent.Sequence()[0].Delta != 1 {
+		t.Fatalf("latest order not stored: %+v", ent.Sequence())
 	}
 }
 
@@ -116,7 +116,7 @@ func TestPSTSequenceCappedAtRegionBlocks(t *testing.T) {
 		long[i] = SeqElem{Offset: int8(i%31 + 1)}
 	}
 	p.Train(Key{PC: 1}, long)
-	if got := len(p.Lookup(Key{PC: 1}).Seq); got > mem.RegionBlocks {
+	if got := len(p.Lookup(Key{PC: 1}).Sequence()); got > mem.RegionBlocks {
 		t.Fatalf("stored sequence length %d > %d", got, mem.RegionBlocks)
 	}
 }

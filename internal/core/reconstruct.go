@@ -1,6 +1,11 @@
 package core
 
-import "stems/internal/mem"
+import (
+	"math/bits"
+
+	"stems/internal/flat"
+	"stems/internal/mem"
+)
 
 // ReconStats counts placement outcomes during reconstruction. §4.3 reports
 // that searching at most two slots forward/backward places 99% of
@@ -25,10 +30,21 @@ type Reconstructor struct {
 	bufSlots int
 	search   int
 
-	// Reusable window storage.
-	slots  []mem.Addr
-	valid  []bool
-	placed map[mem.Addr]bool // window-level dedup
+	// Reusable window storage: the slot buffer, the window-level dedup
+	// state, and the output buffer Window hands back. filled counts valid
+	// slots so a full buffer short-circuits the collision search.
+	//
+	// Dedup is a per-region offset bitmap rather than a per-block hash
+	// set: duplicates can only arise between blocks of the same 32-block
+	// region, and every block place places from one RMOB entry shares that
+	// entry's region — so one region probe covers the entry's temporal
+	// placement and its whole spatial expansion, replacing a hash per
+	// placed block with a hash per consumed entry.
+	slots      []mem.Addr
+	valid      []uint64 // occupancy bitmap over slots
+	filled     int
+	regionBits *flat.U64Table[uint32]
+	out        []mem.Addr
 
 	stats ReconStats
 }
@@ -47,14 +63,22 @@ func NewReconstructor(pst *PST, rmob *RMOB, bufSlots, search int) *Reconstructor
 		rmob:     rmob,
 		bufSlots: bufSlots,
 		search:   search,
-		slots:    make([]mem.Addr, bufSlots),
-		valid:    make([]bool, bufSlots),
-		placed:   make(map[mem.Addr]bool, bufSlots),
+		slots: make([]mem.Addr, bufSlots),
+		valid: make([]uint64, (bufSlots+63)/64),
+		// At most one region per consumed entry, and a window consumes at
+		// most bufSlots entries (slots strictly advance), so the bitmap
+		// table never grows.
+		regionBits: flat.NewU64Table[uint32](bufSlots),
+		out:        make([]mem.Addr, 0, bufSlots),
 	}
 }
 
 // Stats returns cumulative reconstruction statistics.
 func (rc *Reconstructor) Stats() ReconStats { return rc.stats }
+
+func (rc *Reconstructor) slotValid(i int) bool {
+	return rc.valid[i>>6]&(1<<(uint(i)&63)) != 0
+}
 
 // place inserts block at the intended slot, searching ±search for a free
 // slot on collision (§4.3). A block already placed anywhere in the window
@@ -62,36 +86,44 @@ func (rc *Reconstructor) Stats() ReconStats { return rc.stats }
 // nevertheless predict on this pass, and both sources would otherwise
 // consume two slots for one future access, cascading collisions. It reports
 // whether the block was placed.
-func (rc *Reconstructor) place(slot int, block mem.Addr) bool {
-	if rc.placed[block] {
+// dedup is the caller-held dedup bitmap for block's region (see regionBits).
+func (rc *Reconstructor) place(dedup *uint32, slot int, block mem.Addr) bool {
+	bit := uint32(1) << uint(block.RegionOffset())
+	if *dedup&bit != 0 {
 		return true // duplicate of an already-placed block
 	}
-	if slot < 0 || slot >= rc.bufSlots {
+	free := -1
+	if slot >= 0 && slot < rc.bufSlots && rc.filled < rc.bufSlots {
+		free = slot
+		if rc.slotValid(slot) {
+			free = -1
+			for d := 1; d <= rc.search; d++ {
+				if s := slot + d; s < rc.bufSlots && !rc.slotValid(s) {
+					free = s
+					break
+				}
+				if s := slot - d; s >= 0 && !rc.slotValid(s) {
+					free = s
+					break
+				}
+			}
+		}
+	}
+	if free < 0 {
+		// Out of range, buffer full, or collision search exhausted.
 		rc.stats.Dropped++
 		return false
 	}
-	if !rc.valid[slot] {
-		rc.slots[slot], rc.valid[slot] = block, true
-		rc.placed[block] = true
+	*dedup |= bit
+	rc.slots[free] = block
+	rc.valid[free>>6] |= 1 << (uint(free) & 63)
+	rc.filled++
+	if free == slot {
 		rc.stats.PlacedExact++
-		return true
+	} else {
+		rc.stats.PlacedNear++
 	}
-	for d := 1; d <= rc.search; d++ {
-		if s := slot + d; s < rc.bufSlots && !rc.valid[s] {
-			rc.slots[s], rc.valid[s] = block, true
-			rc.placed[block] = true
-			rc.stats.PlacedNear++
-			return true
-		}
-		if s := slot - d; s >= 0 && !rc.valid[s] {
-			rc.slots[s], rc.valid[s] = block, true
-			rc.placed[block] = true
-			rc.stats.PlacedNear++
-			return true
-		}
-	}
-	rc.stats.Dropped++
-	return false
+	return true
 }
 
 // Window reconstructs one buffer of predicted addresses starting from the
@@ -100,14 +132,24 @@ func (rc *Reconstructor) place(slot int, block mem.Addr) bool {
 // region and the index used — the state the AGT keeps for spatial-only
 // stream detection (§4.2). The returned blocks are in predicted total miss
 // order.
+//
+// The returned slice is the reconstructor's reusable output buffer: it is
+// valid until the next Window call. Callers that keep the addresses (the
+// stream engine copies them into queue storage) need no copy.
 func (rc *Reconstructor) Window(pos *uint64, onRegion func(region mem.Addr, k Key)) []mem.Addr {
-	for i := range rc.valid {
-		rc.valid[i] = false
-	}
-	clear(rc.placed)
+	clear(rc.valid)
+	rc.filled = 0
+	rc.regionBits.Reset() // values are uint32 bitmaps; occupancy-only clear
 	prevTrig := 0
 	first := true
 	consumed := 0
+	// Spatial misses of one generation land in the RMOB back to back, so
+	// runs of consecutive entries share a lookup index; a repeat of the
+	// immediately preceding onRegion notification is an exact no-op (same
+	// value, already most-recent) and is skipped.
+	var lastRegion mem.Addr
+	var lastK Key
+	notified := false
 	for {
 		e, ok := rc.rmob.At(*pos)
 		if !ok {
@@ -124,29 +166,35 @@ func (rc *Reconstructor) Window(pos *uint64, onRegion func(region mem.Addr, k Ke
 		*pos++
 		consumed++
 		rc.stats.Entries++
-		rc.place(slot, e.Block)
+		// One region probe serves the temporal placement and the whole
+		// spatial expansion: every block below is in e.Block's region.
+		dedup := rc.regionBits.Ref(uint64(e.Block.Region()))
+		rc.place(dedup, slot, e.Block)
 		prevTrig = slot
 
 		k := Key{PC: e.PC, Offset: e.Block.RegionOffset()}
 		if ent := rc.pst.Lookup(k); ent != nil {
 			rc.stats.SpatialHits++
 			if onRegion != nil {
-				onRegion(e.Block.Region(), k)
+				if region := e.Block.Region(); !notified || region != lastRegion || k != lastK {
+					onRegion(region, k)
+					lastRegion, lastK, notified = region, k, true
+				}
 			}
 			sp := slot
-			for _, el := range ent.Seq {
+			for _, el := range ent.Sequence() {
 				sp += 1 + int(el.Delta)
 				if sp >= rc.bufSlots {
 					break
 				}
-				if !rc.pst.Predicts(ent, el.Offset) {
+				if !rc.pst.predictsHot(ent, el.Offset) {
 					continue
 				}
 				b := mem.Addr(int64(e.Block) + int64(el.Offset)*mem.BlockSize)
 				if !mem.SameRegion(b, e.Block) {
 					continue // defensive: never predict outside the region
 				}
-				rc.place(sp, b)
+				rc.place(dedup, sp, b)
 			}
 		}
 	}
@@ -154,11 +202,13 @@ func (rc *Reconstructor) Window(pos *uint64, onRegion func(region mem.Addr, k Ke
 		return nil
 	}
 	rc.stats.Windows++
-	out := make([]mem.Addr, 0, consumed*2)
-	for i, v := range rc.valid {
-		if v {
-			out = append(out, rc.slots[i])
+	rc.out = rc.out[:0]
+	for w, word := range rc.valid {
+		for word != 0 {
+			i := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			rc.out = append(rc.out, rc.slots[i])
 		}
 	}
-	return out
+	return rc.out
 }

@@ -52,13 +52,13 @@ type STeMS struct {
 	pst   *PST
 	rmob  *RMOB
 	recon *Reconstructor
-	agt   *lru.Map[mem.Addr, *agtGen]
+	agt   *lru.U64Map[*agtGen] // keyed by uint64(region)
 
 	// reconRegions remembers, per region, the spatial lookup index used
 	// during recent reconstructions — the state against which new
 	// generations are compared to detect the need for spatial-only
 	// streams (§4.2).
-	reconRegions *lru.Map[mem.Addr, Key]
+	reconRegions *lru.U64Map[Key] // keyed by uint64(region)
 
 	eventIdx      uint64 // global off-chip read event counter
 	lastRMOBEvent uint64 // eventIdx at the most recent RMOB append
@@ -67,6 +67,16 @@ type STeMS struct {
 	// metadata structure access (PST entries, RMOB segments) goes through
 	// a small on-chip metadata cache whose misses consume real bandwidth.
 	meta *MetaModel
+
+	// Replay-loop scratch, reused so the per-access path stays
+	// allocation-free in steady state: retired generations are recycled,
+	// every reconstructed stream shares one refill closure (per-stream
+	// position lives in Queue.Cursor), and the spatial-only path builds
+	// into persistent buffers (the engine copies them into queue storage).
+	genFree  []*agtGen
+	refillFn func(q *stream.Queue)
+	seqBuf   []SeqElem
+	blockBuf []mem.Addr
 
 	stats Stats
 }
@@ -79,15 +89,18 @@ func New(cfg config.STeMS, engine *stream.Engine) *STeMS {
 	}
 	pst := NewPST(cfg.PSTEntries, cfg.UseCounters, cfg.CounterThreshold)
 	rmob := NewRMOB(cfg.RMOBEntries)
-	return &STeMS{
+	s := &STeMS{
 		cfg:          cfg,
 		engine:       engine,
 		pst:          pst,
 		rmob:         rmob,
 		recon:        NewReconstructor(pst, rmob, cfg.ReconBufEntries, cfg.ReconSearch),
-		agt:          lru.New[mem.Addr, *agtGen](cfg.AGTEntries),
-		reconRegions: lru.New[mem.Addr, Key](4096),
+		agt:          lru.NewU64[*agtGen](cfg.AGTEntries),
+		reconRegions: lru.NewU64[Key](4096),
+		genFree:      make([]*agtGen, 0, cfg.AGTEntries+1),
 	}
+	s.refillFn = s.refillStream
+	return s
 }
 
 // Name implements the Prefetcher interface.
@@ -122,18 +135,19 @@ func (s *STeMS) OnAccess(trace.Access, bool) {}
 // its observed sequence to the PST (§4.1).
 func (s *STeMS) OnL1Evict(block mem.Addr) {
 	region := block.Region()
-	g, ok := s.agt.Peek(region)
+	g, ok := s.agt.Peek(uint64(region))
 	if !ok {
 		return
 	}
 	if g.observed&(1<<block.RegionOffset()) == 0 {
 		return
 	}
-	s.agt.Delete(region)
+	s.agt.Delete(uint64(region))
 	s.retire(g)
 }
 
-// retire trains the PST with a finished generation.
+// retire trains the PST with a finished generation and recycles its
+// storage.
 func (s *STeMS) retire(g *agtGen) {
 	s.stats.Retired++
 	k := Key{PC: g.pc, Offset: g.trigger.RegionOffset()}
@@ -141,6 +155,22 @@ func (s *STeMS) retire(g *agtGen) {
 		s.meta.TouchPST(k)
 	}
 	s.pst.Train(k, g.elems)
+	g.elems = g.elems[:0]
+	if len(s.genFree) < cap(s.genFree) {
+		s.genFree = append(s.genFree, g)
+	}
+}
+
+// newGen pops a recycled generation record, or allocates while the pool is
+// still warming up.
+func (s *STeMS) newGen() *agtGen {
+	if n := len(s.genFree); n > 0 {
+		g := s.genFree[n-1]
+		s.genFree = s.genFree[:n-1]
+		*g = agtGen{elems: g.elems[:0]}
+		return g
+	}
+	return &agtGen{}
 }
 
 func clampDelta(cur, prev uint64) uint8 {
@@ -173,7 +203,7 @@ func (s *STeMS) OnOffChipEvent(a trace.Access, covered bool) {
 
 	isTrigger := false
 	var trigKey Key
-	if g, ok := s.agt.Get(region); ok {
+	if g, ok := s.agt.Get(uint64(region)); ok {
 		bit := uint32(1) << block.RegionOffset()
 		if g.observed&bit == 0 {
 			g.observed |= bit
@@ -200,13 +230,12 @@ func (s *STeMS) OnOffChipEvent(a trace.Access, covered bool) {
 		isTrigger = true
 		s.stats.Triggers++
 		trigKey = Key{PC: a.PC, Offset: block.RegionOffset()}
-		g := &agtGen{
-			trigger:   block,
-			pc:        a.PC,
-			observed:  uint32(1) << block.RegionOffset(),
-			lastEvent: s.eventIdx,
-		}
-		if _, victim, ev := s.agt.Put(region, g); ev {
+		g := s.newGen()
+		g.trigger = block
+		g.pc = a.PC
+		g.observed = uint32(1) << block.RegionOffset()
+		g.lastEvent = s.eventIdx
+		if _, victim, ev := s.agt.Put(uint64(region), g); ev {
 			s.retire(victim)
 		}
 		s.appendRMOB(block, a.PC)
@@ -242,20 +271,17 @@ func (s *STeMS) appendRMOB(block mem.Addr, pc uint64) {
 	s.stats.RMOBAppends++
 }
 
-// rmobCursor is the per-stream reconstruction position (Queue.Tag).
-type rmobCursor struct {
-	pos uint64
-}
-
 // startReconStream begins a reconstructed stream: the window starts at the
 // *previous* occurrence of the missed block, so its spatial sequence (and
-// everything that followed it last time) forms the predicted order.
+// everything that followed it last time) forms the predicted order. The
+// stream's RMOB read position lives in Queue.Cursor so reconstruction
+// resumes from where it left off on refill (§4.2).
 func (s *STeMS) startReconStream(missBlock mem.Addr, prevPos uint64) {
 	if s.engine == nil {
 		return
 	}
-	c := &rmobCursor{pos: prevPos}
-	blocks := s.reconWindow(c)
+	pos := prevPos
+	blocks := s.reconWindow(&pos)
 	// The initiating miss itself is already being fetched on demand.
 	if len(blocks) > 0 && blocks[0] == missBlock {
 		blocks = blocks[1:]
@@ -265,27 +291,29 @@ func (s *STeMS) startReconStream(missBlock mem.Addr, prevPos uint64) {
 	}
 	s.stats.ReconStreams++
 	q := s.engine.NewStream(blocks)
-	q.Tag = c
-	q.Refill = func(q *stream.Queue) {
-		cur, ok := q.Tag.(*rmobCursor)
-		if !ok {
-			return
-		}
-		if more := s.reconWindow(cur); len(more) > 0 {
-			s.engine.Extend(q, more)
-		}
+	q.Cursor = pos
+	q.Refill = s.refillFn
+}
+
+// refillStream is the shared Refill hook for every reconstructed stream.
+func (s *STeMS) refillStream(q *stream.Queue) {
+	pos := q.Cursor
+	more := s.reconWindow(&pos)
+	q.Cursor = pos
+	if len(more) > 0 {
+		s.engine.Extend(q, more)
 	}
 }
 
-func (s *STeMS) reconWindow(c *rmobCursor) []mem.Addr {
-	before := c.pos
-	out := s.recon.Window(&c.pos, func(region mem.Addr, k Key) {
-		s.reconRegions.Put(region, k)
+func (s *STeMS) reconWindow(pos *uint64) []mem.Addr {
+	before := *pos
+	out := s.recon.Window(pos, func(region mem.Addr, k Key) {
+		s.reconRegions.Put(uint64(region), k)
 	})
 	if s.meta != nil {
-		// Reconstruction read the RMOB entries in [before, c.pos) and
+		// Reconstruction read the RMOB entries in [before, *pos) and
 		// performed one PST lookup per entry (§4.2).
-		for p := before; p < c.pos; p++ {
+		for p := before; p < *pos; p++ {
 			s.meta.TouchRMOB(p)
 			if e, ok := s.rmob.At(p); ok {
 				s.meta.TouchPST(Key{PC: e.PC, Offset: e.Block.RegionOffset()})
@@ -310,7 +338,7 @@ func (s *STeMS) maybeSpatialOnly(trigger mem.Addr, k Key, covered bool) {
 	// the reconstructed prediction is not delivering — stream the pattern
 	// regardless of what the reconstruction promised.
 	if covered {
-		if rk, ok := s.reconRegions.Get(trigger.Region()); ok && rk == k {
+		if rk, ok := s.reconRegions.Get(uint64(trigger.Region())); ok && rk == k {
 			return
 		}
 	}
@@ -321,20 +349,20 @@ func (s *STeMS) maybeSpatialOnly(trigger mem.Addr, k Key, covered bool) {
 	if ent == nil {
 		return
 	}
-	seq := s.pst.PredictedSeq(ent)
-	if len(seq) == 0 {
+	s.seqBuf = s.pst.AppendPredicted(s.seqBuf[:0], ent)
+	if len(s.seqBuf) == 0 {
 		return
 	}
-	blocks := make([]mem.Addr, 0, len(seq))
-	for _, el := range seq {
+	s.blockBuf = s.blockBuf[:0]
+	for _, el := range s.seqBuf {
 		b := mem.Addr(int64(trigger) + int64(el.Offset)*mem.BlockSize)
 		if mem.SameRegion(b, trigger) {
-			blocks = append(blocks, b)
+			s.blockBuf = append(s.blockBuf, b)
 		}
 	}
-	if len(blocks) == 0 {
+	if len(s.blockBuf) == 0 {
 		return
 	}
 	s.stats.SpatialOnlyStreams++
-	s.engine.NewEagerStream(blocks)
+	s.engine.NewEagerStream(s.blockBuf)
 }

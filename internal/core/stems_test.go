@@ -79,12 +79,12 @@ func TestTrainingDecomposesFigure3(t *testing.T) {
 		if ent == nil {
 			t.Fatalf("PC %d: no PST entry", pc)
 		}
-		if len(ent.Seq) != len(want) {
-			t.Fatalf("PC %d: seq = %+v, want %+v", pc, ent.Seq, want)
+		if len(ent.Sequence()) != len(want) {
+			t.Fatalf("PC %d: seq = %+v, want %+v", pc, ent.Sequence(), want)
 		}
 		for i := range want {
-			if ent.Seq[i] != want[i] {
-				t.Errorf("PC %d elem %d: got %+v, want %+v", pc, i, ent.Seq[i], want[i])
+			if ent.Sequence()[i] != want[i] {
+				t.Errorf("PC %d elem %d: got %+v, want %+v", pc, i, ent.Sequence()[i], want[i])
 			}
 		}
 	}
@@ -239,8 +239,8 @@ func TestEachBlockRecordedOncePerGeneration(t *testing.T) {
 	if ent == nil {
 		t.Fatal("no trained entry")
 	}
-	if len(ent.Seq) != 2 {
-		t.Fatalf("sequence = %+v, want 2 distinct elements", ent.Seq)
+	if len(ent.Sequence()) != 2 {
+		t.Fatalf("sequence = %+v, want 2 distinct elements", ent.Sequence())
 	}
 }
 
@@ -318,11 +318,11 @@ func TestDeltaClamping(t *testing.T) {
 	s.OnOffChipEvent(trace.Access{Addr: A + mem.BlockSize, PC: 3}, false)
 	s.OnL1Evict(A)
 	ent := s.PST().Lookup(Key{PC: 1, Offset: 0})
-	if ent == nil || len(ent.Seq) != 1 {
+	if ent == nil || len(ent.Sequence()) != 1 {
 		t.Fatalf("entry = %+v", ent)
 	}
-	if ent.Seq[0].Delta != 255 {
-		t.Fatalf("delta = %d, want clamped 255", ent.Seq[0].Delta)
+	if ent.Sequence()[0].Delta != 255 {
+		t.Fatalf("delta = %d, want clamped 255", ent.Sequence()[0].Delta)
 	}
 }
 

@@ -42,11 +42,16 @@ type Params struct {
 	// Parallelism bounds the worker goroutines when Parallel is set
 	// (0 = GOMAXPROCS).
 	Parallelism int
+	// Arena caches generated traces so every figure cell sharing a
+	// (workload, seed, length) replays one slice instead of regenerating
+	// it — pass the same arena to several figures and the whole run
+	// generates each trace once. A nil arena regenerates per cell.
+	Arena *trace.Arena
 }
 
 // DefaultParams returns the scale used for EXPERIMENTS.md.
 func DefaultParams() Params {
-	return Params{Seed: 1, Seeds: 5, System: config.ScaledSystem(), Parallel: true}
+	return Params{Seed: 1, Seeds: 5, System: config.ScaledSystem(), Parallel: true, Arena: trace.NewArena()}
 }
 
 func (p Params) system() config.System {
@@ -56,12 +61,28 @@ func (p Params) system() config.System {
 	return p.System
 }
 
-func (p Params) traceFor(spec workload.Spec) []trace.Access {
-	n := spec.DefaultAccesses
+// accessesFor returns the trace length used for spec.
+func (p Params) accessesFor(spec workload.Spec) int {
 	if p.Accesses > 0 {
-		n = p.Accesses
+		return p.Accesses
 	}
-	return spec.Generate(p.Seed, n)
+	return spec.DefaultAccesses
+}
+
+// traceAt returns spec's trace for an explicit seed, through the arena
+// when one is configured.
+func (p Params) traceAt(spec workload.Spec, seed int64) []trace.Access {
+	n := p.accessesFor(spec)
+	if p.Arena != nil {
+		return p.Arena.Get(spec.Name, seed, n, func() []trace.Access {
+			return spec.Generate(seed, n)
+		})
+	}
+	return spec.Generate(seed, n)
+}
+
+func (p Params) traceFor(spec workload.Spec) []trace.Access {
+	return p.traceAt(spec, p.Seed)
 }
 
 // forEachWorkload runs fn over the suite, optionally in parallel,
@@ -237,7 +258,9 @@ type Fig9Row struct {
 	Cells    []Fig9Cell
 }
 
-// runOne simulates one workload under one predictor.
+// runOne simulates one workload under one predictor. The trace comes from
+// the shared arena, so the predictor kinds (and Figure 10's baseline)
+// replay one generation of each (workload, seed) trace.
 func runOne(p Params, spec workload.Spec, kind sim.Kind, seed int64) sim.Result {
 	opt := sim.DefaultOptions()
 	opt.System = p.system()
@@ -246,11 +269,7 @@ func runOne(p Params, spec workload.Spec, kind sim.Kind, seed int64) sim.Result 
 	if err != nil {
 		panic(err)
 	}
-	n := spec.DefaultAccesses
-	if p.Accesses > 0 {
-		n = p.Accesses
-	}
-	return m.Run(trace.NewSliceSource(spec.Generate(seed, n)))
+	return m.Run(trace.NewSliceSource(p.traceAt(spec, seed)))
 }
 
 // Figure9 measures covered/uncovered/overpredicted per workload and
@@ -338,6 +357,13 @@ func Figure10(p Params) []Fig10Row {
 			for _, kind := range Fig10Kinds {
 				res := runOne(p, spec, kind, seed)
 				row.Speedup[kind].Add(float64(base.Cycles)/float64(res.Cycles) - 1)
+			}
+			if p.Arena != nil && seed != p.Seed {
+				// The extra confidence-interval seeds are Figure 10-only:
+				// release them as soon as their cells finish so peak arena
+				// memory stays near one trace per worker. The base seed
+				// stays resident for the other figures.
+				p.Arena.Drop(spec.Name, seed, p.accessesFor(spec))
 			}
 		}
 		return row

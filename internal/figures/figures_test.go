@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"stems/internal/sim"
+	"stems/internal/trace"
 	"stems/internal/workload"
 )
 
@@ -190,5 +191,99 @@ func TestWorkloadsCharacterization(t *testing.T) {
 	}
 	if out := RenderWorkloads(rows); out == "" {
 		t.Error("empty render")
+	}
+}
+
+// TestFigure10GeneratesEachTraceOnce is the arena acceptance check: a full
+// Figure 10 run — 1 baseline + 3 predictor kinds over every workload and
+// seed — must invoke each workload generator exactly once per (workload,
+// seed), not once per cell.
+func TestFigure10GeneratesEachTraceOnce(t *testing.T) {
+	p := DefaultParams()
+	p.Accesses = 5_000
+	p.Seeds = 2
+	Figure10(p)
+	st := p.Arena.Stats()
+	want := len(workload.Suite()) * p.Seeds
+	if st.Generations != want {
+		t.Fatalf("Figure10 generated %d traces, want exactly %d (one per workload x seed)",
+			st.Generations, want)
+	}
+	if st.Regenerated != 0 {
+		t.Fatalf("%d traces were generated more than once", st.Regenerated)
+	}
+	// The extra confidence-interval seeds must have been dropped; only the
+	// base-seed traces stay resident for other figures.
+	if st.Resident != len(workload.Suite()) {
+		t.Fatalf("%d traces resident after Figure10, want %d (base seed only)",
+			st.Resident, len(workload.Suite()))
+	}
+}
+
+// TestFullFigureRunSharesBaseTraces drives every trace-consuming figure
+// through one shared arena (as cmd/paperfigs does) and asserts the whole
+// run generates each base-seed trace once, with every additional figure a
+// pure cache hit.
+func TestFullFigureRunSharesBaseTraces(t *testing.T) {
+	p := DefaultParams()
+	p.Accesses = 5_000
+	p.Seeds = 2
+	Figure6(p)
+	Figure7(p)
+	Figure8(p)
+	Figure9(p)
+	Figure10(p)
+	HybridAblation(p)
+	Workloads(p)
+	st := p.Arena.Stats()
+	suite := len(workload.Suite())
+	want := suite * p.Seeds // base seed + Figure 10's one extra seed
+	if st.Generations != want {
+		t.Fatalf("full figure run generated %d traces, want %d", st.Generations, want)
+	}
+	if st.Regenerated != 0 {
+		t.Fatalf("%d traces regenerated during a full figure run", st.Regenerated)
+	}
+	if st.Hits == 0 {
+		t.Fatal("no arena hits across a full figure run")
+	}
+}
+
+// TestArenaPathMatchesDirectGeneration is the determinism guard for the
+// arena rewiring: every figure must render byte-identically whether traces
+// come from the shared arena or are regenerated per cell.
+func TestArenaPathMatchesDirectGeneration(t *testing.T) {
+	base := DefaultParams()
+	base.Accesses = 5_000
+	base.Seeds = 2
+
+	withArena := base
+	withArena.Arena = trace.NewArena()
+	direct := base
+	direct.Arena = nil
+
+	for _, tc := range []struct {
+		name   string
+		render func(p Params) string
+	}{
+		{"fig6", func(p Params) string { return RenderFigure6(Figure6(p)) }},
+		{"fig7", func(p Params) string { return RenderFigure7(Figure7(p)) }},
+		{"fig8", func(p Params) string { return RenderFigure8(Figure8(p)) }},
+		{"fig9", func(p Params) string { return RenderFigure9(Figure9(p)) }},
+		{"fig10", func(p Params) string { return RenderFigure10(Figure10(p)) }},
+		{"hybrid", func(p Params) string { return RenderHybrid(HybridAblation(p)) }},
+	} {
+		a := tc.render(withArena)
+		d := tc.render(direct)
+		if a != d {
+			t.Errorf("%s: arena output differs from direct generation:\n--- arena ---\n%s\n--- direct ---\n%s",
+				tc.name, a, d)
+		}
+		// And the arena path must be repeatable with a fresh cache.
+		fresh := base
+		fresh.Arena = trace.NewArena()
+		if again := tc.render(fresh); again != a {
+			t.Errorf("%s: arena output not reproducible across arenas", tc.name)
+		}
 	}
 }

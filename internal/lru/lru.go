@@ -4,7 +4,14 @@
 // fully-associative LRU table of N entries is a slightly generous stand-in
 // for an N-entry set-associative one, which only strengthens the baseline
 // predictors STeMS is compared against.
+//
+// The map is built for the simulator's replay loop: the key index is an
+// open-addressed probe table (internal/flat) over the entry array rather
+// than a Go map, and every slice is sized to capacity at construction, so
+// Get/Put/Delete perform no allocations in steady state.
 package lru
+
+import "stems/internal/flat"
 
 // entry is a node of the intrusive recency list.
 type entry[K comparable, V any] struct {
@@ -16,7 +23,7 @@ type entry[K comparable, V any] struct {
 // Map is a fixed-capacity LRU map. The zero value is not usable; call New.
 type Map[K comparable, V any] struct {
 	capacity int
-	index    map[K]int
+	index    *flat.Table[K, int]
 	entries  []entry[K, V]
 	head     int // most recently used
 	tail     int // least recently used
@@ -24,21 +31,24 @@ type Map[K comparable, V any] struct {
 }
 
 // New creates an LRU map holding at most capacity entries; capacity must be
-// positive.
+// positive. All storage — the entry array, the probe table, and the free
+// list — is allocated here, so the map never allocates again.
 func New[K comparable, V any](capacity int) *Map[K, V] {
 	if capacity <= 0 {
 		panic("lru: non-positive capacity")
 	}
 	return &Map[K, V]{
 		capacity: capacity,
-		index:    make(map[K]int, capacity),
+		index:    flat.NewTable[K, int](capacity),
+		entries:  make([]entry[K, V], 0, capacity),
+		free:     make([]int, 0, capacity),
 		head:     -1,
 		tail:     -1,
 	}
 }
 
 // Len returns the current number of entries.
-func (m *Map[K, V]) Len() int { return len(m.index) }
+func (m *Map[K, V]) Len() int { return m.index.Len() }
 
 // Cap returns the capacity.
 func (m *Map[K, V]) Cap() int { return m.capacity }
@@ -73,19 +83,21 @@ func (m *Map[K, V]) pushFront(i int) {
 
 // Get returns the value for k and refreshes its recency.
 func (m *Map[K, V]) Get(k K) (V, bool) {
-	i, ok := m.index[k]
+	i, ok := m.index.Get(k)
 	if !ok {
 		var zero V
 		return zero, false
 	}
-	m.unlink(i)
-	m.pushFront(i)
+	if m.head != i {
+		m.unlink(i)
+		m.pushFront(i)
+	}
 	return m.entries[i].val, true
 }
 
 // Peek returns the value for k without refreshing recency.
 func (m *Map[K, V]) Peek(k K) (V, bool) {
-	i, ok := m.index[k]
+	i, ok := m.index.Get(k)
 	if !ok {
 		var zero V
 		return zero, false
@@ -96,10 +108,12 @@ func (m *Map[K, V]) Peek(k K) (V, bool) {
 // Put inserts or updates k, refreshing recency. If the insertion displaces
 // the LRU entry, Put returns that entry's key/value with evicted=true.
 func (m *Map[K, V]) Put(k K, v V) (evictedK K, evictedV V, evicted bool) {
-	if i, ok := m.index[k]; ok {
+	if i, ok := m.index.Get(k); ok {
 		m.entries[i].val = v
-		m.unlink(i)
-		m.pushFront(i)
+		if m.head != i {
+			m.unlink(i)
+			m.pushFront(i)
+		}
 		return
 	}
 	var slot int
@@ -115,23 +129,23 @@ func (m *Map[K, V]) Put(k K, v V) (evictedK K, evictedV V, evicted bool) {
 		slot = m.tail
 		victim := &m.entries[slot]
 		evictedK, evictedV, evicted = victim.key, victim.val, true
-		delete(m.index, victim.key)
+		m.index.Delete(victim.key)
 		m.unlink(slot)
 	}
 	m.entries[slot] = entry[K, V]{key: k, val: v, prev: -1, next: -1}
-	m.index[k] = slot
+	m.index.Put(k, slot)
 	m.pushFront(slot)
 	return
 }
 
 // Delete removes k, reporting whether it was present.
 func (m *Map[K, V]) Delete(k K) bool {
-	i, ok := m.index[k]
+	i, ok := m.index.Get(k)
 	if !ok {
 		return false
 	}
 	m.unlink(i)
-	delete(m.index, k)
+	m.index.Delete(k)
 	m.free = append(m.free, i)
 	return true
 }

@@ -223,3 +223,202 @@ func TestRetainsMostRecent(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// refLRU is a deliberately naive reference implementation: a Go map plus a
+// recency-ordered slice. The open-addressed index inside Map must be
+// observationally indistinguishable from it.
+type refLRU struct {
+	capacity int
+	vals     map[int]int
+	order    []int // front = LRU, back = MRU
+}
+
+func newRefLRU(capacity int) *refLRU {
+	return &refLRU{capacity: capacity, vals: map[int]int{}}
+}
+
+func (r *refLRU) touch(k int) {
+	for i, kk := range r.order {
+		if kk == k {
+			r.order = append(append(r.order[:i:i], r.order[i+1:]...), k)
+			return
+		}
+	}
+}
+
+func (r *refLRU) get(k int) (int, bool) {
+	v, ok := r.vals[k]
+	if ok {
+		r.touch(k)
+	}
+	return v, ok
+}
+
+func (r *refLRU) peek(k int) (int, bool) {
+	v, ok := r.vals[k]
+	return v, ok
+}
+
+func (r *refLRU) put(k, v int) (int, int, bool) {
+	if _, ok := r.vals[k]; ok {
+		r.vals[k] = v
+		r.touch(k)
+		return 0, 0, false
+	}
+	var ek, ev int
+	evicted := false
+	if len(r.vals) == r.capacity {
+		ek = r.order[0]
+		ev = r.vals[ek]
+		evicted = true
+		delete(r.vals, ek)
+		r.order = r.order[1:]
+	}
+	r.vals[k] = v
+	r.order = append(r.order, k)
+	return ek, ev, evicted
+}
+
+func (r *refLRU) del(k int) bool {
+	if _, ok := r.vals[k]; !ok {
+		return false
+	}
+	delete(r.vals, k)
+	for i, kk := range r.order {
+		if kk == k {
+			r.order = append(r.order[:i:i], r.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Property: under randomized Get/Peek/Put/Delete sequences — at several
+// capacities and key-space densities — the open-addressed Map agrees with
+// the reference on every return value, on eviction victims, on LRUKey, and
+// on full MRU-to-LRU iteration order. This is the regression net for the
+// probe table's backward-shift deletion.
+func TestPropertyMatchesReference(t *testing.T) {
+	for _, tc := range []struct {
+		capacity, keySpace int
+	}{
+		{1, 4}, {2, 8}, {7, 16}, {8, 8}, {64, 48}, {64, 256}, {257, 1024},
+	} {
+		rng := rand.New(rand.NewSource(int64(tc.capacity*100000 + tc.keySpace)))
+		m := New[int, int](tc.capacity)
+		ref := newRefLRU(tc.capacity)
+		for step := 0; step < 30000; step++ {
+			k := rng.Intn(tc.keySpace)
+			switch rng.Intn(5) {
+			case 0, 1:
+				gek, gev, gevicted := m.Put(k, step)
+				rek, rev, revicted := ref.put(k, step)
+				if gevicted != revicted || (gevicted && (gek != rek || gev != rev)) {
+					t.Fatalf("cap=%d space=%d step=%d: Put(%d) evicted (%d,%d,%v), ref (%d,%d,%v)",
+						tc.capacity, tc.keySpace, step, k, gek, gev, gevicted, rek, rev, revicted)
+				}
+			case 2:
+				gv, gok := m.Get(k)
+				rv, rok := ref.get(k)
+				if gok != rok || (gok && gv != rv) {
+					t.Fatalf("cap=%d space=%d step=%d: Get(%d) = (%d,%v), ref (%d,%v)",
+						tc.capacity, tc.keySpace, step, k, gv, gok, rv, rok)
+				}
+			case 3:
+				gv, gok := m.Peek(k)
+				rv, rok := ref.peek(k)
+				if gok != rok || (gok && gv != rv) {
+					t.Fatalf("cap=%d space=%d step=%d: Peek(%d) mismatch", tc.capacity, tc.keySpace, step, k)
+				}
+			case 4:
+				if m.Delete(k) != ref.del(k) {
+					t.Fatalf("cap=%d space=%d step=%d: Delete(%d) mismatch", tc.capacity, tc.keySpace, step, k)
+				}
+			}
+			if m.Len() != len(ref.vals) {
+				t.Fatalf("cap=%d space=%d step=%d: Len=%d ref=%d",
+					tc.capacity, tc.keySpace, step, m.Len(), len(ref.vals))
+			}
+			if lk, lok := m.LRUKey(); len(ref.order) == 0 {
+				if lok {
+					t.Fatalf("cap=%d space=%d step=%d: LRUKey on empty", tc.capacity, tc.keySpace, step)
+				}
+			} else if !lok || lk != ref.order[0] {
+				t.Fatalf("cap=%d space=%d step=%d: LRUKey=%d,%v ref=%d",
+					tc.capacity, tc.keySpace, step, lk, lok, ref.order[0])
+			}
+			if step%1000 == 0 { // full-order audit, amortized
+				var got []int
+				m.Each(func(k, v int) bool { got = append(got, k); return true })
+				if len(got) != len(ref.order) {
+					t.Fatalf("cap=%d space=%d step=%d: Each len=%d ref=%d",
+						tc.capacity, tc.keySpace, step, len(got), len(ref.order))
+				}
+				for i := range got {
+					if got[i] != ref.order[len(ref.order)-1-i] {
+						t.Fatalf("cap=%d space=%d step=%d: Each order %v, ref (rev) %v",
+							tc.capacity, tc.keySpace, step, got, ref.order)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property: U64Map (the monomorphic hot-path variant) agrees with the
+// generic Map on every operation under the same randomized workload —
+// including GetRef, which must match Get's value and recency effect.
+func TestU64MapMatchesGenericMap(t *testing.T) {
+	for _, capacity := range []int{1, 3, 8, 64} {
+		g := New[uint64, int](capacity)
+		u := NewU64[int](capacity)
+		rng := rand.New(rand.NewSource(int64(capacity)))
+		for step := 0; step < 30000; step++ {
+			k := uint64(rng.Intn(3 * capacity))
+			switch rng.Intn(5) {
+			case 0, 1:
+				gek, gev, gevicted := g.Put(k, step)
+				uek, uev, uevicted := u.Put(k, step)
+				if gevicted != uevicted || gek != uek || gev != uev {
+					t.Fatalf("cap=%d step=%d: Put(%d) evictions differ: (%d,%d,%v) vs (%d,%d,%v)",
+						capacity, step, k, gek, gev, gevicted, uek, uev, uevicted)
+				}
+			case 2:
+				gv, gok := g.Get(k)
+				uv, uok := u.Get(k)
+				if gok != uok || gv != uv {
+					t.Fatalf("cap=%d step=%d: Get(%d) differ", capacity, step, k)
+				}
+			case 3:
+				gv, gok := g.Get(k)
+				ref, uok := u.GetRef(k)
+				if gok != uok || (gok && *ref != gv) {
+					t.Fatalf("cap=%d step=%d: GetRef(%d) differ", capacity, step, k)
+				}
+			case 4:
+				if g.Delete(k) != u.Delete(k) {
+					t.Fatalf("cap=%d step=%d: Delete(%d) differ", capacity, step, k)
+				}
+			}
+			if g.Len() != u.Len() {
+				t.Fatalf("cap=%d step=%d: Len differ %d vs %d", capacity, step, g.Len(), u.Len())
+			}
+			gk, gok := g.LRUKey()
+			uk, uok := u.LRUKey()
+			if gok != uok || gk != uk {
+				t.Fatalf("cap=%d step=%d: LRUKey differ", capacity, step)
+			}
+		}
+		var gorder, uorder []uint64
+		g.Each(func(k uint64, v int) bool { gorder = append(gorder, k); return true })
+		u.Each(func(k uint64, v int) bool { uorder = append(uorder, k); return true })
+		if len(gorder) != len(uorder) {
+			t.Fatalf("cap=%d: Each lengths differ", capacity)
+		}
+		for i := range gorder {
+			if gorder[i] != uorder[i] {
+				t.Fatalf("cap=%d: Each order differs at %d: %v vs %v", capacity, i, gorder, uorder)
+			}
+		}
+	}
+}

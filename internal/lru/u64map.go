@@ -1,0 +1,169 @@
+package lru
+
+import "stems/internal/flat"
+
+// U64Map is Map monomorphized for uint64 keys over flat.U64Table, so the
+// whole probe path — hash included — inlines into Get/Put/Delete. The
+// predictor structures keyed by addresses or regions on the per-access
+// path (the STeMS AGT and reconstruction-region table) use it; keys must
+// be injective in uint64, which addresses trivially are.
+type U64Map[V any] struct {
+	capacity int
+	index    *flat.U64Table[int]
+	entries  []entry[uint64, V]
+	head     int
+	tail     int
+	free     []int
+}
+
+// NewU64 creates a U64Map holding at most capacity entries; capacity must
+// be positive. Like New, all storage is allocated here.
+func NewU64[V any](capacity int) *U64Map[V] {
+	if capacity <= 0 {
+		panic("lru: non-positive capacity")
+	}
+	return &U64Map[V]{
+		capacity: capacity,
+		index:    flat.NewU64Table[int](capacity),
+		entries:  make([]entry[uint64, V], 0, capacity),
+		free:     make([]int, 0, capacity),
+		head:     -1,
+		tail:     -1,
+	}
+}
+
+// Len returns the current number of entries.
+func (m *U64Map[V]) Len() int { return m.index.Len() }
+
+// Cap returns the capacity.
+func (m *U64Map[V]) Cap() int { return m.capacity }
+
+func (m *U64Map[V]) unlink(i int) {
+	e := &m.entries[i]
+	if e.prev >= 0 {
+		m.entries[e.prev].next = e.next
+	} else {
+		m.head = e.next
+	}
+	if e.next >= 0 {
+		m.entries[e.next].prev = e.prev
+	} else {
+		m.tail = e.prev
+	}
+	e.prev, e.next = -1, -1
+}
+
+func (m *U64Map[V]) pushFront(i int) {
+	e := &m.entries[i]
+	e.prev = -1
+	e.next = m.head
+	if m.head >= 0 {
+		m.entries[m.head].prev = i
+	}
+	m.head = i
+	if m.tail < 0 {
+		m.tail = i
+	}
+}
+
+// Get returns the value for k and refreshes its recency.
+func (m *U64Map[V]) Get(k uint64) (V, bool) {
+	i, ok := m.index.Get(k)
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	if m.head != i {
+		m.unlink(i)
+		m.pushFront(i)
+	}
+	return m.entries[i].val, true
+}
+
+// GetRef is Get returning a pointer into the map's entry storage instead
+// of copying the value — the read path for large values (the PST's inline
+// pattern entries). The pointer is read-only for callers and valid only
+// until the next Put or Delete, which may displace the entry.
+func (m *U64Map[V]) GetRef(k uint64) (*V, bool) {
+	i, ok := m.index.Get(k)
+	if !ok {
+		return nil, false
+	}
+	if m.head != i {
+		m.unlink(i)
+		m.pushFront(i)
+	}
+	return &m.entries[i].val, true
+}
+
+// Peek returns the value for k without refreshing recency.
+func (m *U64Map[V]) Peek(k uint64) (V, bool) {
+	i, ok := m.index.Get(k)
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	return m.entries[i].val, true
+}
+
+// Put inserts or updates k, refreshing recency; it reports the displaced
+// LRU entry, if any, exactly like Map.Put.
+func (m *U64Map[V]) Put(k uint64, v V) (evictedK uint64, evictedV V, evicted bool) {
+	if i, ok := m.index.Get(k); ok {
+		m.entries[i].val = v
+		if m.head != i {
+			m.unlink(i)
+			m.pushFront(i)
+		}
+		return
+	}
+	var slot int
+	switch {
+	case len(m.free) > 0:
+		slot = m.free[len(m.free)-1]
+		m.free = m.free[:len(m.free)-1]
+	case len(m.entries) < m.capacity:
+		m.entries = append(m.entries, entry[uint64, V]{})
+		slot = len(m.entries) - 1
+	default:
+		slot = m.tail
+		victim := &m.entries[slot]
+		evictedK, evictedV, evicted = victim.key, victim.val, true
+		m.index.Delete(victim.key)
+		m.unlink(slot)
+	}
+	m.entries[slot] = entry[uint64, V]{key: k, val: v, prev: -1, next: -1}
+	m.index.Put(k, slot)
+	m.pushFront(slot)
+	return
+}
+
+// Delete removes k, reporting whether it was present.
+func (m *U64Map[V]) Delete(k uint64) bool {
+	i, ok := m.index.Get(k)
+	if !ok {
+		return false
+	}
+	m.unlink(i)
+	m.index.Delete(k)
+	m.free = append(m.free, i)
+	return true
+}
+
+// Each calls fn for every entry in MRU-to-LRU order; if fn returns false
+// iteration stops. Mutating the map inside fn is not allowed.
+func (m *U64Map[V]) Each(fn func(k uint64, v V) bool) {
+	for i := m.head; i >= 0; i = m.entries[i].next {
+		if !fn(m.entries[i].key, m.entries[i].val) {
+			return
+		}
+	}
+}
+
+// LRUKey returns the least-recently-used key, if any.
+func (m *U64Map[V]) LRUKey() (uint64, bool) {
+	if m.tail < 0 {
+		return 0, false
+	}
+	return m.entries[m.tail].key, true
+}

@@ -8,9 +8,18 @@
 // topped up to its lookahead depth. Streams are victimized LRU-by-activity
 // when all queues are busy. Blocks evicted from the SVB unconsumed are
 // overpredictions.
+//
+// The engine sits directly on the replay loop's off-chip path, so all of
+// its state is pre-sized at construction: the SVB is a fixed slot array
+// indexed by an open-addressed flat table (no per-fetch heap entries), and
+// queue address buffers are retained across stream victimizations. After
+// warm-up the engine performs no allocations.
 package stream
 
-import "stems/internal/mem"
+import (
+	"stems/internal/flat"
+	"stems/internal/mem"
+)
 
 // Fetcher issues an off-chip transfer for a prefetched block and returns
 // the cycle at which the block will be ready in the SVB. The simulator's
@@ -66,17 +75,20 @@ func (c Config) withDefaults() Config {
 }
 
 // Queue is one stream: a FIFO of predicted block addresses plus in-flight
-// accounting.
+// accounting. The pending FIFO is a head-indexed slice whose backing array
+// survives victimization, so steady-state streaming does not allocate.
 type Queue struct {
 	id      int
 	pending []mem.Addr
+	ph      int // pending head: pending[ph:] is the live FIFO
 	// Refill, if non-nil, is invoked when pending drops below the
 	// threshold; the owner appends more addresses via Extend. It is the
 	// hook through which STeMS "resumes reconstruction from where it left
 	// off" (§4.2).
 	Refill func(q *Queue)
-	// Tag lets the owner attach identifying state (e.g. the RMOB cursor).
-	Tag any
+	// Cursor is owner state: the predictor's read position for this stream
+	// (the RMOB or CMOB position reconstruction resumes from).
+	Cursor uint64
 
 	inflight  int
 	activity  uint64 // last fetch or hit stamp, for LRU victimization
@@ -87,7 +99,29 @@ type Queue struct {
 }
 
 // Len returns the number of pending (not yet fetched) addresses.
-func (q *Queue) Len() int { return len(q.pending) }
+func (q *Queue) Len() int { return len(q.pending) - q.ph }
+
+// push appends addrs to the FIFO, first compacting consumed headroom so the
+// backing array is reused instead of regrown.
+func (q *Queue) push(addrs []mem.Addr) {
+	if q.ph > 0 {
+		n := copy(q.pending, q.pending[q.ph:])
+		q.pending = q.pending[:n]
+		q.ph = 0
+	}
+	q.pending = append(q.pending, addrs...)
+}
+
+// pop removes and returns the FIFO head; the caller checks Len first.
+func (q *Queue) pop() mem.Addr {
+	a := q.pending[q.ph]
+	q.ph++
+	if q.ph == len(q.pending) {
+		q.pending = q.pending[:0]
+		q.ph = 0
+	}
+	return a
+}
 
 // Stats aggregates engine activity.
 type Stats struct {
@@ -108,6 +142,7 @@ type svbEntry struct {
 	owner    int // queue id, -1 for direct fetches
 	ownerGen int
 	stamp    uint64
+	active   bool
 }
 
 // Engine owns the stream queues and the SVB.
@@ -121,9 +156,17 @@ type Engine struct {
 	ShouldFetch func(block mem.Addr) bool
 
 	queues []Queue
-	svb    map[mem.Addr]*svbEntry
-	stamp  uint64
-	stats  Stats
+	// The SVB: a fixed slot array, a block-address index over it, and a
+	// free-slot stack. Occupancy is SVBEntries minus free slots. svbStamps
+	// mirrors the entry stamps in one compact array so the eviction scan
+	// (which runs with every slot occupied) touches a few cache lines
+	// instead of the whole entry array.
+	svb       []svbEntry
+	svbStamps []uint64
+	svbIndex  *flat.U64Table[int]
+	svbFree   []int
+	stamp     uint64
+	stats     Stats
 
 	// Adaptive lookahead state.
 	curLookahead int
@@ -138,9 +181,15 @@ func NewEngine(cfg Config, fetcher Fetcher) *Engine {
 		cfg:          cfg,
 		fetcher:      fetcher,
 		Clock:        func() uint64 { return 0 },
-		svb:          make(map[mem.Addr]*svbEntry, cfg.SVBEntries),
+		svb:          make([]svbEntry, cfg.SVBEntries),
+		svbStamps:    make([]uint64, cfg.SVBEntries),
+		svbIndex:     flat.NewU64Table[int](cfg.SVBEntries),
+		svbFree:      make([]int, 0, cfg.SVBEntries),
 		queues:       make([]Queue, cfg.Queues),
 		curLookahead: cfg.Lookahead,
+	}
+	for i := cfg.SVBEntries - 1; i >= 0; i-- {
+		e.svbFree = append(e.svbFree, i)
 	}
 	for i := range e.queues {
 		e.queues[i].id = i
@@ -156,7 +205,7 @@ func (e *Engine) Config() Config { return e.cfg }
 
 // NewStream allocates a stream queue (victimizing the least-recently-active
 // one if necessary), seeds it with addrs, and fetches the probe block.
-// It returns the queue so the owner can set Refill/Tag before extending.
+// It returns the queue so the owner can set Refill/Cursor before extending.
 func (e *Engine) NewStream(addrs []mem.Addr) *Queue {
 	return e.newStream(addrs, true)
 }
@@ -187,9 +236,15 @@ func (e *Engine) newStream(addrs []mem.Addr, probation bool) *Queue {
 		// never consumed they will age out as overpredictions, matching
 		// the paper's accounting.
 	}
-	victim.dead++
-	*victim = Queue{id: victim.id, dead: victim.dead, active: true, probation: probation}
-	victim.pending = append(victim.pending, addrs...)
+	// Reset the queue but keep its pending backing array for reuse.
+	*victim = Queue{
+		id:        victim.id,
+		dead:      victim.dead + 1,
+		active:    true,
+		probation: probation,
+		pending:   victim.pending[:0],
+	}
+	victim.push(addrs)
 	victim.activity = e.tick()
 	e.stats.Streams++
 	e.pump(victim)
@@ -201,7 +256,7 @@ func (e *Engine) Extend(q *Queue, addrs []mem.Addr) {
 	if !q.active {
 		return
 	}
-	q.pending = append(q.pending, addrs...)
+	q.push(addrs)
 	e.pump(q)
 }
 
@@ -212,21 +267,23 @@ func (e *Engine) Extend(q *Queue, addrs []mem.Addr) {
 // readyAt (timeliness, §5.6).
 func (e *Engine) Lookup(addr mem.Addr) (hit bool, readyAt uint64) {
 	block := addr.Block()
-	ent, ok := e.svb[block]
+	slot, ok := e.svbIndex.Get(uint64(block))
 	if !ok {
 		return false, 0
 	}
-	delete(e.svb, block)
-	e.stats.Consumed++
+	ent := &e.svb[slot]
+	owner, ownerGen := ent.owner, ent.ownerGen
 	readyAt = ent.readyAt
+	e.release(block, slot)
+	e.stats.Consumed++
 	if e.cfg.Adaptive {
 		e.adapt(readyAt > e.Clock())
 	} else if readyAt > e.Clock() {
 		e.stats.LateHits++
 	}
-	if ent.owner >= 0 {
-		q := &e.queues[ent.owner]
-		if q.active && q.dead == ent.ownerGen {
+	if owner >= 0 {
+		q := &e.queues[owner]
+		if q.active && q.dead == ownerGen {
 			if q.inflight > 0 {
 				q.inflight--
 			}
@@ -241,10 +298,16 @@ func (e *Engine) Lookup(addr mem.Addr) (hit bool, readyAt uint64) {
 	return true, readyAt
 }
 
+// release frees an SVB slot and its index mapping.
+func (e *Engine) release(block mem.Addr, slot int) {
+	e.svbIndex.Delete(uint64(block))
+	e.svb[slot] = svbEntry{}
+	e.svbFree = append(e.svbFree, slot)
+}
+
 // Contains reports whether block is currently buffered, without consuming.
 func (e *Engine) Contains(addr mem.Addr) bool {
-	_, ok := e.svb[addr.Block()]
-	return ok
+	return e.svbIndex.Has(uint64(addr.Block()))
 }
 
 // Direct fetches a single block into the SVB without stream ownership —
@@ -258,8 +321,8 @@ func (e *Engine) Direct(block mem.Addr) {
 // overprediction if never consumed.
 func (e *Engine) Invalidate(addr mem.Addr) {
 	block := addr.Block()
-	if _, ok := e.svb[block]; ok {
-		delete(e.svb, block)
+	if slot, ok := e.svbIndex.Get(uint64(block)); ok {
+		e.release(block, slot)
 		e.stats.Overpredicted++
 	}
 }
@@ -267,8 +330,12 @@ func (e *Engine) Invalidate(addr mem.Addr) {
 // Drain counts all still-buffered blocks as overpredictions; call at end of
 // simulation so unconsumed prefetches are accounted.
 func (e *Engine) Drain() {
-	e.stats.Overpredicted += uint64(len(e.svb))
-	e.svb = make(map[mem.Addr]*svbEntry, e.cfg.SVBEntries)
+	for i := range e.svb {
+		if e.svb[i].active {
+			e.stats.Overpredicted++
+			e.release(e.svb[i].block, i)
+		}
+	}
 }
 
 // adapt updates the dynamic lookahead from one consumption observation.
@@ -299,6 +366,16 @@ func (e *Engine) adapt(late bool) {
 // Lookahead returns the current (possibly adapted) stream depth.
 func (e *Engine) Lookahead() int { return e.curLookahead }
 
+// drainInto fetches from the queue's FIFO until the stream reaches limit
+// blocks in flight or runs out of addresses.
+func (e *Engine) drainInto(q *Queue, limit int) {
+	for q.inflight < limit && q.Len() > 0 {
+		if e.fetchInto(q.pop().Block(), q.id, q.dead) {
+			q.inflight++
+		}
+	}
+}
+
 // pump tops a stream up to its lookahead, honoring probation, and triggers
 // the refill callback when the queue runs low.
 func (e *Engine) pump(q *Queue) {
@@ -306,26 +383,14 @@ func (e *Engine) pump(q *Queue) {
 	if q.probation {
 		limit = 1
 	}
-	for q.inflight < limit && len(q.pending) > 0 {
-		block := q.pending[0].Block()
-		q.pending = q.pending[1:]
-		if e.fetchInto(block, q.id, q.dead) {
-			q.inflight++
-		}
-	}
-	if len(q.pending) < e.cfg.RefillThreshold && q.Refill != nil && !q.refilling {
+	e.drainInto(q, limit)
+	if q.Len() < e.cfg.RefillThreshold && q.Refill != nil && !q.refilling {
 		q.refilling = true
 		q.Refill(q)
 		q.refilling = false
 		// One more pump pass in case the refill delivered addresses and
 		// we still have lookahead headroom.
-		for q.inflight < limit && len(q.pending) > 0 {
-			block := q.pending[0].Block()
-			q.pending = q.pending[1:]
-			if e.fetchInto(block, q.id, q.dead) {
-				q.inflight++
-			}
-		}
+		e.drainInto(q, limit)
 	}
 }
 
@@ -333,7 +398,7 @@ func (e *Engine) pump(q *Queue) {
 // oldest unconsumed entry if the SVB is full. Returns false if the fetch
 // was suppressed.
 func (e *Engine) fetchInto(block mem.Addr, owner int, ownerGen int) bool {
-	if _, dup := e.svb[block]; dup {
+	if e.svbIndex.Has(uint64(block)) {
 		e.stats.Skipped++
 		return false
 	}
@@ -341,36 +406,45 @@ func (e *Engine) fetchInto(block mem.Addr, owner int, ownerGen int) bool {
 		e.stats.Skipped++
 		return false
 	}
-	if len(e.svb) >= e.cfg.SVBEntries {
+	if len(e.svbFree) == 0 {
 		e.evictOldest()
 	}
+	slot := e.svbFree[len(e.svbFree)-1]
+	e.svbFree = e.svbFree[:len(e.svbFree)-1]
 	readyAt := e.fetcher.Fetch(block)
-	e.svb[block] = &svbEntry{
+	e.svb[slot] = svbEntry{
 		block:    block,
 		readyAt:  readyAt,
 		owner:    owner,
 		ownerGen: ownerGen,
 		stamp:    e.tick(),
+		active:   true,
 	}
+	e.svbStamps[slot] = e.svb[slot].stamp
+	e.svbIndex.Put(uint64(block), slot)
 	e.stats.Fetched++
 	return true
 }
 
 func (e *Engine) evictOldest() {
-	var victim *svbEntry
-	for _, ent := range e.svb {
-		if victim == nil || ent.stamp < victim.stamp {
-			victim = ent
+	// Called only with every slot occupied (the free list is empty), so
+	// the stamp mirror is fully live: pure argmin, no validity checks.
+	victim := -1
+	for i, st := range e.svbStamps {
+		if victim < 0 || st < e.svbStamps[victim] {
+			victim = i
 		}
 	}
-	if victim != nil {
-		delete(e.svb, victim.block)
-		e.stats.Overpredicted++
-		if victim.owner >= 0 {
-			q := &e.queues[victim.owner]
-			if q.active && q.dead == victim.ownerGen && q.inflight > 0 {
-				q.inflight--
-			}
+	if victim < 0 || !e.svb[victim].active {
+		return
+	}
+	ent := e.svb[victim]
+	e.release(ent.block, victim)
+	e.stats.Overpredicted++
+	if ent.owner >= 0 {
+		q := &e.queues[ent.owner]
+		if q.active && q.dead == ent.ownerGen && q.inflight > 0 {
+			q.inflight--
 		}
 	}
 }
@@ -383,4 +457,4 @@ func (e *Engine) tick() uint64 {
 }
 
 // SVBOccupancy returns the number of blocks currently buffered.
-func (e *Engine) SVBOccupancy() int { return len(e.svb) }
+func (e *Engine) SVBOccupancy() int { return e.cfg.SVBEntries - len(e.svbFree) }

@@ -11,6 +11,7 @@ package tms
 
 import (
 	"stems/internal/config"
+	"stems/internal/flat"
 	"stems/internal/mem"
 	"stems/internal/stream"
 	"stems/internal/trace"
@@ -24,19 +25,25 @@ type Stats struct {
 	StaleLookups uint64 // index entries invalidated by CMOB wrap-around
 }
 
-// cursor is the per-stream read position in the CMOB (stored in Queue.Tag).
-type cursor struct {
-	pos uint64 // next CMOB position to read
-}
-
 // TMS is the prefetcher.
 type TMS struct {
 	cfg    config.TMS
 	engine *stream.Engine
 
-	cmob    []mem.Addr          // ring buffer of miss block addresses
-	appends uint64              // total entries ever appended
-	index   map[mem.Addr]uint64 // block -> most recent append position
+	cmob    []mem.Addr // ring buffer of miss block addresses
+	mask    uint64     // len(cmob)-1 when a power of two, else 0
+	appends uint64     // total entries ever appended
+	// index maps block -> most recent append position. Like the STeMS
+	// RMOB it is an open-addressed flat table on the per-miss path, sized
+	// with headroom over the ring and rebuilt from live ring contents when
+	// lapped mappings fill it, so the replay loop never allocates.
+	index *flat.U64Table[uint64]
+
+	// Per-stream read positions live in Queue.Cursor; all streams share
+	// one refill closure and one chunk buffer (the engine copies chunks
+	// into queue storage).
+	refillFn func(q *stream.Queue)
+	chunkBuf []mem.Addr
 
 	stats Stats
 }
@@ -46,12 +53,17 @@ func New(cfg config.TMS, engine *stream.Engine) *TMS {
 	if cfg.CMOBEntries <= 0 {
 		cfg = config.DefaultTMS()
 	}
-	return &TMS{
+	t := &TMS{
 		cfg:    cfg,
 		engine: engine,
 		cmob:   make([]mem.Addr, cfg.CMOBEntries),
-		index:  make(map[mem.Addr]uint64),
+		index:  flat.NewU64Table[uint64](cfg.CMOBEntries + cfg.CMOBEntries/4),
 	}
+	if n := cfg.CMOBEntries; n&(n-1) == 0 {
+		t.mask = uint64(n - 1)
+	}
+	t.refillFn = t.refillStream
+	return t
 }
 
 // Name implements the Prefetcher interface.
@@ -93,62 +105,91 @@ func (t *TMS) OnOffChipEvent(a trace.Access, covered bool) {
 	t.startStream(prev + 1)
 }
 
+// slot maps an absolute position onto the ring (mask when power of two).
+func (t *TMS) slot(pos uint64) uint64 {
+	if t.mask != 0 {
+		return pos & t.mask
+	}
+	return pos % uint64(len(t.cmob))
+}
+
 // lookup returns the most recent valid CMOB position of block.
 func (t *TMS) lookup(block mem.Addr) (uint64, bool) {
-	pos, ok := t.index[block]
+	pos, ok := t.index.Get(uint64(block))
 	if !ok {
 		return 0, false
 	}
-	if t.appends-pos > uint64(len(t.cmob)) || t.cmob[pos%uint64(len(t.cmob))] != block {
+	if t.appends-pos > uint64(len(t.cmob)) || t.cmob[t.slot(pos)] != block {
 		// The ring lapped this entry; the mapping is stale.
 		t.stats.StaleLookups++
-		delete(t.index, block)
+		t.index.Delete(uint64(block))
 		return 0, false
 	}
 	return pos, true
 }
 
 func (t *TMS) append(block mem.Addr) {
-	t.cmob[t.appends%uint64(len(t.cmob))] = block
-	t.index[block] = t.appends
+	t.cmob[t.slot(t.appends)] = block
+	if t.index.Full() {
+		t.reindex()
+	}
+	t.index.Put(uint64(block), t.appends)
 	t.appends++
 	t.stats.Appends++
 }
 
-// readChunk copies up to n CMOB entries starting at c.pos, advancing the
-// cursor. It stops at the append head or when the ring has overwritten the
-// requested region.
-func (t *TMS) readChunk(c *cursor, n int) []mem.Addr {
-	out := make([]mem.Addr, 0, n)
-	for len(out) < n && c.pos < t.appends {
-		if t.appends-c.pos > uint64(len(t.cmob)) {
+// reindex rebuilds the address index from the live ring, shedding lapped
+// mappings; live entries fill at most half the index, so the rebuilt table
+// is never full.
+func (t *TMS) reindex() {
+	t.index.Clear()
+	start := uint64(0)
+	if t.appends > uint64(len(t.cmob)) {
+		start = t.appends - uint64(len(t.cmob))
+	}
+	for p := start; p < t.appends; p++ {
+		t.index.Put(uint64(t.cmob[t.slot(p)]), p)
+	}
+}
+
+// readChunk fills the shared chunk buffer with up to n CMOB entries
+// starting at *pos, advancing the position. It stops at the append head or
+// when the ring has overwritten the requested region. The returned slice
+// is valid until the next readChunk call; the stream engine copies it.
+func (t *TMS) readChunk(pos *uint64, n int) []mem.Addr {
+	t.chunkBuf = t.chunkBuf[:0]
+	for len(t.chunkBuf) < n && *pos < t.appends {
+		if t.appends-*pos > uint64(len(t.cmob)) {
 			// Fell too far behind; the ring overwrote this position.
 			break
 		}
-		out = append(out, t.cmob[c.pos%uint64(len(t.cmob))])
-		c.pos++
+		t.chunkBuf = append(t.chunkBuf, t.cmob[t.slot(*pos)])
+		*pos++
 	}
-	return out
+	return t.chunkBuf
 }
 
 func (t *TMS) startStream(from uint64) {
-	c := &cursor{pos: from}
-	chunk := t.readChunk(c, 2*t.cfg.Lookahead)
+	pos := from
+	chunk := t.readChunk(&pos, 2*t.cfg.Lookahead)
 	if len(chunk) == 0 {
 		t.stats.LookupMisses++
 		return
 	}
 	t.stats.StreamsBegun++
 	q := t.engine.NewStream(chunk)
-	q.Tag = c
-	q.Refill = func(q *stream.Queue) {
-		cur, ok := q.Tag.(*cursor)
-		if !ok {
-			return
-		}
-		if more := t.readChunk(cur, 2*t.cfg.Lookahead); len(more) > 0 {
-			t.engine.Extend(q, more)
-		}
+	q.Cursor = pos
+	q.Refill = t.refillFn
+}
+
+// refillStream is the shared Refill hook: it resumes the CMOB traversal
+// from the stream's cursor.
+func (t *TMS) refillStream(q *stream.Queue) {
+	pos := q.Cursor
+	more := t.readChunk(&pos, 2*t.cfg.Lookahead)
+	q.Cursor = pos
+	if len(more) > 0 {
+		t.engine.Extend(q, more)
 	}
 }
 

@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func testTrace(n int) []Access {
+	out := make([]Access, n)
+	for i := range out {
+		out[i] = Access{Addr: 64 * (1 + 1<<30), PC: uint64(i)}
+	}
+	return out
+}
+
+func TestArenaGeneratesOnce(t *testing.T) {
+	a := NewArena()
+	var calls atomic.Int64
+	gen := func() []Access {
+		calls.Add(1)
+		return testTrace(4)
+	}
+	first := a.Get("wl", 1, 4, gen)
+	second := a.Get("wl", 1, 4, gen)
+	if calls.Load() != 1 {
+		t.Fatalf("generator ran %d times, want 1", calls.Load())
+	}
+	if &first[0] != &second[0] {
+		t.Fatal("second Get returned a different slice")
+	}
+	st := a.Stats()
+	if st.Generations != 1 || st.Hits != 1 || st.Resident != 1 || st.Regenerated != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestArenaKeysAreDistinct(t *testing.T) {
+	a := NewArena()
+	var calls atomic.Int64
+	gen := func() []Access { calls.Add(1); return testTrace(2) }
+	a.Get("wl", 1, 2, gen)
+	a.Get("wl", 2, 2, gen) // different seed
+	a.Get("wl", 1, 3, gen) // different length
+	a.Get("other", 1, 2, gen)
+	if calls.Load() != 4 {
+		t.Fatalf("generator ran %d times, want 4", calls.Load())
+	}
+}
+
+func TestArenaConcurrentSingleFlight(t *testing.T) {
+	a := NewArena()
+	var calls atomic.Int64
+	gen := func() []Access { calls.Add(1); return testTrace(8) }
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if got := a.Get("wl", 7, 8, gen); len(got) != 8 {
+				t.Errorf("len = %d", len(got))
+			}
+		}()
+	}
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Fatalf("generator ran %d times under contention, want 1", calls.Load())
+	}
+}
+
+func TestArenaDropReleasesAndCounts(t *testing.T) {
+	a := NewArena()
+	var calls atomic.Int64
+	gen := func() []Access { calls.Add(1); return testTrace(2) }
+	a.Get("wl", 1, 2, gen)
+	a.Drop("wl", 1, 2)
+	if st := a.Stats(); st.Resident != 0 {
+		t.Fatalf("resident after drop = %d", st.Resident)
+	}
+	a.Get("wl", 1, 2, gen)
+	if calls.Load() != 2 {
+		t.Fatalf("generator ran %d times, want 2 (regenerated after Drop)", calls.Load())
+	}
+	if got := a.Generations("wl", 1, 2); got != 2 {
+		t.Fatalf("Generations = %d, want 2", got)
+	}
+	if st := a.Stats(); st.Regenerated != 1 {
+		t.Fatalf("Regenerated = %d, want 1", st.Regenerated)
+	}
+	// Dropping an absent key is a no-op.
+	a.Drop("missing", 9, 9)
+}

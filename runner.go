@@ -26,6 +26,7 @@ type Runner struct {
 	traceAccs    []Access
 	traceSet     bool
 	sourceFn     func() Source
+	arena        *Arena
 
 	seed     int64
 	accesses int
@@ -86,6 +87,20 @@ func WithTrace(accs []Access) Option {
 // Source.
 func WithSourceFunc(fn func() Source) Option {
 	return func(r *Runner) { r.sourceFn = fn }
+}
+
+// WithSharedTrace routes this Runner's workload generation through a trace
+// arena: the first Run of any (workload, seed, length) combination
+// generates the trace, every other Runner sharing the arena replays the
+// same read-only slice. Hand one arena to every Runner of a Sweep grid and
+// an N-point sweep generates its trace once instead of N times.
+//
+// The arena only applies to workload sources (WithWorkload /
+// WithWorkloadSpec); file, slice, and custom sources are already
+// caller-shared. Traces are keyed by workload name, so specs sharing an
+// arena must have distinct names.
+func WithSharedTrace(a *Arena) Option {
+	return func(r *Runner) { r.arena = a }
 }
 
 // WithPredictor selects the predictor by registered name (see Predictors
@@ -244,6 +259,12 @@ func (r *Runner) source() (Source, error) {
 		n := r.spec.DefaultAccesses
 		if r.accesses > 0 {
 			n = r.accesses
+		}
+		if r.arena != nil {
+			accs := r.arena.Get(r.spec.Name, r.seed, n, func() []Access {
+				return r.spec.Generate(r.seed, n)
+			})
+			return trace.NewSliceSource(accs), nil
 		}
 		return trace.NewSliceSource(r.spec.Generate(r.seed, n)), nil
 	case r.traceFile != "":

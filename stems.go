@@ -73,6 +73,11 @@ type (
 	TraceReader = trace.Reader
 	// Addr is a byte address in the simulated physical address space.
 	Addr = mem.Addr
+	// Arena is a concurrency-safe cache of generated workload traces;
+	// see NewArena and WithSharedTrace.
+	Arena = trace.Arena
+	// ArenaStats summarizes an Arena's generation/hit activity.
+	ArenaStats = trace.ArenaStats
 	// StreamEngine is the streamed value buffer and fetch engine a
 	// predictor issues prefetches through (see Machine.AttachEngine).
 	StreamEngine = stream.Engine
@@ -143,6 +148,12 @@ func NewTraceReader(r io.Reader) *TraceReader { return trace.NewReader(r) }
 
 // NewSliceSource adapts an in-memory access slice to a Source.
 func NewSliceSource(accs []Access) Source { return trace.NewSliceSource(accs) }
+
+// NewArena creates a shared trace cache for use with WithSharedTrace:
+// every Runner (or Sweep grid) handed the same arena generates each
+// (workload, seed, length) trace exactly once and replays a shared
+// read-only slice thereafter.
+func NewArena() *Arena { return trace.NewArena() }
 
 // ReadTraceFile loads up to max accesses (0 = all) from a binary trace
 // file written by NewTraceWriter / cmd/tracegen.

@@ -145,3 +145,57 @@ func TestSweepRunErrorPropagates(t *testing.T) {
 		t.Fatal("sweep swallowed a run error")
 	}
 }
+
+// TestSweepSharedTraceMatchesPerRunGeneration asserts that a sweep grid
+// sharing one trace arena produces results identical to runners that each
+// regenerate the workload trace — and that the arena generated the trace
+// exactly once for the whole grid.
+func TestSweepSharedTraceMatchesPerRunGeneration(t *testing.T) {
+	mods := []func(*stems.Options){
+		func(o *stems.Options) { o.STeMS.Lookahead = 4 },
+		func(o *stems.Options) { o.STeMS.Lookahead = 8 },
+		func(o *stems.Options) { o.STeMS.RMOBEntries = 4 << 10 },
+	}
+	build := func(arena *stems.Arena, mod func(*stems.Options)) *stems.Runner {
+		opts := []stems.Option{
+			stems.WithWorkload("DB2"),
+			stems.WithAccesses(20_000),
+			stems.WithSystem(stems.ScaledSystem()),
+			stems.WithConfigure(mod),
+		}
+		if arena != nil {
+			opts = append(opts, stems.WithSharedTrace(arena))
+		}
+		r, err := stems.New(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	arena := stems.NewArena()
+	shared := make([]*stems.Runner, len(mods))
+	solo := make([]*stems.Runner, len(mods))
+	for i, mod := range mods {
+		shared[i] = build(arena, mod)
+		solo[i] = build(nil, mod)
+	}
+
+	sharedRes, err := stems.Sweep(context.Background(), shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloRes, err := stems.Sweep(context.Background(), solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range mods {
+		if sharedRes[i] != soloRes[i] {
+			t.Errorf("point %d: shared-trace result %+v != per-run result %+v",
+				i, sharedRes[i], soloRes[i])
+		}
+	}
+	if st := arena.Stats(); st.Generations != 1 || st.Hits != len(mods)-1 {
+		t.Errorf("arena stats = %+v, want 1 generation and %d hits", st, len(mods)-1)
+	}
+}
