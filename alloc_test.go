@@ -60,6 +60,30 @@ func TestMachineStepZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestStepBlockZeroAlloc asserts the batched block kernel stays
+// allocation-free in steady state: replaying arena-cached columnar blocks
+// through a warm STeMS machine must not touch the heap, or the sweep and
+// figure paths (which now ride RunBlocks) silently regress.
+func TestStepBlockZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	m, accs := warmSTeMSMachine(t)
+	bt := trace.NewBlockTrace(accs)
+	cur := 0
+	blocks := make([]*trace.Block, bt.NumBlocks())
+	for i := range blocks {
+		blocks[i] = bt.BlockAt(i)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		m.StepBlock(blocks[cur%len(blocks)])
+		cur++
+	})
+	if avg != 0 {
+		t.Fatalf("Machine.StepBlock allocated %.3f objects per steady-state block, want 0", avg)
+	}
+}
+
 // TestLRUMapZeroAlloc asserts that lru.Map Get/Put perform no allocations
 // once the table is at capacity — the mix includes hits (recency refresh),
 // misses, and inserts that force LRU eviction.

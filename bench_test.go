@@ -301,6 +301,74 @@ func BenchmarkSimStepBaseline(b *testing.B) {
 	})
 }
 
+// benchSimBlocks is the block-pipeline counterpart of benchSimStep: the
+// same DB2 trace, pre-packed into columnar blocks, replayed through
+// Machine.StepBlock. The accesses/sec metric is directly comparable with
+// the per-access benchmarks' — the end-to-end replay number of README.md.
+func benchSimBlocks(b *testing.B, mk func(b *testing.B) *sim.Machine) {
+	b.Helper()
+	spec, _ := workload.ByName("DB2")
+	bt := trace.NewBlockTrace(spec.Generate(1, 200_000))
+	blocks := make([]*trace.Block, bt.NumBlocks())
+	for i := range blocks {
+		blocks[i] = bt.BlockAt(i)
+	}
+	b.ResetTimer()
+	i := 0
+	for i < b.N {
+		m := mk(b)
+		for j := 0; j < len(blocks) && i < b.N; j++ {
+			m.StepBlock(blocks[j])
+			i += blocks[j].N
+		}
+	}
+	b.StopTimer()
+	// i, not b.N: the loop executes whole blocks, so at -benchtime=1x it
+	// has replayed a full block (4096 accesses), not one.
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(i)/secs, "accesses/sec")
+	}
+}
+
+// BenchmarkSimBlocksSTeMS measures block-pipeline throughput with the full
+// STeMS predictor — the headline replay number, compared against
+// BenchmarkSimStepSTeMS (the per-access path).
+func BenchmarkSimBlocksSTeMS(b *testing.B) {
+	opt := sim.DefaultOptions()
+	opt.System = config.ScaledSystem()
+	benchSimBlocks(b, func(b *testing.B) *sim.Machine {
+		m, err := sim.Build(sim.KindSTeMS, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return m
+	})
+}
+
+// BenchmarkSimBlocksBaseline measures the block kernel with no prefetcher:
+// the cache model plus the batched loop, nothing else.
+func BenchmarkSimBlocksBaseline(b *testing.B) {
+	benchSimBlocks(b, func(b *testing.B) *sim.Machine {
+		return sim.NewMachine(config.ScaledSystem(), sim.Nop{})
+	})
+}
+
+// BenchmarkTraceMemory reports the resident bytes/access of the two trace
+// representations the arena can hold: the legacy []Access versus the
+// columnar BlockTrace. The ratio is the arena footprint win.
+func BenchmarkTraceMemory(b *testing.B) {
+	spec, _ := workload.ByName("DB2")
+	var aos, soa float64
+	for i := 0; i < b.N; i++ {
+		accs := spec.Generate(1, 100_000)
+		bt := trace.NewBlockTrace(accs)
+		aos = 24 * float64(len(accs)) // unsafe.Sizeof(trace.Access{})
+		soa = float64(bt.MemBytes()) / float64(bt.Len())
+	}
+	b.ReportMetric(aos/100_000, "aos-bytes/access")
+	b.ReportMetric(soa, "soa-bytes/access")
+}
+
 // BenchmarkWorkloadGen measures trace generation throughput.
 func BenchmarkWorkloadGen(b *testing.B) {
 	for i := 0; i < b.N; i++ {

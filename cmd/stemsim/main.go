@@ -43,19 +43,21 @@ func main() {
 		sys = stems.PaperSystem()
 	}
 
-	// The access stream is materialized once and shared read-only by
-	// every runner — generating per predictor would cost len(kinds)
-	// copies of a multi-hundred-thousand-entry trace.
+	// The access stream is materialized once, in compact columnar block
+	// form, and shared read-only by every runner — each gets its own
+	// cursor over the same BlockTrace, so running len(kinds) predictors
+	// costs one trace generation and one resident copy.
 	opts := []stems.Option{stems.WithSystem(sys)}
 	header := ""
+	var bt *stems.BlockTrace
 	if *traceFile != "" {
-		accs, err := stems.ReadTraceFile(*traceFile, *accesses)
+		var err error
+		bt, err = stems.ReadTraceFileBlocks(*traceFile, *accesses)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		opts = append(opts, stems.WithTrace(accs))
-		header = fmt.Sprintf("trace %s: %d accesses", *traceFile, len(accs))
+		header = fmt.Sprintf("trace %s: %d accesses", *traceFile, bt.Len())
 	} else {
 		spec, err := stems.WorkloadByName(*wl)
 		if err != nil {
@@ -66,12 +68,13 @@ func main() {
 		if *accesses > 0 {
 			n = *accesses
 		}
-		opts = append(opts, stems.WithTrace(spec.Generate(*seed, n)))
+		bt = spec.GenerateBlocks(*seed, n)
 		if spec.Scientific {
 			opts = append(opts, stems.WithScientificLookahead())
 		}
 		header = fmt.Sprintf("workload %s (%s): %d accesses, seed %d", spec.Name, spec.Class, n, *seed)
 	}
+	opts = append(opts, stems.WithBlockSourceFunc(bt.Blocks))
 
 	grid := make([]*stems.Runner, len(kinds))
 	for i, kind := range kinds {

@@ -5,13 +5,21 @@
 // every predictor).
 //
 //	tracegen -workload DB2 -o db2.trace
+//	tracegen -workload DB2 -o db2.trace -format v2
 //	tracegen -workload em3d -stats
 //	stemsim -trace db2.trace -prefetcher stems
+//
+// -format selects the on-disk encoding: v1 is the fixed-width 24
+// bytes/record legacy format, v2 (the default) the columnar frame format
+// with delta-coded addresses and PC dictionaries. -stats reports the
+// record count, distinct PCs, and the encoded bytes/access under both
+// formats, so the v2 compression is observable per workload.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -19,16 +27,33 @@ import (
 	"stems/internal/mem"
 )
 
+// formatVersion maps the -format flag to a trace format version.
+func formatVersion(s string) (int, bool) {
+	switch s {
+	case "v1", "1":
+		return 1, true
+	case "v2", "2":
+		return 2, true
+	}
+	return 0, false
+}
+
 func main() {
 	var (
 		wl       = flag.String("workload", "DB2", "workload name: "+strings.Join(stems.WorkloadNames(), ", "))
 		out      = flag.String("o", "", "output trace file (empty = stats only)")
+		format   = flag.String("format", "v2", "trace format: v1 (fixed records) or v2 (columnar frames)")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		accesses = flag.Int("accesses", 0, "trace length (0 = workload default)")
 		stats    = flag.Bool("stats", false, "print trace statistics")
 	)
 	flag.Parse()
 
+	version, ok := formatVersion(*format)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown trace format %q (want v1 or v2)\n", *format)
+		os.Exit(2)
+	}
 	spec, err := stems.WorkloadByName(*wl)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -40,13 +65,21 @@ func main() {
 	}
 	accs := spec.Generate(*seed, n)
 
+	// When a file is written, its byte count doubles as the size sample
+	// for that format in -stats, sparing a redundant encode.
+	writtenVersion, writtenBytes := 0, int64(0)
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		w := stems.NewTraceWriter(f)
+		cw := &countWriter{w: f}
+		w, err := stems.NewTraceWriterVersion(cw, version)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		if err := w.WriteAll(accs); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -59,15 +92,48 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %d accesses to %s\n", w.Count(), *out)
+		fmt.Printf("wrote %d accesses to %s (%s, %d bytes, %.2f bytes/access)\n",
+			w.Count(), *out, *format, cw.n, float64(cw.n)/float64(len(accs)))
+		writtenVersion, writtenBytes = version, cw.n
 	}
 
 	if *stats || *out == "" {
-		printStats(spec, accs)
+		printStats(spec, accs, writtenVersion, writtenBytes)
 	}
 }
 
-func printStats(spec stems.Workload, accs []stems.Access) {
+// countWriter counts bytes passing through to w (which may be nil for
+// size-only encoding).
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	if c.w == nil {
+		return len(p), nil
+	}
+	return c.w.Write(p)
+}
+
+// encodedSize returns the byte size of accs under the given format.
+func encodedSize(accs []stems.Access, version int) int64 {
+	cw := &countWriter{}
+	w, err := stems.NewTraceWriterVersion(cw, version)
+	if err != nil {
+		panic(err)
+	}
+	if err := w.WriteAll(accs); err != nil {
+		panic(err)
+	}
+	if err := w.Flush(); err != nil {
+		panic(err)
+	}
+	return cw.n
+}
+
+func printStats(spec stems.Workload, accs []stems.Access, writtenVersion int, writtenBytes int64) {
 	var writes, deps uint64
 	regions := map[mem.Addr]bool{}
 	blocks := map[mem.Addr]bool{}
@@ -86,6 +152,13 @@ func printStats(spec stems.Workload, accs []stems.Access) {
 		think += uint64(a.Think)
 	}
 	n := float64(len(accs))
+	sizeOf := func(version int) int64 {
+		if version == writtenVersion {
+			return writtenBytes
+		}
+		return encodedSize(accs, version)
+	}
+	v1, v2 := sizeOf(1), sizeOf(2)
 	fmt.Printf("workload:         %s (%s)\n", spec.Name, spec.Class)
 	fmt.Printf("accesses:         %d\n", len(accs))
 	fmt.Printf("writes:           %.1f%%\n", 100*float64(writes)/n)
@@ -95,4 +168,7 @@ func printStats(spec stems.Workload, accs []stems.Access) {
 	fmt.Printf("distinct regions: %d\n", len(regions))
 	fmt.Printf("distinct PCs:     %d\n", len(pcs))
 	fmt.Printf("mean think:       %.1f cycles/access\n", float64(think)/n)
+	fmt.Printf("v1 size:          %d bytes (%.2f bytes/access)\n", v1, float64(v1)/n)
+	fmt.Printf("v2 size:          %d bytes (%.2f bytes/access, %.1fx smaller)\n",
+		v2, float64(v2)/n, float64(v1)/float64(v2))
 }

@@ -1,0 +1,129 @@
+// Equivalence suite for the columnar block pipeline: for every registered
+// predictor and every workload of the paper's suite, replaying a trace
+// through the batched kernel (Machine.RunBlocks over SoA blocks) must
+// produce a Result identical to the legacy per-access path (Machine.Step
+// per Access). The figure harness and the public Runner both ride the
+// block pipeline, so this is what keeps fixed-seed figure outputs
+// byte-identical across the refactor.
+package stems_test
+
+import (
+	"testing"
+
+	"stems/internal/config"
+	"stems/internal/mem"
+	"stems/internal/sim"
+	"stems/internal/trace"
+	"stems/internal/workload"
+
+	_ "stems/internal/predictors"
+)
+
+// equivKindOptions builds the options the figure harness uses for spec.
+func equivKindOptions(spec workload.Spec) sim.Options {
+	opt := sim.DefaultOptions()
+	opt.System = config.ScaledSystem()
+	opt.Scientific = spec.Scientific
+	return opt
+}
+
+func TestBlockPipelineMatchesPerAccessPath(t *testing.T) {
+	const accesses = 12_000
+	for _, spec := range workload.Suite() {
+		accs := spec.Generate(1, accesses)
+		bt := trace.NewBlockTrace(accs)
+		for _, kind := range sim.AllKinds() {
+			opt := equivKindOptions(spec)
+
+			legacy, err := sim.Build(kind, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, a := range accs {
+				legacy.Step(a)
+			}
+			want := legacy.Finish()
+
+			batched, err := sim.Build(kind, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := batched.RunBlocks(bt.Blocks())
+
+			if got != want {
+				t.Errorf("%s/%s: block pipeline Result diverged\n got: %+v\nwant: %+v",
+					spec.Name, kind, got, want)
+			}
+		}
+	}
+}
+
+// TestRunMatchesRunBlocks pins Run's adapter path (per-access Source in,
+// block kernel inside) to the direct block path.
+func TestRunMatchesRunBlocks(t *testing.T) {
+	spec, err := workload.ByName("DB2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accs := spec.Generate(3, 20_000)
+	opt := equivKindOptions(spec)
+
+	m1, err := sim.Build(sim.KindSTeMS, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := m1.Run(trace.NewSliceSource(accs))
+
+	m2, err := sim.Build(sim.KindSTeMS, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := m2.RunBlocks(trace.NewBlockTrace(accs).Blocks())
+
+	if r1 != r2 {
+		t.Fatalf("Run vs RunBlocks diverged:\n r1: %+v\n r2: %+v", r1, r2)
+	}
+}
+
+// TestCollectMissStreamBlocksMatches pins the batched analysis front end
+// to the per-access one: identical miss and eviction streams.
+func TestCollectMissStreamBlocksMatches(t *testing.T) {
+	spec, err := workload.ByName("Apache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accs := spec.Generate(2, 30_000)
+	sys := config.ScaledSystem()
+
+	type event struct {
+		a     trace.Access
+		evict uint64
+		kind  byte
+	}
+	collect := func(run func(onMiss func(trace.Access), onEvict func(uint64))) []event {
+		var evs []event
+		run(
+			func(a trace.Access) { evs = append(evs, event{a: a, kind: 'm'}) },
+			func(b uint64) { evs = append(evs, event{evict: b, kind: 'e'}) },
+		)
+		return evs
+	}
+
+	legacy := collect(func(onMiss func(trace.Access), onEvict func(uint64)) {
+		sim.CollectMissStream(sys, trace.NewSliceSource(accs),
+			onMiss, func(b mem.Addr) { onEvict(uint64(b)) })
+	})
+	batched := collect(func(onMiss func(trace.Access), onEvict func(uint64)) {
+		sim.CollectMissStreamBlocks(sys, trace.NewBlockTrace(accs).Blocks(),
+			onMiss, func(b mem.Addr) { onEvict(uint64(b)) })
+	})
+
+	if len(legacy) != len(batched) {
+		t.Fatalf("event counts differ: legacy %d, batched %d", len(legacy), len(batched))
+	}
+	for i := range legacy {
+		if legacy[i] != batched[i] {
+			t.Fatalf("event %d differs: legacy %+v, batched %+v", i, legacy[i], batched[i])
+		}
+	}
+}

@@ -206,7 +206,7 @@ func TestCategorizeMassConservation(t *testing.T) {
 
 // spatialTrace: many fresh regions sharing one PC/layout — SMS-predictable,
 // TMS-hopeless.
-func spatialTrace(n int) trace.Source {
+func spatialTrace(n int) trace.BlockSource {
 	var accs []trace.Access
 	offsets := []int{0, 4, 9, 13}
 	region := 100
@@ -216,12 +216,12 @@ func spatialTrace(n int) trace.Source {
 		}
 		region++
 	}
-	return trace.NewSliceSource(accs[:n])
+	return trace.Blocks(trace.NewSliceSource(accs[:n]))
 }
 
 // temporalTrace: one long pointer-chase sequence over scattered blocks,
 // repeated — TMS-predictable, SMS-hopeless.
-func temporalTrace(n int) trace.Source {
+func temporalTrace(n int) trace.BlockSource {
 	rng := rand.New(rand.NewSource(11))
 	chain := make([]trace.Access, 400)
 	for i := range chain {
@@ -235,7 +235,7 @@ func temporalTrace(n int) trace.Source {
 	for len(accs) < n {
 		accs = append(accs, chain...)
 	}
-	return trace.NewSliceSource(accs[:n])
+	return trace.Blocks(trace.NewSliceSource(accs[:n]))
 }
 
 func TestJointSpatialWorkload(t *testing.T) {
@@ -277,7 +277,7 @@ func TestJointResultArithmetic(t *testing.T) {
 
 // genTrace emits the same region layout in a fixed or jittered order over
 // many fresh regions under one PC.
-func genTrace(n int, swap bool) trace.Source {
+func genTrace(n int, swap bool) trace.BlockSource {
 	var accs []trace.Access
 	region := 100
 	for len(accs) < n {
@@ -290,7 +290,7 @@ func genTrace(n int, swap bool) trace.Source {
 		}
 		region++
 	}
-	return trace.NewSliceSource(accs[:n])
+	return trace.Blocks(trace.NewSliceSource(accs[:n]))
 }
 
 func TestCorrDistPerfectRepetition(t *testing.T) {
@@ -331,7 +331,7 @@ func TestCorrDistUnmatchedPairs(t *testing.T) {
 		}
 		// Alternate regions so generations close via eviction pressure.
 	}
-	cd := CorrDistances(testSystem(), trace.NewSliceSource(accs))
+	cd := CorrDistances(testSystem(), trace.Blocks(trace.NewSliceSource(accs)))
 	if cd.Unmatched == 0 {
 		t.Fatalf("no unmatched pairs despite disjoint footprints: %+v", cd)
 	}

@@ -77,8 +77,8 @@ func (o *corrObserver) compare(g Generation) {
 	o.prior.Put(g.Key, g.Seq)
 }
 
-// CorrDistances runs the Figure 8 analysis over one trace.
-func CorrDistances(sys config.System, src trace.Source) *CorrDist {
+// CorrDistances runs the Figure 8 analysis over one block-trace stream.
+func CorrDistances(sys config.System, bs trace.BlockSource) *CorrDist {
 	res := &CorrDist{Hist: stats.NewHist(-32, 32)}
 	obs := &corrObserver{
 		tracker: NewGenTracker(),
@@ -87,7 +87,7 @@ func CorrDistances(sys config.System, src trace.Source) *CorrDist {
 	}
 	obs.tracker.OnEnd = obs.compare
 	m := sim.NewMachine(sys, obs)
-	m.Run(src)
+	m.RunBlocks(bs)
 	obs.tracker.Flush()
 	return res
 }

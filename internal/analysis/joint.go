@@ -185,13 +185,13 @@ func (o *jointObserver) OnOffChipEvent(a trace.Access, covered bool) {
 	}
 }
 
-// Joint runs the Figure 6 classification over one trace.
-func Joint(sys config.System, smsCfg config.SMS, src trace.Source) JointResult {
+// Joint runs the Figure 6 classification over one block-trace stream.
+func Joint(sys config.System, smsCfg config.SMS, bs trace.BlockSource) JointResult {
 	obs := &jointObserver{
 		spatial:  sms.New(smsCfg, nil),
 		temporal: newTMSOracle(8, 8),
 	}
 	m := sim.NewMachine(sys, obs)
-	m.Run(src)
+	m.RunBlocks(bs)
 	return obs.res
 }

@@ -130,11 +130,11 @@ func (o *repetitionObserver) OnOffChipEvent(a trace.Access, covered bool) {
 	}
 }
 
-// Repetitions runs the Figure 7 analysis over one trace.
-func Repetitions(sys config.System, src trace.Source) Repetition {
+// Repetitions runs the Figure 7 analysis over one block-trace stream.
+func Repetitions(sys config.System, bs trace.BlockSource) Repetition {
 	obs := &repetitionObserver{tracker: NewGenTracker()}
 	m := sim.NewMachine(sys, obs)
-	m.Run(src)
+	m.RunBlocks(bs)
 	rep := Repetition{
 		AllAddrs: Categorize(obs.all),
 		Triggers: Categorize(obs.triggers),

@@ -84,14 +84,11 @@ func (rc *Reconstructor) slotValid(i int) bool {
 // slot on collision (§4.3). A block already placed anywhere in the window
 // is not placed twice: the RMOB records spatial *misses* that the PST may
 // nevertheless predict on this pass, and both sources would otherwise
-// consume two slots for one future access, cascading collisions. It reports
-// whether the block was placed.
-// dedup is the caller-held dedup bitmap for block's region (see regionBits).
-func (rc *Reconstructor) place(dedup *uint32, slot int, block mem.Addr) bool {
-	bit := uint32(1) << uint(block.RegionOffset())
-	if *dedup&bit != 0 {
-		return true // duplicate of an already-placed block
-	}
+// consume two slots for one future access, cascading collisions — callers
+// test the dedup bit before calling, so place never sees a duplicate.
+// dedup is the caller-held dedup bitmap for block's region (see
+// regionBits) and bit the block's offset bit within it.
+func (rc *Reconstructor) place(dedup *uint32, bit uint32, slot int, block mem.Addr) {
 	free := -1
 	if slot >= 0 && slot < rc.bufSlots && rc.filled < rc.bufSlots {
 		free = slot
@@ -112,7 +109,7 @@ func (rc *Reconstructor) place(dedup *uint32, slot int, block mem.Addr) bool {
 	if free < 0 {
 		// Out of range, buffer full, or collision search exhausted.
 		rc.stats.Dropped++
-		return false
+		return
 	}
 	*dedup |= bit
 	rc.slots[free] = block
@@ -123,7 +120,6 @@ func (rc *Reconstructor) place(dedup *uint32, slot int, block mem.Addr) bool {
 	} else {
 		rc.stats.PlacedNear++
 	}
-	return true
 }
 
 // Window reconstructs one buffer of predicted addresses starting from the
@@ -146,15 +142,24 @@ func (rc *Reconstructor) Window(pos *uint64, onRegion func(region mem.Addr, k Ke
 	// Spatial misses of one generation land in the RMOB back to back, so
 	// runs of consecutive entries share a lookup index; a repeat of the
 	// immediately preceding onRegion notification is an exact no-op (same
-	// value, already most-recent) and is skipped.
+	// value, already most-recent) and is skipped. The RMOB bounds are
+	// loop-invariant — no append happens mid-window — so the ring is read
+	// directly with the At validity check hoisted out of the loop.
 	var lastRegion mem.Addr
 	var lastK Key
 	notified := false
+	rmob := rc.rmob
+	hi := rmob.appends
+	lo := uint64(0)
+	if hi > uint64(len(rmob.ring)) {
+		lo = hi - uint64(len(rmob.ring))
+	}
 	for {
-		e, ok := rc.rmob.At(*pos)
-		if !ok {
+		p := *pos
+		if p < lo || p >= hi {
 			break
 		}
+		e := rmob.ring[rmob.slot(p)]
 		slot := 0
 		if !first {
 			slot = prevTrig + 1 + int(e.Delta)
@@ -168,33 +173,45 @@ func (rc *Reconstructor) Window(pos *uint64, onRegion func(region mem.Addr, k Ke
 		rc.stats.Entries++
 		// One region probe serves the temporal placement and the whole
 		// spatial expansion: every block below is in e.Block's region.
-		dedup := rc.regionBits.Ref(uint64(e.Block.Region()))
-		rc.place(dedup, slot, e.Block)
+		region := e.Block.Region()
+		dedup := rc.regionBits.Ref(uint64(region))
+		if bit := uint32(1) << uint(e.Block.RegionOffset()); *dedup&bit == 0 {
+			rc.place(dedup, bit, slot, e.Block)
+		}
 		prevTrig = slot
 
 		k := Key{PC: e.PC, Offset: e.Block.RegionOffset()}
 		if ent := rc.pst.Lookup(k); ent != nil {
 			rc.stats.SpatialHits++
 			if onRegion != nil {
-				if region := e.Block.Region(); !notified || region != lastRegion || k != lastK {
+				if !notified || region != lastRegion || k != lastK {
 					onRegion(region, k)
 					lastRegion, lastK, notified = region, k, true
 				}
 			}
 			sp := slot
+			useCtrs, thr := rc.pst.useCounters, rc.pst.threshold
 			for _, el := range ent.Sequence() {
 				sp += 1 + int(el.Delta)
 				if sp >= rc.bufSlots {
 					break
 				}
-				if !rc.pst.predictsHot(ent, el.Offset) {
+				// predictsHot with the mode test hoisted: the counter
+				// compare inlines, keeping the hot expansion call-free.
+				if useCtrs {
+					if ent.counterAt(el.Offset) < thr {
+						continue
+					}
+				} else if !rc.pst.predictsHot(ent, el.Offset) {
 					continue
 				}
 				b := mem.Addr(int64(e.Block) + int64(el.Offset)*mem.BlockSize)
 				if !mem.SameRegion(b, e.Block) {
 					continue // defensive: never predict outside the region
 				}
-				rc.place(dedup, sp, b)
+				if bit := uint32(1) << uint(b.RegionOffset()); *dedup&bit == 0 {
+					rc.place(dedup, bit, sp, b)
+				}
 			}
 		}
 	}

@@ -69,19 +69,19 @@ func (p Params) accessesFor(spec workload.Spec) int {
 	return spec.DefaultAccesses
 }
 
-// traceAt returns spec's trace for an explicit seed, through the arena
-// when one is configured.
-func (p Params) traceAt(spec workload.Spec, seed int64) []trace.Access {
+// traceAt returns spec's columnar trace for an explicit seed, through the
+// arena when one is configured.
+func (p Params) traceAt(spec workload.Spec, seed int64) *trace.BlockTrace {
 	n := p.accessesFor(spec)
 	if p.Arena != nil {
 		return p.Arena.Get(spec.Name, seed, n, func() []trace.Access {
 			return spec.Generate(seed, n)
 		})
 	}
-	return spec.Generate(seed, n)
+	return spec.GenerateBlocks(seed, n)
 }
 
-func (p Params) traceFor(spec workload.Spec) []trace.Access {
+func (p Params) traceFor(spec workload.Spec) *trace.BlockTrace {
 	return p.traceAt(spec, p.Seed)
 }
 
@@ -110,11 +110,10 @@ type Fig6Row struct {
 // Figure6 classifies every baseline off-chip read miss per workload.
 func Figure6(p Params) []Fig6Row {
 	return forEachWorkload(p, func(spec workload.Spec) Fig6Row {
-		src := trace.NewSliceSource(p.traceFor(spec))
 		return Fig6Row{
 			Workload: spec.Name,
 			Class:    spec.Class,
-			Result:   analysis.Joint(p.system(), config.DefaultSMS(), src),
+			Result:   analysis.Joint(p.system(), config.DefaultSMS(), p.traceFor(spec).Blocks()),
 		}
 	})
 }
@@ -158,8 +157,7 @@ type Fig7Row struct {
 // Figure7 runs the Sequitur study per workload.
 func Figure7(p Params) []Fig7Row {
 	return forEachWorkload(p, func(spec workload.Spec) Fig7Row {
-		src := trace.NewSliceSource(p.traceFor(spec))
-		return Fig7Row{Workload: spec.Name, Rep: analysis.Repetitions(p.system(), src)}
+		return Fig7Row{Workload: spec.Name, Rep: analysis.Repetitions(p.system(), p.traceFor(spec).Blocks())}
 	})
 }
 
@@ -201,8 +199,7 @@ type Fig8Row struct {
 // Figure8 runs the intra-generation reordering study per workload.
 func Figure8(p Params) []Fig8Row {
 	return forEachWorkload(p, func(spec workload.Spec) Fig8Row {
-		src := trace.NewSliceSource(p.traceFor(spec))
-		return Fig8Row{Workload: spec.Name, CD: analysis.CorrDistances(p.system(), src)}
+		return Fig8Row{Workload: spec.Name, CD: analysis.CorrDistances(p.system(), p.traceFor(spec).Blocks())}
 	})
 }
 
@@ -260,7 +257,8 @@ type Fig9Row struct {
 
 // runOne simulates one workload under one predictor. The trace comes from
 // the shared arena, so the predictor kinds (and Figure 10's baseline)
-// replay one generation of each (workload, seed) trace.
+// replay one generation of each (workload, seed) trace, block by block
+// through the batched kernel.
 func runOne(p Params, spec workload.Spec, kind sim.Kind, seed int64) sim.Result {
 	opt := sim.DefaultOptions()
 	opt.System = p.system()
@@ -269,7 +267,7 @@ func runOne(p Params, spec workload.Spec, kind sim.Kind, seed int64) sim.Result 
 	if err != nil {
 		panic(err)
 	}
-	return m.Run(trace.NewSliceSource(p.traceAt(spec, seed)))
+	return m.RunBlocks(p.traceAt(spec, seed).Blocks())
 }
 
 // Figure9 measures covered/uncovered/overpredicted per workload and

@@ -30,17 +30,18 @@ type WorkloadRow struct {
 // Workloads builds the characterization table.
 func Workloads(p Params) []WorkloadRow {
 	return forEachWorkload(p, func(spec workload.Spec) WorkloadRow {
-		accs := p.traceFor(spec)
-		row := WorkloadRow{Workload: spec.Name, Class: spec.Class, Accesses: uint64(len(accs))}
+		bt := p.traceFor(spec)
+		row := WorkloadRow{Workload: spec.Name, Class: spec.Class, Accesses: uint64(bt.Len())}
 		blocks := make(map[mem.Addr]struct{})
 		var writes uint64
-		for _, a := range accs {
+		var a trace.Access
+		for src := bt.Source(); src.Next(&a); {
 			if a.Write {
 				writes++
 			}
 			blocks[a.Addr.Block()] = struct{}{}
 		}
-		row.WriteFrac = float64(writes) / float64(len(accs))
+		row.WriteFrac = float64(writes) / float64(bt.Len())
 		row.Footprint = len(blocks)
 
 		// Baseline run for miss and stall characteristics.
@@ -64,7 +65,7 @@ func Workloads(p Params) []WorkloadRow {
 			},
 		}
 		m.SetPrefetcher(&obs)
-		res := m.Run(trace.NewSliceSource(accs))
+		res := m.RunBlocks(bt.Blocks())
 
 		reads := res.Reads
 		if reads > 0 {
@@ -79,7 +80,7 @@ func Workloads(p Params) []WorkloadRow {
 		ideal := sys
 		ideal.OffChipCycles = 1
 		mi := sim.NewMachine(ideal, sim.Nop{})
-		ri := mi.Run(trace.NewSliceSource(accs))
+		ri := mi.RunBlocks(bt.Blocks())
 		if res.Cycles > 0 {
 			row.StallFrac = 1 - float64(ri.Cycles)/float64(res.Cycles)
 		}

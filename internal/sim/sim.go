@@ -233,7 +233,12 @@ func (m *Machine) Step(a trace.Access) {
 		m.res.L1Hits++
 		return
 	}
+	m.stepMiss(a)
+}
 
+// stepMiss is the L1-miss slow path shared by Step and StepBlock: SVB
+// probe, L2, off-chip transfer, and the timing model.
+func (m *Machine) stepMiss(a trace.Access) {
 	// Stores invalidate any prefetched copy: the SVB must never serve data
 	// that a store has made stale.
 	if a.Write && m.engine != nil {
@@ -292,13 +297,90 @@ func (m *Machine) Step(a trace.Access) {
 	}
 }
 
-// Run replays the whole source and finalizes accounting.
+// Run replays the whole source and finalizes accounting. The source is
+// batched into columnar blocks and replayed through the block kernel; a
+// source that already produces blocks (trace.BlockTrace cursors, v2 trace
+// readers) is consumed without re-batching.
 func (m *Machine) Run(src trace.Source) Result {
-	var a trace.Access
-	for src.Next(&a) {
-		m.Step(a)
+	return m.RunBlocks(trace.Blocks(src))
+}
+
+// RunBlocks replays a block stream and finalizes accounting — the batched
+// counterpart of Run.
+func (m *Machine) RunBlocks(bs trace.BlockSource) Result {
+	var b trace.Block
+	for bs.NextBlock(&b) {
+		m.StepBlock(&b)
 	}
 	return m.Finish()
+}
+
+// StepBlock replays one columnar block. It is exactly equivalent to
+// calling Step on each access in order (the equivalence suite asserts
+// identical Results for every predictor), but iterates the block's columns
+// in a tight loop: the per-access virtual Source call and 24-byte struct
+// copy disappear, bounds checks are hoisted onto the column slices, and a
+// block with no stores runs a leaner loop with the write branches hoisted
+// out entirely.
+func (m *Machine) StepBlock(b *trace.Block) {
+	n := b.N
+	if n == 0 {
+		return
+	}
+	addrs := b.Addrs[:n]
+	pcIdx := b.PCIdx[:n]
+	think := b.Think[:n]
+	dict := b.PCDict
+	depBits := b.DepBits
+	core := m.cfg.CoreCyclesPerAccess
+	m.res.Accesses += uint64(n)
+
+	if !b.HasWrites() {
+		// Read-only block: the write/read branch, the store-invalidate
+		// probe, and the Writes counter all vanish from the loop.
+		m.res.Reads += uint64(n)
+		for i := 0; i < n; i++ {
+			a := trace.Access{
+				Addr:  mem.Addr(addrs[i]),
+				PC:    dict[pcIdx[i]],
+				Dep:   depBits[i>>6]&(1<<(uint(i)&63)) != 0,
+				Think: think[i],
+			}
+			m.cycle += core + uint64(a.Think)
+			if m.l1.Access(a.Addr, false) {
+				m.pf.OnAccess(a, true)
+				m.res.L1Hits++
+				continue
+			}
+			m.pf.OnAccess(a, false)
+			m.stepMiss(a)
+		}
+		return
+	}
+
+	writeBits := b.WriteBits
+	for i := 0; i < n; i++ {
+		a := trace.Access{
+			Addr:  mem.Addr(addrs[i]),
+			PC:    dict[pcIdx[i]],
+			Write: writeBits[i>>6]&(1<<(uint(i)&63)) != 0,
+			Dep:   depBits[i>>6]&(1<<(uint(i)&63)) != 0,
+			Think: think[i],
+		}
+		if a.Write {
+			m.res.Writes++
+		} else {
+			m.res.Reads++
+		}
+		m.cycle += core + uint64(a.Think)
+		if m.l1.Access(a.Addr, a.Write) {
+			m.pf.OnAccess(a, true)
+			m.res.L1Hits++
+			continue
+		}
+		m.pf.OnAccess(a, false)
+		m.stepMiss(a)
+	}
 }
 
 // Finish drains the SVB (unconsumed prefetches become overpredictions) and
@@ -337,24 +419,38 @@ func (m *Machine) Invalidate(addr mem.Addr) {
 // onEvict for every L1 eviction. This is the trace-analysis front end used
 // by the Figure 6–8 studies, which classify the *baseline* miss stream.
 func CollectMissStream(cfg config.System, src trace.Source, onMiss func(trace.Access), onEvict func(mem.Addr)) {
+	CollectMissStreamBlocks(cfg, trace.Blocks(src), onMiss, onEvict)
+}
+
+// CollectMissStreamBlocks is the batched form of CollectMissStream. The
+// hit path touches only the address column and the write bitset; the full
+// access record is decoded only for the off-chip misses handed to onMiss.
+func CollectMissStreamBlocks(cfg config.System, bs trace.BlockSource, onMiss func(trace.Access), onEvict func(mem.Addr)) {
 	l1 := cache.New(cache.Config{SizeBytes: cfg.L1SizeBytes, Ways: cfg.L1Ways})
 	l2 := cache.New(cache.Config{SizeBytes: cfg.L2SizeBytes, Ways: cfg.L2Ways})
 	if onEvict != nil {
 		l1.OnEvict = onEvict
 	}
-	var a trace.Access
-	for src.Next(&a) {
-		if l1.Access(a.Addr, a.Write) {
-			continue
-		}
-		if l2.Access(a.Addr, a.Write) {
-			l1.Fill(a.Addr, a.Write)
-			continue
-		}
-		l2.Fill(a.Addr, a.Write)
-		l1.Fill(a.Addr, a.Write)
-		if !a.Write && onMiss != nil {
-			onMiss(a)
+	var b trace.Block
+	for bs.NextBlock(&b) {
+		n := b.N
+		addrs := b.Addrs[:n]
+		writeBits := b.WriteBits
+		for i := 0; i < n; i++ {
+			addr := mem.Addr(addrs[i])
+			w := writeBits[i>>6]&(1<<(uint(i)&63)) != 0
+			if l1.Access(addr, w) {
+				continue
+			}
+			if l2.Access(addr, w) {
+				l1.Fill(addr, w)
+				continue
+			}
+			l2.Fill(addr, w)
+			l1.Fill(addr, w)
+			if !w && onMiss != nil {
+				onMiss(b.At(i))
+			}
 		}
 	}
 }

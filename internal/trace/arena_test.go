@@ -26,8 +26,14 @@ func TestArenaGeneratesOnce(t *testing.T) {
 	if calls.Load() != 1 {
 		t.Fatalf("generator ran %d times, want 1", calls.Load())
 	}
-	if &first[0] != &second[0] {
-		t.Fatal("second Get returned a different slice")
+	if first != second {
+		t.Fatal("second Get returned a different trace")
+	}
+	if first.Len() != 4 {
+		t.Fatalf("cached trace holds %d accesses, want 4", first.Len())
+	}
+	if got := first.Accesses(); got[2] != testTrace(4)[2] {
+		t.Fatalf("cached trace decodes to %+v", got)
 	}
 	st := a.Stats()
 	if st.Generations != 1 || st.Hits != 1 || st.Resident != 1 || st.Regenerated != 0 {
@@ -57,8 +63,8 @@ func TestArenaConcurrentSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if got := a.Get("wl", 7, 8, gen); len(got) != 8 {
-				t.Errorf("len = %d", len(got))
+			if got := a.Get("wl", 7, 8, gen); got.Len() != 8 {
+				t.Errorf("len = %d", got.Len())
 			}
 		}()
 	}

@@ -1,0 +1,373 @@
+package trace
+
+import (
+	"stems/internal/flat"
+	"stems/internal/mem"
+)
+
+// BlockCap is the number of accesses one Block holds when full. The value
+// balances batching (the replay kernel amortizes its setup over a block)
+// against locality (a block's columns together stay well inside L2).
+const BlockCap = 4096
+
+// bitWords returns the number of 64-bit words covering n flag bits.
+func bitWords(n int) int { return (n + 63) / 64 }
+
+// Block is a columnar (structure-of-arrays) batch of up to BlockCap
+// accesses: the native currency of the replay pipeline. Instead of a slice
+// of 24-byte Access structs, a block stores each field as its own column,
+// with the two booleans packed into bitsets and the PCs dictionary-indexed
+// (a block holds at most BlockCap accesses, so at most BlockCap distinct
+// PCs — a uint16 index always suffices). A full block costs ~12.8 bytes
+// per access versus 24 for []Access (BenchmarkTraceMemory measures it),
+// and the batched kernel (sim.Machine.RunBlocks) iterates the columns
+// directly.
+//
+// The exported columns are read-only for consumers; construct blocks
+// through Append (or the Blocks adapter), which maintains the dictionary
+// and bitset invariants.
+type Block struct {
+	// N is the number of valid accesses in the block.
+	N int
+	// Addrs holds the byte address column.
+	Addrs []uint64
+	// PCDict is the block's PC dictionary; PCIdx[i] indexes into it.
+	PCDict []uint64
+	// PCIdx holds the dictionary index column.
+	PCIdx []uint16
+	// Think holds the think-time column.
+	Think []uint16
+	// WriteBits and DepBits pack the Write/Dep flags, bit i of word i/64.
+	WriteBits []uint64
+	DepBits   []uint64
+
+	// shared marks a block whose columns alias storage owned elsewhere
+	// (a BlockTrace or a Reader); Reset detaches them before reuse.
+	shared bool
+	// pcLookup inverts PCDict during appends — a flat probe table, not a
+	// Go map, because the Blocks adapter runs Append once per access on
+	// the legacy-source replay path.
+	pcLookup *flat.U64Table[uint16]
+}
+
+// Reset empties the block for reuse. Columns aliasing shared storage are
+// detached; owned storage is retained and overwritten by later Appends.
+func (b *Block) Reset() {
+	if b.shared {
+		b.Addrs, b.PCDict, b.PCIdx, b.Think, b.WriteBits, b.DepBits = nil, nil, nil, nil, nil, nil
+		b.shared = false
+	}
+	b.N = 0
+	b.Addrs = b.Addrs[:0]
+	b.PCDict = b.PCDict[:0]
+	b.PCIdx = b.PCIdx[:0]
+	b.Think = b.Think[:0]
+	b.WriteBits = b.WriteBits[:0]
+	b.DepBits = b.DepBits[:0]
+	if b.pcLookup != nil {
+		b.pcLookup.Reset()
+	}
+}
+
+// Full reports whether the block holds BlockCap accesses.
+func (b *Block) Full() bool { return b.N >= BlockCap }
+
+// Append adds one access to the block. It reports false (leaving the block
+// unchanged) when the block is already full.
+func (b *Block) Append(a Access) bool {
+	if b.shared {
+		panic("trace: Append to a shared (aliased) Block; Reset it first")
+	}
+	if b.N >= BlockCap {
+		return false
+	}
+	if b.pcLookup == nil {
+		// ≤ BlockCap accesses means ≤ BlockCap distinct PCs: the table
+		// never grows, so appends stay allocation-free after warm-up.
+		b.pcLookup = flat.NewU64Table[uint16](BlockCap)
+	}
+	if cap(b.Addrs) == 0 {
+		// Size the fixed-width columns for a full block up front: blocks
+		// almost always fill, and exact sizing avoids the ~15% cap
+		// overshoot of append's growth curve on the resident columns.
+		b.Addrs = make([]uint64, 0, BlockCap)
+		b.PCIdx = make([]uint16, 0, BlockCap)
+		b.Think = make([]uint16, 0, BlockCap)
+		b.WriteBits = make([]uint64, 0, bitWords(BlockCap))
+		b.DepBits = make([]uint64, 0, bitWords(BlockCap))
+	}
+	idx, ok := b.pcLookup.Get(a.PC)
+	if !ok {
+		idx = uint16(len(b.PCDict))
+		b.PCDict = append(b.PCDict, a.PC)
+		b.pcLookup.Put(a.PC, idx)
+	}
+	if b.N&63 == 0 {
+		b.WriteBits = append(b.WriteBits, 0)
+		b.DepBits = append(b.DepBits, 0)
+	}
+	if a.Write {
+		b.WriteBits[b.N>>6] |= 1 << (uint(b.N) & 63)
+	}
+	if a.Dep {
+		b.DepBits[b.N>>6] |= 1 << (uint(b.N) & 63)
+	}
+	b.Addrs = append(b.Addrs, uint64(a.Addr))
+	b.PCIdx = append(b.PCIdx, idx)
+	b.Think = append(b.Think, a.Think)
+	b.N++
+	return true
+}
+
+// At decodes the i-th access.
+func (b *Block) At(i int) Access {
+	return Access{
+		Addr:  mem.Addr(b.Addrs[i]),
+		PC:    b.PCDict[b.PCIdx[i]],
+		Write: b.WriteBits[i>>6]&(1<<(uint(i)&63)) != 0,
+		Dep:   b.DepBits[i>>6]&(1<<(uint(i)&63)) != 0,
+		Think: b.Think[i],
+	}
+}
+
+// HasWrites reports whether any access in the block is a store — the
+// batched kernel runs a leaner read-only loop over blocks without stores.
+func (b *Block) HasWrites() bool {
+	for _, w := range b.WriteBits {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// aliasFrom makes b a read-only view of src's columns without copying the
+// column data.
+func (b *Block) aliasFrom(src *Block) {
+	b.N = src.N
+	b.Addrs = src.Addrs
+	b.PCDict = src.PCDict
+	b.PCIdx = src.PCIdx
+	b.Think = src.Think
+	b.WriteBits = src.WriteBits
+	b.DepBits = src.DepBits
+	b.shared = true
+	b.pcLookup = nil
+}
+
+// BlockSource is the batched counterpart of Source: NextBlock fills *b
+// with the next batch of accesses and reports whether any were produced.
+// The filled block may alias storage owned by the source; treat it as
+// read-only and do not use it after the next NextBlock call.
+// Implementations are not safe for concurrent use.
+type BlockSource interface {
+	NextBlock(b *Block) bool
+}
+
+// Blocks adapts a legacy per-access Source to a BlockSource. A source that
+// already implements BlockSource (a *Reader on a v2 trace, a BlockTrace
+// cursor) is returned unwrapped.
+func Blocks(src Source) BlockSource {
+	if bs, ok := src.(BlockSource); ok {
+		return bs
+	}
+	return &sourceBlocks{src: src}
+}
+
+type sourceBlocks struct {
+	src Source
+}
+
+// NextBlock implements BlockSource, draining up to BlockCap accesses.
+func (s *sourceBlocks) NextBlock(b *Block) bool {
+	b.Reset()
+	var a Access
+	for b.N < BlockCap && s.src.Next(&a) {
+		b.Append(a)
+	}
+	return b.N > 0
+}
+
+// Len forwards the underlying source's length hint (see Collect); it
+// reports -1 when the source has none.
+func (s *sourceBlocks) Len() int {
+	if h, ok := s.src.(lenHinter); ok {
+		return h.Len()
+	}
+	return -1
+}
+
+// Unblock adapts a BlockSource back to a per-access Source — the lossless
+// inverse of Blocks, used to feed block-native producers (v2 trace files,
+// arena-cached BlockTraces) into per-access consumers. A length hint on
+// the block source (a BlockTrace cursor, a wrapped hinted Source) is
+// forwarded so Collect still preallocates.
+func Unblock(bs BlockSource) Source {
+	total := -1
+	if h, ok := bs.(lenHinter); ok {
+		total = h.Len()
+	}
+	return &blockAccesses{bs: bs, total: total}
+}
+
+type blockAccesses struct {
+	bs    BlockSource
+	b     Block
+	pos   int
+	total int // length hint, -1 when unknown
+}
+
+// Next implements Source.
+func (u *blockAccesses) Next(a *Access) bool {
+	for u.pos >= u.b.N {
+		if !u.bs.NextBlock(&u.b) {
+			return false
+		}
+		u.pos = 0
+	}
+	*a = u.b.At(u.pos)
+	u.pos++
+	return true
+}
+
+// Len implements the Collect preallocation hint (-1 when unknown).
+func (u *blockAccesses) Len() int { return u.total }
+
+// BlockTrace is a complete trace held in columnar blocks — the compact
+// resident form cached by Arena and produced by workload generators, at
+// roughly half the footprint of the equivalent []Access
+// (BenchmarkTraceMemory: ~12.8 vs 24 bytes/access).
+type BlockTrace struct {
+	blocks []Block
+	n      int
+}
+
+// NewBlockTrace builds a BlockTrace from an access slice. The slice is
+// only read.
+func NewBlockTrace(accs []Access) *BlockTrace {
+	t := &BlockTrace{}
+	for _, a := range accs {
+		t.Append(a)
+	}
+	t.Seal()
+	return t
+}
+
+// Append adds one access to the trace.
+func (t *BlockTrace) Append(a Access) {
+	if len(t.blocks) == 0 || t.blocks[len(t.blocks)-1].Full() {
+		t.sealLast()
+		t.blocks = append(t.blocks, Block{})
+	}
+	t.blocks[len(t.blocks)-1].Append(a)
+	t.n++
+}
+
+// AppendBlock appends a copy of b's accesses. When the trace's tail block
+// is full (or absent) the block is copied column-by-column — a few
+// memcpys, no per-access dictionary work — the fast path for
+// frame-at-a-time loaders over v2 traces; otherwise the accesses are
+// appended individually.
+func (t *BlockTrace) AppendBlock(b *Block) {
+	if b.N == 0 {
+		return
+	}
+	if len(t.blocks) == 0 || t.blocks[len(t.blocks)-1].Full() {
+		t.sealLast()
+		var nb Block
+		nb.copyFrom(b)
+		t.blocks = append(t.blocks, nb)
+		t.n += b.N
+		return
+	}
+	for i := 0; i < b.N; i++ {
+		t.Append(b.At(i))
+	}
+}
+
+// copyFrom makes b an owned deep copy of src's columns.
+func (b *Block) copyFrom(src *Block) {
+	b.N = src.N
+	b.Addrs = append(b.Addrs[:0], src.Addrs[:src.N]...)
+	b.PCDict = append(b.PCDict[:0], src.PCDict...)
+	b.PCIdx = append(b.PCIdx[:0], src.PCIdx[:src.N]...)
+	b.Think = append(b.Think[:0], src.Think[:src.N]...)
+	b.WriteBits = append(b.WriteBits[:0], src.WriteBits[:bitWords(src.N)]...)
+	b.DepBits = append(b.DepBits[:0], src.DepBits[:bitWords(src.N)]...)
+	b.shared = false
+	b.pcLookup = nil
+}
+
+// sealLast releases the finished block's append-side dictionary inverse.
+func (t *BlockTrace) sealLast() {
+	if len(t.blocks) > 0 {
+		t.blocks[len(t.blocks)-1].pcLookup = nil
+	}
+}
+
+// Seal releases append-side scratch (the PC dictionary inverse of the open
+// block). Appending after Seal still decodes correctly — the rebuilt
+// inverse may only duplicate dictionary entries — but callers should Seal
+// once the trace is done growing.
+func (t *BlockTrace) Seal() { t.sealLast() }
+
+// Len returns the total number of accesses.
+func (t *BlockTrace) Len() int { return t.n }
+
+// NumBlocks returns the number of blocks.
+func (t *BlockTrace) NumBlocks() int { return len(t.blocks) }
+
+// BlockAt returns a read-only pointer to the i-th block.
+func (t *BlockTrace) BlockAt(i int) *Block { return &t.blocks[i] }
+
+// Blocks returns a cursor replaying the trace block by block. The blocks
+// it hands out alias the trace's storage (no copying); many cursors may
+// replay one trace concurrently as long as none mutates it.
+func (t *BlockTrace) Blocks() BlockSource { return &blockTraceSource{t: t} }
+
+// Source returns a per-access view of the trace, carrying a Len hint.
+func (t *BlockTrace) Source() Source {
+	return &blockAccesses{bs: t.Blocks(), total: t.n}
+}
+
+// Accesses decodes the whole trace into a fresh []Access.
+func (t *BlockTrace) Accesses() []Access {
+	out := make([]Access, 0, t.n)
+	for i := range t.blocks {
+		b := &t.blocks[i]
+		for j := 0; j < b.N; j++ {
+			out = append(out, b.At(j))
+		}
+	}
+	return out
+}
+
+// MemBytes returns the resident column storage in bytes — the footprint
+// number behind the arena's compaction win.
+func (t *BlockTrace) MemBytes() int {
+	total := 0
+	for i := range t.blocks {
+		b := &t.blocks[i]
+		total += 8*cap(b.Addrs) + 8*cap(b.PCDict) + 2*cap(b.PCIdx) +
+			2*cap(b.Think) + 8*cap(b.WriteBits) + 8*cap(b.DepBits)
+	}
+	return total
+}
+
+type blockTraceSource struct {
+	t *BlockTrace
+	i int
+}
+
+// NextBlock implements BlockSource by aliasing the next stored block.
+func (s *blockTraceSource) NextBlock(b *Block) bool {
+	if s.i >= len(s.t.blocks) {
+		return false
+	}
+	b.aliasFrom(&s.t.blocks[s.i])
+	s.i++
+	return true
+}
+
+// Len implements the Collect preallocation hint.
+func (s *blockTraceSource) Len() int { return s.t.n }

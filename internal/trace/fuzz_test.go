@@ -2,17 +2,27 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
+
+	"stems/internal/mem"
 )
 
 // FuzzReader ensures arbitrary bytes never panic the trace reader and that
-// all failures surface as ErrBadTrace (or clean EOF).
+// all failures surface as ErrBadTrace (or clean EOF), whichever format
+// version the header claims.
 func FuzzReader(f *testing.F) {
 	var valid bytes.Buffer
 	w := NewWriter(&valid)
 	_ = w.Write(Access{Addr: 4096, PC: 7})
 	_ = w.Flush()
 	f.Add(valid.Bytes())
+	var validV2 bytes.Buffer
+	w2 := NewWriterV2(&validV2)
+	_ = w2.Write(Access{Addr: 4096, PC: 7, Dep: true})
+	_ = w2.Write(Access{Addr: 128, PC: 9, Write: true, Think: 12})
+	_ = w2.Flush()
+	f.Add(validV2.Bytes())
 	f.Add([]byte("STEMSTRC"))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -26,5 +36,51 @@ func FuzzReader(f *testing.F) {
 			}
 		}
 		_ = r.Err() // must not panic; may be nil or ErrBadTrace
+	})
+}
+
+// FuzzV1V2RoundTrip decodes the fuzz input into an access sequence, writes
+// it under both format versions, and asserts both decode back bit-exactly
+// — the lossless v1↔v2 contract.
+func FuzzV1V2RoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22})
+	f.Add(bytes.Repeat([]byte{0xff}, 200))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const rec = 19 // addr 8 + pc 8 + think 2 + flags 1
+		var in []Access
+		for len(data) >= rec && len(in) < 3*BlockCap {
+			in = append(in, Access{
+				Addr:  mem.Addr(binary.LittleEndian.Uint64(data[0:])),
+				PC:    binary.LittleEndian.Uint64(data[8:]),
+				Think: binary.LittleEndian.Uint16(data[16:]),
+				Write: data[18]&1 != 0,
+				Dep:   data[18]&2 != 0,
+			})
+			data = data[rec:]
+		}
+		for _, version := range []int{traceV1, traceV2} {
+			var buf bytes.Buffer
+			w, err := NewWriterVersion(&buf, version)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w.WriteAll(in) != nil || w.Flush() != nil {
+				t.Fatalf("v%d write failed", version)
+			}
+			r := NewReader(&buf)
+			out := Collect(r, 0)
+			if r.Err() != nil {
+				t.Fatalf("v%d read: %v", version, r.Err())
+			}
+			if len(out) != len(in) {
+				t.Fatalf("v%d: %d records, want %d", version, len(out), len(in))
+			}
+			for i := range in {
+				if out[i] != in[i] {
+					t.Fatalf("v%d record %d: got %+v, want %+v", version, i, out[i], in[i])
+				}
+			}
+		}
 	})
 }

@@ -69,10 +69,28 @@ func (s *SliceSource) Reset() { s.pos = 0 }
 // Len returns the total number of accesses in the source.
 func (s *SliceSource) Len() int { return len(s.accesses) }
 
+// lenHinter is the optional length-hint interface: sources that know (an
+// upper bound on) how many accesses they will yield report it so Collect
+// can preallocate instead of growing through O(log n) reallocations.
+// SliceSource, Limit, and the block sources satisfy it; a negative value
+// means unknown.
+type lenHinter interface {
+	Len() int
+}
+
 // Collect drains up to max accesses from src into a slice. A max of 0 means
-// drain the entire source.
+// drain the entire source. Sources with a Len hint (SliceSource, Limit,
+// BlockTrace views) are collected into one right-sized allocation.
 func Collect(src Source, max int) []Access {
 	var out []Access
+	if h, ok := src.(lenHinter); ok {
+		if n := h.Len(); n > 0 {
+			if max > 0 && max < n {
+				n = max
+			}
+			out = make([]Access, 0, n)
+		}
+	}
 	var a Access
 	for src.Next(&a) {
 		out = append(out, a)
@@ -103,6 +121,18 @@ func (l *Limit) Next(a *Access) bool {
 	}
 	l.seen++
 	return true
+}
+
+// Len returns an upper bound on the accesses the limit will yield: the cap
+// itself, tightened by the wrapped source's own hint when it has one.
+func (l *Limit) Len() int {
+	n := l.N
+	if h, ok := l.Src.(lenHinter); ok {
+		if m := h.Len(); m >= 0 && m < n {
+			n = m
+		}
+	}
+	return n
 }
 
 // Filter wraps a source, yielding only accesses for which Keep returns true.

@@ -49,6 +49,19 @@ func (s Spec) Source(seed int64) trace.Source {
 	return trace.NewSliceSource(s.Generate(seed, s.DefaultAccesses))
 }
 
+// GenerateBlocks produces the same deterministic trace as Generate,
+// compacted into columnar blocks — the form the pipeline replays and the
+// arena caches. The intermediate []Access is transient; only the ~2x
+// smaller BlockTrace is retained.
+func (s Spec) GenerateBlocks(seed int64, n int) *trace.BlockTrace {
+	return trace.NewBlockTrace(s.Generate(seed, n))
+}
+
+// BlockSource returns a block-trace cursor of the spec's default length.
+func (s Spec) BlockSource(seed int64) trace.BlockSource {
+	return s.GenerateBlocks(seed, s.DefaultAccesses).Blocks()
+}
+
 // Suite returns the ten workloads in the paper's figure order.
 func Suite() []Spec {
 	return []Spec{

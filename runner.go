@@ -26,6 +26,7 @@ type Runner struct {
 	traceAccs    []Access
 	traceSet     bool
 	sourceFn     func() Source
+	blockFn      func() BlockSource
 	arena        *Arena
 
 	seed     int64
@@ -84,9 +85,19 @@ func WithTrace(accs []Access) Option {
 
 // WithSourceFunc replays a custom access stream. The function is invoked
 // once per Run so that repeated (and parallel) runs each get a fresh
-// Source.
+// Source. The stream is batched into columnar blocks internally; a source
+// that natively produces blocks skips the adapter (see WithBlockSourceFunc
+// for supplying one directly).
 func WithSourceFunc(fn func() Source) Option {
 	return func(r *Runner) { r.sourceFn = fn }
+}
+
+// WithBlockSourceFunc replays a custom block stream — the batched
+// counterpart of WithSourceFunc for sources that already produce columnar
+// blocks (a BlockTrace cursor, a v2 trace reader). The function is invoked
+// once per Run so repeated (and parallel) runs each get a fresh cursor.
+func WithBlockSourceFunc(fn func() BlockSource) Option {
+	return func(r *Runner) { r.blockFn = fn }
 }
 
 // WithSharedTrace routes this Runner's workload generation through a trace
@@ -202,13 +213,13 @@ func New(opts ...Option) (*Runner, error) {
 	}
 
 	sources := 0
-	for _, set := range []bool{r.specSet, r.traceFile != "", r.traceSet, r.sourceFn != nil} {
+	for _, set := range []bool{r.specSet, r.traceFile != "", r.traceSet, r.sourceFn != nil, r.blockFn != nil} {
 		if set {
 			sources++
 		}
 	}
 	if sources > 1 {
-		return nil, fmt.Errorf("stems: conflicting access-stream sources: choose one of WithWorkload/WithWorkloadSpec, WithTraceFile, WithTrace, WithSourceFunc")
+		return nil, fmt.Errorf("stems: conflicting access-stream sources: choose one of WithWorkload/WithWorkloadSpec, WithTraceFile, WithTrace, WithSourceFunc, WithBlockSourceFunc")
 	}
 	if sources == 0 {
 		spec, err := WorkloadByName(r.workloadName)
@@ -252,8 +263,11 @@ func (r *Runner) Label() string {
 	}
 }
 
-// source materializes the configured access stream for one run.
-func (r *Runner) source() (Source, error) {
+// source materializes the configured access stream for one run as a block
+// stream — the pipeline's native currency. Workload and file sources are
+// produced (or cached) directly in columnar form; slice and custom
+// per-access sources go through the lossless Blocks adapter.
+func (r *Runner) source() (BlockSource, error) {
 	switch {
 	case r.specSet:
 		n := r.spec.DefaultAccesses
@@ -261,48 +275,60 @@ func (r *Runner) source() (Source, error) {
 			n = r.accesses
 		}
 		if r.arena != nil {
-			accs := r.arena.Get(r.spec.Name, r.seed, n, func() []Access {
+			bt := r.arena.Get(r.spec.Name, r.seed, n, func() []Access {
 				return r.spec.Generate(r.seed, n)
 			})
-			return trace.NewSliceSource(accs), nil
+			return bt.Blocks(), nil
 		}
-		return trace.NewSliceSource(r.spec.Generate(r.seed, n)), nil
+		return r.spec.GenerateBlocks(r.seed, n).Blocks(), nil
 	case r.traceFile != "":
-		accs, err := ReadTraceFile(r.traceFile, r.accesses)
+		bt, err := ReadTraceFileBlocks(r.traceFile, r.accesses)
 		if err != nil {
 			return nil, err
 		}
-		return trace.NewSliceSource(accs), nil
+		return bt.Blocks(), nil
 	case r.traceSet:
-		if r.accesses > 0 && r.accesses < len(r.traceAccs) {
-			return trace.NewSliceSource(r.traceAccs[:r.accesses]), nil
+		// Streamed through the adapter per Run, deliberately not converted
+		// to a retained BlockTrace: WithTrace's contract is that many
+		// Runners share one read-only slice, and a per-Runner BlockTrace
+		// copy would multiply resident memory by the grid size. Callers
+		// who want a shared columnar trace pass a BlockTrace through
+		// WithBlockSourceFunc instead (cmd/stemsim does).
+		accs := r.traceAccs
+		if r.accesses > 0 && r.accesses < len(accs) {
+			accs = accs[:r.accesses]
 		}
-		return trace.NewSliceSource(r.traceAccs), nil
+		return trace.Blocks(trace.NewSliceSource(accs)), nil
+	case r.blockFn != nil:
+		bs := r.blockFn()
+		if bs == nil {
+			return nil, fmt.Errorf("stems: WithBlockSourceFunc returned a nil BlockSource")
+		}
+		if r.accesses > 0 {
+			return trace.Blocks(trace.NewLimit(trace.Unblock(bs), r.accesses)), nil
+		}
+		return bs, nil
 	default:
 		src := r.sourceFn()
 		if src == nil {
 			return nil, fmt.Errorf("stems: WithSourceFunc returned a nil Source")
 		}
 		if r.accesses > 0 {
-			return trace.NewLimit(src, r.accesses), nil
+			src = trace.NewLimit(src, r.accesses)
 		}
-		return src, nil
+		return trace.Blocks(src), nil
 	}
 }
 
-// ctxCheckInterval is how many accesses replay between context polls: a
-// power of two, coarse enough to stay off the hot path, fine enough that
-// cancellation lands within microseconds of simulated work.
-const ctxCheckInterval = 1 << 13
-
-// Run builds a fresh machine, replays the configured access stream, and
-// returns the result. The context cancels a run in flight (checked every
-// few thousand accesses).
+// Run builds a fresh machine, replays the configured access stream through
+// the batched block kernel, and returns the result. The context cancels a
+// run in flight (checked once per block, i.e. every few thousand
+// accesses).
 func (r *Runner) Run(ctx context.Context) (Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	src, err := r.source()
+	bs, err := r.source()
 	if err != nil {
 		return Result{}, err
 	}
@@ -310,17 +336,14 @@ func (r *Runner) Run(ctx context.Context) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	var a Access
-	var n uint64
-	for src.Next(&a) {
-		m.Step(a)
-		n++
-		if n%ctxCheckInterval == 0 {
-			select {
-			case <-ctx.Done():
-				return Result{}, ctx.Err()
-			default:
-			}
+	done := ctx.Done()
+	var b trace.Block
+	for bs.NextBlock(&b) {
+		m.StepBlock(&b)
+		select {
+		case <-done:
+			return Result{}, ctx.Err()
+		default:
 		}
 	}
 	return m.Finish(), nil

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# bench.sh — run the repository benchmark suite and emit machine-readable
+# results.
+#
+# Produces two artifacts in $OUT_DIR (default: the repo root):
+#   bench.txt          raw `go test -bench` output (benchstat-compatible)
+#   BENCH_<rev>.json   parsed per-benchmark metrics (scripts/benchjson)
+#
+# The JSON file is what CI uploads per commit, so the performance
+# trajectory (replay ns/op, accesses/sec, coverage metrics, allocs) is
+# tracked across PRs instead of living only in transient logs.
+#
+# Environment:
+#   BENCHTIME  go test -benchtime value (default 1x: smoke every benchmark)
+#   BENCHRE    benchmark name regex (default '.': the full suite)
+#   OUT_DIR    artifact directory (default repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1x}"
+BENCHRE="${BENCHRE:-.}"
+OUT_DIR="${OUT_DIR:-.}"
+mkdir -p "$OUT_DIR"
+
+rev="$(git rev-parse --short HEAD 2>/dev/null || echo local)"
+
+go test -run '^$' -bench "$BENCHRE" -benchtime "$BENCHTIME" -benchmem ./... \
+  | tee "$OUT_DIR/bench.txt"
+
+go run ./scripts/benchjson -rev "$rev" \
+  < "$OUT_DIR/bench.txt" \
+  > "$OUT_DIR/BENCH_${rev}.json"
+
+echo "wrote $OUT_DIR/bench.txt and $OUT_DIR/BENCH_${rev}.json"

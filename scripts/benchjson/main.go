@@ -1,0 +1,114 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// stable JSON document on stdout, so CI can archive one BENCH_<rev>.json
+// per commit and the performance trajectory is diffable across PRs
+// without re-parsing free-form logs.
+//
+//	go test -run '^$' -bench . -benchtime 1x -benchmem ./... | benchjson -rev abc1234
+//
+// Each benchmark line ("BenchmarkX-8  N  12.3 ns/op  4 B/op ...") becomes
+// an entry with its iteration count and a metric map keyed by unit
+// ("ns/op", "accesses/sec", "B/op", ...). Context lines (goos, goarch,
+// cpu, pkg) are carried alongside.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type benchmark struct {
+	Name       string             `json:"name"`
+	Pkg        string             `json:"pkg,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type report struct {
+	Rev        string      `json:"rev,omitempty"`
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+func main() {
+	rev := flag.String("rev", "", "revision identifier recorded in the output")
+	flag.Parse()
+
+	rep := report{Rev: *rev, Benchmarks: []benchmark{}}
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBench(line, pkg); ok {
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench parses one result line: a name, an iteration count, then
+// value/unit pairs.
+func parseBench(line, pkg string) (benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchmark{}, false
+	}
+	b := benchmark{
+		Name:       strings.TrimSuffix(fields[0], fmt.Sprintf("-%d", maxprocsSuffix(fields[0]))),
+		Pkg:        pkg,
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}
+
+// maxprocsSuffix extracts the trailing -N GOMAXPROCS suffix (0 if none).
+func maxprocsSuffix(name string) int {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return 0
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil {
+		return 0
+	}
+	return n
+}
