@@ -236,3 +236,45 @@ func TestRunnerRunMatchesDirectBuild(t *testing.T) {
 		t.Fatalf("Runner result diverges from direct build:\ngot  %+v\nwant %+v", got, want)
 	}
 }
+
+func TestRunnerRejectsBadSeedAndAccesses(t *testing.T) {
+	if _, err := stems.New(stems.WithSeed(-3)); err == nil || !strings.Contains(err.Error(), "invalid seed") {
+		t.Errorf("negative seed: err = %v, want descriptive invalid-seed error", err)
+	}
+	if _, err := stems.New(stems.WithAccesses(-1)); err == nil || !strings.Contains(err.Error(), "invalid access count") {
+		t.Errorf("negative accesses: err = %v, want descriptive invalid-access-count error", err)
+	}
+	if _, err := stems.New(stems.WithPredictor("")); err == nil || !strings.Contains(err.Error(), "predictor") {
+		t.Errorf("empty predictor: err = %v, want descriptive error", err)
+	}
+}
+
+// TestWithRunProgress checks the per-block progress hook: monotone
+// cumulative counts ending exactly at the replayed length.
+func TestWithRunProgress(t *testing.T) {
+	const n = 10_000
+	var got []uint64
+	r, err := stems.New(
+		stems.WithWorkload("DB2"),
+		stems.WithPredictor("none"),
+		stems.WithAccesses(n),
+		stems.WithRunProgress(func(done uint64) { got = append(got, done) }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("progress callback never fired")
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("progress not increasing: %v", got)
+		}
+	}
+	if last := got[len(got)-1]; last != n {
+		t.Errorf("final progress = %d, want %d", last, n)
+	}
+}

@@ -1,0 +1,286 @@
+package stems
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"stems/internal/enc"
+)
+
+// Wire types of the stemsd service API, re-exported so remote sweeps are
+// driven entirely through the public package. A RunSpec names a
+// configuration the way the CLI flags do; results come back as RunResult,
+// the same canonical encoding cmd/sweep -json emits.
+type (
+	// RunSpec describes one simulation run to submit (zero fields select
+	// the service defaults: predictor "stems", workload "DB2", seed 1,
+	// workload-default length, scaled system).
+	RunSpec = enc.RunSpec
+	// JobSpec is a submission: a single run or a sweep (Runs).
+	JobSpec = enc.JobSpec
+	// JobStatus is a job snapshot: state, progress, and results.
+	JobStatus = enc.JobStatus
+	// JobState is the job lifecycle position; see the Job* constants.
+	JobState = enc.JobState
+	// JobProgress is the replay position across a job's runs.
+	JobProgress = enc.JobProgress
+	// RunResult is the canonical wire encoding of one Result.
+	RunResult = enc.Result
+	// WorkloadInfo describes one suite workload as /v1/workloads lists it.
+	WorkloadInfo = enc.WorkloadInfo
+	// ServiceMetrics is the /metrics document: queue depth, cache hit
+	// rate, jobs completed, accesses/sec.
+	ServiceMetrics = enc.Metrics
+)
+
+// Job lifecycle states reported by JobStatus.State.
+const (
+	JobQueued   = enc.JobQueued
+	JobRunning  = enc.JobRunning
+	JobDone     = enc.JobDone
+	JobFailed   = enc.JobFailed
+	JobCanceled = enc.JobCanceled
+)
+
+// EncodeResult converts an engine Result to its canonical wire form — the
+// single encoding shared by the stemsd API, this client, and
+// cmd/sweep -json.
+func EncodeResult(label string, r Result) RunResult { return enc.FromResult(label, r) }
+
+// APIError is a non-2xx response from the service, carrying its
+// structured code ("invalid_spec", "not_found", "queue_full", ...).
+type APIError struct {
+	StatusCode int
+	Code       string
+	Message    string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("stemsd: %s (%s, HTTP %d)", e.Message, e.Code, e.StatusCode)
+}
+
+// Client drives a stemsd daemon: submit runs or sweeps, watch streamed
+// progress, collect results. The zero value is not usable; construct with
+// NewClient.
+//
+//	c := stems.NewClient("http://localhost:8091")
+//	st, err := c.Submit(ctx, stems.JobSpec{RunSpec: stems.RunSpec{
+//		Predictor: "stems", Workload: "em3d",
+//	}})
+//	st, err = c.Wait(ctx, st.ID)
+//	results, err := st.DecodedResults()
+type Client struct {
+	baseURL string
+	http    *http.Client
+}
+
+// NewClient targets a stemsd base URL (e.g. "http://localhost:8091").
+// httpClient nil selects a default client with no overall timeout —
+// Wait and Watch hold streaming connections open for the job's lifetime,
+// so bound them with the context instead.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = &http.Client{}
+	}
+	return &Client{baseURL: strings.TrimRight(baseURL, "/"), http: httpClient}
+}
+
+// BaseURL returns the service base URL this client targets.
+func (c *Client) BaseURL() string { return c.baseURL }
+
+// do issues a request and decodes a 2xx JSON body into out (unless nil).
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("stemsd client: encoding request: %w", err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return decodeAPIError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("stemsd client: decoding %s %s: %w", method, path, err)
+	}
+	return nil
+}
+
+func decodeAPIError(resp *http.Response) error {
+	apiErr := &APIError{StatusCode: resp.StatusCode, Code: "unknown"}
+	var body enc.ErrorBody
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body); err == nil && body.Error.Message != "" {
+		apiErr.Code, apiErr.Message = body.Error.Code, body.Error.Message
+	} else {
+		apiErr.Message = resp.Status
+	}
+	return apiErr
+}
+
+// Submit posts a job and returns its initial (queued) status.
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &st)
+	return st, err
+}
+
+// Job fetches the current status of a job.
+func (c *Client) Job(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Cancel requests cancellation and returns the resulting status. A queued
+// job cancels immediately; a running one within one replay block.
+func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Wait blocks until the job reaches a terminal state and returns its
+// final status (including results for JobDone). It streams the server's
+// SSE events, falling back to polling if streaming is unavailable; cancel
+// ctx to give up waiting (the job itself keeps running — use Cancel).
+func (c *Client) Wait(ctx context.Context, id string) (JobStatus, error) {
+	return c.Watch(ctx, id, nil)
+}
+
+// Watch is Wait with a progress callback: fn (if non-nil) observes every
+// streamed status snapshot, including the terminal one, from this
+// goroutine.
+func (c *Client) Watch(ctx context.Context, id string, fn func(JobStatus)) (JobStatus, error) {
+	st, err := c.watchEvents(ctx, id, fn)
+	if err == nil || ctx.Err() != nil {
+		return st, err
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return st, err // the server answered; a structured refusal is final
+	}
+	return c.poll(ctx, id, fn)
+}
+
+// watchEvents consumes the SSE stream until a terminal status arrives.
+func (c *Client) watchEvents(ctx context.Context, id string, fn func(JobStatus)) (JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return JobStatus{}, decodeAPIError(resp)
+	}
+
+	var last JobStatus
+	sawAny := false
+	scan := bufio.NewScanner(resp.Body)
+	scan.Buffer(make([]byte, 1<<20), 1<<20)
+	var data []byte
+	for scan.Scan() {
+		line := scan.Text()
+		switch {
+		case strings.HasPrefix(line, "data:"):
+			data = append(data, strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " ")...)
+		case line == "" && len(data) > 0:
+			var st JobStatus
+			if err := json.Unmarshal(data, &st); err != nil {
+				return last, fmt.Errorf("stemsd client: decoding event: %w", err)
+			}
+			data = data[:0]
+			last, sawAny = st, true
+			if fn != nil {
+				fn(st)
+			}
+			if st.State.Terminal() {
+				return st, nil
+			}
+		}
+	}
+	if err := scan.Err(); err != nil {
+		return last, err
+	}
+	if !sawAny {
+		return last, fmt.Errorf("stemsd client: event stream for %s closed without a status", id)
+	}
+	return last, fmt.Errorf("stemsd client: event stream for %s ended before a terminal state", id)
+}
+
+// poll is the non-streaming fallback for Wait.
+func (c *Client) poll(ctx context.Context, id string, fn func(JobStatus)) (JobStatus, error) {
+	tick := time.NewTicker(100 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if fn != nil {
+			fn(st)
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// Predictors lists the predictor names registered on the service.
+func (c *Client) Predictors(ctx context.Context) ([]string, error) {
+	var body struct {
+		Predictors []string `json:"predictors"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/predictors", nil, &body)
+	return body.Predictors, err
+}
+
+// ServiceWorkloads lists the service's workload suite.
+func (c *Client) ServiceWorkloads(ctx context.Context) ([]WorkloadInfo, error) {
+	var body struct {
+		Workloads []WorkloadInfo `json:"workloads"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/workloads", nil, &body)
+	return body.Workloads, err
+}
+
+// Metrics fetches the service counters.
+func (c *Client) Metrics(ctx context.Context) (ServiceMetrics, error) {
+	var m ServiceMetrics
+	err := c.do(ctx, http.MethodGet, "/metrics", nil, &m)
+	return m, err
+}

@@ -1,0 +1,89 @@
+// Command stemsd is the STeMS simulation daemon: it serves the engine
+// over an HTTP/JSON API so simulations become cheap, cacheable network
+// calls instead of per-invocation CLI state. Jobs flow through a bounded
+// FIFO queue into a worker pool; identical configurations are served from
+// a content-addressed result cache; workload traces are shared across
+// jobs through one arena; per-block progress streams to clients via SSE.
+//
+//	stemsd -addr :8091 -workers 4 -queue 64 -cache 256
+//
+// Submit and watch with curl (see README "Running the service") or the
+// typed client in the stems package (stems.NewClient).
+//
+// On SIGTERM/SIGINT the daemon stops accepting jobs (503 "draining"),
+// finishes queued and in-flight work, then exits 0. A second signal
+// cancels outstanding jobs instead of completing them.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"stems/internal/server"
+	"stems/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8091", "listen address")
+		workers = flag.Int("workers", 0, "concurrent simulation workers (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 64, "max queued jobs before submissions shed with 503")
+		cache   = flag.Int("cache", 256, "result-cache entries (LRU)")
+		traces  = flag.Int("traces", 8, "resident workload traces in the shared arena (LRU; raised to worker count when smaller)")
+		retain  = flag.Int("retain", 1024, "finished jobs kept queryable before the oldest are forgotten")
+		drain   = flag.Duration("drain-timeout", 2*time.Minute, "max time to wait for open connections after drain")
+	)
+	flag.Parse()
+	log.SetPrefix("stemsd: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	svc := service.New(service.Config{
+		Workers:    *workers,
+		QueueBound: *queue,
+		CacheBound: *cache,
+		TraceBound: *traces,
+		RetainJobs: *retain,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: server.New(svc)}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	case sig := <-sigc:
+		log.Printf("%s: draining (completing queued and in-flight jobs; signal again to cancel them)", sig)
+	}
+
+	// A second signal hard-cancels outstanding jobs; Drain below then
+	// finishes almost immediately as workers observe their contexts.
+	go func() {
+		sig := <-sigc
+		log.Printf("%s: cancelling outstanding jobs", sig)
+		svc.Abort()
+	}()
+
+	svc.Drain()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("shutdown: %v", err)
+	}
+	<-errc // ListenAndServe has returned http.ErrServerClosed
+	log.Printf("drained, exiting")
+}

@@ -13,6 +13,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -78,6 +79,7 @@ func main() {
 		seed        = flag.Int64("seed", 1, "workload seed")
 		accesses    = flag.Int("accesses", 0, "trace length (0 = workload default)")
 		parallelism = flag.Int("parallelism", 0, "concurrent sweep points (0 = GOMAXPROCS, 1 = serial)")
+		jsonOut     = flag.Bool("json", false, "emit results as JSON lines in the stemsd service encoding (diffable against /v1/jobs results)")
 	)
 	flag.Parse()
 
@@ -125,6 +127,20 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if *jsonOut {
+		// One canonical result document per line — the same encoding (and
+		// the same bytes, stems.EncodeResult) the stemsd API returns for
+		// the equivalent job, so CLI and service output diff cleanly.
+		out := json.NewEncoder(os.Stdout)
+		for i, pt := range points {
+			if err := out.Encode(stems.EncodeResult(pt.label, results[i])); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		return
 	}
 
 	fmt.Printf("STeMS %s sweep on %s (%d accesses)\n\n", *param, spec.Name, n)

@@ -1,0 +1,276 @@
+// Package enc is the wire encoding shared by every surface that ships
+// simulation results and job specifications out of process: the stemsd
+// HTTP server, the typed client in the public stems package, and the
+// -json mode of cmd/sweep all marshal through the types here, so a result
+// printed by the CLI is byte-for-byte diffable against the same
+// configuration fetched from the service.
+//
+// All encoding goes through encoding/json with fixed struct field order,
+// so marshaling the same value always produces identical bytes — the
+// property the service's content-addressed result cache relies on.
+package enc
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"stems/internal/sim"
+	"stems/internal/workload"
+)
+
+// RunSpec describes one simulation run in wire form. Zero fields select
+// the service defaults: predictor "stems", workload "DB2", seed 1, the
+// workload's default trace length, and the scaled system.
+type RunSpec struct {
+	// Predictor is a registered predictor name (see /v1/predictors).
+	Predictor string `json:"predictor,omitempty"`
+	// Workload is a paper-suite workload name (see /v1/workloads).
+	Workload string `json:"workload,omitempty"`
+	// Seed is the workload generator seed (non-negative; default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Accesses caps the trace length; 0 keeps the workload default.
+	Accesses int `json:"accesses,omitempty"`
+	// System selects the simulated node: "scaled" (default, the reduced
+	// footprint the command-line tools use) or "paper" (full Table 1).
+	System string `json:"system,omitempty"`
+	// Label names the run in results; it does not affect the simulation
+	// and is excluded from the result-cache key.
+	Label string `json:"label,omitempty"`
+}
+
+// JobSpec is the body of POST /v1/jobs: either a single run (top-level
+// RunSpec fields) or a sweep (Runs), not both.
+type JobSpec struct {
+	RunSpec
+	// Runs, when non-empty, makes the job a sweep executing each run in
+	// order. Runs sharing a configuration hit the result cache.
+	Runs []RunSpec `json:"runs,omitempty"`
+}
+
+// RunSpecs flattens the job to its run list: Runs if present, otherwise
+// the single top-level run.
+func (s JobSpec) RunSpecs() []RunSpec {
+	if len(s.Runs) > 0 {
+		return s.Runs
+	}
+	return []RunSpec{s.RunSpec}
+}
+
+// Result is the canonical wire form of one simulation result: the raw
+// counters of sim.Result plus the derived paper metrics, under stable
+// snake_case keys. Marshaling the same Result always yields identical
+// bytes (fixed field order, no maps).
+type Result struct {
+	Label              string  `json:"label,omitempty"`
+	Predictor          string  `json:"predictor"`
+	Accesses           uint64  `json:"accesses"`
+	Reads              uint64  `json:"reads"`
+	Writes             uint64  `json:"writes"`
+	L1Hits             uint64  `json:"l1_hits"`
+	L2Hits             uint64  `json:"l2_hits"`
+	OffChipReads       uint64  `json:"off_chip_reads"`
+	Covered            uint64  `json:"covered"`
+	Overpredicted      uint64  `json:"overpredicted"`
+	Fetched            uint64  `json:"fetched"`
+	MetaTransfers      uint64  `json:"meta_transfers,omitempty"`
+	ReconPlacedExact   uint64  `json:"recon_placed_exact,omitempty"`
+	ReconPlacedNear    uint64  `json:"recon_placed_near,omitempty"`
+	ReconDropped       uint64  `json:"recon_dropped,omitempty"`
+	Cycles             uint64  `json:"cycles"`
+	Coverage           float64 `json:"coverage"`
+	OverpredictionRate float64 `json:"overprediction_rate"`
+	ReconDropFraction  float64 `json:"recon_drop_fraction,omitempty"`
+}
+
+// FromResult converts an engine result to wire form under the given label.
+func FromResult(label string, r sim.Result) Result {
+	return Result{
+		Label:              label,
+		Predictor:          r.Prefetcher,
+		Accesses:           r.Accesses,
+		Reads:              r.Reads,
+		Writes:             r.Writes,
+		L1Hits:             r.L1Hits,
+		L2Hits:             r.L2Hits,
+		OffChipReads:       r.OffChipReads,
+		Covered:            r.Covered,
+		Overpredicted:      r.Overpredicted,
+		Fetched:            r.Fetched,
+		MetaTransfers:      r.MetaTransfers,
+		ReconPlacedExact:   r.ReconPlacedExact,
+		ReconPlacedNear:    r.ReconPlacedNear,
+		ReconDropped:       r.ReconDropped,
+		Cycles:             r.Cycles,
+		Coverage:           r.Coverage(),
+		OverpredictionRate: r.OverpredictionRate(),
+		ReconDropFraction:  r.ReconDropFraction(),
+	}
+}
+
+// Engine converts the wire result back to the engine's counter form (the
+// derived rate fields are recomputed by sim.Result's methods, not stored).
+func (r Result) Engine() sim.Result {
+	return sim.Result{
+		Prefetcher:       r.Predictor,
+		Accesses:         r.Accesses,
+		Reads:            r.Reads,
+		Writes:           r.Writes,
+		L1Hits:           r.L1Hits,
+		L2Hits:           r.L2Hits,
+		OffChipReads:     r.OffChipReads,
+		Covered:          r.Covered,
+		Overpredicted:    r.Overpredicted,
+		Fetched:          r.Fetched,
+		MetaTransfers:    r.MetaTransfers,
+		ReconPlacedExact: r.ReconPlacedExact,
+		ReconPlacedNear:  r.ReconPlacedNear,
+		ReconDropped:     r.ReconDropped,
+		Cycles:           r.Cycles,
+	}
+}
+
+// Relabel returns encoded-result bytes with the label field replaced. The
+// service's result cache stores label-less canonical bytes (the label is
+// presentation, not configuration); this grafts a job's label back on
+// without touching any other byte.
+func Relabel(data []byte, label string) (json.RawMessage, error) {
+	if label == "" {
+		return json.RawMessage(data), nil
+	}
+	var r Result
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("enc: relabel: %w", err)
+	}
+	r.Label = label
+	out, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("enc: relabel: %w", err)
+	}
+	return out, nil
+}
+
+// JobState is a job's lifecycle position.
+type JobState string
+
+// The job lifecycle: queued → running → one of the three terminal states.
+// A queued job cancelled before a worker picks it up goes straight to
+// JobCanceled.
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// JobProgress is the replay position of a job across its runs.
+type JobProgress struct {
+	RunsDone  int `json:"runs_done"`
+	RunsTotal int `json:"runs_total"`
+	// AccessesDone counts accesses accounted for so far — replayed by the
+	// engine, or credited in full when a run is served from the result
+	// cache.
+	AccessesDone  uint64 `json:"accesses_done"`
+	AccessesTotal uint64 `json:"accesses_total"`
+	// CacheHits counts this job's runs served from the result cache.
+	CacheHits int `json:"cache_hits"`
+}
+
+// JobStatus is the wire form of GET /v1/jobs/{id} and of every SSE event.
+type JobStatus struct {
+	ID       string      `json:"id"`
+	State    JobState    `json:"state"`
+	Spec     JobSpec     `json:"spec"`
+	Progress JobProgress `json:"progress"`
+	Error    string      `json:"error,omitempty"`
+	// Results holds one canonical Result document per run, present once
+	// the job is done. Raw bytes, so a cached result round-trips through
+	// the API without re-marshaling drift.
+	Results []json.RawMessage `json:"results,omitempty"`
+}
+
+// DecodedResults parses the raw result documents.
+func (s JobStatus) DecodedResults() ([]Result, error) {
+	out := make([]Result, len(s.Results))
+	for i, raw := range s.Results {
+		if err := json.Unmarshal(raw, &out[i]); err != nil {
+			return nil, fmt.Errorf("enc: result %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// WorkloadInfo describes one suite workload in GET /v1/workloads.
+type WorkloadInfo struct {
+	Name            string `json:"name"`
+	Class           string `json:"class"`
+	Scientific      bool   `json:"scientific,omitempty"`
+	DefaultAccesses int    `json:"default_accesses"`
+}
+
+// WorkloadInfos converts the suite specs to wire form.
+func WorkloadInfos(specs []workload.Spec) []WorkloadInfo {
+	out := make([]WorkloadInfo, len(specs))
+	for i, s := range specs {
+		out[i] = WorkloadInfo{
+			Name:            s.Name,
+			Class:           string(s.Class),
+			Scientific:      s.Scientific,
+			DefaultAccesses: s.DefaultAccesses,
+		}
+	}
+	return out
+}
+
+// Metrics is the body of GET /metrics: service-level gauges and counters.
+type Metrics struct {
+	UptimeSec float64 `json:"uptime_sec"`
+	Workers   int     `json:"workers"`
+
+	QueueDepth int `json:"queue_depth"`
+	QueueBound int `json:"queue_bound"`
+
+	JobsSubmitted uint64 `json:"jobs_submitted"`
+	JobsCompleted uint64 `json:"jobs_completed"`
+	JobsFailed    uint64 `json:"jobs_failed"`
+	JobsCanceled  uint64 `json:"jobs_canceled"`
+
+	// RunsComputed counts runs actually simulated; cache hits avoid it.
+	RunsComputed uint64  `json:"runs_computed"`
+	CacheHits    uint64  `json:"cache_hits"`
+	CacheMisses  uint64  `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	CacheEntries int     `json:"cache_entries"`
+	CacheBound   int     `json:"cache_bound"`
+
+	// AccessesSimulated counts accesses replayed by the engine since
+	// start; AccessesPerSec divides it by uptime — the service-side
+	// throughput figure the bench pipeline records.
+	AccessesSimulated uint64  `json:"accesses_simulated"`
+	AccessesPerSec    float64 `json:"accesses_per_sec"`
+
+	// Trace-arena activity: workload traces resident, generator
+	// invocations, and arena cache hits across jobs.
+	TracesResident   int `json:"traces_resident"`
+	TraceGenerations int `json:"trace_generations"`
+	TraceHits        int `json:"trace_hits"`
+}
+
+// ErrorBody is the structured error envelope every non-2xx response
+// carries: {"error":{"code":"...","message":"..."}}.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail is the code/message pair inside ErrorBody.
+type ErrorDetail struct {
+	// Code is a stable machine-readable slug: "invalid_spec",
+	// "not_found", "queue_full", "draining", "internal".
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}

@@ -1,0 +1,113 @@
+package enc
+
+import (
+	"encoding/json"
+	"testing"
+
+	"stems/internal/sim"
+	"stems/internal/workload"
+
+	// Self-register the built-in predictors for sim.Build.
+	_ "stems/internal/predictors"
+)
+
+// engineResult produces a real (non-synthetic) result to round-trip.
+func engineResult(t *testing.T) sim.Result {
+	t.Helper()
+	m, err := sim.Build(sim.KindSTeMS, sim.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := workload.ByName("em3d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.RunBlocks(wl.GenerateBlocks(1, 20_000).Blocks())
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	res := engineResult(t)
+	wire := FromResult("x", res)
+	if got := wire.Engine(); got != res {
+		t.Errorf("round trip mismatch:\n got  %+v\n want %+v", got, res)
+	}
+	if wire.Coverage != res.Coverage() || wire.OverpredictionRate != res.OverpredictionRate() {
+		t.Errorf("derived metrics not carried: %+v", wire)
+	}
+}
+
+// TestMarshalDeterministic is the property the content-addressed cache
+// depends on: equal values encode to equal bytes, every time.
+func TestMarshalDeterministic(t *testing.T) {
+	res := engineResult(t)
+	a, err := json.Marshal(FromResult("", res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(FromResult("", res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Errorf("non-deterministic marshal:\n %s\n %s", a, b)
+	}
+}
+
+func TestRelabel(t *testing.T) {
+	res := engineResult(t)
+	bare, err := json.Marshal(FromResult("", res))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	same, err := Relabel(bare, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(same) != string(bare) {
+		t.Errorf("empty relabel changed bytes")
+	}
+
+	labeled, err := Relabel(bare, "point-7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := json.Marshal(FromResult("point-7", res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(labeled) != string(direct) {
+		t.Errorf("relabel != direct labeling:\n %s\n %s", labeled, direct)
+	}
+}
+
+func TestJobSpecFlattening(t *testing.T) {
+	single := JobSpec{RunSpec: RunSpec{Predictor: "stride"}}
+	if runs := single.RunSpecs(); len(runs) != 1 || runs[0].Predictor != "stride" {
+		t.Errorf("single flatten = %+v", runs)
+	}
+	sweep := JobSpec{Runs: []RunSpec{{Predictor: "a"}, {Predictor: "b"}}}
+	if runs := sweep.RunSpecs(); len(runs) != 2 || runs[1].Predictor != "b" {
+		t.Errorf("sweep flatten = %+v", runs)
+	}
+}
+
+func TestJobStatusDecodedResults(t *testing.T) {
+	res := engineResult(t)
+	raw, err := json.Marshal(FromResult("L", res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := JobStatus{Results: []json.RawMessage{raw, raw}}
+	decoded, err := st.DecodedResults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 2 || decoded[0].Label != "L" || decoded[1].Engine() != res {
+		t.Errorf("decoded = %+v", decoded)
+	}
+	st.Results = []json.RawMessage{[]byte(`{`)}
+	if _, err := st.DecodedResults(); err == nil {
+		t.Error("expected decode error for malformed result")
+	}
+}

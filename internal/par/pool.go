@@ -1,0 +1,97 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Pool errors returned by Submit.
+var (
+	// ErrQueueFull reports that the bounded task queue is at capacity —
+	// the caller should shed load (the server turns it into a 503).
+	ErrQueueFull = errors.New("par: task queue full")
+	// ErrPoolClosed reports a Submit after Close.
+	ErrPoolClosed = errors.New("par: pool closed")
+)
+
+// Pool is the long-running counterpart of Map: a fixed set of worker
+// goroutines draining a bounded FIFO task queue. Map fans a known index
+// range out and returns; a Pool accepts work indefinitely — it is what
+// the stemsd service runs jobs on. Submission is non-blocking: a full
+// queue rejects with ErrQueueFull instead of stalling the submitter,
+// which is the backpressure signal the HTTP layer propagates.
+//
+// All methods are safe for concurrent use.
+type Pool struct {
+	ctx   context.Context
+	tasks chan func(context.Context)
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewPool starts workers goroutines (<= 0 selects one) draining a queue
+// of at most queueBound pending tasks (<= 0 selects 1). ctx is handed to
+// every task; cancelling it is the pool's hard-stop signal — workers
+// still drain the queue, but tasks should observe ctx and return early.
+func NewPool(ctx context.Context, workers, queueBound int) *Pool {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	if queueBound <= 0 {
+		queueBound = 1
+	}
+	p := &Pool{ctx: ctx, tasks: make(chan func(context.Context), queueBound)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for task := range p.tasks {
+				task(p.ctx)
+			}
+		}()
+	}
+	return p
+}
+
+// Submit enqueues a task without blocking. It fails with ErrQueueFull
+// when the queue is at capacity and ErrPoolClosed after Close.
+func (p *Pool) Submit(task func(context.Context)) error {
+	if task == nil {
+		return errors.New("par: nil task")
+	}
+	// The lock serializes Submit against Close: once closed is set the
+	// channel may be closed at any moment, so the send must not race it.
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	select {
+	case p.tasks <- task:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// QueueDepth returns the number of tasks waiting for a worker.
+func (p *Pool) QueueDepth() int { return len(p.tasks) }
+
+// Close stops intake and blocks until the workers have drained every
+// queued task. It is idempotent. For a fast shutdown, cancel the pool
+// context first so drained tasks exit early.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

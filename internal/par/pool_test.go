@@ -1,0 +1,81 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsTasks(t *testing.T) {
+	p := NewPool(context.Background(), 4, 16)
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		if err := p.Submit(func(context.Context) { n.Add(1); wg.Done() }); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	wg.Wait()
+	p.Close()
+	if got := n.Load(); got != 16 {
+		t.Errorf("ran %d tasks, want 16", got)
+	}
+}
+
+func TestPoolQueueFull(t *testing.T) {
+	p := NewPool(context.Background(), 1, 1)
+	defer p.Close()
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	if err := p.Submit(func(context.Context) { close(started); <-release }); err != nil {
+		t.Fatal(err)
+	}
+	<-started // the worker is busy; the queue is empty
+
+	if err := p.Submit(func(context.Context) {}); err != nil {
+		t.Fatalf("queueing one task: %v", err)
+	}
+	if err := p.Submit(func(context.Context) {}); !errors.Is(err, ErrQueueFull) {
+		t.Errorf("error = %v, want ErrQueueFull", err)
+	}
+	if d := p.QueueDepth(); d != 1 {
+		t.Errorf("queue depth = %d, want 1", d)
+	}
+	close(release)
+}
+
+func TestPoolCloseDrainsAndRejects(t *testing.T) {
+	p := NewPool(context.Background(), 2, 8)
+	var n atomic.Int64
+	for i := 0; i < 8; i++ {
+		if err := p.Submit(func(context.Context) { n.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Close()
+	if got := n.Load(); got != 8 {
+		t.Errorf("after Close, %d of 8 queued tasks ran", got)
+	}
+	if err := p.Submit(func(context.Context) {}); !errors.Is(err, ErrPoolClosed) {
+		t.Errorf("post-close submit error = %v, want ErrPoolClosed", err)
+	}
+	p.Close() // idempotent
+}
+
+func TestPoolContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := NewPool(ctx, 1, 4)
+	cancel()
+	got := make(chan error, 1)
+	if err := p.Submit(func(ctx context.Context) { got <- ctx.Err() }); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-got; !errors.Is(err, context.Canceled) {
+		t.Errorf("task ctx error = %v, want Canceled", err)
+	}
+	p.Close()
+}

@@ -1,0 +1,209 @@
+// Package server is the HTTP surface of stemsd: a JSON API over
+// internal/service. Endpoints:
+//
+//	POST   /v1/jobs             submit a run or sweep (202 + job status)
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        job status and results
+//	DELETE /v1/jobs/{id}        cancel a job
+//	GET    /v1/jobs/{id}/events stream status/progress via SSE
+//	GET    /v1/predictors       registered predictor names
+//	GET    /v1/workloads        the paper's workload suite
+//	GET    /healthz             liveness
+//	GET    /metrics             queue/cache/throughput counters (JSON)
+//
+// Every non-2xx response carries the structured enc.ErrorBody envelope.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"stems/internal/enc"
+	"stems/internal/service"
+)
+
+// Server routes HTTP requests to a service.Service.
+type Server struct {
+	svc *service.Service
+	mux *http.ServeMux
+}
+
+// New builds a Server over svc.
+func New(svc *service.Service) *Server {
+	s := &Server{svc: svc, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.submitJob)
+	s.mux.HandleFunc("GET /v1/jobs", s.listJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.getJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancelJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.jobEvents)
+	s.mux.HandleFunc("GET /v1/predictors", s.predictors)
+	s.mux.HandleFunc("GET /v1/workloads", s.workloads)
+	s.mux.HandleFunc("GET /healthz", s.healthz)
+	s.mux.HandleFunc("GET /metrics", s.metrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// writeJSON emits a JSON body. Deliberately compact (no indentation): an
+// indenting encoder would reformat the raw cached result documents inside
+// JobStatus, and the API's contract is that a cached result crosses the
+// wire byte-identical to its first computation.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // a failed write means the client left
+}
+
+// writeError maps a service error to its status code and structured body.
+func writeError(w http.ResponseWriter, err error) {
+	status, code := http.StatusInternalServerError, "internal"
+	switch {
+	case errors.Is(err, service.ErrInvalidSpec):
+		status, code = http.StatusBadRequest, "invalid_spec"
+	case errors.Is(err, service.ErrNotFound):
+		status, code = http.StatusNotFound, "not_found"
+	case errors.Is(err, service.ErrQueueFull):
+		status, code = http.StatusServiceUnavailable, "queue_full"
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, service.ErrDraining):
+		status, code = http.StatusServiceUnavailable, "draining"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(enc.ErrorBody{ //nolint:errcheck
+		Error: enc.ErrorDetail{Code: code, Message: err.Error()},
+	})
+}
+
+func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
+	var spec enc.JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, fmt.Errorf("%w: decoding body: %v", service.ErrInvalidSpec, err))
+		return
+	}
+	j, err := s.svc.Submit(spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.ID)
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+func (s *Server) listJobs(w http.ResponseWriter, r *http.Request) {
+	jobs := s.svc.Jobs()
+	out := make([]enc.JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []enc.JobStatus `json:"jobs"`
+	}{out})
+}
+
+func (s *Server) getJob(w http.ResponseWriter, r *http.Request) {
+	j, err := s.svc.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) cancelJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.svc.Cancel(id); err != nil {
+		writeError(w, err)
+		return
+	}
+	j, err := s.svc.Job(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+// jobEvents streams the job's status over Server-Sent Events: one
+// "status" event immediately, one per observable change (state moves,
+// per-block replay progress, run completions), and a final one at the
+// terminal state, after which the stream closes. A reconnecting client
+// simply gets the current status again — events carry full snapshots,
+// not deltas, so there is no resume cursor to track.
+func (s *Server) jobEvents(w http.ResponseWriter, r *http.Request) {
+	j, err := s.svc.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, errors.New("streaming unsupported by this connection"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	updates, cancel := j.Subscribe()
+	defer cancel()
+
+	send := func() (terminal bool) {
+		st := j.Status()
+		data, err := json.Marshal(st)
+		if err != nil {
+			return true
+		}
+		fmt.Fprintf(w, "event: status\ndata: %s\n\n", data)
+		flusher.Flush()
+		return st.State.Terminal()
+	}
+	if send() {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-j.Done():
+			send()
+			return
+		case <-updates:
+			if send() {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) predictors(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Predictors []string `json:"predictors"`
+	}{s.svc.Predictors()})
+}
+
+func (s *Server) workloads(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Workloads []enc.WorkloadInfo `json:"workloads"`
+	}{s.svc.Workloads()})
+}
+
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status    string  `json:"status"`
+		UptimeSec float64 `json:"uptime_sec"`
+	}{"ok", s.svc.Metrics().UptimeSec})
+}
+
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.Metrics())
+}

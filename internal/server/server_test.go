@@ -1,0 +1,378 @@
+// End-to-end tests of the stemsd HTTP surface: a real service behind
+// httptest, driven through the typed client of the public stems package —
+// the same path a remote user takes, including the SSE progress stream.
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"stems"
+	"stems/internal/enc"
+	"stems/internal/server"
+	"stems/internal/service"
+)
+
+// newTestServer wires service → server → httptest and a client at it.
+func newTestServer(t *testing.T, cfg service.Config) (*stems.Client, *service.Service) {
+	t.Helper()
+	svc := service.New(cfg)
+	ts := httptest.NewServer(server.New(svc))
+	t.Cleanup(func() {
+		svc.Abort()
+		svc.Drain()
+		ts.Close()
+	})
+	return stems.NewClient(ts.URL, nil), svc
+}
+
+// TestEndToEnd covers the acceptance path: submit over HTTP, stream to
+// completion, and verify the result is byte-identical to a direct
+// stems.Run of the same configuration.
+func TestEndToEnd(t *testing.T) {
+	c, _ := newTestServer(t, service.Config{Workers: 2, QueueBound: 8})
+	ctx := context.Background()
+
+	st, err := c.Submit(ctx, stems.JobSpec{RunSpec: stems.RunSpec{
+		Predictor: "stems", Workload: "em3d", Accesses: 30_000,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.State.Terminal() {
+		t.Fatalf("unexpected initial status %+v", st)
+	}
+	if st.Spec.Seed != 1 || st.Spec.System != "scaled" {
+		t.Errorf("normalized spec not reported: %+v", st.Spec)
+	}
+
+	final, err := c.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != stems.JobDone {
+		t.Fatalf("state = %s (%s), want done", final.State, final.Error)
+	}
+
+	r, err := stems.New(
+		stems.WithPredictor("stems"),
+		stems.WithWorkload("em3d"),
+		stems.WithAccesses(30_000),
+		stems.WithSystem(stems.ScaledSystem()),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := json.Marshal(stems.EncodeResult("", res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(final.Results) != 1 || string(final.Results[0]) != string(direct) {
+		t.Errorf("service result != direct run:\n service: %s\n direct:  %s", final.Results, direct)
+	}
+
+	// The decoded form agrees with the engine result too.
+	decoded, err := final.DecodedResults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded[0].Engine() != res {
+		t.Errorf("decoded result %+v != engine result %+v", decoded[0].Engine(), res)
+	}
+}
+
+// TestCacheHitOverHTTP resubmits a configuration and checks the cache-hit
+// counter in /metrics moved and the bytes match — through the full stack.
+func TestCacheHitOverHTTP(t *testing.T) {
+	c, _ := newTestServer(t, service.Config{Workers: 1, QueueBound: 8})
+	ctx := context.Background()
+	spec := stems.JobSpec{RunSpec: stems.RunSpec{Workload: "sparse", Accesses: 20_000}}
+
+	first := submitAndWait(t, c, spec)
+	before, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := submitAndWait(t, c, spec)
+	after, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if string(first.Results[0]) != string(second.Results[0]) {
+		t.Errorf("cache hit not byte-identical over HTTP:\n %s\n %s", first.Results[0], second.Results[0])
+	}
+	if after.CacheHits <= before.CacheHits {
+		t.Errorf("cache hits %d -> %d: no hit recorded", before.CacheHits, after.CacheHits)
+	}
+	if after.RunsComputed != before.RunsComputed {
+		t.Errorf("runs computed %d -> %d: cache hit recomputed", before.RunsComputed, after.RunsComputed)
+	}
+	if second.Progress.CacheHits != 1 {
+		t.Errorf("second job reports %d cache hits, want 1", second.Progress.CacheHits)
+	}
+}
+
+// TestWatchStreamsProgress asserts the SSE stream delivers intermediate
+// per-block progress, not just the terminal snapshot.
+func TestWatchStreamsProgress(t *testing.T) {
+	c, _ := newTestServer(t, service.Config{Workers: 1, QueueBound: 4})
+	ctx := context.Background()
+
+	st, err := c.Submit(ctx, stems.JobSpec{RunSpec: stems.RunSpec{
+		Predictor: "stride", Workload: "DB2", Accesses: 300_000,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snapshots []stems.JobStatus
+	final, err := c.Watch(ctx, st.ID, func(s stems.JobStatus) { snapshots = append(snapshots, s) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != stems.JobDone {
+		t.Fatalf("state = %s (%s)", final.State, final.Error)
+	}
+	if len(snapshots) < 2 {
+		t.Fatalf("got %d snapshots, want >= 2 (progress plus terminal)", len(snapshots))
+	}
+	if last := snapshots[len(snapshots)-1]; !last.State.Terminal() {
+		t.Errorf("last snapshot state = %s, want terminal", last.State)
+	}
+	sawPartial := false
+	for _, s := range snapshots {
+		if d := s.Progress.AccessesDone; d > 0 && d < s.Progress.AccessesTotal {
+			sawPartial = true
+		}
+	}
+	if !sawPartial {
+		t.Error("no snapshot showed partial replay progress")
+	}
+}
+
+// TestCancelOverHTTP cancels a running job via DELETE.
+func TestCancelOverHTTP(t *testing.T) {
+	c, _ := newTestServer(t, service.Config{Workers: 1, QueueBound: 4})
+	ctx := context.Background()
+
+	st, err := c.Submit(ctx, stems.JobSpec{RunSpec: stems.RunSpec{
+		Workload: "Apache", Accesses: 1_000_000,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let it start, then cancel; a queued cancel is also fine — both are
+	// legal outcomes of the race, and both must end canceled.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		cur, err := c.Job(ctx, st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.State == stems.JobRunning || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := c.Cancel(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != stems.JobCanceled {
+		t.Errorf("state = %s, want canceled", final.State)
+	}
+}
+
+// TestStructured400s checks the error envelope for invalid specs.
+func TestStructured400s(t *testing.T) {
+	c, _ := newTestServer(t, service.Config{Workers: 1, QueueBound: 4})
+	ctx := context.Background()
+
+	cases := []struct {
+		name    string
+		spec    stems.JobSpec
+		mention string
+	}{
+		{"bad predictor", stems.JobSpec{RunSpec: stems.RunSpec{Predictor: "nope"}}, "unknown predictor"},
+		{"bad workload", stems.JobSpec{RunSpec: stems.RunSpec{Workload: "nope"}}, "unknown workload"},
+		{"bad accesses", stems.JobSpec{RunSpec: stems.RunSpec{Accesses: -1}}, "invalid accesses"},
+		{"bad seed", stems.JobSpec{RunSpec: stems.RunSpec{Seed: -2}}, "invalid seed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := c.Submit(ctx, tc.spec)
+			var apiErr *stems.APIError
+			if !errors.As(err, &apiErr) {
+				t.Fatalf("error = %v, want *APIError", err)
+			}
+			if apiErr.StatusCode != http.StatusBadRequest || apiErr.Code != "invalid_spec" {
+				t.Errorf("got HTTP %d code %q, want 400 invalid_spec", apiErr.StatusCode, apiErr.Code)
+			}
+			if !strings.Contains(apiErr.Message, tc.mention) {
+				t.Errorf("message %q does not mention %q", apiErr.Message, tc.mention)
+			}
+		})
+	}
+
+	// Unknown fields in the body are rejected, not silently dropped.
+	resp, err := http.Post(c.BaseURL()+"/v1/jobs", "application/json",
+		strings.NewReader(`{"predictorr":"stems"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field: HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestDiscoveryAndHealth covers /v1/predictors, /v1/workloads, /healthz,
+// and 404 handling.
+func TestDiscoveryAndHealth(t *testing.T) {
+	c, _ := newTestServer(t, service.Config{Workers: 1, QueueBound: 4})
+	ctx := context.Background()
+
+	preds, err := c.Predictors(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) == 0 || preds[len(preds)-1] == "" {
+		t.Errorf("predictors = %v", preds)
+	}
+	found := false
+	for _, p := range preds {
+		if p == "stems" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("predictors %v missing \"stems\"", preds)
+	}
+
+	wls, err := c.ServiceWorkloads(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wls) != len(stems.WorkloadNames()) {
+		t.Errorf("got %d workloads, want %d", len(wls), len(stems.WorkloadNames()))
+	}
+	for _, w := range wls {
+		if w.Name == "" || w.DefaultAccesses == 0 || w.Class == "" {
+			t.Errorf("incomplete workload info %+v", w)
+		}
+	}
+
+	resp, err := http.Get(c.BaseURL() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: HTTP %d", resp.StatusCode)
+	}
+
+	if _, err := c.Job(ctx, "j-424242"); err == nil {
+		t.Error("expected 404 for unknown job")
+	} else {
+		var apiErr *stems.APIError
+		if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusNotFound || apiErr.Code != "not_found" {
+			t.Errorf("unknown job error = %v, want 404 not_found", err)
+		}
+	}
+}
+
+// TestQueueFull503 fills the queue and expects the structured 503.
+func TestQueueFull503(t *testing.T) {
+	c, _ := newTestServer(t, service.Config{Workers: 1, QueueBound: 1})
+	ctx := context.Background()
+
+	// Hold the worker and the single queue slot with long jobs.
+	for i := 0; i < 2; i++ {
+		if _, err := c.Submit(ctx, stems.JobSpec{RunSpec: stems.RunSpec{
+			Workload: "Qry17", Seed: int64(i + 1), Accesses: 2_000_000,
+		}}); err != nil {
+			t.Fatalf("priming submit %d: %v", i, err)
+		}
+	}
+	var apiErr *stems.APIError
+	sawFull := false
+	for i := 0; i < 10 && !sawFull; i++ {
+		_, err := c.Submit(ctx, stems.JobSpec{RunSpec: stems.RunSpec{
+			Workload: "Qry17", Seed: int64(i + 10), Accesses: 2_000_000,
+		}})
+		if errors.As(err, &apiErr) {
+			if apiErr.StatusCode != http.StatusServiceUnavailable || apiErr.Code != "queue_full" {
+				t.Fatalf("got HTTP %d code %q, want 503 queue_full", apiErr.StatusCode, apiErr.Code)
+			}
+			sawFull = true
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sawFull {
+		t.Error("never saw 503 queue_full")
+	}
+}
+
+// TestSweepJSONMatchesService verifies the satellite contract: the
+// encoding cmd/sweep -json emits (stems.EncodeResult) is byte-identical
+// to the document the service returns for the equivalent job.
+func TestSweepJSONMatchesService(t *testing.T) {
+	c, _ := newTestServer(t, service.Config{Workers: 2, QueueBound: 4})
+
+	label := "16K"
+	final := submitAndWait(t, c, stems.JobSpec{RunSpec: stems.RunSpec{
+		Predictor: "sms", Workload: "ocean", Accesses: 20_000, Label: label,
+	}})
+
+	r, err := stems.New(
+		stems.WithPredictor("sms"),
+		stems.WithWorkload("ocean"),
+		stems.WithAccesses(20_000),
+		stems.WithSystem(stems.ScaledSystem()),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := json.Marshal(stems.EncodeResult(label, res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(final.Results[0]) != string(cli) {
+		t.Errorf("CLI and service encodings differ:\n cli:     %s\n service: %s", cli, final.Results[0])
+	}
+}
+
+func submitAndWait(t *testing.T, c *stems.Client, spec stems.JobSpec) stems.JobStatus {
+	t.Helper()
+	ctx := context.Background()
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	final, err := c.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if final.State != enc.JobDone {
+		t.Fatalf("job %s: %s (%s)", st.ID, final.State, final.Error)
+	}
+	return final
+}

@@ -1,0 +1,150 @@
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"stems"
+)
+
+// runKey computes the content address of one run's result: a SHA-256 over
+// the canonical JSON of everything that determines the simulation output.
+// opt is the Runner's *effective* options (after workload-class
+// defaulting), so two specs that resolve to the same configuration share
+// an address even if they spelled it differently. Labels are
+// presentation-only and excluded.
+func runKey(predictor, workload string, seed int64, n int, opt stems.Options) (string, error) {
+	payload, err := json.Marshal(struct {
+		Predictor string        `json:"predictor"`
+		Workload  string        `json:"workload"`
+		Seed      int64         `json:"seed"`
+		N         int           `json:"n"`
+		Options   stems.Options `json:"options"`
+	}{predictor, workload, seed, n, opt})
+	if err != nil {
+		return "", fmt.Errorf("service: hashing run spec: %w", err)
+	}
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// flight is one in-progress computation of a cache key. Followers wait on
+// done; a failed flight leaves err set and followers recompute for
+// themselves (errors are never cached).
+type flight struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// resultCache is a bounded LRU of canonical result bytes keyed by runKey,
+// with single-flight de-duplication: concurrent jobs computing the same
+// key run one simulation, the rest wait and share the bytes.
+type resultCache struct {
+	mu      sync.Mutex
+	bound   int
+	entries map[string]*list.Element // key → ll element holding *cacheEntry
+	ll      *list.List               // front = most recently used
+	flights map[string]*flight
+	hits    uint64
+	misses  uint64
+}
+
+type cacheEntry struct {
+	key  string
+	data []byte
+}
+
+func newResultCache(bound int) *resultCache {
+	if bound <= 0 {
+		bound = 1
+	}
+	return &resultCache{
+		bound:   bound,
+		entries: make(map[string]*list.Element),
+		ll:      list.New(),
+		flights: make(map[string]*flight),
+	}
+}
+
+// get returns the cached bytes for key, counting a hit or miss.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).data, true
+}
+
+// claim returns the flight for key and whether the caller is its leader.
+// The leader must call resolve exactly once; followers wait on
+// flight.done.
+func (c *resultCache) claim(key string) (*flight, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if fl, ok := c.flights[key]; ok {
+		return fl, false
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.flights[key] = fl
+	return fl, true
+}
+
+// resolve completes a flight: a successful result is stored in the LRU,
+// a failure only wakes the followers (they recompute independently —
+// e.g. the leader's job was cancelled, which says nothing about the
+// followers' jobs).
+func (c *resultCache) resolve(key string, fl *flight, data []byte, err error) {
+	c.mu.Lock()
+	fl.data, fl.err = data, err
+	delete(c.flights, key)
+	if err == nil {
+		c.storeLocked(key, data)
+	}
+	c.mu.Unlock()
+	close(fl.done)
+}
+
+func (c *resultCache) storeLocked(key string, data []byte) {
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).data = data
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, data: data})
+	for c.ll.Len() > c.bound {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// counters returns cumulative hit/miss counts and the current size.
+func (c *resultCache) counters() (hits, misses uint64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
+}
+
+// sharedHit records a hit that bypassed get: a follower served by a
+// leader's flight avoided a recomputation just like an LRU hit, and the
+// /metrics cache-hit counter should say so. The earlier miss the follower
+// was charged on its failed get is rolled back so the hit rate reflects
+// one miss (the leader's) per computed result.
+func (c *resultCache) sharedHit() {
+	c.mu.Lock()
+	c.hits++
+	if c.misses > 0 {
+		c.misses--
+	}
+	c.mu.Unlock()
+}

@@ -1,0 +1,207 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+
+	"stems"
+	"stems/internal/enc"
+)
+
+// resolvedRun is one run of a job after validation: the normalized spec,
+// the resolved trace length, the content-address of its result, and the
+// Runner options that rebuild it (progress hook excluded — that is
+// attached per execution).
+type resolvedRun struct {
+	spec enc.RunSpec
+	n    int
+	key  string
+	opts []stems.Option
+}
+
+// Job is one submitted unit of work: a single run or an ordered sweep of
+// runs. Jobs move queued → running → {done, failed, canceled}; a Job is
+// safe for concurrent use (the worker mutates it, HTTP handlers snapshot
+// it, SSE subscribers watch it).
+type Job struct {
+	// ID is the service-assigned identifier ("j-000001").
+	ID string
+
+	spec enc.JobSpec
+	runs []resolvedRun
+
+	// ctx is cancelled by Cancel (and by service shutdown); the worker's
+	// replay loop observes it once per block.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// accessesDone is atomic because the replay progress callback fires
+	// every few thousand accesses — too hot for the job mutex.
+	accessesDone  atomic.Uint64
+	accessesTotal uint64
+
+	mu        sync.Mutex
+	state     enc.JobState
+	err       error
+	results   []json.RawMessage
+	runsDone  int
+	cacheHits int
+	subs      map[chan struct{}]struct{}
+
+	// done closes when the job reaches a terminal state.
+	done chan struct{}
+}
+
+func newJob(id string, spec enc.JobSpec, runs []resolvedRun, parent context.Context) *Job {
+	ctx, cancel := context.WithCancel(parent)
+	var total uint64
+	for _, r := range runs {
+		total += uint64(r.n)
+	}
+	return &Job{
+		ID:            id,
+		spec:          spec,
+		runs:          runs,
+		ctx:           ctx,
+		cancel:        cancel,
+		accessesTotal: total,
+		state:         enc.JobQueued,
+		subs:          make(map[chan struct{}]struct{}),
+		done:          make(chan struct{}),
+	}
+}
+
+// Done closes when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Status snapshots the job in wire form.
+func (j *Job) Status() enc.JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := enc.JobStatus{
+		ID:    j.ID,
+		State: j.state,
+		Spec:  j.spec,
+		Progress: enc.JobProgress{
+			RunsDone:      j.runsDone,
+			RunsTotal:     len(j.runs),
+			AccessesDone:  j.accessesDone.Load(),
+			AccessesTotal: j.accessesTotal,
+			CacheHits:     j.cacheHits,
+		},
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if len(j.results) > 0 {
+		st.Results = append([]json.RawMessage(nil), j.results...)
+	}
+	return st
+}
+
+// Subscribe registers a change-notification channel: it receives (with
+// capacity one, coalescing bursts) whenever the job's observable state
+// advances. The caller snapshots Status on each wakeup and must call
+// cancel when done. Terminal transitions also close Done, so a
+// subscriber selecting on both never misses the end.
+func (j *Job) Subscribe() (ch <-chan struct{}, cancel func()) {
+	c := make(chan struct{}, 1)
+	j.mu.Lock()
+	j.subs[c] = struct{}{}
+	j.mu.Unlock()
+	return c, func() {
+		j.mu.Lock()
+		delete(j.subs, c)
+		j.mu.Unlock()
+	}
+}
+
+// notifyLocked pings every subscriber without blocking; a subscriber that
+// has not consumed the previous ping coalesces. Callers hold j.mu.
+func (j *Job) notifyLocked() {
+	for c := range j.subs {
+		select {
+		case c <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// noteProgress is the replay-loop callback target: it publishes new
+// cumulative access counts to subscribers.
+func (j *Job) noteProgress(done uint64) {
+	j.accessesDone.Store(done)
+	j.mu.Lock()
+	j.notifyLocked()
+	j.mu.Unlock()
+}
+
+// begin moves the job from queued to running when a worker picks it up.
+// It reports false if the job was cancelled while queued (the worker
+// then skips execution).
+func (j *Job) begin() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != enc.JobQueued {
+		return false
+	}
+	j.state = enc.JobRunning
+	j.notifyLocked()
+	return true
+}
+
+// noteRunDone appends one run's encoded result and advances the run
+// counter; fromCache credits the run's full access count (no replay
+// happened) and the job's cache-hit counter.
+func (j *Job) noteRunDone(result json.RawMessage, n int, fromCache bool) {
+	if fromCache {
+		j.accessesDone.Add(uint64(n))
+	}
+	j.mu.Lock()
+	j.results = append(j.results, result)
+	j.runsDone++
+	if fromCache {
+		j.cacheHits++
+	}
+	j.notifyLocked()
+	j.mu.Unlock()
+}
+
+// finish moves the job to a terminal state (idempotent: the first
+// transition wins) and wakes subscribers and Done waiters.
+func (j *Job) finish(state enc.JobState, err error) {
+	j.mu.Lock()
+	j.finishLocked(state, err)
+	j.mu.Unlock()
+}
+
+func (j *Job) finishLocked(state enc.JobState, err error) {
+	if j.state.Terminal() {
+		return
+	}
+	j.state = state
+	if state == enc.JobFailed || state == enc.JobCanceled {
+		j.err = err
+	}
+	j.cancel() // release the context resources either way
+	close(j.done)
+	j.notifyLocked()
+}
+
+// requestCancel cancels the job's context. A queued job is finished
+// immediately (reported true — exactly one caller sees it, so the
+// cancellation counter stays exact under concurrent cancels); a running
+// one is left for its worker to wind down (the replay loop notices within
+// one block).
+func (j *Job) requestCancel(cause error) bool {
+	j.cancel()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == enc.JobQueued {
+		j.finishLocked(enc.JobCanceled, cause)
+		return true
+	}
+	return false
+}

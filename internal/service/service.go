@@ -1,0 +1,405 @@
+// Package service is the engine-facing half of stemsd: a long-running
+// simulation scheduler wrapping the public stems API. It owns a bounded
+// FIFO job queue drained by a worker pool (internal/par.Pool), per-job
+// context cancellation, a content-addressed result cache (canonical hash
+// of predictor + effective options + workload + seed + trace length, with
+// single-flight de-duplication of concurrent identical runs), and one
+// shared trace arena so concurrent jobs over the same workload replay one
+// resident trace. internal/server exposes it over HTTP.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stems"
+	"stems/internal/enc"
+	"stems/internal/par"
+)
+
+// Submission errors (beyond ErrInvalidSpec, which validate.go owns).
+var (
+	// ErrQueueFull reports that the job queue is at capacity; retry later.
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrDraining reports a submission during shutdown.
+	ErrDraining = errors.New("service: draining, not accepting jobs")
+	// ErrNotFound reports an unknown job ID.
+	ErrNotFound = errors.New("service: no such job")
+)
+
+// Config sizes a Service. Zero values select the defaults.
+type Config struct {
+	// Workers is the number of concurrent simulation workers
+	// (default GOMAXPROCS).
+	Workers int
+	// QueueBound caps queued-but-unstarted jobs (default 64); beyond it
+	// Submit sheds load with ErrQueueFull.
+	QueueBound int
+	// CacheBound caps result-cache entries, LRU-evicted (default 256).
+	CacheBound int
+	// TraceBound caps arena-resident workload traces, LRU-evicted
+	// (default 8, raised to Workers when smaller to keep eviction of a
+	// trace another worker is replaying rare). The LRU is touched at run
+	// start only, so an eviction during a long replay is possible — it
+	// costs a regeneration on the next run of that trace, never
+	// correctness, and the replaying worker's reference keeps the evicted
+	// trace alive until it finishes (peak memory can briefly exceed the
+	// bound). A trace costs ~12.8 bytes/access resident, so the default
+	// holds ~40MB of the suite's 400k-access traces.
+	TraceBound int
+	// RetainJobs caps retained terminal jobs (default 1024): beyond it
+	// the oldest done/failed/canceled jobs — with their statuses and
+	// result documents — are forgotten at the next submission, so a
+	// long-lived daemon's job table stays bounded like its queue, result
+	// cache, and arena. Queued and running jobs are never evicted; fetch
+	// results before they rotate out (the result cache still answers a
+	// resubmission without recomputing).
+	RetainJobs int
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueBound <= 0 {
+		c.QueueBound = 64
+	}
+	if c.CacheBound <= 0 {
+		c.CacheBound = 256
+	}
+	if c.TraceBound <= 0 {
+		c.TraceBound = 8
+	}
+	if c.TraceBound < c.Workers {
+		// At least one resident trace per concurrent worker, so parallel
+		// jobs over distinct workloads rarely evict a trace another
+		// worker still needs (see the TraceBound comment for the residual
+		// mid-replay eviction case).
+		c.TraceBound = c.Workers
+	}
+	if c.RetainJobs <= 0 {
+		c.RetainJobs = 1024
+	}
+}
+
+// Service is the stemsd core: it accepts job specs, schedules them on the
+// worker pool, and retains their statuses and results. Safe for
+// concurrent use.
+type Service struct {
+	cfg   Config
+	start time.Time
+
+	baseCtx context.Context
+	abort   context.CancelFunc
+
+	pool  *par.Pool
+	cache *resultCache
+	arena *stems.Arena
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // insertion order, for listing
+	nextID   uint64
+	draining bool
+
+	// arenaLRU tracks resident trace keys most-recent-first so the arena
+	// stays bounded in a long-lived daemon.
+	arenaLRU []arenaKey
+
+	jobsSubmitted atomic.Uint64
+	jobsCompleted atomic.Uint64
+	jobsFailed    atomic.Uint64
+	jobsCanceled  atomic.Uint64
+	runsComputed  atomic.Uint64
+	accessesSim   atomic.Uint64
+}
+
+type arenaKey struct {
+	name string
+	seed int64
+	n    int
+}
+
+// New starts a Service with cfg's worker pool running.
+func New(cfg Config) *Service {
+	cfg.fill()
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Service{
+		cfg:     cfg,
+		start:   time.Now(),
+		baseCtx: ctx,
+		abort:   cancel,
+		pool:    par.NewPool(ctx, cfg.Workers, cfg.QueueBound),
+		cache:   newResultCache(cfg.CacheBound),
+		arena:   stems.NewArena(),
+		jobs:    make(map[string]*Job),
+	}
+}
+
+// Submit validates spec, enqueues a job, and returns it in queued state.
+// It fails with ErrInvalidSpec (descriptive, field-level), ErrQueueFull
+// (back off and retry), or ErrDraining.
+func (s *Service) Submit(spec enc.JobSpec) (*Job, error) {
+	runs, err := resolveSpec(&spec)
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	s.nextID++
+	id := fmt.Sprintf("j-%06d", s.nextID)
+	j := newJob(id, spec, runs, s.baseCtx)
+	if err := s.pool.Submit(func(context.Context) { s.execute(j) }); err != nil {
+		s.nextID--
+		s.mu.Unlock()
+		j.cancel() // release the context before dropping the job
+		if errors.Is(err, par.ErrQueueFull) {
+			return nil, ErrQueueFull
+		}
+		return nil, ErrDraining
+	}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.pruneLocked()
+	s.mu.Unlock()
+	s.jobsSubmitted.Add(1)
+	return j, nil
+}
+
+// pruneLocked forgets the oldest terminal jobs beyond the retention
+// bound. Non-terminal jobs are always kept (and keep their slots until
+// enough terminal ones exist to evict). Callers hold s.mu.
+func (s *Service) pruneLocked() {
+	excess := len(s.order) - s.cfg.RetainJobs
+	if excess <= 0 {
+		return
+	}
+	keep := s.order[:0]
+	for _, id := range s.order {
+		if excess > 0 && s.jobs[id].Status().State.Terminal() {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		keep = append(keep, id)
+	}
+	s.order = keep
+}
+
+// Job returns a job by ID.
+func (s *Service) Job(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return j, nil
+}
+
+// Jobs lists every retained job in submission order.
+func (s *Service) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, len(s.order))
+	for i, id := range s.order {
+		out[i] = s.jobs[id]
+	}
+	return out
+}
+
+// Cancel requests cancellation of a job. Cancelling a queued job takes
+// effect immediately; a running job winds down within one replay block.
+// Cancelling a terminal job is a no-op.
+func (s *Service) Cancel(id string) error {
+	j, err := s.Job(id)
+	if err != nil {
+		return err
+	}
+	if j.requestCancel(context.Canceled) {
+		// The job was still queued and this call finished it; a running
+		// job is counted by its worker when it winds down.
+		s.jobsCanceled.Add(1)
+	}
+	return nil
+}
+
+// Drain stops intake (Submit fails with ErrDraining) and blocks until
+// every queued and in-flight job has reached a terminal state — the
+// SIGTERM path of cmd/stemsd. Call Abort first (or concurrently) to
+// cancel outstanding jobs instead of completing them.
+func (s *Service) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.pool.Close()
+}
+
+// Abort cancels the context every job runs under: queued jobs cancel as
+// workers reach them, running jobs stop at the next block boundary. It
+// does not wait; follow with Drain.
+func (s *Service) Abort() { s.abort() }
+
+// Predictors lists the registered predictor names.
+func (s *Service) Predictors() []string { return stems.Predictors() }
+
+// Workloads lists the paper suite in wire form.
+func (s *Service) Workloads() []enc.WorkloadInfo {
+	return enc.WorkloadInfos(stems.Workloads())
+}
+
+// Metrics snapshots the service counters for /metrics.
+func (s *Service) Metrics() enc.Metrics {
+	hits, misses, entries := s.cache.counters()
+	ast := s.arena.Stats()
+	uptime := time.Since(s.start).Seconds()
+	m := enc.Metrics{
+		UptimeSec:         uptime,
+		Workers:           s.cfg.Workers,
+		QueueDepth:        s.pool.QueueDepth(),
+		QueueBound:        s.cfg.QueueBound,
+		JobsSubmitted:     s.jobsSubmitted.Load(),
+		JobsCompleted:     s.jobsCompleted.Load(),
+		JobsFailed:        s.jobsFailed.Load(),
+		JobsCanceled:      s.jobsCanceled.Load(),
+		RunsComputed:      s.runsComputed.Load(),
+		CacheHits:         hits,
+		CacheMisses:       misses,
+		CacheEntries:      entries,
+		CacheBound:        s.cfg.CacheBound,
+		AccessesSimulated: s.accessesSim.Load(),
+		TracesResident:    ast.Resident,
+		TraceGenerations:  ast.Generations,
+		TraceHits:         ast.Hits,
+	}
+	if total := hits + misses; total > 0 {
+		m.CacheHitRate = float64(hits) / float64(total)
+	}
+	if uptime > 0 {
+		m.AccessesPerSec = float64(m.AccessesSimulated) / uptime
+	}
+	return m
+}
+
+// execute is the worker body: it runs a job's runs in order, consulting
+// the result cache before simulating.
+func (s *Service) execute(j *Job) {
+	if !j.begin() {
+		// Cancelled while queued; requestCancel finished it and Cancel
+		// counted it.
+		return
+	}
+	for i := range j.runs {
+		if err := j.ctx.Err(); err != nil {
+			j.finish(enc.JobCanceled, err)
+			s.jobsCanceled.Add(1)
+			return
+		}
+		data, fromCache, err := s.runOne(j, &j.runs[i])
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				j.finish(enc.JobCanceled, err)
+				s.jobsCanceled.Add(1)
+			} else {
+				j.finish(enc.JobFailed, fmt.Errorf("run %d (%s/%s): %w",
+					i, j.runs[i].spec.Predictor, j.runs[i].spec.Workload, err))
+				s.jobsFailed.Add(1)
+			}
+			return
+		}
+		labeled, err := enc.Relabel(data, j.runs[i].spec.Label)
+		if err != nil {
+			j.finish(enc.JobFailed, err)
+			s.jobsFailed.Add(1)
+			return
+		}
+		j.noteRunDone(labeled, j.runs[i].n, fromCache)
+	}
+	j.finish(enc.JobDone, nil)
+	s.jobsCompleted.Add(1)
+}
+
+// runOne produces the canonical (label-less) result bytes for one run:
+// from the cache, from another job's in-flight computation, or by
+// simulating. At most one computation per content address runs at a time.
+func (s *Service) runOne(j *Job, r *resolvedRun) (data []byte, fromCache bool, err error) {
+	for {
+		if data, ok := s.cache.get(r.key); ok {
+			return data, true, nil
+		}
+		fl, leader := s.cache.claim(r.key)
+		if leader {
+			data, err = s.compute(j, r)
+			s.cache.resolve(r.key, fl, data, err)
+			return data, false, err
+		}
+		select {
+		case <-fl.done:
+			if fl.err == nil {
+				s.cache.sharedHit()
+				return fl.data, true, nil
+			}
+			// The leader failed — most likely its own job was cancelled,
+			// which says nothing about ours. Its flight is gone from the
+			// table; loop to claim leadership and compute independently.
+		case <-j.ctx.Done():
+			return nil, false, j.ctx.Err()
+		}
+	}
+}
+
+// compute simulates one run and returns its canonical result bytes.
+func (s *Service) compute(j *Job, r *resolvedRun) ([]byte, error) {
+	base := j.accessesDone.Load()
+	var prev uint64
+	opts := append(append([]stems.Option(nil), r.opts...),
+		stems.WithSharedTrace(s.arena),
+		stems.WithRunProgress(func(done uint64) {
+			s.accessesSim.Add(done - prev)
+			prev = done
+			j.noteProgress(base + done)
+		}))
+	runner, err := stems.New(opts...)
+	if err != nil {
+		return nil, err
+	}
+	s.noteArenaUse(r.spec.Workload, r.spec.Seed, r.n)
+	res, err := runner.Run(j.ctx)
+	if err != nil {
+		return nil, err
+	}
+	s.runsComputed.Add(1)
+	return json.Marshal(enc.FromResult("", res))
+}
+
+// noteArenaUse bumps a trace key to the front of the arena LRU, dropping
+// the least-recently-used trace beyond the bound so a daemon serving many
+// distinct workloads doesn't accumulate every trace it ever generated.
+func (s *Service) noteArenaUse(name string, seed int64, n int) {
+	k := arenaKey{name: name, seed: seed, n: n}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, have := range s.arenaLRU {
+		if have == k {
+			copy(s.arenaLRU[1:i+1], s.arenaLRU[:i])
+			s.arenaLRU[0] = k
+			return
+		}
+	}
+	s.arenaLRU = append([]arenaKey{k}, s.arenaLRU...)
+	for len(s.arenaLRU) > s.cfg.TraceBound {
+		evict := s.arenaLRU[len(s.arenaLRU)-1]
+		s.arenaLRU = s.arenaLRU[:len(s.arenaLRU)-1]
+		s.arena.Drop(evict.name, evict.seed, evict.n)
+	}
+}

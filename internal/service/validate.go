@@ -1,0 +1,126 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+
+	"stems"
+	"stems/internal/enc"
+)
+
+// ErrInvalidSpec tags every job-spec validation failure; the HTTP layer
+// maps it to a structured 400. Wrapped messages name the offending run
+// index and field so a client can fix the spec without guesswork.
+var ErrInvalidSpec = errors.New("invalid job spec")
+
+// The node configurations a RunSpec may name.
+const (
+	systemScaled = "scaled"
+	systemPaper  = "paper"
+)
+
+// normalize validates one run spec and fills its defaults in place:
+// predictor "stems", workload "DB2", seed 1, system "scaled" (the
+// reduced-footprint node the command-line tools use), and the workload's
+// default trace length for Accesses == 0 (left as 0 here; resolution
+// happens against the workload spec).
+func normalize(i int, r *enc.RunSpec) error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("%w: run %d: %s", ErrInvalidSpec, i, fmt.Sprintf(format, args...))
+	}
+	if r.Predictor == "" {
+		r.Predictor = "stems"
+	}
+	if !slices.Contains(stems.Predictors(), r.Predictor) {
+		return fail("unknown predictor %q (registered: %v)", r.Predictor, stems.Predictors())
+	}
+	if r.Workload == "" {
+		r.Workload = "DB2"
+	}
+	if _, err := stems.WorkloadByName(r.Workload); err != nil {
+		return fail("unknown workload %q (suite: %v)", r.Workload, stems.WorkloadNames())
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	if r.Seed < 0 {
+		return fail("invalid seed %d: workload seeds are non-negative", r.Seed)
+	}
+	if r.Accesses < 0 {
+		return fail("invalid accesses %d: must be positive, or 0 for the workload default", r.Accesses)
+	}
+	switch r.System {
+	case "":
+		r.System = systemScaled
+	case systemScaled, systemPaper:
+	default:
+		return fail("unknown system %q (choose %q or %q)", r.System, systemScaled, systemPaper)
+	}
+	return nil
+}
+
+// resolveSpec validates a whole job spec and materializes its runs:
+// normalized specs, resolved trace lengths, content-address keys, and
+// the Runner options that execute them.
+func resolveSpec(spec *enc.JobSpec) ([]resolvedRun, error) {
+	if len(spec.Runs) > 0 && spec.RunSpec != (enc.RunSpec{}) {
+		return nil, fmt.Errorf("%w: specify either top-level run fields or \"runs\", not both", ErrInvalidSpec)
+	}
+	if spec.Runs != nil && len(spec.Runs) == 0 {
+		return nil, fmt.Errorf("%w: \"runs\" must not be empty", ErrInvalidSpec)
+	}
+
+	single := len(spec.Runs) == 0
+	runs := spec.Runs
+	if single {
+		runs = []enc.RunSpec{spec.RunSpec}
+	}
+
+	out := make([]resolvedRun, len(runs))
+	for i := range runs {
+		r := &runs[i]
+		if err := normalize(i, r); err != nil {
+			return nil, err
+		}
+		wl, err := stems.WorkloadByName(r.Workload)
+		if err != nil {
+			return nil, fmt.Errorf("%w: run %d: %v", ErrInvalidSpec, i, err)
+		}
+		n := r.Accesses
+		if n == 0 {
+			n = wl.DefaultAccesses
+		}
+
+		opts := []stems.Option{
+			stems.WithPredictor(r.Predictor),
+			stems.WithWorkload(r.Workload),
+			stems.WithSeed(r.Seed),
+			stems.WithAccesses(n),
+		}
+		if r.System == systemScaled {
+			opts = append(opts, stems.WithSystem(stems.ScaledSystem()))
+		}
+		// Build once now: surfaces any residual configuration error at
+		// submit time (a descriptive 400, not a failed job) and yields the
+		// effective options the content address hashes.
+		runner, err := stems.New(opts...)
+		if err != nil {
+			return nil, fmt.Errorf("%w: run %d: %v", ErrInvalidSpec, i, err)
+		}
+		key, err := runKey(r.Predictor, r.Workload, r.Seed, n, runner.Options())
+		if err != nil {
+			return nil, err
+		}
+		out[i] = resolvedRun{spec: *r, n: n, key: key, opts: opts}
+	}
+
+	// Write the normalized specs back so job status reports the effective
+	// configuration, defaults filled.
+	if single {
+		spec.RunSpec = runs[0]
+	} else {
+		spec.Runs = runs
+	}
+	return out, nil
+}

@@ -31,6 +31,7 @@ type Runner struct {
 
 	seed     int64
 	accesses int
+	progress func(accessesDone uint64)
 
 	scientificSet bool
 	configure     []func(*Options)
@@ -151,7 +152,10 @@ func WithConfigure(fn func(*Options)) Option {
 	return func(r *Runner) { r.configure = append(r.configure, fn) }
 }
 
-// WithSeed sets the workload generator seed (default 1).
+// WithSeed sets the workload generator seed (default 1). Seeds are
+// non-negative — New rejects negative values so the CLI, the public API,
+// and the stemsd service agree on one validated seed space (and so a
+// typo'd sign fails loudly instead of silently naming a different trace).
 func WithSeed(seed int64) Option {
 	return func(r *Runner) { r.seed = seed }
 }
@@ -161,6 +165,15 @@ func WithSeed(seed int64) Option {
 // custom sources).
 func WithAccesses(n int) Option {
 	return func(r *Runner) { r.accesses = n }
+}
+
+// WithRunProgress installs a per-run progress callback: fn receives the
+// cumulative number of accesses replayed so far, invoked once per columnar
+// block (i.e. every few thousand accesses) from the replaying goroutine.
+// The stemsd service streams these updates to clients; a nil fn disables
+// reporting. Keep fn cheap — it sits on the replay path.
+func WithRunProgress(fn func(accessesDone uint64)) Option {
+	return func(r *Runner) { r.progress = fn }
 }
 
 // WithScientificLookahead forces the deeper stream lookahead of §4.3
@@ -210,6 +223,15 @@ func New(opts ...Option) (*Runner, error) {
 	}
 	if len(r.errs) > 0 {
 		return nil, r.errs[0]
+	}
+	if r.seed < 0 {
+		return nil, fmt.Errorf("stems: invalid seed %d: workload seeds are non-negative", r.seed)
+	}
+	if r.accesses < 0 {
+		return nil, fmt.Errorf("stems: invalid access count %d: must be positive, or 0 for the source's default length", r.accesses)
+	}
+	if r.predictor == "" {
+		return nil, fmt.Errorf("stems: empty predictor name (registered: %v)", Predictors())
 	}
 
 	sources := 0
@@ -337,9 +359,14 @@ func (r *Runner) Run(ctx context.Context) (Result, error) {
 		return Result{}, err
 	}
 	done := ctx.Done()
+	var replayed uint64
 	var b trace.Block
 	for bs.NextBlock(&b) {
 		m.StepBlock(&b)
+		if r.progress != nil {
+			replayed += uint64(b.N)
+			r.progress(replayed)
+		}
 		select {
 		case <-done:
 			return Result{}, ctx.Err()

@@ -14,6 +14,8 @@
 #   BENCHTIME  go test -benchtime value (default 1x: smoke every benchmark)
 #   BENCHRE    benchmark name regex (default '.': the full suite)
 #   OUT_DIR    artifact directory (default repo root)
+#   SERVERBENCH_ACCESSES  per-run trace length for the stemsd throughput
+#                         probe (default 200000; see scripts/serverbench)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,6 +28,12 @@ rev="$(git rev-parse --short HEAD 2>/dev/null || echo local)"
 
 go test -run '^$' -bench "$BENCHRE" -benchtime "$BENCHTIME" -benchmem ./... \
   | tee "$OUT_DIR/bench.txt"
+
+# Service-side throughput: boot a real stemsd stack, drive one job, and
+# append the accesses/sec figure from /metrics in benchstat format so the
+# BENCH_<rev>.json trajectory carries server datapoints too.
+go run ./scripts/serverbench -accesses "${SERVERBENCH_ACCESSES:-200000}" \
+  | tee -a "$OUT_DIR/bench.txt"
 
 go run ./scripts/benchjson -rev "$rev" \
   < "$OUT_DIR/bench.txt" \

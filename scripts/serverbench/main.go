@@ -1,0 +1,81 @@
+// Command serverbench measures service-side simulation throughput: it
+// boots a real stemsd stack (service + HTTP server) on a loopback port,
+// drives one job through the public client, and reports the accesses/sec
+// figure from /metrics — in `go test -bench` output format, so
+// scripts/bench.sh can append it to bench.txt and scripts/benchjson
+// records it into BENCH_<rev>.json alongside the engine benchmarks. This
+// is how the perf trajectory gets server-side datapoints per commit.
+//
+//	BenchmarkStemsdThroughput        1     2731506 accesses/sec    ...
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+
+	"stems"
+	"stems/internal/server"
+	"stems/internal/service"
+)
+
+func main() {
+	var (
+		wl       = flag.String("workload", "em3d", "workload to drive")
+		accesses = flag.Int("accesses", 200_000, "trace length per run")
+		runs     = flag.Int("runs", 4, "distinct runs in the job (different seeds; exercises the queue, not the cache)")
+		workers  = flag.Int("workers", 0, "service workers (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("serverbench: ")
+
+	svc := service.New(service.Config{Workers: *workers, QueueBound: 64})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: server.New(svc)}
+	go httpSrv.Serve(ln) //nolint:errcheck // torn down with the process
+
+	ctx := context.Background()
+	c := stems.NewClient("http://"+ln.Addr().String(), nil)
+
+	spec := stems.JobSpec{}
+	for i := 0; i < *runs; i++ {
+		spec.Runs = append(spec.Runs, stems.RunSpec{
+			Predictor: "stems", Workload: *wl, Seed: int64(i + 1), Accesses: *accesses,
+		})
+	}
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	final, err := c.Wait(ctx, st.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if final.State != stems.JobDone {
+		log.Fatalf("job ended %s: %s", final.State, final.Error)
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if m.AccessesSimulated == 0 || m.AccessesPerSec <= 0 {
+		log.Fatalf("no throughput recorded: %+v", m)
+	}
+	svc.Drain()
+
+	// One benchstat-compatible result, preceded by a pkg context line so
+	// benchjson attributes it here and not to the previous suite entry:
+	// name, iteration count, then value/unit pairs (exactly the shape
+	// scripts/benchjson parses).
+	fmt.Fprintf(os.Stdout, "pkg: stems/scripts/serverbench\n")
+	fmt.Fprintf(os.Stdout, "BenchmarkStemsdThroughput \t %8d\t %12.0f accesses/sec\t %d accesses\t %12.2f job-wall-sec\n",
+		1, m.AccessesPerSec, m.AccessesSimulated, m.UptimeSec)
+}

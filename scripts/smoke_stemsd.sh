@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# smoke_stemsd.sh — black-box smoke test of the stemsd daemon: build it,
+# start it, hit /healthz, submit one small job, watch it finish, check the
+# /metrics counters moved, then SIGTERM and require a clean (exit 0)
+# drain. CI runs this after the unit suites; it is the one check that
+# exercises the real binary end to end (flags, signal handling, HTTP
+# stack) rather than an in-process httptest server.
+#
+# Needs only bash + curl + grep/sed (no jq): field extraction below works
+# on the server's compact single-line JSON.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="${STEMSD_ADDR:-127.0.0.1:18091}"
+BASE="http://$ADDR"
+BIN="$(mktemp -d)/stemsd"
+LOG="$(mktemp)"
+
+cleanup() {
+  [[ -n "${PID:-}" ]] && kill -9 "$PID" 2>/dev/null || true
+  rm -f "$LOG"
+  rm -rf "$(dirname "$BIN")"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$BIN" ./cmd/stemsd
+
+echo "== start on $ADDR"
+"$BIN" -addr "$ADDR" -workers 2 -queue 8 -cache 16 >"$LOG" 2>&1 &
+PID=$!
+
+# jsonfield DOC KEY — extract a scalar field from compact JSON.
+jsonfield() {
+  sed -n "s/.*\"$2\":\"\{0,1\}\([^,\"}]*\)\"\{0,1\}[,}].*/\1/p" <<<"$1" | head -1
+}
+
+echo "== wait for /healthz"
+for _ in $(seq 1 100); do
+  if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  if ! kill -0 "$PID" 2>/dev/null; then
+    echo "daemon died during startup:"; cat "$LOG"; exit 1
+  fi
+  sleep 0.1
+done
+curl -fsS "$BASE/healthz"; echo
+
+echo "== discovery endpoints"
+curl -fsS "$BASE/v1/predictors" | grep -q '"stems"'
+curl -fsS "$BASE/v1/workloads"  | grep -q '"em3d"'
+
+echo "== submit one small job"
+SUBMIT="$(curl -fsS -X POST "$BASE/v1/jobs" \
+  -H 'Content-Type: application/json' \
+  -d '{"predictor":"stems","workload":"em3d","accesses":30000}')"
+echo "$SUBMIT"
+JOB="$(jsonfield "$SUBMIT" id)"
+[[ "$JOB" == j-* ]] || { echo "no job id in response"; exit 1; }
+
+echo "== poll $JOB to completion"
+STATE=""
+for _ in $(seq 1 300); do
+  STATUS="$(curl -fsS "$BASE/v1/jobs/$JOB")"
+  STATE="$(jsonfield "$STATUS" state)"
+  [[ "$STATE" == "done" || "$STATE" == "failed" || "$STATE" == "canceled" ]] && break
+  sleep 0.1
+done
+echo "$STATUS"
+[[ "$STATE" == "done" ]] || { echo "job ended in state '$STATE'"; cat "$LOG"; exit 1; }
+grep -q '"covered"' <<<"$STATUS" || { echo "result document missing counters"; exit 1; }
+
+echo "== metrics recorded the work"
+METRICS="$(curl -fsS "$BASE/metrics")"
+echo "$METRICS"
+[[ "$(jsonfield "$METRICS" jobs_completed)" == "1" ]] || { echo "jobs_completed != 1"; exit 1; }
+[[ "$(jsonfield "$METRICS" accesses_simulated)" == "30000" ]] || { echo "accesses_simulated != 30000"; exit 1; }
+
+echo "== SIGTERM drains cleanly"
+kill -TERM "$PID"
+EXIT=0
+wait "$PID" || EXIT=$?
+if [[ "$EXIT" -ne 0 ]]; then
+  echo "daemon exited $EXIT after SIGTERM:"; cat "$LOG"; exit 1
+fi
+PID=""
+grep -q "drained, exiting" "$LOG" || { echo "no clean-drain log line:"; cat "$LOG"; exit 1; }
+
+echo "== smoke OK"
