@@ -241,6 +241,12 @@ func TestRunnerRejectsBadSeedAndAccesses(t *testing.T) {
 	if _, err := stems.New(stems.WithSeed(-3)); err == nil || !strings.Contains(err.Error(), "invalid seed") {
 		t.Errorf("negative seed: err = %v, want descriptive invalid-seed error", err)
 	}
+	// Seed 0 is the wire spec's "default" sentinel, so an explicit local
+	// seed 0 is rejected too — otherwise a seed-0 Runner's Spec would
+	// silently round-trip to seed 1.
+	if _, err := stems.New(stems.WithSeed(0)); err == nil || !strings.Contains(err.Error(), "invalid seed") {
+		t.Errorf("zero seed: err = %v, want descriptive invalid-seed error", err)
+	}
 	if _, err := stems.New(stems.WithAccesses(-1)); err == nil || !strings.Contains(err.Error(), "invalid access count") {
 		t.Errorf("negative accesses: err = %v, want descriptive invalid-access-count error", err)
 	}

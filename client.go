@@ -36,6 +36,15 @@ type (
 	RunResult = enc.Result
 	// WorkloadInfo describes one suite workload as /v1/workloads lists it.
 	WorkloadInfo = enc.WorkloadInfo
+	// PredictorInfo describes one predictor as /v1/predictors lists it:
+	// its name and full knob schema.
+	PredictorInfo = enc.PredictorInfo
+	// KnobInfo is the wire schema of one knob (name, kind, default,
+	// bounds, doc).
+	KnobInfo = enc.KnobInfo
+	// RunEvent is one per-run SSE "result" event: the run index and its
+	// canonical result document, streamed as each run of a job finishes.
+	RunEvent = enc.RunEvent
 	// ServiceMetrics is the /metrics document: queue depth, cache hit
 	// rate, jobs completed, accesses/sec.
 	ServiceMetrics = enc.Metrics
@@ -169,14 +178,29 @@ func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
 // SSE events, falling back to polling if streaming is unavailable; cancel
 // ctx to give up waiting (the job itself keeps running — use Cancel).
 func (c *Client) Wait(ctx context.Context, id string) (JobStatus, error) {
-	return c.Watch(ctx, id, nil)
+	return c.WatchRuns(ctx, id, nil, nil)
 }
 
 // Watch is Wait with a progress callback: fn (if non-nil) observes every
 // streamed status snapshot, including the terminal one, from this
 // goroutine.
 func (c *Client) Watch(ctx context.Context, id string, fn func(JobStatus)) (JobStatus, error) {
-	st, err := c.watchEvents(ctx, id, fn)
+	return c.WatchRuns(ctx, id, fn, nil)
+}
+
+// WatchRuns is Watch with per-run result streaming: onResult (if
+// non-nil) receives each run's decoded result exactly once, in run
+// order, as soon as the service reports it — for a sweep job that is as
+// each run finishes, not at job completion. It is fed by the server's
+// SSE "result" events, and by diffing status snapshots when the client
+// falls back to polling (partial results are visible in GET
+// /v1/jobs/{id} while the job runs), so the exactly-once, in-order
+// contract holds across a mid-job fallback.
+func (c *Client) WatchRuns(ctx context.Context, id string, fn func(JobStatus), onResult func(run int, res RunResult)) (JobStatus, error) {
+	// runsSeen spans the SSE attempt and the poll fallback, so a result
+	// surfaced before a stream breakdown is not redelivered after it.
+	runsSeen := 0
+	st, err := c.watchEvents(ctx, id, fn, onResult, &runsSeen)
 	if err == nil || ctx.Err() != nil {
 		return st, err
 	}
@@ -184,11 +208,28 @@ func (c *Client) Watch(ctx context.Context, id string, fn func(JobStatus)) (JobS
 	if errors.As(err, &apiErr) {
 		return st, err // the server answered; a structured refusal is final
 	}
-	return c.poll(ctx, id, fn)
+	return c.poll(ctx, id, fn, onResult, &runsSeen)
+}
+
+// deliverResults feeds onResult the unseen prefix of a status snapshot's
+// results — the poll-side equivalent of consuming "result" events.
+func deliverResults(st JobStatus, onResult func(int, RunResult), runsSeen *int) error {
+	if onResult == nil {
+		*runsSeen = len(st.Results)
+		return nil
+	}
+	for ; *runsSeen < len(st.Results); *runsSeen++ {
+		var res RunResult
+		if err := json.Unmarshal(st.Results[*runsSeen], &res); err != nil {
+			return fmt.Errorf("stemsd client: decoding result %d: %w", *runsSeen, err)
+		}
+		onResult(*runsSeen, res)
+	}
+	return nil
 }
 
 // watchEvents consumes the SSE stream until a terminal status arrives.
-func (c *Client) watchEvents(ctx context.Context, id string, fn func(JobStatus)) (JobStatus, error) {
+func (c *Client) watchEvents(ctx context.Context, id string, fn func(JobStatus), onResult func(int, RunResult), runsSeen *int) (JobStatus, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+"/v1/jobs/"+id+"/events", nil)
 	if err != nil {
 		return JobStatus{}, err
@@ -208,24 +249,48 @@ func (c *Client) watchEvents(ctx context.Context, id string, fn func(JobStatus))
 	scan := bufio.NewScanner(resp.Body)
 	scan.Buffer(make([]byte, 1<<20), 1<<20)
 	var data []byte
+	event := "status" // the default SSE event type, and ours
 	for scan.Scan() {
 		line := scan.Text()
 		switch {
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
 		case strings.HasPrefix(line, "data:"):
 			data = append(data, strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " ")...)
 		case line == "" && len(data) > 0:
-			var st JobStatus
-			if err := json.Unmarshal(data, &st); err != nil {
-				return last, fmt.Errorf("stemsd client: decoding event: %w", err)
+			switch event {
+			case "result":
+				var ev RunEvent
+				if err := json.Unmarshal(data, &ev); err != nil {
+					return last, fmt.Errorf("stemsd client: decoding result event: %w", err)
+				}
+				// A reconnect replays result events from run 0; runsSeen
+				// keeps delivery exactly-once.
+				if onResult != nil && ev.Run == *runsSeen {
+					var res RunResult
+					if err := json.Unmarshal(ev.Result, &res); err != nil {
+						return last, fmt.Errorf("stemsd client: decoding result event: %w", err)
+					}
+					onResult(ev.Run, res)
+				}
+				if ev.Run >= *runsSeen {
+					*runsSeen = ev.Run + 1
+				}
+			default: // "status"
+				var st JobStatus
+				if err := json.Unmarshal(data, &st); err != nil {
+					return last, fmt.Errorf("stemsd client: decoding event: %w", err)
+				}
+				last, sawAny = st, true
+				if fn != nil {
+					fn(st)
+				}
+				if st.State.Terminal() {
+					return st, nil
+				}
 			}
 			data = data[:0]
-			last, sawAny = st, true
-			if fn != nil {
-				fn(st)
-			}
-			if st.State.Terminal() {
-				return st, nil
-			}
+			event = "status"
 		}
 	}
 	if err := scan.Err(); err != nil {
@@ -237,13 +302,20 @@ func (c *Client) watchEvents(ctx context.Context, id string, fn func(JobStatus))
 	return last, fmt.Errorf("stemsd client: event stream for %s ended before a terminal state", id)
 }
 
-// poll is the non-streaming fallback for Wait.
-func (c *Client) poll(ctx context.Context, id string, fn func(JobStatus)) (JobStatus, error) {
+// poll is the non-streaming fallback for Wait: GET /v1/jobs/{id} returns
+// partial results while the job runs, so per-run delivery continues.
+func (c *Client) poll(ctx context.Context, id string, fn func(JobStatus), onResult func(int, RunResult), runsSeen *int) (JobStatus, error) {
 	tick := time.NewTicker(100 * time.Millisecond)
 	defer tick.Stop()
 	for {
 		st, err := c.Job(ctx, id)
 		if err != nil {
+			return st, err
+		}
+		// Results before the status callback, preserving the SSE-path
+		// ordering contract: when fn observes a terminal snapshot, every
+		// run's result has already been delivered.
+		if err := deliverResults(st, onResult, runsSeen); err != nil {
 			return st, err
 		}
 		if fn != nil {
@@ -262,8 +334,24 @@ func (c *Client) poll(ctx context.Context, id string, fn func(JobStatus)) (JobSt
 
 // Predictors lists the predictor names registered on the service.
 func (c *Client) Predictors(ctx context.Context) ([]string, error) {
+	infos, err := c.PredictorSchemas(ctx)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(infos))
+	for i, p := range infos {
+		names[i] = p.Name
+	}
+	return names, nil
+}
+
+// PredictorSchemas fetches the full /v1/predictors document: every
+// registered predictor with its knob schema (names, kinds, defaults,
+// bounds, docs) — enough to drive flags, forms, or sweep grids without
+// compiled-in tables.
+func (c *Client) PredictorSchemas(ctx context.Context) ([]PredictorInfo, error) {
 	var body struct {
-		Predictors []string `json:"predictors"`
+		Predictors []PredictorInfo `json:"predictors"`
 	}
 	err := c.do(ctx, http.MethodGet, "/v1/predictors", nil, &body)
 	return body.Predictors, err

@@ -1,11 +1,15 @@
 // Command stemsim runs one workload through the memory-hierarchy simulator
 // under a chosen prefetcher and prints the result: coverage, overprediction
 // rate, cycles, and speedup against the no-prefetch and stride baselines.
+// Predictor parameters are overridden with -set flags naming knobs from
+// the typed registry; -predictors (with -v) prints the registry itself.
 //
 // Usage:
 //
 //	stemsim -workload DB2 -prefetcher stems
 //	stemsim -workload em3d -prefetcher all -accesses 200000
+//	stemsim -workload DB2 -prefetcher stems -set stems.rmob_entries=65536 -set scientific=false
+//	stemsim -predictors -v
 package main
 
 import (
@@ -18,6 +22,44 @@ import (
 	"stems"
 )
 
+// printPredictors lists the registered predictors; verbose adds each
+// one's knob schema from the registry (the same document stemsd serves
+// at /v1/predictors) — name, kind, default, bounds, doc. The shared
+// system/run tables print once rather than under every predictor.
+func printPredictors(verbose bool) {
+	printKnob := func(k stems.Knob) {
+		bounds := ""
+		if k.Kind != stems.KnobBool {
+			lo, hi := fmt.Sprintf("%g", k.Min), fmt.Sprintf("%g", k.Max)
+			if k.Kind == stems.KnobInt {
+				lo, hi = fmt.Sprintf("%.0f", k.Min), fmt.Sprintf("%.0f", k.Max)
+			}
+			bounds = fmt.Sprintf("[%s, %s]", lo, hi)
+		}
+		fmt.Printf("  %-26s %-5s %-9s %-24s %s\n", k.Name, k.Kind, k.Default(), bounds, k.Doc)
+	}
+	if verbose {
+		fmt.Println("shared knobs (every predictor):")
+		for _, k := range stems.AllKnobs() {
+			if k.Group == "system" || k.Group == "run" {
+				printKnob(k)
+			}
+		}
+		fmt.Println()
+	}
+	for _, name := range stems.Predictors() {
+		fmt.Println(name)
+		if !verbose {
+			continue
+		}
+		for _, k := range stems.Knobs(name) {
+			if k.Group != "system" && k.Group != "run" {
+				printKnob(k)
+			}
+		}
+	}
+}
+
 func main() {
 	predictors := stems.Predictors()
 	var (
@@ -28,8 +70,24 @@ func main() {
 		accesses  = flag.Int("accesses", 0, "trace length (0 = workload default)")
 		paperL2   = flag.Bool("paper-l2", false, "use the full Table 1 8MB L2 instead of the scaled 1MB")
 		serial    = flag.Bool("serial", false, "run the predictors one at a time instead of in parallel")
+		listPreds = flag.Bool("predictors", false, "list registered predictors and exit (-v adds each one's knob table)")
+		verbose   = flag.Bool("v", false, "with -predictors: print the full knob schema per predictor")
 	)
+	knobs := map[string]stems.Value{}
+	flag.Func("set", "knob override as name=value, e.g. stems.rmob_entries=65536 (repeatable; see -predictors -v)", func(s string) error {
+		name, v, err := stems.ParseKnobAssignment(s)
+		if err != nil {
+			return err
+		}
+		knobs[name] = v
+		return nil
+	})
 	flag.Parse()
+
+	if *listPreds {
+		printPredictors(*verbose)
+		return
+	}
 
 	var kinds []string
 	if *pf == "all" {
@@ -47,7 +105,7 @@ func main() {
 	// form, and shared read-only by every runner — each gets its own
 	// cursor over the same BlockTrace, so running len(kinds) predictors
 	// costs one trace generation and one resident copy.
-	opts := []stems.Option{stems.WithSystem(sys)}
+	opts := []stems.Option{stems.WithSystem(sys), stems.WithKnobs(knobs)}
 	header := ""
 	var bt *stems.BlockTrace
 	if *traceFile != "" {

@@ -1,17 +1,24 @@
-// Command sweep runs one-dimensional parameter sweeps of the STeMS design
-// knobs DESIGN.md calls out, printing coverage, overprediction, and cycles
-// per setting — the interactive counterpart of the Benchmark Ablation
-// suite. Points run in parallel through stems.Sweep; results print in
-// sweep order regardless of which finishes first.
+// Command sweep runs one-dimensional parameter sweeps over any
+// registered configuration knob, printing coverage, overprediction, and
+// cycles per setting — the interactive counterpart of the Benchmark
+// Ablation suite. The swept parameter is a knob name from the typed
+// registry ("stemsim -predictors -v" prints the full table), with short
+// aliases for the STeMS knobs DESIGN.md calls out; points run in
+// parallel through stems.Sweep and print in sweep order regardless of
+// which finishes first.
 //
 //	sweep -param rmob -workload em3d
-//	sweep -param lookahead -workload Zeus
-//	sweep -param pst -workload Qry2
-//	sweep -param recon -workload DB2
-//	sweep -param queues -workload DB2
+//	sweep -param stems.lookahead -values 2,4,8,12,16 -workload Zeus
+//	sweep -param sms.pht_entries -values 1024,16384 -predictor sms
+//	sweep -param recon -workload DB2 -set stems.svb_entries=128
+//
+// With -json, one canonical NDJSON record is flushed per point as soon
+// as it (and every point before it) has finished, so piping into head
+// or a live dashboard sees records immediately, in sweep order.
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"flag"
@@ -22,80 +29,75 @@ import (
 	"stems"
 )
 
-// sweepPoint is one setting of the swept parameter.
-type sweepPoint struct {
-	label string
-	mod   func(*stems.Options)
+// aliases map the historical short sweep names to registry knobs and
+// their default value lists. The lookahead alias also pins the
+// scientific flag off, so the swept value reaches the engine instead of
+// the §4.3 workload-class default of 12.
+var aliases = map[string]struct {
+	knob   string
+	values string
+	pins   map[string]stems.Value
+}{
+	"rmob":      {knob: "stems.rmob_entries", values: "4096,16384,65536,131072,262144"},
+	"pst":       {knob: "stems.pst_entries", values: "1024,4096,16384,65536"},
+	"lookahead": {knob: "stems.lookahead", values: "2,4,8,12,16", pins: map[string]stems.Value{"scientific": stems.BoolValue(false)}},
+	"recon":     {knob: "stems.recon_search", values: "0,1,2,4"},
+	"queues":    {knob: "stems.stream_queues", values: "1,2,4,8,16"},
+	"svb":       {knob: "stems.svb_entries", values: "16,32,64,128"},
 }
 
-var sweeps = map[string][]sweepPoint{
-	"rmob": {
-		{"4K", func(o *stems.Options) { o.STeMS.RMOBEntries = 4 << 10 }},
-		{"16K", func(o *stems.Options) { o.STeMS.RMOBEntries = 16 << 10 }},
-		{"64K", func(o *stems.Options) { o.STeMS.RMOBEntries = 64 << 10 }},
-		{"128K", func(o *stems.Options) { o.STeMS.RMOBEntries = 128 << 10 }},
-		{"256K", func(o *stems.Options) { o.STeMS.RMOBEntries = 256 << 10 }},
-	},
-	"pst": {
-		{"1K", func(o *stems.Options) { o.STeMS.PSTEntries = 1 << 10 }},
-		{"4K", func(o *stems.Options) { o.STeMS.PSTEntries = 4 << 10 }},
-		{"16K", func(o *stems.Options) { o.STeMS.PSTEntries = 16 << 10 }},
-		{"64K", func(o *stems.Options) { o.STeMS.PSTEntries = 64 << 10 }},
-	},
-	// The lookahead points clear the scientific flag so the swept value
-	// reaches the engine instead of the §4.3 class default of 12.
-	"lookahead": {
-		{"2", func(o *stems.Options) { o.Scientific = false; o.STeMS.Lookahead = 2 }},
-		{"4", func(o *stems.Options) { o.Scientific = false; o.STeMS.Lookahead = 4 }},
-		{"8", func(o *stems.Options) { o.Scientific = false; o.STeMS.Lookahead = 8 }},
-		{"12", func(o *stems.Options) { o.Scientific = false; o.STeMS.Lookahead = 12 }},
-		{"16", func(o *stems.Options) { o.Scientific = false; o.STeMS.Lookahead = 16 }},
-	},
-	"recon": {
-		{"0", func(o *stems.Options) { o.STeMS.ReconSearch = 0 }},
-		{"1", func(o *stems.Options) { o.STeMS.ReconSearch = 1 }},
-		{"2", func(o *stems.Options) { o.STeMS.ReconSearch = 2 }},
-		{"4", func(o *stems.Options) { o.STeMS.ReconSearch = 4 }},
-	},
-	"queues": {
-		{"1", func(o *stems.Options) { o.STeMS.StreamQueues = 1 }},
-		{"2", func(o *stems.Options) { o.STeMS.StreamQueues = 2 }},
-		{"4", func(o *stems.Options) { o.STeMS.StreamQueues = 4 }},
-		{"8", func(o *stems.Options) { o.STeMS.StreamQueues = 8 }},
-		{"16", func(o *stems.Options) { o.STeMS.StreamQueues = 16 }},
-	},
-	"svb": {
-		{"16", func(o *stems.Options) { o.STeMS.SVBEntries = 16 }},
-		{"32", func(o *stems.Options) { o.STeMS.SVBEntries = 32 }},
-		{"64", func(o *stems.Options) { o.STeMS.SVBEntries = 64 }},
-		{"128", func(o *stems.Options) { o.STeMS.SVBEntries = 128 }},
-	},
+func fatal(v any) {
+	fmt.Fprintln(os.Stderr, v)
+	os.Exit(2)
 }
 
 func main() {
 	var (
-		param       = flag.String("param", "rmob", "parameter to sweep: rmob, pst, lookahead, recon, queues, svb")
+		param       = flag.String("param", "rmob", "knob to sweep: a registry name (see stemsim -predictors -v) or an alias: rmob, pst, lookahead, recon, queues, svb")
+		values      = flag.String("values", "", "comma-separated values for -param (defaults to the alias's list; required for non-alias knobs)")
+		predictor   = flag.String("predictor", "stems", "predictor to sweep: "+strings.Join(stems.Predictors(), ", "))
 		wl          = flag.String("workload", "DB2", "workload: "+strings.Join(stems.WorkloadNames(), ", "))
 		seed        = flag.Int64("seed", 1, "workload seed")
 		accesses    = flag.Int("accesses", 0, "trace length (0 = workload default)")
 		parallelism = flag.Int("parallelism", 0, "concurrent sweep points (0 = GOMAXPROCS, 1 = serial)")
-		jsonOut     = flag.Bool("json", false, "emit results as JSON lines in the stemsd service encoding (diffable against /v1/jobs results)")
+		jsonOut     = flag.Bool("json", false, "emit results as NDJSON in the stemsd service encoding (diffable against /v1/jobs results), flushed per record")
 	)
+	base := map[string]stems.Value{}
+	flag.Func("set", "fixed knob override applied to every point, as name=value (repeatable)", func(s string) error {
+		name, v, err := stems.ParseKnobAssignment(s)
+		if err != nil {
+			return err
+		}
+		base[name] = v
+		return nil
+	})
 	flag.Parse()
 
-	points, ok := sweeps[*param]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown parameter %q\n", *param)
-		os.Exit(2)
+	knobName, valueList := *param, *values
+	var pins map[string]stems.Value
+	if a, ok := aliases[*param]; ok {
+		knobName = a.knob
+		pins = a.pins
+		if valueList == "" {
+			valueList = a.values
+		}
 	}
-	spec, err := stems.WorkloadByName(*wl)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+	if _, ok := stems.KnobByName(knobName); !ok {
+		fatal(fmt.Sprintf("unknown knob %q (list them with stemsim -predictors -v)", knobName))
 	}
-	n := spec.DefaultAccesses
-	if *accesses > 0 {
-		n = *accesses
+	if valueList == "" {
+		fatal(fmt.Sprintf("knob %q has no default value list: pass -values v1,v2,...", knobName))
+	}
+
+	labels := strings.Split(valueList, ",")
+	points := make([]stems.Value, len(labels))
+	for i, text := range labels {
+		labels[i] = strings.TrimSpace(text)
+		v, err := stems.ParseValue(labels[i])
+		if err != nil {
+			fatal(err)
+		}
+		points[i] = v
 	}
 
 	// Every sweep point shares one trace arena: the first point to run
@@ -103,52 +105,82 @@ func main() {
 	arena := stems.NewArena()
 
 	grid := make([]*stems.Runner, len(points))
-	for i, pt := range points {
-		opts := []stems.Option{
-			stems.WithWorkload(spec.Name),
-			stems.WithSharedTrace(arena),
-			stems.WithSeed(*seed),
-			stems.WithAccesses(n),
-			stems.WithPredictor("stems"),
-			stems.WithSystem(stems.ScaledSystem()),
-			stems.WithConfigure(pt.mod),
-			stems.WithLabel(pt.label),
+	for i, v := range points {
+		knobs := make(map[string]stems.Value, len(base)+len(pins)+1)
+		for name, bv := range base {
+			knobs[name] = bv
 		}
-		r, err := stems.New(opts...)
+		for name, pv := range pins {
+			if _, overridden := knobs[name]; !overridden {
+				knobs[name] = pv
+			}
+		}
+		knobs[knobName] = v
+		r, err := stems.FromSpec(stems.Spec{
+			Predictor: *predictor,
+			Workload:  *wl,
+			Seed:      *seed,
+			Accesses:  *accesses,
+			Label:     labels[i],
+			Knobs:     knobs,
+		}, stems.WithSharedTrace(arena))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fatal(err)
 		}
 		grid[i] = r
 	}
 
-	results, err := stems.Sweep(context.Background(), grid,
-		stems.WithParallelism(*parallelism))
+	var sweepOpts []stems.SweepOption
+	sweepOpts = append(sweepOpts, stems.WithParallelism(*parallelism))
+
+	// In JSON mode records stream: each completed run is staged by grid
+	// index and the longest finished prefix is encoded and flushed
+	// immediately, so output order is deterministic (sweep order) while
+	// latency to the first record is one run, not the whole grid.
+	var (
+		out     *bufio.Writer
+		encoder *json.Encoder
+		staged  []*stems.Result
+		next    int
+	)
+	if *jsonOut {
+		out = bufio.NewWriter(os.Stdout)
+		encoder = json.NewEncoder(out)
+		staged = make([]*stems.Result, len(grid))
+		sweepOpts = append(sweepOpts, stems.WithRunResult(func(i int, res stems.Result) {
+			staged[i] = &res
+			for next < len(staged) && staged[next] != nil {
+				if err := encoder.Encode(stems.EncodeResult(labels[next], *staged[next])); err != nil {
+					fatal(err)
+				}
+				staged[next] = nil
+				next++
+			}
+			if err := out.Flush(); err != nil {
+				fatal(err)
+			}
+		}))
+	}
+
+	results, err := stems.Sweep(context.Background(), grid, sweepOpts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-
 	if *jsonOut {
-		// One canonical result document per line — the same encoding (and
-		// the same bytes, stems.EncodeResult) the stemsd API returns for
-		// the equivalent job, so CLI and service output diff cleanly.
-		out := json.NewEncoder(os.Stdout)
-		for i, pt := range points {
-			if err := out.Encode(stems.EncodeResult(pt.label, results[i])); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-		}
-		return
+		return // every record was flushed by the WithRunResult hook
 	}
 
-	fmt.Printf("STeMS %s sweep on %s (%d accesses)\n\n", *param, spec.Name, n)
+	n := *accesses
+	if spec, err := stems.WorkloadByName(*wl); err == nil && n == 0 {
+		n = spec.DefaultAccesses
+	}
+	fmt.Printf("%s %s sweep on %s (%d accesses)\n\n", *predictor, knobName, *wl, n)
 	fmt.Printf("%-8s %9s %10s %12s %12s\n", *param, "covered", "overpred", "cycles", "recon-drop")
-	for i, pt := range points {
+	for i, label := range labels {
 		res := results[i]
 		fmt.Printf("%-8s %8.1f%% %9.1f%% %12d %11.1f%%\n",
-			pt.label, 100*res.Coverage(), 100*res.OverpredictionRate(), res.Cycles,
+			label, 100*res.Coverage(), 100*res.OverpredictionRate(), res.Cycles,
 			100*res.ReconDropFraction())
 	}
 }

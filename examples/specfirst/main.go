@@ -1,0 +1,88 @@
+// Specfirst: configuration as data. One stems.Spec — predictor,
+// workload, seed, accesses, and typed knob overrides — is the single
+// currency across the whole system: run it locally with FromSpec, print
+// it as the exact JSON you would POST to a stemsd daemon, and recover
+// the canonical Spec of any option-built Runner with Runner.Spec.
+//
+//	go run ./examples/specfirst
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"stems"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// 1. A declarative run description. Knob names come from the typed
+	//    registry — "stemsim -predictors -v" prints the full table with
+	//    kinds, defaults, bounds, and docs.
+	spec := stems.Spec{
+		Predictor: "stems",
+		Workload:  "DB2",
+		Accesses:  100_000,
+		Knobs: map[string]stems.Value{
+			"stems.rmob_entries": stems.IntValue(16 << 10),
+			"stems.lookahead":    stems.IntValue(4),
+		},
+	}
+
+	// 2. The same bytes drive local and remote execution: FromSpec here,
+	//    or POST the JSON to a stemsd daemon's /v1/jobs.
+	wire, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("wire form (POST /v1/jobs):\n%s\n\n", wire)
+
+	r, err := stems.FromSpec(spec)
+	if err != nil {
+		panic(err)
+	}
+	res, err := r.Run(ctx)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("local run: covered %.1f%% of %d baseline misses, %d cycles\n\n",
+		100*res.Coverage(), res.BaselineMisses(), res.Cycles)
+
+	// 3. The inverse direction: any option-built Runner — even one
+	//    configured through a WithConfigure closure — has a canonical
+	//    Spec. The closure's edits come back as knob diffs, so the
+	//    configuration can cross the wire even though the closure never
+	//    could.
+	imperative, err := stems.New(
+		stems.WithWorkload("DB2"),
+		stems.WithAccesses(100_000),
+		stems.WithSystem(stems.ScaledSystem()),
+		stems.WithConfigure(func(o *stems.Options) {
+			o.STeMS.RMOBEntries = 16 << 10
+			o.STeMS.Lookahead = 4
+		}),
+	)
+	if err != nil {
+		panic(err)
+	}
+	recovered, err := imperative.Spec()
+	if err != nil {
+		panic(err)
+	}
+	back, err := json.Marshal(recovered)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("Runner.Spec() of the equivalent WithConfigure run:\n%s\n", back)
+
+	// The two configurations are the same run: byte-identical results.
+	res2, err := imperative.Run(ctx)
+	if err != nil {
+		panic(err)
+	}
+	a, _ := json.Marshal(stems.EncodeResult("", res))
+	b, _ := json.Marshal(stems.EncodeResult("", res2))
+	fmt.Printf("byte-identical to the spec run: %v\n", string(a) == string(b))
+}

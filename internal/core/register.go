@@ -6,6 +6,31 @@ import (
 )
 
 func init() {
+	sim.MustRegisterKnobs("stems",
+		sim.IntKnob("stems.rmob_entries", "region miss-order buffer entries (§4.3: 128K)", 1, 1<<24,
+			func(o *sim.Options) *int { return &o.STeMS.RMOBEntries }),
+		sim.IntKnob("stems.pst_entries", "pattern sequence table entries (§4.3: 16K)", 1, 1<<24,
+			func(o *sim.Options) *int { return &o.STeMS.PSTEntries }),
+		sim.IntKnob("stems.pst_ways", "pattern sequence table associativity", 1, 64,
+			func(o *sim.Options) *int { return &o.STeMS.PSTWays }),
+		sim.IntKnob("stems.agt_entries", "active generation table entries (§4.3: 64)", 1, 1<<20,
+			func(o *sim.Options) *int { return &o.STeMS.AGTEntries }),
+		sim.IntKnob("stems.recon_buf_entries", "reconstruction buffer length (§4.3: 256)", 1, 1<<20,
+			func(o *sim.Options) *int { return &o.STeMS.ReconBufEntries }),
+		sim.IntKnob("stems.recon_search", "±slots searched for a free reconstruction slot (§4.3: 2)", 0, 64,
+			func(o *sim.Options) *int { return &o.STeMS.ReconSearch }),
+		sim.IntKnob("stems.stream_queues", "concurrently tracked streams (§4.3: 8)", 1, 256,
+			func(o *sim.Options) *int { return &o.STeMS.StreamQueues }),
+		sim.IntKnob("stems.lookahead", "blocks kept in flight per stream (8 commercial, 12 scientific)", 1, 256,
+			func(o *sim.Options) *int { return &o.STeMS.Lookahead }),
+		sim.IntKnob("stems.svb_entries", "streamed value buffer capacity (§4.3: 64)", 1, 1<<16,
+			func(o *sim.Options) *int { return &o.STeMS.SVBEntries }),
+		sim.BoolKnob("stems.use_counters", "2-bit saturating counters per PST block instead of a bit vector",
+			func(o *sim.Options) *bool { return &o.STeMS.UseCounters }),
+		sim.Uint8Knob("stems.counter_threshold", "minimum counter value considered stable", 0, 3,
+			func(o *sim.Options) *uint8 { return &o.STeMS.CounterThreshold }),
+	)
+	sim.BindKnobs(sim.KindSTeMS, "stems")
 	sim.MustRegister(sim.KindSTeMS, func(m *sim.Machine, opt sim.Options) error {
 		sc := opt.STeMS
 		sc.Lookahead = opt.StreamLookahead(sc.Lookahead)

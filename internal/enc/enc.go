@@ -36,6 +36,25 @@ type RunSpec struct {
 	// Label names the run in results; it does not affect the simulation
 	// and is excluded from the result-cache key.
 	Label string `json:"label,omitempty"`
+	// Knobs overlays typed predictor/system parameter overrides by
+	// registered knob name (see /v1/predictors for the schema):
+	//
+	//	"knobs": {"stems.rmob_entries": 65536, "scientific": false}
+	//
+	// Values are bare JSON numbers or booleans; unknown names, kind
+	// mismatches, and out-of-bounds values are rejected field-by-field
+	// with a 400. Knobs apply after the system and workload-class
+	// defaults, and a knob spelled at its default value yields the same
+	// effective configuration — and therefore the same result-cache
+	// entry — as omitting it.
+	Knobs map[string]sim.Value `json:"knobs,omitempty"`
+}
+
+// IsZero reports whether the spec is entirely unset. (RunSpec carries a
+// map, so it is not ==-comparable.)
+func (r RunSpec) IsZero() bool {
+	return r.Predictor == "" && r.Workload == "" && r.Seed == 0 &&
+		r.Accesses == 0 && r.System == "" && r.Label == "" && len(r.Knobs) == 0
 }
 
 // JobSpec is the body of POST /v1/jobs: either a single run (top-level
@@ -203,6 +222,78 @@ func (s JobStatus) DecodedResults() ([]Result, error) {
 		}
 	}
 	return out, nil
+}
+
+// KnobInfo is the wire schema of one configuration knob, as
+// GET /v1/predictors reports it: enough for a client to render a form,
+// validate input, or generate flags without compiled-in tables.
+type KnobInfo struct {
+	Name string `json:"name"`
+	// Group is the knob table the entry belongs to ("system", "run",
+	// "stems", ...).
+	Group string `json:"group"`
+	// Kind is "int", "bool", or "float".
+	Kind string `json:"kind"`
+	// Default is the paper-configuration value (the "scaled" system
+	// additionally shrinks system.l2_size_bytes before knobs apply).
+	Default sim.Value `json:"default"`
+	// Min and Max bound numeric knobs inclusively. Always present, so a
+	// legitimate lower bound of 0 is not mistaken for "unbounded";
+	// meaningless (both zero) when Kind is "bool".
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+	Doc string  `json:"doc,omitempty"`
+}
+
+// PredictorInfo describes one registered predictor and the knobs
+// relevant to it (the shared system/run tables plus its own).
+type PredictorInfo struct {
+	Name  string     `json:"name"`
+	Knobs []KnobInfo `json:"knobs"`
+}
+
+// KnobInfos converts registry knobs to wire form.
+func KnobInfos(knobs []sim.Knob) []KnobInfo {
+	out := make([]KnobInfo, len(knobs))
+	for i, k := range knobs {
+		out[i] = KnobInfo{
+			Name:    k.Name,
+			Group:   k.Group,
+			Kind:    string(k.Kind),
+			Default: k.Default(),
+			Doc:     k.Doc,
+		}
+		if k.Kind != sim.KnobBool {
+			out[i].Min, out[i].Max = k.Min, k.Max
+		}
+	}
+	return out
+}
+
+// PredictorInfos builds the full /v1/predictors document: every
+// registered predictor with its knob schema, in registry order.
+func PredictorInfos() []PredictorInfo {
+	kinds := sim.AllKinds()
+	out := make([]PredictorInfo, len(kinds))
+	for i, kind := range kinds {
+		out[i] = PredictorInfo{
+			Name:  string(kind),
+			Knobs: KnobInfos(sim.KnobsFor(kind)),
+		}
+	}
+	return out
+}
+
+// RunEvent is the payload of an SSE "result" event: one run's canonical
+// (labeled) result document, emitted as soon as that run finishes — a
+// sweep job streams results incrementally instead of only at job
+// completion.
+type RunEvent struct {
+	// Run is the zero-based index into the job's run list.
+	Run int `json:"run"`
+	// Result is the raw canonical result document, byte-identical to
+	// the corresponding entry of the terminal JobStatus.Results.
+	Result json.RawMessage `json:"result"`
 }
 
 // WorkloadInfo describes one suite workload in GET /v1/workloads.

@@ -2,6 +2,7 @@ package enc
 
 import (
 	"encoding/json"
+	"strings"
 	"testing"
 
 	"stems/internal/sim"
@@ -109,5 +110,22 @@ func TestJobStatusDecodedResults(t *testing.T) {
 	st.Results = []json.RawMessage{[]byte(`{`)}
 	if _, err := st.DecodedResults(); err == nil {
 		t.Error("expected decode error for malformed result")
+	}
+}
+
+// TestKnobInfoBoundsAlwaysPresent: a numeric knob whose legal minimum
+// is 0 must still serialize a "min" key — the schema may not be
+// ambiguous between "bound is 0" and "no bound".
+func TestKnobInfoBoundsAlwaysPresent(t *testing.T) {
+	k, ok := sim.LookupKnob("virtual_meta_cache_bytes") // int, Min 0
+	if !ok {
+		t.Fatal("virtual_meta_cache_bytes not registered")
+	}
+	data, err := json.Marshal(KnobInfos([]sim.Knob{k})[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"min":0`) {
+		t.Errorf("schema omits the zero lower bound: %s", data)
 	}
 }

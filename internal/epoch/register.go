@@ -6,6 +6,17 @@ import (
 )
 
 func init() {
+	sim.MustRegisterKnobs("epoch",
+		sim.IntKnob("epoch.table_entries", "correlation table capacity, lead addresses ([6]: 16K)", 1, 1<<24,
+			func(o *sim.Options) *int { return &o.Epoch.TableEntries }),
+		sim.IntKnob("epoch.max_epoch_len", "recorded epoch membership cap", 1, 1<<10,
+			func(o *sim.Options) *int { return &o.Epoch.MaxEpochLen }),
+		sim.IntKnob("epoch.epochs_ahead", "future epochs prefetched per lead hit", 1, 64,
+			func(o *sim.Options) *int { return &o.Epoch.EpochsAhead }),
+	)
+	// The epoch engine sizes its SVB from the TMS block, so both tables
+	// are part of its schema.
+	sim.BindKnobs(sim.KindEpoch, "epoch", "tms")
 	sim.MustRegister(sim.KindEpoch, func(m *sim.Machine, opt sim.Options) error {
 		eng := m.AttachEngine(stream.Config{
 			Queues: 1, Lookahead: 8, SVBEntries: opt.TMS.SVBEntries,

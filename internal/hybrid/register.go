@@ -6,6 +6,9 @@ import (
 )
 
 func init() {
+	// The naive hybrid is SMS + TMS run side by side; it reads both
+	// knob tables and registers none of its own.
+	sim.BindKnobs(sim.KindNaiveHybrid, "sms", "tms")
 	sim.MustRegister(sim.KindNaiveHybrid, func(m *sim.Machine, opt sim.Options) error {
 		eng := m.AttachEngine(stream.Config{
 			Queues: opt.TMS.StreamQueues, Lookahead: opt.StreamLookahead(opt.TMS.Lookahead),

@@ -1,8 +1,11 @@
 // Package predictors links every built-in predictor into the binary.
 // Importing it (blank) triggers each predictor package's self-registration
 // with the sim registry, making all seven paper kinds resolvable through
-// sim.Build. The public stems package imports it, so users of the public
-// API never need to.
+// sim.Build — and, since each register.go also registers and binds its
+// knob table, making every predictor's parameters introspectable and
+// settable through the typed knob registry (sim.KnobsFor, sim.ApplyKnobs).
+// The public stems package imports it, so users of the public API never
+// need to.
 package predictors
 
 import (

@@ -5,8 +5,8 @@
 //	GET    /v1/jobs             list jobs
 //	GET    /v1/jobs/{id}        job status and results
 //	DELETE /v1/jobs/{id}        cancel a job
-//	GET    /v1/jobs/{id}/events stream status/progress via SSE
-//	GET    /v1/predictors       registered predictor names
+//	GET    /v1/jobs/{id}/events stream status/progress/per-run results via SSE
+//	GET    /v1/predictors       registered predictors with full knob schemas
 //	GET    /v1/workloads        the paper's workload suite
 //	GET    /healthz             liveness
 //	GET    /metrics             queue/cache/throughput counters (JSON)
@@ -132,12 +132,17 @@ func (s *Server) cancelJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.Status())
 }
 
-// jobEvents streams the job's status over Server-Sent Events: one
-// "status" event immediately, one per observable change (state moves,
-// per-block replay progress, run completions), and a final one at the
-// terminal state, after which the stream closes. A reconnecting client
-// simply gets the current status again — events carry full snapshots,
-// not deltas, so there is no resume cursor to track.
+// jobEvents streams the job over Server-Sent Events: one "status" event
+// immediately, one per observable change (state moves, per-block replay
+// progress, run completions), and a final one at the terminal state,
+// after which the stream closes. Each run of a sweep job additionally
+// emits one "result" event (enc.RunEvent: run index + the canonical
+// labeled result document) the moment it finishes, before the status
+// event that reflects it — clients consume sweep results incrementally
+// instead of waiting for job completion. A reconnecting client simply
+// gets the current status again — status events carry full snapshots,
+// not deltas, so there is no resume cursor to track (result events for
+// already-finished runs are re-emitted from index 0 on reconnect).
 func (s *Server) jobEvents(w http.ResponseWriter, r *http.Request) {
 	j, err := s.svc.Job(r.PathValue("id"))
 	if err != nil {
@@ -157,8 +162,16 @@ func (s *Server) jobEvents(w http.ResponseWriter, r *http.Request) {
 	updates, cancel := j.Subscribe()
 	defer cancel()
 
+	resultsSent := 0
 	send := func() (terminal bool) {
 		st := j.Status()
+		for ; resultsSent < len(st.Results); resultsSent++ {
+			ev, err := json.Marshal(enc.RunEvent{Run: resultsSent, Result: st.Results[resultsSent]})
+			if err != nil {
+				return true
+			}
+			fmt.Fprintf(w, "event: result\ndata: %s\n\n", ev)
+		}
 		data, err := json.Marshal(st)
 		if err != nil {
 			return true
@@ -187,8 +200,8 @@ func (s *Server) jobEvents(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) predictors(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
-		Predictors []string `json:"predictors"`
-	}{s.svc.Predictors()})
+		Predictors []enc.PredictorInfo `json:"predictors"`
+	}{s.svc.PredictorInfos()})
 }
 
 func (s *Server) workloads(w http.ResponseWriter, r *http.Request) {

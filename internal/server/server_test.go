@@ -376,3 +376,120 @@ func submitAndWait(t *testing.T, c *stems.Client, spec stems.JobSpec) stems.JobS
 	}
 	return final
 }
+
+// TestResultEventsStream: each run of a sweep job arrives through
+// WatchRuns exactly once, in run order, as it finishes — and the
+// streamed documents are byte-identical to the terminal Results.
+func TestResultEventsStream(t *testing.T) {
+	c, _ := newTestServer(t, service.Config{Workers: 1, QueueBound: 4})
+	ctx := context.Background()
+
+	runs := []stems.RunSpec{
+		{Predictor: "stride", Workload: "em3d", Accesses: 20_000, Label: "a"},
+		{Predictor: "sms", Workload: "em3d", Accesses: 20_000, Label: "b"},
+		{Predictor: "stems", Workload: "em3d", Accesses: 20_000, Label: "c"},
+	}
+	st, err := c.Submit(ctx, stems.JobSpec{Runs: runs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type delivery struct {
+		run      int
+		res      stems.RunResult
+		terminal bool // whether the job already looked terminal when it arrived
+	}
+	var (
+		deliveries []delivery
+		lastState  stems.JobState
+	)
+	final, err := c.WatchRuns(ctx, st.ID,
+		func(s stems.JobStatus) { lastState = s.State },
+		func(run int, res stems.RunResult) {
+			deliveries = append(deliveries, delivery{run: run, res: res, terminal: lastState.Terminal()})
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != stems.JobDone {
+		t.Fatalf("state = %s (%s)", final.State, final.Error)
+	}
+	if len(deliveries) != len(runs) {
+		t.Fatalf("got %d result deliveries, want %d (exactly once per run)", len(deliveries), len(runs))
+	}
+	for i, d := range deliveries {
+		if d.run != i {
+			t.Errorf("delivery %d carried run %d, want in-order delivery", i, d.run)
+		}
+		if d.res.Label != runs[i].Label {
+			t.Errorf("run %d label = %q, want %q", i, d.res.Label, runs[i].Label)
+		}
+		reenc, err := json.Marshal(d.res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(reenc) != string(final.Results[i]) {
+			t.Errorf("run %d streamed result differs from terminal document:\n stream: %s\n final:  %s",
+				i, reenc, final.Results[i])
+		}
+	}
+	if deliveries[0].terminal {
+		t.Error("first run's result only arrived at the terminal state — results did not stream")
+	}
+}
+
+// TestPredictorSchemas: /v1/predictors carries the full knob schema.
+func TestPredictorSchemas(t *testing.T) {
+	c, _ := newTestServer(t, service.Config{Workers: 1, QueueBound: 4})
+	infos, err := c.PredictorSchemas(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]stems.PredictorInfo{}
+	for _, p := range infos {
+		byName[p.Name] = p
+	}
+	st, ok := byName["stems"]
+	if !ok {
+		t.Fatalf("no stems schema in %v", infos)
+	}
+	found := false
+	for _, k := range st.Knobs {
+		if k.Name == "stems.rmob_entries" {
+			found = true
+			if k.Kind != "int" || k.Default != stems.IntValue(128<<10) || k.Min != 1 || k.Doc == "" {
+				t.Errorf("rmob knob schema incomplete: %+v", k)
+			}
+		}
+	}
+	if !found {
+		t.Error("stems schema missing stems.rmob_entries")
+	}
+}
+
+// TestKnobSubmitOverHTTP: a knob-override job round-trips over the wire
+// and fails field-level when the knob map is bad.
+func TestKnobSubmitOverHTTP(t *testing.T) {
+	c, _ := newTestServer(t, service.Config{Workers: 1, QueueBound: 4})
+	ctx := context.Background()
+
+	final := submitAndWait(t, c, stems.JobSpec{RunSpec: stems.RunSpec{
+		Predictor: "stems", Workload: "em3d", Accesses: 20_000,
+		Knobs: map[string]stems.Value{"stems.rmob_entries": stems.IntValue(16 << 10)},
+	}})
+	res, err := final.DecodedResults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Covered == 0 {
+		t.Errorf("knob-override run produced no coverage: %+v", res[0])
+	}
+
+	_, err = c.Submit(ctx, stems.JobSpec{RunSpec: stems.RunSpec{
+		Workload: "em3d", Knobs: map[string]stems.Value{"nope": stems.IntValue(1)},
+	}})
+	var apiErr *stems.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest ||
+		apiErr.Code != "invalid_spec" || !strings.Contains(apiErr.Message, `unknown knob "nope"`) {
+		t.Errorf("bad knob error = %v, want structured 400 invalid_spec naming the knob", err)
+	}
+}

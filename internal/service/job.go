@@ -6,19 +6,18 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"stems"
 	"stems/internal/enc"
 )
 
-// resolvedRun is one run of a job after validation: the normalized spec,
-// the resolved trace length, the content-address of its result, and the
-// Runner options that rebuild it (progress hook excluded — that is
-// attached per execution).
+// resolvedRun is one run of a job after validation: the normalized
+// (canonical-knob) spec, the resolved trace length, and the
+// content-address of its result. The spec itself rebuilds the Runner at
+// execution time via stems.FromSpec — configuration travels as data,
+// not as captured closures.
 type resolvedRun struct {
 	spec enc.RunSpec
 	n    int
 	key  string
-	opts []stems.Option
 }
 
 // Job is one submitted unit of work: a single run or an ordered sweep of

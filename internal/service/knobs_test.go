@@ -1,0 +1,250 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"stems"
+	"stems/internal/enc"
+	"stems/internal/sim"
+)
+
+// TestExplicitDefaultKnobsShareCacheEntry is the cache half of the
+// acceptance criterion: a spec spelling knobs at their default values
+// and the same spec omitting them resolve to one effective
+// configuration, hence one content address — the second job is a cache
+// hit (no recomputation) with byte-identical result bytes.
+func TestExplicitDefaultKnobsShareCacheEntry(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueBound: 8})
+	defer svc.Drain()
+
+	plain := smallRun("em3d", 20_000)
+	j1, err := svc.Submit(enc.JobSpec{RunSpec: plain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1 := waitJob(t, j1)
+	if st1.State != enc.JobDone {
+		t.Fatalf("job 1: %s (%s)", st1.State, st1.Error)
+	}
+
+	withDefaults := plain
+	withDefaults.Knobs = map[string]sim.Value{
+		// The registered defaults, spelled out — including a float
+		// spelling of an int knob, which canonicalization coerces.
+		"stems.rmob_entries": sim.FloatValue(128 << 10),
+		"stems.pst_entries":  sim.IntValue(16 << 10),
+		"scientific":         sim.BoolValue(true), // em3d is scientific: the class default
+		"system.mlp":         sim.IntValue(4),
+	}
+	j2, err := svc.Submit(enc.JobSpec{RunSpec: withDefaults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := waitJob(t, j2)
+	if st2.State != enc.JobDone {
+		t.Fatalf("job 2: %s (%s)", st2.State, st2.Error)
+	}
+
+	if string(st1.Results[0]) != string(st2.Results[0]) {
+		t.Errorf("results differ:\n omitted:  %s\n explicit: %s", st1.Results[0], st2.Results[0])
+	}
+	if st2.Progress.CacheHits != 1 {
+		t.Errorf("job 2 cache hits = %d, want 1 (one shared cache entry)", st2.Progress.CacheHits)
+	}
+	m := svc.Metrics()
+	if m.RunsComputed != 1 {
+		t.Errorf("RunsComputed = %d, want 1 — the explicit-default spec recomputed", m.RunsComputed)
+	}
+	if m.CacheHits != 1 {
+		t.Errorf("CacheHits = %d, want 1", m.CacheHits)
+	}
+}
+
+// TestKnobOverridesDistinctCacheEntry: a non-default knob is a
+// different configuration and must not collide with the default run.
+func TestKnobOverridesDistinctCacheEntry(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueBound: 8})
+	defer svc.Drain()
+
+	plain := smallRun("em3d", 20_000)
+	override := plain
+	override.Knobs = map[string]sim.Value{"stems.rmob_entries": sim.IntValue(4 << 10)}
+
+	for _, spec := range []enc.RunSpec{plain, override} {
+		j, err := svc.Submit(enc.JobSpec{RunSpec: spec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := waitJob(t, j); st.State != enc.JobDone {
+			t.Fatalf("%s (%s)", st.State, st.Error)
+		}
+	}
+	if m := svc.Metrics(); m.RunsComputed != 2 || m.CacheHits != 0 {
+		t.Errorf("RunsComputed = %d, CacheHits = %d; want 2 distinct computations", m.RunsComputed, m.CacheHits)
+	}
+}
+
+// TestKnobSpecMatchesConfigure is the service half of the acceptance
+// criterion: the knob-map spec submitted to the service produces bytes
+// identical to the equivalent WithConfigure run executed locally — and
+// to the same Runner's own Spec() resubmitted.
+func TestKnobSpecMatchesConfigure(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueBound: 8})
+	defer svc.Drain()
+
+	local, err := stems.New(
+		stems.WithPredictor("stems"),
+		stems.WithWorkload("ocean"),
+		stems.WithAccesses(20_000),
+		stems.WithSystem(stems.ScaledSystem()),
+		stems.WithConfigure(func(o *stems.Options) {
+			o.STeMS.RMOBEntries = 16 << 10
+			o.STeMS.StreamQueues = 4
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := local.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := json.Marshal(enc.FromResult("", res))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The canonical Spec of that locally configured Runner, through the
+	// service.
+	spec, err := local.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := svc.Submit(enc.JobSpec{RunSpec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitJob(t, j)
+	if st.State != enc.JobDone {
+		t.Fatalf("%s (%s)", st.State, st.Error)
+	}
+	if string(st.Results[0]) != string(direct) {
+		t.Errorf("service result differs from local WithConfigure run:\n service: %s\n local:   %s",
+			st.Results[0], direct)
+	}
+}
+
+// TestKnobValidation400s: knob errors are field-level ErrInvalidSpec
+// naming the run and the knob.
+func TestKnobValidation400s(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueBound: 4})
+	defer svc.Drain()
+
+	cases := []struct {
+		name  string
+		knobs map[string]sim.Value
+		want  string
+	}{
+		{"unknown", map[string]sim.Value{"stems.rmob": sim.IntValue(1)}, `unknown knob "stems.rmob"`},
+		{"kind", map[string]sim.Value{"scientific": sim.IntValue(3)}, `knob "scientific" wants a boolean`},
+		{"bounds", map[string]sim.Value{"tms.lookahead": sim.IntValue(100000)}, "out of range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := smallRun("em3d", 1000)
+			spec.Knobs = tc.knobs
+			_, err := svc.Submit(enc.JobSpec{Runs: []enc.RunSpec{smallRun("em3d", 1000), spec}})
+			if err == nil {
+				t.Fatal("bad knob map accepted")
+			}
+			if !strings.Contains(err.Error(), "run 1") || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %v, want run 1 and %q named", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestNormalizedKnobsReportedInStatus: the job status carries the
+// canonical (kind-coerced) knob map, not the submitted spelling.
+func TestNormalizedKnobsReportedInStatus(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueBound: 4})
+	defer svc.Drain()
+
+	spec := smallRun("em3d", 1000)
+	spec.Knobs = map[string]sim.Value{"stems.lookahead": sim.FloatValue(4)}
+	j, err := svc.Submit(enc.JobSpec{RunSpec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitJob(t, j)
+	if got := st.Spec.Knobs["stems.lookahead"]; got != sim.IntValue(4) {
+		t.Errorf("status knob = %v (%s), want canonical int 4", got, got.Kind())
+	}
+}
+
+// FuzzKnobCanonicalization drives arbitrary knob-map JSON through the
+// full decode → validate → canonicalize → cache-key pipeline and checks
+// the round-trip invariants the content-addressed cache rests on:
+// canonicalization is idempotent (re-encoding and re-resolving the
+// normalized spec yields the same bytes and the same key), and a
+// canonical map survives a JSON hop unchanged.
+func FuzzKnobCanonicalization(f *testing.F) {
+	f.Add([]byte(`{"stems.rmob_entries":65536}`))
+	f.Add([]byte(`{"stems.rmob_entries":65536.0,"scientific":false}`))
+	f.Add([]byte(`{"system.mlp":8,"tms.lookahead":12}`))
+	f.Add([]byte(`{"sms.use_counters":true,"stems.counter_threshold":1}`))
+	f.Add([]byte(`{"unknown.knob":1}`))
+	f.Add([]byte(`{"stems.lookahead":1e2}`))
+	f.Add([]byte(`{"stems.lookahead":"8"}`))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var knobs map[string]sim.Value
+		if err := json.Unmarshal(raw, &knobs); err != nil {
+			t.Skip()
+		}
+		spec := enc.JobSpec{RunSpec: enc.RunSpec{Workload: "em3d", Accesses: 1000, Knobs: knobs}}
+		runs, err := resolveSpec(&spec)
+		if err != nil {
+			return // invalid knob maps must only ever fail validation
+		}
+		key1 := runs[0].key
+
+		// The written-back spec is canonical: re-resolving it must be a
+		// fixed point for both the bytes and the content address.
+		canon, err := json.Marshal(spec.RunSpec.Knobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		respec := enc.JobSpec{RunSpec: spec.RunSpec}
+		reruns, err := resolveSpec(&respec)
+		if err != nil {
+			t.Fatalf("canonical spec failed validation: %v", err)
+		}
+		if reruns[0].key != key1 {
+			t.Fatalf("cache key not stable under canonicalization: %s vs %s", key1, reruns[0].key)
+		}
+		recanon, err := json.Marshal(respec.RunSpec.Knobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(canon) != string(recanon) {
+			t.Fatalf("canonical knob encoding not idempotent:\n %s\n %s", canon, recanon)
+		}
+
+		// And a JSON hop of the canonical map decodes to the same key.
+		var hop map[string]sim.Value
+		if err := json.Unmarshal(canon, &hop); err != nil {
+			t.Fatal(err)
+		}
+		hopSpec := enc.JobSpec{RunSpec: enc.RunSpec{Workload: "em3d", Accesses: 1000, Knobs: hop}}
+		hopRuns, err := resolveSpec(&hopSpec)
+		if err != nil {
+			t.Fatalf("canonical map failed validation after JSON hop: %v", err)
+		}
+		if hopRuns[0].key != key1 {
+			t.Fatalf("cache key changed across a JSON hop: %s vs %s", key1, hopRuns[0].key)
+		}
+	})
+}

@@ -253,6 +253,10 @@ func (s *Service) Abort() { s.abort() }
 // Predictors lists the registered predictor names.
 func (s *Service) Predictors() []string { return stems.Predictors() }
 
+// PredictorInfos lists every registered predictor with its knob schema —
+// the /v1/predictors document.
+func (s *Service) PredictorInfos() []enc.PredictorInfo { return enc.PredictorInfos() }
+
 // Workloads lists the paper suite in wire form.
 func (s *Service) Workloads() []enc.WorkloadInfo {
 	return enc.WorkloadInfos(stems.Workloads())
@@ -362,14 +366,13 @@ func (s *Service) runOne(j *Job, r *resolvedRun) (data []byte, fromCache bool, e
 func (s *Service) compute(j *Job, r *resolvedRun) ([]byte, error) {
 	base := j.accessesDone.Load()
 	var prev uint64
-	opts := append(append([]stems.Option(nil), r.opts...),
+	runner, err := stems.FromSpec(r.spec,
 		stems.WithSharedTrace(s.arena),
 		stems.WithRunProgress(func(done uint64) {
 			s.accessesSim.Add(done - prev)
 			prev = done
 			j.noteProgress(base + done)
 		}))
-	runner, err := stems.New(opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@ import (
 
 	"stems"
 	"stems/internal/enc"
+	"stems/internal/sim"
 )
 
 // ErrInvalidSpec tags every job-spec validation failure; the HTTP layer
@@ -45,7 +46,7 @@ func normalize(i int, r *enc.RunSpec) error {
 		r.Seed = 1
 	}
 	if r.Seed < 0 {
-		return fail("invalid seed %d: workload seeds are non-negative", r.Seed)
+		return fail("invalid seed %d: workload seeds are positive (0 selects the default, 1)", r.Seed)
 	}
 	if r.Accesses < 0 {
 		return fail("invalid accesses %d: must be positive, or 0 for the workload default", r.Accesses)
@@ -57,6 +58,15 @@ func normalize(i int, r *enc.RunSpec) error {
 	default:
 		return fail("unknown system %q (choose %q or %q)", r.System, systemScaled, systemPaper)
 	}
+	// Knob validation is field-level: unknown names, kind mismatches,
+	// and bounds violations each name the offending knob. The canonical
+	// (kind-coerced) map is written back, so job status reports — and
+	// the spec the worker executes carries — one spelling per value.
+	canon, err := sim.NormalizeKnobs(r.Knobs)
+	if err != nil {
+		return fail("%v", err)
+	}
+	r.Knobs = canon
 	return nil
 }
 
@@ -64,7 +74,7 @@ func normalize(i int, r *enc.RunSpec) error {
 // normalized specs, resolved trace lengths, content-address keys, and
 // the Runner options that execute them.
 func resolveSpec(spec *enc.JobSpec) ([]resolvedRun, error) {
-	if len(spec.Runs) > 0 && spec.RunSpec != (enc.RunSpec{}) {
+	if len(spec.Runs) > 0 && !spec.RunSpec.IsZero() {
 		return nil, fmt.Errorf("%w: specify either top-level run fields or \"runs\", not both", ErrInvalidSpec)
 	}
 	if spec.Runs != nil && len(spec.Runs) == 0 {
@@ -92,19 +102,14 @@ func resolveSpec(spec *enc.JobSpec) ([]resolvedRun, error) {
 			n = wl.DefaultAccesses
 		}
 
-		opts := []stems.Option{
-			stems.WithPredictor(r.Predictor),
-			stems.WithWorkload(r.Workload),
-			stems.WithSeed(r.Seed),
-			stems.WithAccesses(n),
-		}
-		if r.System == systemScaled {
-			opts = append(opts, stems.WithSystem(stems.ScaledSystem()))
-		}
-		// Build once now: surfaces any residual configuration error at
-		// submit time (a descriptive 400, not a failed job) and yields the
-		// effective options the content address hashes.
-		runner, err := stems.New(opts...)
+		// Build once now through the same FromSpec path the worker uses:
+		// surfaces any residual configuration error at submit time (a
+		// descriptive 400, not a failed job) and yields the *effective*
+		// options the content address hashes — which is what makes the
+		// cache key canonical: a knob spelled at its default value
+		// produces the same effective options, hence the same key, as
+		// omitting it.
+		runner, err := stems.FromSpec(*r)
 		if err != nil {
 			return nil, fmt.Errorf("%w: run %d: %v", ErrInvalidSpec, i, err)
 		}
@@ -112,7 +117,7 @@ func resolveSpec(spec *enc.JobSpec) ([]resolvedRun, error) {
 		if err != nil {
 			return nil, err
 		}
-		out[i] = resolvedRun{spec: *r, n: n, key: key, opts: opts}
+		out[i] = resolvedRun{spec: *r, n: n, key: key}
 	}
 
 	// Write the normalized specs back so job status reports the effective

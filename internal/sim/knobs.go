@@ -1,0 +1,478 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// This file is the typed knob registry: the declarative, introspectable
+// face of Options. Every exported Options field is reachable through a
+// registered Knob (enforced by a completeness test), so a configuration
+// can travel as data — a map[string]Value in a wire RunSpec, a
+// "-set name=value" CLI flag, a stems.Spec — instead of as a
+// WithConfigure closure that cannot cross the wire. Knobs are grouped
+// ("system", "stems", ...) and each predictor kind binds the groups it
+// reads, which is what /v1/predictors and "stemsim -predictors -v"
+// report as that predictor's schema.
+
+// KnobKind is the value type of a knob.
+type KnobKind string
+
+// The knob value kinds. Integer knobs cover Go int, uint8, and uint64
+// Options fields; the wire form is one JSON number either way.
+const (
+	KnobInt   KnobKind = "int"
+	KnobBool  KnobKind = "bool"
+	KnobFloat KnobKind = "float"
+)
+
+// Value is one typed knob value: exactly the scalar JSON forms a knob
+// map carries (number or boolean). The zero Value is invalid — construct
+// with IntValue/BoolValue/FloatValue or by unmarshaling.
+type Value struct {
+	kind KnobKind
+	i    int64
+	f    float64
+	b    bool
+}
+
+// IntValue makes an integer Value.
+func IntValue(v int64) Value { return Value{kind: KnobInt, i: v} }
+
+// BoolValue makes a boolean Value.
+func BoolValue(v bool) Value { return Value{kind: KnobBool, b: v} }
+
+// FloatValue makes a float Value.
+func FloatValue(v float64) Value { return Value{kind: KnobFloat, f: v} }
+
+// Kind returns the value's kind ("" for the invalid zero Value).
+func (v Value) Kind() KnobKind { return v.kind }
+
+// Int returns the integer payload (0 unless Kind is KnobInt).
+func (v Value) Int() int64 { return v.i }
+
+// Bool returns the boolean payload (false unless Kind is KnobBool).
+func (v Value) Bool() bool { return v.b }
+
+// Float returns the float payload (0 unless Kind is KnobFloat).
+func (v Value) Float() float64 { return v.f }
+
+// String renders the value the way ParseValue reads it.
+func (v Value) String() string {
+	switch v.kind {
+	case KnobInt:
+		return strconv.FormatInt(v.i, 10)
+	case KnobBool:
+		return strconv.FormatBool(v.b)
+	case KnobFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	default:
+		return "<invalid>"
+	}
+}
+
+// MarshalJSON emits the bare scalar: an integer, a boolean, or a float.
+func (v Value) MarshalJSON() ([]byte, error) {
+	switch v.kind {
+	case KnobInt:
+		return strconv.AppendInt(nil, v.i, 10), nil
+	case KnobBool:
+		return strconv.AppendBool(nil, v.b), nil
+	case KnobFloat:
+		return json.Marshal(v.f)
+	default:
+		return nil, fmt.Errorf("sim: marshaling invalid knob value")
+	}
+}
+
+// UnmarshalJSON accepts a JSON number or boolean. Numbers without a
+// fraction or exponent decode as KnobInt, everything else as KnobFloat;
+// the kind is coerced to the knob's registered kind at validation time,
+// so "8" and "8.0" canonicalize identically for an int knob.
+func (v *Value) UnmarshalJSON(data []byte) error {
+	s := strings.TrimSpace(string(data))
+	switch s {
+	case "true":
+		*v = BoolValue(true)
+		return nil
+	case "false":
+		*v = BoolValue(false)
+		return nil
+	}
+	if !strings.ContainsAny(s, ".eE") {
+		if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+			*v = IntValue(i)
+			return nil
+		}
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		*v = FloatValue(f)
+		return nil
+	}
+	return fmt.Errorf("sim: knob values are JSON numbers or booleans, got %s", s)
+}
+
+// ParseValue reads a knob value from flag text ("8192", "true", "4.5");
+// the same coercion rules as JSON decoding apply at validation time.
+func ParseValue(s string) (Value, error) {
+	var v Value
+	if err := v.UnmarshalJSON([]byte(s)); err != nil {
+		return Value{}, fmt.Errorf("sim: invalid knob value %q: numbers or booleans only", s)
+	}
+	return v, nil
+}
+
+// ParseAssignment reads a "-set"-style knob assignment ("name=value") —
+// the one parser behind every CLI knob flag. The name is validated at
+// Runner build time, not here, so errors can report the run context.
+func ParseAssignment(s string) (name string, v Value, err error) {
+	name, text, ok := strings.Cut(s, "=")
+	if !ok {
+		return "", Value{}, fmt.Errorf("sim: knob assignment wants name=value, got %q", s)
+	}
+	v, err = ParseValue(text)
+	if err != nil {
+		return "", Value{}, err
+	}
+	return name, v, nil
+}
+
+// Knob is one introspectable configuration parameter bound to an
+// Options field: name, kind, bounds, documentation, and typed accessors.
+type Knob struct {
+	// Name is the wire name ("stems.rmob_entries").
+	Name string
+	// Group is the table the knob belongs to ("system", "stems", ...).
+	Group string
+	// Kind is the value type.
+	Kind KnobKind
+	// Doc is a one-line description.
+	Doc string
+	// Min and Max bound numeric knobs inclusively (ignored for bools).
+	Min, Max float64
+
+	set func(*Options, Value)
+	get func(*Options) Value
+}
+
+// Default returns the knob's value in DefaultOptions (the paper
+// configuration; note the service's "scaled" system overrides
+// system.l2_size_bytes before knobs apply).
+func (k Knob) Default() Value {
+	o := DefaultOptions()
+	return k.get(&o)
+}
+
+// Get reads the knob from an options block.
+func (k Knob) Get(o *Options) Value { return k.get(o) }
+
+// coerce converts v to the knob's kind and checks bounds. It accepts an
+// integral float for an int knob and an int for a float knob, so
+// differently-spelled JSON numbers canonicalize to one Value.
+func (k Knob) coerce(v Value) (Value, error) {
+	switch k.Kind {
+	case KnobBool:
+		if v.kind != KnobBool {
+			return Value{}, fmt.Errorf("knob %q wants a boolean, got %s", k.Name, v)
+		}
+		return v, nil
+	case KnobInt:
+		switch v.kind {
+		case KnobInt:
+		case KnobFloat:
+			if v.f != math.Trunc(v.f) || math.IsInf(v.f, 0) || math.IsNaN(v.f) {
+				return Value{}, fmt.Errorf("knob %q wants an integer, got %s", k.Name, v)
+			}
+			v = IntValue(int64(v.f))
+		default:
+			return Value{}, fmt.Errorf("knob %q wants an integer, got %s", k.Name, v)
+		}
+		if f := float64(v.i); f < k.Min || f > k.Max {
+			return Value{}, fmt.Errorf("knob %q = %s out of range [%s, %s]",
+				k.Name, v, formatBound(k.Min), formatBound(k.Max))
+		}
+		return v, nil
+	case KnobFloat:
+		switch v.kind {
+		case KnobFloat:
+		case KnobInt:
+			v = FloatValue(float64(v.i))
+		default:
+			return Value{}, fmt.Errorf("knob %q wants a number, got %s", k.Name, v)
+		}
+		if v.f < k.Min || v.f > k.Max || math.IsNaN(v.f) {
+			return Value{}, fmt.Errorf("knob %q = %s out of range [%s, %s]",
+				k.Name, v, formatBound(k.Min), formatBound(k.Max))
+		}
+		return v, nil
+	default:
+		return Value{}, fmt.Errorf("knob %q has invalid kind %q", k.Name, k.Kind)
+	}
+}
+
+func formatBound(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// IntKnob builds an integer knob over an int Options field.
+func IntKnob(name, doc string, min, max int64, field func(*Options) *int) Knob {
+	return Knob{
+		Name: name, Kind: KnobInt, Doc: doc, Min: float64(min), Max: float64(max),
+		set: func(o *Options, v Value) { *field(o) = int(v.i) },
+		get: func(o *Options) Value { return IntValue(int64(*field(o))) },
+	}
+}
+
+// Uint64Knob builds an integer knob over a uint64 Options field.
+func Uint64Knob(name, doc string, min, max int64, field func(*Options) *uint64) Knob {
+	return Knob{
+		Name: name, Kind: KnobInt, Doc: doc, Min: float64(min), Max: float64(max),
+		set: func(o *Options, v Value) { *field(o) = uint64(v.i) },
+		get: func(o *Options) Value { return IntValue(int64(*field(o))) },
+	}
+}
+
+// Uint8Knob builds an integer knob over a uint8 Options field.
+func Uint8Knob(name, doc string, min, max int64, field func(*Options) *uint8) Knob {
+	return Knob{
+		Name: name, Kind: KnobInt, Doc: doc, Min: float64(min), Max: float64(max),
+		set: func(o *Options, v Value) { *field(o) = uint8(v.i) },
+		get: func(o *Options) Value { return IntValue(int64(*field(o))) },
+	}
+}
+
+// BoolKnob builds a boolean knob over a bool Options field.
+func BoolKnob(name, doc string, field func(*Options) *bool) Knob {
+	return Knob{
+		Name: name, Kind: KnobBool, Doc: doc,
+		set: func(o *Options, v Value) { *field(o) = v.b },
+		get: func(o *Options) Value { return BoolValue(*field(o)) },
+	}
+}
+
+// FloatKnob builds a float knob over a float64 Options field.
+func FloatKnob(name, doc string, min, max float64, field func(*Options) *float64) Knob {
+	return Knob{
+		Name: name, Kind: KnobFloat, Doc: doc, Min: min, Max: max,
+		set: func(o *Options, v Value) { *field(o) = v.f },
+		get: func(o *Options) Value { return FloatValue(*field(o)) },
+	}
+}
+
+var (
+	knobMu     sync.RWMutex
+	knobByName = map[string]Knob{}
+	// knobGroups maps group name → knob names in registration order.
+	knobGroups = map[string][]string{}
+	groupOrder []string
+	// kindKnobGroups maps predictor kind → the groups it reads, beyond
+	// the implicit "system" and "run" groups every kind gets.
+	kindKnobGroups = map[Kind][]string{}
+)
+
+// RegisterKnobs adds a group of knobs to the registry. Knob names are a
+// single global namespace (any knob may be set on any run — relevance is
+// what group bindings document), so duplicates fail. The call is atomic:
+// on any error the registry is untouched, so a caller can correct the
+// group and retry.
+func RegisterKnobs(group string, knobs ...Knob) error {
+	if group == "" {
+		return fmt.Errorf("sim: knob group name must not be empty")
+	}
+	knobMu.Lock()
+	defer knobMu.Unlock()
+	// Validate the whole group before mutating anything.
+	inGroup := make(map[string]bool, len(knobs))
+	for _, k := range knobs {
+		if k.Name == "" || k.set == nil || k.get == nil {
+			return fmt.Errorf("sim: knob group %q: incomplete knob %q", group, k.Name)
+		}
+		if _, dup := knobByName[k.Name]; dup {
+			return fmt.Errorf("sim: knob %q already registered", k.Name)
+		}
+		if inGroup[k.Name] {
+			return fmt.Errorf("sim: knob %q appears twice in group %q", k.Name, group)
+		}
+		inGroup[k.Name] = true
+	}
+	for _, k := range knobs {
+		k.Group = group
+		knobByName[k.Name] = k
+		knobGroups[group] = append(knobGroups[group], k.Name)
+	}
+	if len(knobGroups[group]) > 0 && !contains(groupOrder, group) {
+		groupOrder = append(groupOrder, group)
+	}
+	return nil
+}
+
+// MustRegisterKnobs is RegisterKnobs for package init functions.
+func MustRegisterKnobs(group string, knobs ...Knob) {
+	if err := RegisterKnobs(group, knobs...); err != nil {
+		panic(err)
+	}
+}
+
+// BindKnobs declares which knob groups a predictor kind reads, beyond
+// the implicit "system" and "run" groups. KnobsFor resolves group names
+// lazily, so binding order against sibling registrations is free.
+func BindKnobs(kind Kind, groups ...string) {
+	knobMu.Lock()
+	defer knobMu.Unlock()
+	kindKnobGroups[kind] = append(kindKnobGroups[kind], groups...)
+}
+
+func contains(s []string, v string) bool {
+	for _, have := range s {
+		if have == v {
+			return true
+		}
+	}
+	return false
+}
+
+// LookupKnob finds a registered knob by wire name.
+func LookupKnob(name string) (Knob, bool) {
+	knobMu.RLock()
+	defer knobMu.RUnlock()
+	k, ok := knobByName[name]
+	return k, ok
+}
+
+// AllKnobs lists every registered knob: groups in registration order
+// ("system" and "run" first), knobs in registration order within each.
+func AllKnobs() []Knob {
+	knobMu.RLock()
+	defer knobMu.RUnlock()
+	out := make([]Knob, 0, len(knobByName))
+	for _, group := range groupOrder {
+		for _, name := range knobGroups[group] {
+			out = append(out, knobByName[name])
+		}
+	}
+	return out
+}
+
+// KnobsFor lists the knobs relevant to one predictor kind: the shared
+// "system" and "run" groups plus whatever groups the kind bound. Kinds
+// with no binding (externally registered predictors) get the shared
+// groups only. Any registered knob is still *settable* on any run —
+// this listing is the per-predictor schema /v1/predictors reports.
+func KnobsFor(kind Kind) []Knob {
+	knobMu.RLock()
+	defer knobMu.RUnlock()
+	groups := append([]string{"system", "run"}, kindKnobGroups[kind]...)
+	var out []Knob
+	seen := map[string]bool{}
+	for _, g := range groups {
+		if seen[g] {
+			continue
+		}
+		seen[g] = true
+		for _, name := range knobGroups[g] {
+			out = append(out, knobByName[name])
+		}
+	}
+	return out
+}
+
+// NormalizeKnobs validates a knob map and returns its canonical form:
+// every name registered, every value coerced to its knob's kind and
+// bounds-checked. The input map is not modified; a nil or empty input
+// returns nil. Errors name the offending knob, for field-level 400s.
+func NormalizeKnobs(knobs map[string]Value) (map[string]Value, error) {
+	if len(knobs) == 0 {
+		return nil, nil
+	}
+	out := make(map[string]Value, len(knobs))
+	names := make([]string, 0, len(knobs))
+	for name := range knobs {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic first-error selection
+	for _, name := range names {
+		k, ok := LookupKnob(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown knob %q (list them with stemsim -predictors -v or GET /v1/predictors)", name)
+		}
+		v, err := k.coerce(knobs[name])
+		if err != nil {
+			return nil, err
+		}
+		out[name] = v
+	}
+	return out, nil
+}
+
+// ApplyKnobs normalizes a knob map and sets each knob on o. Application
+// order is irrelevant: knob names are unique and each writes one field.
+func ApplyKnobs(o *Options, knobs map[string]Value) error {
+	canon, err := NormalizeKnobs(knobs)
+	if err != nil {
+		return err
+	}
+	for name, v := range canon {
+		k, _ := LookupKnob(name)
+		k.set(o, v)
+	}
+	return nil
+}
+
+// KnobDiff expresses effective relative to base as a knob map: one entry
+// per registered knob whose value differs. Because the registry covers
+// every exported Options field, applying the diff to base reconstructs
+// effective exactly — the property Runner.Spec round-trips rely on.
+func KnobDiff(base, effective Options) map[string]Value {
+	var out map[string]Value
+	for _, k := range AllKnobs() {
+		if k.get(&base) != k.get(&effective) {
+			if out == nil {
+				out = make(map[string]Value)
+			}
+			out[k.Name] = k.get(&effective)
+		}
+	}
+	return out
+}
+
+func init() {
+	// The shared knob groups every predictor sees: the simulated node
+	// ("system", Table 1) and the run-level engine flags ("run").
+	MustRegisterKnobs("system",
+		IntKnob("system.l1_size_bytes", "L1d capacity in bytes (Table 1: 64KB)", 1<<10, 1<<30,
+			func(o *Options) *int { return &o.System.L1SizeBytes }),
+		IntKnob("system.l1_ways", "L1d associativity (Table 1: 2)", 1, 64,
+			func(o *Options) *int { return &o.System.L1Ways }),
+		IntKnob("system.l2_size_bytes", "L2 capacity in bytes (Table 1: 8MB; the \"scaled\" system uses 1MB)", 1<<10, 1<<32,
+			func(o *Options) *int { return &o.System.L2SizeBytes }),
+		IntKnob("system.l2_ways", "L2 associativity (Table 1: 8)", 1, 64,
+			func(o *Options) *int { return &o.System.L2Ways }),
+		Uint64Knob("system.core_cycles_per_access", "non-memory CPI contribution per traced access", 0, 1<<20,
+			func(o *Options) *uint64 { return &o.System.CoreCyclesPerAccess }),
+		Uint64Knob("system.l2_hit_cycles", "L2 hit latency in cycles (Table 1: 25)", 1, 1<<20,
+			func(o *Options) *uint64 { return &o.System.L2HitCycles }),
+		Uint64Knob("system.svb_hit_cycles", "cost of consuming a ready SVB block, cycles", 1, 1<<20,
+			func(o *Options) *uint64 { return &o.System.SVBHitCycles }),
+		Uint64Knob("system.off_chip_cycles", "end-to-end off-chip miss latency, cycles (Table 1: ~400)", 1, 1<<24,
+			func(o *Options) *uint64 { return &o.System.OffChipCycles }),
+		FloatKnob("system.mlp", "average independent off-chip misses overlapped by the OoO core", 1, 64,
+			func(o *Options) *float64 { return &o.System.MLP }),
+		IntKnob("system.mem_channels", "memory channels for the bandwidth model", 1, 64,
+			func(o *Options) *int { return &o.System.MemChannels }),
+		Uint64Knob("system.channel_occupancy", "cycles one transfer occupies a channel", 0, 1<<20,
+			func(o *Options) *uint64 { return &o.System.ChannelOccupancy }),
+	)
+	MustRegisterKnobs("run",
+		BoolKnob("scientific", "force the deeper §4.3 scientific stream lookahead (default: the workload class decides)",
+			func(o *Options) *bool { return &o.Scientific }),
+		BoolKnob("adaptive_lookahead", "enable the streaming engine's dynamic lookahead extension",
+			func(o *Options) *bool { return &o.AdaptiveLookahead }),
+		BoolKnob("virtualized_meta", "route STeMS metadata through an on-chip cache (§6 predictor virtualization)",
+			func(o *Options) *bool { return &o.VirtualizedMeta }),
+		IntKnob("virtual_meta_cache_bytes", "metadata cache size when virtualized (0 selects the reference 64KB)", 0, 1<<30,
+			func(o *Options) *int { return &o.VirtualMetaCacheBytes }),
+	)
+}

@@ -1,0 +1,238 @@
+package sim_test
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"stems/internal/sim"
+
+	// Link the built-in predictors so their knob tables register.
+	_ "stems/internal/predictors"
+)
+
+// perturbed returns a legal value different from the knob's default.
+func perturbed(t *testing.T, k sim.Knob) sim.Value {
+	t.Helper()
+	d := k.Default()
+	switch k.Kind {
+	case sim.KnobBool:
+		return sim.BoolValue(!d.Bool())
+	case sim.KnobInt:
+		if float64(d.Int()+1) <= k.Max {
+			return sim.IntValue(d.Int() + 1)
+		}
+		if float64(d.Int()-1) >= k.Min {
+			return sim.IntValue(d.Int() - 1)
+		}
+	case sim.KnobFloat:
+		if d.Float()+1 <= k.Max {
+			return sim.FloatValue(d.Float() + 1)
+		}
+		if d.Float()-1 >= k.Min {
+			return sim.FloatValue(d.Float() - 1)
+		}
+	}
+	t.Fatalf("knob %s: no legal non-default value in [%g, %g]", k.Name, k.Min, k.Max)
+	return sim.Value{}
+}
+
+// leafFields walks a struct value and collects every exported scalar
+// leaf as path → value.
+func leafFields(prefix string, v reflect.Value, out map[string]any) {
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		path := prefix + f.Name
+		fv := v.Field(i)
+		if fv.Kind() == reflect.Struct {
+			leafFields(path+".", fv, out)
+			continue
+		}
+		out[path] = fv.Interface()
+	}
+}
+
+// TestKnobCompleteness asserts every exported Options field is reachable
+// through a registered knob: perturbing every knob must change every
+// leaf. A new Options field without a knob fails here — the declarative
+// API must never lag the imperative one.
+func TestKnobCompleteness(t *testing.T) {
+	opt := sim.DefaultOptions()
+	knobs := map[string]sim.Value{}
+	for _, k := range sim.AllKnobs() {
+		knobs[k.Name] = perturbed(t, k)
+	}
+	if err := sim.ApplyKnobs(&opt, knobs); err != nil {
+		t.Fatal(err)
+	}
+
+	def, mut := map[string]any{}, map[string]any{}
+	dv, mv := sim.DefaultOptions(), opt
+	leafFields("", reflect.ValueOf(dv), def)
+	leafFields("", reflect.ValueOf(mv), mut)
+	if len(def) == 0 {
+		t.Fatal("reflection walk found no Options fields")
+	}
+	for path, was := range def {
+		if reflect.DeepEqual(was, mut[path]) {
+			t.Errorf("Options.%s not reachable via any registered knob (still %v after perturbing all %d knobs)",
+				path, was, len(knobs))
+		}
+	}
+}
+
+// TestKnobDefaultsMatchOptions pins the schema's defaults to
+// DefaultOptions: applying every knob at its own default is a no-op.
+func TestKnobDefaultsMatchOptions(t *testing.T) {
+	opt := sim.DefaultOptions()
+	knobs := map[string]sim.Value{}
+	for _, k := range sim.AllKnobs() {
+		knobs[k.Name] = k.Default()
+	}
+	if err := sim.ApplyKnobs(&opt, knobs); err != nil {
+		t.Fatal(err)
+	}
+	if diff := sim.KnobDiff(sim.DefaultOptions(), opt); len(diff) != 0 {
+		t.Errorf("explicit defaults changed the options: %v", diff)
+	}
+}
+
+func TestNormalizeKnobs(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      map[string]sim.Value
+		wantErr string
+	}{
+		{"unknown name", map[string]sim.Value{"stems.rmobentries": sim.IntValue(1)}, "unknown knob"},
+		{"kind mismatch", map[string]sim.Value{"scientific": sim.IntValue(1)}, "wants a boolean"},
+		{"bool for int", map[string]sim.Value{"stems.rmob_entries": sim.BoolValue(true)}, "wants an integer"},
+		{"fractional int", map[string]sim.Value{"stems.rmob_entries": sim.FloatValue(1.5)}, "wants an integer"},
+		{"below min", map[string]sim.Value{"stems.rmob_entries": sim.IntValue(0)}, "out of range"},
+		{"above max", map[string]sim.Value{"system.mlp": sim.FloatValue(1e9)}, "out of range"},
+		{"ok", map[string]sim.Value{"stems.rmob_entries": sim.IntValue(4096), "system.mlp": sim.IntValue(8)}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := sim.NormalizeKnobs(tc.in)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestNormalizeCoercesKinds checks the canonicalization that makes
+// differently-spelled JSON numbers one Value: 8.0 for an int knob and 8
+// for a float knob both normalize to the knob's kind.
+func TestNormalizeCoercesKinds(t *testing.T) {
+	canon, err := sim.NormalizeKnobs(map[string]sim.Value{
+		"stems.lookahead": sim.FloatValue(8),
+		"system.mlp":      sim.IntValue(8),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := canon["stems.lookahead"]; got != sim.IntValue(8) {
+		t.Errorf("lookahead normalized to %v (%s), want int 8", got, got.Kind())
+	}
+	if got := canon["system.mlp"]; got != sim.FloatValue(8) {
+		t.Errorf("mlp normalized to %v (%s), want float 8", got, got.Kind())
+	}
+}
+
+// TestKnobDiffRoundTrip: any options block reachable by knob edits is
+// reconstructed exactly by applying its diff to the baseline.
+func TestKnobDiffRoundTrip(t *testing.T) {
+	base := sim.DefaultOptions()
+	target := base
+	edits := map[string]sim.Value{
+		"stems.rmob_entries": sim.IntValue(64 << 10),
+		"stems.lookahead":    sim.IntValue(12),
+		"sms.pht_entries":    sim.IntValue(1 << 10),
+		"system.mlp":         sim.FloatValue(2.5),
+		"scientific":         sim.BoolValue(true),
+	}
+	if err := sim.ApplyKnobs(&target, edits); err != nil {
+		t.Fatal(err)
+	}
+
+	diff := sim.KnobDiff(base, target)
+	if !reflect.DeepEqual(diff, edits) {
+		t.Errorf("diff = %v, want the applied edits %v", diff, edits)
+	}
+	rebuilt := base
+	if err := sim.ApplyKnobs(&rebuilt, diff); err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt != target {
+		t.Errorf("rebuilt options differ:\n got  %+v\n want %+v", rebuilt, target)
+	}
+}
+
+// TestRegisterKnobsAtomic: a failing group registration leaves the
+// registry untouched, so correcting the group and retrying works.
+func TestRegisterKnobsAtomic(t *testing.T) {
+	fresh := func(name string) sim.Knob {
+		return sim.IntKnob(name, "test knob", 0, 10, func(o *sim.Options) *int { return &o.Stride.Degree })
+	}
+	err := sim.RegisterKnobs("atomic-test", fresh("atomic.a"), fresh("stride.degree"))
+	if err == nil {
+		t.Fatal("duplicate of a registered knob accepted")
+	}
+	if _, ok := sim.LookupKnob("atomic.a"); ok {
+		t.Fatal("failed registration leaked atomic.a into the registry")
+	}
+	if err := sim.RegisterKnobs("atomic-test", fresh("atomic.a")); err != nil {
+		t.Fatalf("retry after corrected group failed: %v", err)
+	}
+	if err := sim.RegisterKnobs("atomic-test2", fresh("atomic.b"), fresh("atomic.b")); err == nil {
+		t.Fatal("in-group duplicate accepted")
+	}
+	found := false
+	for _, k := range sim.AllKnobs() {
+		if k.Name == "atomic.a" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("registered knob atomic.a missing from AllKnobs")
+	}
+}
+
+// TestValueJSON pins the wire forms: bare scalars both ways.
+func TestValueJSON(t *testing.T) {
+	m := map[string]sim.Value{
+		"a": sim.IntValue(42),
+		"b": sim.BoolValue(true),
+		"c": sim.FloatValue(2.5),
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"a":42,"b":true,"c":2.5}`; string(data) != want {
+		t.Errorf("marshal = %s, want %s", data, want)
+	}
+	var back map[string]sim.Value
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, m) {
+		t.Errorf("round trip = %v, want %v", back, m)
+	}
+	var v sim.Value
+	if err := json.Unmarshal([]byte(`"str"`), &v); err == nil {
+		t.Error("string accepted as a knob value")
+	}
+}

@@ -6,6 +6,21 @@ import (
 )
 
 func init() {
+	sim.MustRegisterKnobs("sms",
+		sim.IntKnob("sms.filter_entries", "filter table entries for single-access regions (§4.3: 32)", 1, 1<<20,
+			func(o *sim.Options) *int { return &o.SMS.FilterEntries }),
+		sim.IntKnob("sms.accum_entries", "accumulation table entries, i.e. active generations (§4.3: 64)", 1, 1<<20,
+			func(o *sim.Options) *int { return &o.SMS.AccumEntries }),
+		sim.IntKnob("sms.pht_entries", "pattern history table entries (§4.3: 16K)", 1, 1<<24,
+			func(o *sim.Options) *int { return &o.SMS.PHTEntries }),
+		sim.IntKnob("sms.pht_ways", "pattern history table associativity", 1, 64,
+			func(o *sim.Options) *int { return &o.SMS.PHTWays }),
+		sim.BoolKnob("sms.use_counters", "2-bit saturating counters per block instead of a bit vector (§4.3)",
+			func(o *sim.Options) *bool { return &o.SMS.UseCounters }),
+		sim.Uint8Knob("sms.counter_threshold", "minimum counter value considered a stable block", 0, 3,
+			func(o *sim.Options) *uint8 { return &o.SMS.CounterThreshold }),
+	)
+	sim.BindKnobs(sim.KindSMS, "sms")
 	sim.MustRegister(sim.KindSMS, func(m *sim.Machine, opt sim.Options) error {
 		eng := m.AttachEngine(stream.Config{
 			Queues: 1, Lookahead: opt.SMS.PHTEntries, SVBEntries: 64,

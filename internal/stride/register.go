@@ -6,6 +6,13 @@ import (
 )
 
 func init() {
+	sim.MustRegisterKnobs("stride",
+		sim.IntKnob("stride.table_entries", "distinct PC entries tracked (Table 1: 16)", 1, 1<<16,
+			func(o *sim.Options) *int { return &o.Stride.TableEntries }),
+		sim.IntKnob("stride.degree", "blocks prefetched per detected stride", 1, 64,
+			func(o *sim.Options) *int { return &o.Stride.Degree }),
+	)
+	sim.BindKnobs(sim.KindStride, "stride")
 	sim.MustRegister(sim.KindStride, func(m *sim.Machine, opt sim.Options) error {
 		eng := m.AttachEngine(stream.Config{
 			Queues: 1, Lookahead: 4, SVBEntries: 32,

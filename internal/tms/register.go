@@ -6,6 +6,17 @@ import (
 )
 
 func init() {
+	sim.MustRegisterKnobs("tms",
+		sim.IntKnob("tms.cmob_entries", "circular miss-order buffer entries (paper: 384K)", 1, 1<<24,
+			func(o *sim.Options) *int { return &o.TMS.CMOBEntries }),
+		sim.IntKnob("tms.stream_queues", "concurrently tracked streams (§4.3: 8)", 1, 256,
+			func(o *sim.Options) *int { return &o.TMS.StreamQueues }),
+		sim.IntKnob("tms.lookahead", "blocks kept in flight per stream (8 commercial, 12 scientific)", 1, 256,
+			func(o *sim.Options) *int { return &o.TMS.Lookahead }),
+		sim.IntKnob("tms.svb_entries", "streamed value buffer capacity (§4.3: 64)", 1, 1<<16,
+			func(o *sim.Options) *int { return &o.TMS.SVBEntries }),
+	)
+	sim.BindKnobs(sim.KindTMS, "tms")
 	sim.MustRegister(sim.KindTMS, func(m *sim.Machine, opt sim.Options) error {
 		tc := opt.TMS
 		tc.Lookahead = opt.StreamLookahead(tc.Lookahead)

@@ -22,6 +22,10 @@ type Runner struct {
 	workloadName string
 	spec         Workload
 	specSet      bool
+	// suiteWorkload records that spec came from the named paper suite
+	// (WithWorkload or the default), i.e. a name FromSpec can resolve —
+	// the provenance Runner.Spec requires.
+	suiteWorkload bool
 	traceFile    string
 	traceAccs    []Access
 	traceSet     bool
@@ -35,6 +39,7 @@ type Runner struct {
 
 	scientificSet bool
 	configure     []func(*Options)
+	knobs         map[string]Value
 
 	errs []error
 }
@@ -52,7 +57,7 @@ func WithWorkload(name string) Option {
 			r.errs = append(r.errs, err)
 			return
 		}
-		r.spec, r.specSet = spec, true
+		r.spec, r.specSet, r.suiteWorkload = spec, true, true
 	}
 }
 
@@ -64,7 +69,7 @@ func WithWorkloadSpec(spec Workload) Option {
 			r.errs = append(r.errs, fmt.Errorf("stems: workload spec %q has no Generate function", spec.Name))
 			return
 		}
-		r.spec, r.specSet = spec, true
+		r.spec, r.specSet, r.suiteWorkload = spec, true, false
 	}
 }
 
@@ -152,10 +157,43 @@ func WithConfigure(fn func(*Options)) Option {
 	return func(r *Runner) { r.configure = append(r.configure, fn) }
 }
 
-// WithSeed sets the workload generator seed (default 1). Seeds are
-// non-negative — New rejects negative values so the CLI, the public API,
-// and the stemsd service agree on one validated seed space (and so a
-// typo'd sign fails loudly instead of silently naming a different trace).
+// WithKnobs overlays typed knob overrides — the declarative, serializable
+// counterpart of WithConfigure. Keys are registered knob names (see
+// Knobs and KnobsFor; "stemsim -predictors -v" prints the full table),
+// values are typed Values:
+//
+//	stems.WithKnobs(map[string]stems.Value{
+//		"stems.rmob_entries": stems.IntValue(64 << 10),
+//		"scientific":         stems.BoolValue(false),
+//	})
+//
+// Knobs apply last — after every other option, workload-class
+// defaulting, and WithConfigure closures — so a knob map fully pins what
+// it names. Repeated WithKnobs calls merge, later values winning per
+// key. New validates every name, kind, and bound and reports the
+// offending knob. Unlike a closure, a knob map crosses the wire: it is
+// the Spec currency cmd/sweep -set, the stemsd RunSpec, and
+// Runner.Spec round-trips share.
+func WithKnobs(knobs map[string]Value) Option {
+	return func(r *Runner) {
+		if len(knobs) == 0 {
+			return
+		}
+		if r.knobs == nil {
+			r.knobs = make(map[string]Value, len(knobs))
+		}
+		for name, v := range knobs {
+			r.knobs[name] = v
+		}
+	}
+}
+
+// WithSeed sets the workload generator seed (default 1). Explicit seeds
+// are positive — New rejects zero and negative values so the CLI, the
+// public API, and the stemsd service agree on one validated seed space
+// (on the wire, a zero Seed field means "the default, 1", so a seed-0
+// run would not survive a Spec round trip; a typo'd sign fails loudly
+// instead of silently naming a different trace).
 func WithSeed(seed int64) Option {
 	return func(r *Runner) { r.seed = seed }
 }
@@ -224,8 +262,8 @@ func New(opts ...Option) (*Runner, error) {
 	if len(r.errs) > 0 {
 		return nil, r.errs[0]
 	}
-	if r.seed < 0 {
-		return nil, fmt.Errorf("stems: invalid seed %d: workload seeds are non-negative", r.seed)
+	if r.seed <= 0 {
+		return nil, fmt.Errorf("stems: invalid seed %d: workload seeds are positive (a wire Spec's 0 selects the default, 1)", r.seed)
 	}
 	if r.accesses < 0 {
 		return nil, fmt.Errorf("stems: invalid access count %d: must be positive, or 0 for the source's default length", r.accesses)
@@ -248,7 +286,7 @@ func New(opts ...Option) (*Runner, error) {
 		if err != nil {
 			return nil, err
 		}
-		r.spec, r.specSet = spec, true
+		r.spec, r.specSet, r.suiteWorkload = spec, true, true
 	}
 
 	if !sim.IsRegistered(sim.Kind(r.predictor)) {
@@ -260,7 +298,113 @@ func New(opts ...Option) (*Runner, error) {
 	for _, fn := range r.configure {
 		fn(&r.opt)
 	}
+	if len(r.knobs) > 0 {
+		canon, err := sim.NormalizeKnobs(r.knobs)
+		if err != nil {
+			return nil, fmt.Errorf("stems: %w", err)
+		}
+		r.knobs = canon
+		if err := sim.ApplyKnobs(&r.opt, canon); err != nil {
+			return nil, fmt.Errorf("stems: %w", err)
+		}
+	}
 	return r, nil
+}
+
+// FromSpec builds a Runner from a declarative Spec — the inverse of
+// Runner.Spec and the exact constructor the stemsd service uses, so a
+// spec executed locally and a spec submitted over the wire configure
+// identical runs. Zero spec fields select the wire defaults: predictor
+// "stems", workload "DB2", seed 1, the workload's default trace length,
+// and the *scaled* system (note: plain New defaults to the paper
+// system; a Spec follows the service contract instead). Extra options
+// apply after the spec's own (the service appends WithSharedTrace and
+// WithRunProgress this way).
+func FromSpec(spec Spec, extra ...Option) (*Runner, error) {
+	opts, err := specOptions(spec)
+	if err != nil {
+		return nil, err
+	}
+	return New(append(opts, extra...)...)
+}
+
+// specOptions lowers a Spec to the functional options that express it.
+func specOptions(spec Spec) ([]Option, error) {
+	opts := make([]Option, 0, 8)
+	if spec.Predictor != "" {
+		opts = append(opts, WithPredictor(spec.Predictor))
+	}
+	if spec.Workload != "" {
+		opts = append(opts, WithWorkload(spec.Workload))
+	}
+	if spec.Seed != 0 {
+		opts = append(opts, WithSeed(spec.Seed))
+	}
+	if spec.Accesses != 0 {
+		opts = append(opts, WithAccesses(spec.Accesses))
+	}
+	switch spec.System {
+	case "", "scaled":
+		opts = append(opts, WithSystem(ScaledSystem()))
+	case "paper":
+		opts = append(opts, WithSystem(PaperSystem()))
+	default:
+		return nil, fmt.Errorf("stems: unknown system %q (choose \"scaled\" or \"paper\")", spec.System)
+	}
+	if spec.Label != "" {
+		opts = append(opts, WithLabel(spec.Label))
+	}
+	if len(spec.Knobs) > 0 {
+		opts = append(opts, WithKnobs(spec.Knobs))
+	}
+	return opts, nil
+}
+
+// Spec returns the canonical declarative form of this Runner: the Spec
+// that FromSpec maps back to an identically configured run (same
+// effective Options, so the same result bytes and the same service
+// cache key). Every option-expressible configuration has one — the
+// effective options are diffed against the spec's baseline knob by
+// knob, and the registry covers every Options field, so even
+// WithConfigure edits serialize. Only runs replaying a *named suite*
+// workload are spec-expressible; trace-file, slice, custom-source, and
+// WithWorkloadSpec runs return an error (their access streams are not
+// wire-resolvable).
+func (r *Runner) Spec() (Spec, error) {
+	if !r.specSet {
+		return Spec{}, fmt.Errorf("stems: only workload runs are spec-expressible (this Runner replays a trace file, slice, or custom source)")
+	}
+	if !r.suiteWorkload {
+		// A WithWorkloadSpec workload exists only in this process:
+		// FromSpec could not resolve its name — or worse, would silently
+		// resolve a colliding suite name to a different generator.
+		return Spec{}, fmt.Errorf("stems: workload %q was supplied via WithWorkloadSpec and is not wire-resolvable; only named suite workloads are spec-expressible", r.spec.Name)
+	}
+	spec := Spec{
+		Predictor: r.predictor,
+		Workload:  r.spec.Name,
+		Seed:      r.seed,
+		Accesses:  r.accesses,
+		Label:     r.label,
+	}
+	// Reconstruct the baseline FromSpec would start from: wire defaults
+	// plus a named system, then workload-class lookahead defaulting.
+	// Either named system plus system.* knob diffs can express any
+	// configuration; the canonical spec is the one with fewer knobs
+	// (scaled winning ties — it is the wire default).
+	scaled := sim.DefaultOptions()
+	scaled.System = ScaledSystem()
+	scaled.Scientific = r.spec.Scientific
+	paper := sim.DefaultOptions()
+	paper.Scientific = r.spec.Scientific
+	scaledDiff := sim.KnobDiff(scaled, r.opt)
+	paperDiff := sim.KnobDiff(paper, r.opt)
+	if len(scaledDiff) <= len(paperDiff) {
+		spec.System, spec.Knobs = "scaled", scaledDiff
+	} else {
+		spec.System, spec.Knobs = "paper", paperDiff
+	}
+	return spec, nil
 }
 
 // Predictor returns the registered predictor name this Runner builds.

@@ -1,0 +1,160 @@
+// Command apisurface prints the exported API surface of the public
+// stems package as deterministic text: every exported const, var, type
+// (with exported fields), function, and method, one gofmt-printed
+// declaration per block, sorted. CI diffs the output against the
+// checked-in api.txt, so any change to the public surface — adding,
+// removing, or re-typing — must be made deliberately by regenerating
+// the file:
+//
+//	go run ./scripts/apisurface > api.txt
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	dir := "."
+	if len(os.Args) > 1 {
+		dir = os.Args[1]
+	}
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	pkg, ok := pkgs["stems"]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "no package stems in %s (found %v)\n", dir, keys(pkgs))
+		os.Exit(1)
+	}
+
+	var blocks []string
+	add := func(node any) {
+		var buf bytes.Buffer
+		cfg := printer.Config{Mode: printer.UseSpaces | printer.TabIndent, Tabwidth: 8}
+		if err := cfg.Fprint(&buf, fset, node); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		blocks = append(blocks, buf.String())
+	}
+
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				if d.Recv != nil && !exportedRecv(d.Recv) {
+					continue
+				}
+				d.Body = nil // signature only
+				d.Doc = nil
+				add(d)
+			case *ast.GenDecl:
+				if d.Tok == token.IMPORT {
+					continue
+				}
+				specs := exportedSpecs(d)
+				if len(specs) == 0 {
+					continue
+				}
+				add(&ast.GenDecl{Tok: d.Tok, Lparen: 1, Specs: specs, Rparen: 2})
+			}
+		}
+	}
+
+	sort.Strings(blocks)
+	for _, b := range blocks {
+		fmt.Println(b)
+		fmt.Println()
+	}
+}
+
+// exportedSpecs filters a const/var/type declaration down to its
+// exported specs, stripping doc comments and unexported struct fields /
+// interface methods so the output tracks the surface, not the prose.
+func exportedSpecs(d *ast.GenDecl) []ast.Spec {
+	var out []ast.Spec
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			s.Doc, s.Comment = nil, nil
+			if st, ok := s.Type.(*ast.StructType); ok && st.Fields != nil {
+				var fields []*ast.Field
+				for _, f := range st.Fields.List {
+					if fieldExported(f) {
+						f.Doc, f.Comment = nil, nil
+						fields = append(fields, f)
+					}
+				}
+				st.Fields.List = fields
+			}
+			out = append(out, s)
+		case *ast.ValueSpec:
+			var names []*ast.Ident
+			for _, n := range s.Names {
+				if n.IsExported() {
+					names = append(names, n)
+				}
+			}
+			if len(names) == 0 {
+				continue
+			}
+			s.Doc, s.Comment = nil, nil
+			out = append(out, &ast.ValueSpec{Names: names, Type: s.Type, Values: s.Values})
+		}
+	}
+	return out
+}
+
+func fieldExported(f *ast.Field) bool {
+	if len(f.Names) == 0 {
+		return true // embedded
+	}
+	for _, n := range f.Names {
+		if n.IsExported() {
+			return true
+		}
+	}
+	return false
+}
+
+func exportedRecv(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return true
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.IsExported()
+	}
+	return true
+}
+
+func keys[M ~map[string]V, V any](m M) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -46,7 +46,11 @@ done
 curl -fsS "$BASE/healthz"; echo
 
 echo "== discovery endpoints"
-curl -fsS "$BASE/v1/predictors" | grep -q '"stems"'
+PREDICTORS="$(curl -fsS "$BASE/v1/predictors")"
+grep -q '"stems"' <<<"$PREDICTORS"
+# /v1/predictors carries the full knob schema, not just names.
+grep -q '"knobs"' <<<"$PREDICTORS"
+grep -q '"stems.rmob_entries"' <<<"$PREDICTORS"
 curl -fsS "$BASE/v1/workloads"  | grep -q '"em3d"'
 
 echo "== submit one small job"
@@ -74,6 +78,32 @@ METRICS="$(curl -fsS "$BASE/metrics")"
 echo "$METRICS"
 [[ "$(jsonfield "$METRICS" jobs_completed)" == "1" ]] || { echo "jobs_completed != 1"; exit 1; }
 [[ "$(jsonfield "$METRICS" accesses_simulated)" == "30000" ]] || { echo "accesses_simulated != 30000"; exit 1; }
+
+echo "== submit a knob-override job"
+SUBMIT2="$(curl -fsS -X POST "$BASE/v1/jobs" \
+  -H 'Content-Type: application/json' \
+  -d '{"predictor":"stems","workload":"em3d","accesses":30000,"knobs":{"stems.rmob_entries":16384,"scientific":false}}')"
+echo "$SUBMIT2"
+JOB2="$(jsonfield "$SUBMIT2" id)"
+[[ "$JOB2" == j-* ]] || { echo "no job id in knob-override response"; exit 1; }
+
+echo "== poll $JOB2 to completion"
+STATE2=""
+for _ in $(seq 1 300); do
+  STATUS2="$(curl -fsS "$BASE/v1/jobs/$JOB2")"
+  STATE2="$(jsonfield "$STATUS2" state)"
+  [[ "$STATE2" == "done" || "$STATE2" == "failed" || "$STATE2" == "canceled" ]] && break
+  sleep 0.1
+done
+[[ "$STATE2" == "done" ]] || { echo "knob job ended in state '$STATE2'"; cat "$LOG"; exit 1; }
+grep -q '"covered"' <<<"$STATUS2" || { echo "knob-job result missing counters"; exit 1; }
+# The canonical knob map is reported back in the job spec.
+grep -q '"stems.rmob_entries":16384' <<<"$STATUS2" || { echo "knobs not echoed in job status"; exit 1; }
+
+echo "== bad knob is a structured 400"
+CODE="$(curl -sS -o /dev/null -w '%{http_code}' -X POST "$BASE/v1/jobs" \
+  -H 'Content-Type: application/json' -d '{"knobs":{"no.such.knob":1}}')"
+[[ "$CODE" == "400" ]] || { echo "bad knob returned HTTP $CODE, want 400"; exit 1; }
 
 echo "== SIGTERM drains cleanly"
 kill -TERM "$PID"

@@ -33,6 +33,7 @@ import (
 	"os"
 
 	"stems/internal/config"
+	"stems/internal/enc"
 	"stems/internal/mem"
 	"stems/internal/sim"
 	"stems/internal/stream"
@@ -92,7 +93,69 @@ type (
 	StreamEngine = stream.Engine
 	// StreamConfig sizes a StreamEngine.
 	StreamConfig = stream.Config
+	// Spec is the declarative, serializable form of one run: predictor,
+	// workload, seed, accesses, system, label, and typed knob
+	// overrides. It is the single configuration currency shared by
+	// FromSpec/Runner.Spec, the stemsd wire RunSpec, and the CLI -set
+	// flags; every option-expressible run has a canonical Spec.
+	Spec = enc.RunSpec
+	// Value is one typed knob value (integer, boolean, or float); see
+	// IntValue, BoolValue, FloatValue, and ParseValue.
+	Value = sim.Value
+	// Knob is one introspectable configuration parameter: name, kind,
+	// bounds, doc, and its binding to an Options field.
+	Knob = sim.Knob
+	// KnobKind is a knob's value type.
+	KnobKind = sim.KnobKind
 )
+
+// The knob value kinds.
+const (
+	KnobInt   = sim.KnobInt
+	KnobBool  = sim.KnobBool
+	KnobFloat = sim.KnobFloat
+)
+
+// IntValue makes an integer knob Value.
+func IntValue(v int64) Value { return sim.IntValue(v) }
+
+// BoolValue makes a boolean knob Value.
+func BoolValue(v bool) Value { return sim.BoolValue(v) }
+
+// FloatValue makes a float knob Value.
+func FloatValue(v float64) Value { return sim.FloatValue(v) }
+
+// ParseValue reads a knob value from text ("8192", "true", "4.5"). Kind
+// coercion against the named knob happens at validation, so integer
+// text is accepted for a float knob.
+func ParseValue(s string) (Value, error) { return sim.ParseValue(s) }
+
+// ParseKnobAssignment reads a "name=value" knob assignment — the shared
+// parser behind the CLIs' repeatable -set flags.
+func ParseKnobAssignment(s string) (name string, v Value, err error) {
+	return sim.ParseAssignment(s)
+}
+
+// Knobs lists the knobs relevant to one registered predictor: the
+// shared system/run tables plus the predictor's own. Any registered
+// knob may be set on any run; this is the schema /v1/predictors reports
+// and "stemsim -predictors -v" prints.
+func Knobs(predictor string) []Knob { return sim.KnobsFor(sim.Kind(predictor)) }
+
+// AllKnobs lists every registered knob across all groups.
+func AllKnobs() []Knob { return sim.AllKnobs() }
+
+// KnobByName finds a registered knob by its wire name.
+func KnobByName(name string) (Knob, bool) { return sim.LookupKnob(name) }
+
+// RegisterKnobs adds a named group of knobs to the registry (the hook
+// for out-of-tree predictors that reuse Options fields); BindKnobs
+// attaches groups to a registered predictor's schema.
+func RegisterKnobs(group string, knobs ...Knob) error { return sim.RegisterKnobs(group, knobs...) }
+
+// BindKnobs declares which knob groups a predictor's schema includes,
+// beyond the implicit "system" and "run" groups.
+func BindKnobs(predictor string, groups ...string) { sim.BindKnobs(sim.Kind(predictor), groups...) }
 
 // Address-space geometry re-exports for predictor and workload authors.
 const (

@@ -17,6 +17,7 @@ type Progress func(completed, total int, label string, res Result)
 type sweepConfig struct {
 	parallelism int
 	progress    Progress
+	runResult   func(index int, res Result)
 }
 
 // SweepOption configures Sweep's execution (not the runs themselves —
@@ -33,6 +34,16 @@ func WithParallelism(n int) SweepOption {
 // WithProgress installs a completion callback.
 func WithProgress(fn Progress) SweepOption {
 	return func(c *sweepConfig) { c.progress = fn }
+}
+
+// WithRunResult installs a per-run result callback keyed by grid index:
+// fn(i, res) fires as grid[i] finishes, serialized but in completion
+// order. Unlike waiting on Sweep's return, a consumer can stream
+// results as they land (cmd/sweep -json flushes NDJSON records this
+// way); unlike Progress, the grid index makes the run unambiguous when
+// labels collide.
+func WithRunResult(fn func(index int, res Result)) SweepOption {
+	return func(c *sweepConfig) { c.runResult = fn }
 }
 
 // Sweep executes a grid of configured Runners across a worker pool and
@@ -59,10 +70,15 @@ func Sweep(ctx context.Context, grid []*Runner, opts ...SweepOption) ([]Result, 
 		if err != nil {
 			return Result{}, fmt.Errorf("stems: sweep run %d (%s): %w", i, grid[i].Label(), err)
 		}
-		if cfg.progress != nil {
+		if cfg.progress != nil || cfg.runResult != nil {
 			mu.Lock()
 			completed++
-			cfg.progress(completed, len(grid), grid[i].Label(), res)
+			if cfg.progress != nil {
+				cfg.progress(completed, len(grid), grid[i].Label(), res)
+			}
+			if cfg.runResult != nil {
+				cfg.runResult(i, res)
+			}
 			mu.Unlock()
 		}
 		return res, nil

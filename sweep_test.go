@@ -83,6 +83,35 @@ func TestSweepProgress(t *testing.T) {
 	}
 }
 
+// TestSweepRunResult: the per-index callback fires exactly once per
+// grid slot with the result Sweep later returns for that slot.
+func TestSweepRunResult(t *testing.T) {
+	grid := sweepGrid(t)
+	var mu sync.Mutex
+	byIndex := make(map[int]stems.Result)
+	results, err := stems.Sweep(context.Background(), grid,
+		stems.WithParallelism(4),
+		stems.WithRunResult(func(i int, res stems.Result) {
+			mu.Lock()
+			defer mu.Unlock()
+			if _, dup := byIndex[i]; dup {
+				t.Errorf("grid[%d] delivered twice", i)
+			}
+			byIndex[i] = res
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byIndex) != len(grid) {
+		t.Fatalf("callback saw %d runs, want %d", len(byIndex), len(grid))
+	}
+	for i, res := range results {
+		if byIndex[i] != res {
+			t.Errorf("grid[%d]: callback result differs from returned result", i)
+		}
+	}
+}
+
 func TestSweepNilRunner(t *testing.T) {
 	if _, err := stems.Sweep(context.Background(), []*stems.Runner{nil}); err == nil {
 		t.Fatal("nil runner accepted")
