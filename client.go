@@ -8,12 +8,57 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"time"
 
 	"stems/internal/enc"
 )
+
+// Transport tuning for the default client (and the cluster client's
+// per-peer connection pools). A daemon is a single host receiving many
+// small JSON requests plus a few long-lived SSE streams, so the pool
+// keeps connections warm per host and bounds the active count against
+// ephemeral-port exhaustion under sweep fan-out.
+const (
+	transportMaxIdlePerHost = 16
+	transportMaxPerHost     = 64
+	transportDialTimeout    = 5 * time.Second
+	transportIdleTimeout    = 90 * time.Second
+	// transportHeaderTimeout bounds the wait for response headers. This
+	// is what keeps a hung daemon from wedging Wait: an SSE request that
+	// never answers fails here instead of blocking forever (the body,
+	// once streaming, is unlimited — job lifetimes bound it via context).
+	transportHeaderTimeout = 30 * time.Second
+	// requestTimeout bounds whole non-streaming requests (submit, poll,
+	// metrics) when the caller's context carries no deadline of its own.
+	requestTimeout = 30 * time.Second
+)
+
+// newTransport builds the tuned *http.Transport shared by NewClient's
+// default client and NewClusterClient.
+func newTransport() *http.Transport {
+	return &http.Transport{
+		MaxIdleConns:          4 * transportMaxIdlePerHost,
+		MaxIdleConnsPerHost:   transportMaxIdlePerHost,
+		MaxConnsPerHost:       transportMaxPerHost,
+		IdleConnTimeout:       transportIdleTimeout,
+		ResponseHeaderTimeout: transportHeaderTimeout,
+		DialContext: (&net.Dialer{
+			Timeout:   transportDialTimeout,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		TLSHandshakeTimeout: transportDialTimeout,
+	}
+}
+
+// defaultHTTPClient is shared by every NewClient(url, nil) so their
+// connection pools are one pool. No Client.Timeout: Wait and Watch hold
+// SSE streams open for a job's lifetime; non-streaming requests are
+// bounded per-request in do, and stream establishment by the transport's
+// header timeout.
+var defaultHTTPClient = &http.Client{Transport: newTransport()}
 
 // Wire types of the stemsd service API, re-exported so remote sweeps are
 // driven entirely through the public package. A RunSpec names a
@@ -48,6 +93,14 @@ type (
 	// ServiceMetrics is the /metrics document: queue depth, cache hit
 	// rate, jobs completed, accesses/sec.
 	ServiceMetrics = enc.Metrics
+	// StoreMetrics is the disk-tier section of ServiceMetrics (present
+	// when the daemon runs with -store): entry/byte counts, hit/miss/
+	// eviction counters, and corrupt entries dropped.
+	StoreMetrics = enc.StoreMetrics
+	// ClusterMetrics is the shard-routing section of ServiceMetrics
+	// (present when the daemon runs with -peers): the shard map, runs
+	// bucketed by owning peer, and misrouted arrivals.
+	ClusterMetrics = enc.ClusterMetrics
 )
 
 // Job lifecycle states reported by JobStatus.State.
@@ -93,12 +146,16 @@ type Client struct {
 }
 
 // NewClient targets a stemsd base URL (e.g. "http://localhost:8091").
-// httpClient nil selects a default client with no overall timeout —
-// Wait and Watch hold streaming connections open for the job's lifetime,
-// so bound them with the context instead.
+// httpClient nil selects the package's shared tuned client: pooled
+// keep-alive connections per host, dial/TLS/response-header timeouts,
+// and a per-request timeout on non-streaming calls whose context has no
+// deadline — a hung daemon errors out instead of wedging the caller.
+// Wait and Watch hold streaming connections open for the job's
+// lifetime, so no overall client timeout is set; bound them with the
+// context.
 func NewClient(baseURL string, httpClient *http.Client) *Client {
 	if httpClient == nil {
-		httpClient = &http.Client{}
+		httpClient = defaultHTTPClient
 	}
 	return &Client{baseURL: strings.TrimRight(baseURL, "/"), http: httpClient}
 }
@@ -107,7 +164,16 @@ func NewClient(baseURL string, httpClient *http.Client) *Client {
 func (c *Client) BaseURL() string { return c.baseURL }
 
 // do issues a request and decodes a 2xx JSON body into out (unless nil).
+// A context without a deadline gets the default per-request timeout —
+// every do call is a bounded request/response exchange (streaming goes
+// through watchEvents), so none should be able to hang forever on an
+// unresponsive daemon.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, requestTimeout)
+		defer cancel()
+	}
 	var rd io.Reader
 	if body != nil {
 		data, err := json.Marshal(body)

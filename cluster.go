@@ -1,0 +1,374 @@
+package stems
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"stems/internal/cluster"
+)
+
+// ClusterConfig tunes a ClusterClient. The zero value (or nil) selects
+// the defaults noted per field.
+type ClusterConfig struct {
+	// HTTPClient carries requests to every peer; nil selects the
+	// package's shared tuned client (pooled keep-alive connections per
+	// host, dial and response-header timeouts — see NewClient).
+	HTTPClient *http.Client
+	// AttemptsPerPeer caps tries against one peer before failing over to
+	// the next in rendezvous order (default 3).
+	AttemptsPerPeer int
+	// RetryBase is the backoff before the first retry; each subsequent
+	// retry doubles it, plus up to 50% random jitter so a fleet of
+	// clients retrying a recovering daemon doesn't stampede in phase
+	// (default 50ms).
+	RetryBase time.Duration
+	// RetryMax caps the grown backoff (default 2s).
+	RetryMax time.Duration
+}
+
+func (c *ClusterConfig) fill() {
+	if c.AttemptsPerPeer <= 0 {
+		c.AttemptsPerPeer = 3
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 50 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 2 * time.Second
+	}
+}
+
+// ClusterStats snapshots a ClusterClient's routing counters, one entry
+// per peer in shard-map order.
+type ClusterStats struct {
+	Peers []PeerStats
+}
+
+// PeerStats counts one peer's share of the client's routing activity.
+type PeerStats struct {
+	// URL is the peer's base URL.
+	URL string
+	// RunsRouted counts runs whose shard-map owner is this peer.
+	RunsRouted uint64
+	// JobsServed counts jobs this peer completed for the client
+	// (including jobs it served as a failover target for another owner).
+	JobsServed uint64
+	// Retries counts re-submissions to this peer after a transient error.
+	Retries uint64
+	// Failovers counts jobs this peer's owner could not serve that were
+	// redirected here (the content-addressed store makes any peer a
+	// correct fallback).
+	Failovers uint64
+}
+
+// ClusterClient drives a stemsd cluster: a static set of daemons sharing
+// one shard map over run content addresses (stems.RunKey). Each run is
+// routed to its owning peer — so every daemon's result store concentrates
+// its own shard and a cluster-wide sweep gets N-daemon parallelism —
+// with bounded exponential-backoff retries on transient errors and
+// deterministic failover to the next-ranked peer when an owner is down
+// (correct because results are content-addressed: any peer computes
+// identical bytes for the same key). Safe for concurrent use.
+//
+//	cc, err := stems.NewClusterClient([]string{
+//		"http://10.0.0.1:8091", "http://10.0.0.2:8091", "http://10.0.0.3:8091",
+//	}, nil)
+//	results, err := cc.Sweep(ctx, specs)
+type ClusterClient struct {
+	peers []*Client
+	shard *cluster.Map
+	cfg   ClusterConfig
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	stats []PeerStats
+}
+
+// NewClusterClient builds a cluster client over the daemons' base URLs.
+// Every client (and every daemon started with the same -peers list)
+// derives the same shard map from the same URL set, so routing agrees
+// cluster-wide with no coordination. cfg nil selects the defaults.
+func NewClusterClient(peers []string, cfg *ClusterConfig) (*ClusterClient, error) {
+	shard, err := cluster.NewMap(peers)
+	if err != nil {
+		return nil, fmt.Errorf("stems: %w", err)
+	}
+	var c ClusterConfig
+	if cfg != nil {
+		c = *cfg
+	}
+	c.fill()
+	httpc := c.HTTPClient // nil → NewClient picks the shared default
+	cc := &ClusterClient{
+		shard: shard,
+		cfg:   c,
+		rng:   rand.New(rand.NewSource(time.Now().UnixNano())),
+		stats: make([]PeerStats, shard.Len()),
+	}
+	for i, u := range shard.Peers() {
+		cc.peers = append(cc.peers, NewClient(u, httpc))
+		cc.stats[i].URL = u
+	}
+	return cc, nil
+}
+
+// Peers returns the shard map's peer URLs in map order.
+func (cc *ClusterClient) Peers() []string { return cc.shard.Peers() }
+
+// Owner returns the base URL of the peer owning spec's result — where
+// Run would route it.
+func (cc *ClusterClient) Owner(spec Spec) (string, error) {
+	key, err := RunKey(spec)
+	if err != nil {
+		return "", err
+	}
+	return cc.shard.Peers()[cc.shard.Owner(key)], nil
+}
+
+// Stats snapshots the per-peer routing counters.
+func (cc *ClusterClient) Stats() ClusterStats {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	out := make([]PeerStats, len(cc.stats))
+	copy(out, cc.stats)
+	return ClusterStats{Peers: out}
+}
+
+// Run executes one spec on the cluster: routed to its owner, retried
+// with backoff on transient errors, failed over across the remaining
+// peers in rendezvous order if the owner stays down. The result is the
+// canonical wire document — byte-comparable to a local Run encoded with
+// EncodeResult, whichever peer served it.
+func (cc *ClusterClient) Run(ctx context.Context, spec Spec) (RunResult, error) {
+	key, err := RunKey(spec)
+	if err != nil {
+		return RunResult{}, err
+	}
+	cc.note(cc.shard.Owner(key), func(p *PeerStats) { p.RunsRouted++ })
+	st, err := cc.submitJob(ctx, key, JobSpec{RunSpec: spec})
+	if err != nil {
+		return RunResult{}, err
+	}
+	res, err := st.DecodedResults()
+	if err != nil {
+		return RunResult{}, err
+	}
+	if len(res) != 1 {
+		return RunResult{}, fmt.Errorf("stems: cluster run returned %d results, want 1", len(res))
+	}
+	return res[0], nil
+}
+
+// Sweep executes specs across the cluster: runs grouped by owning peer,
+// one job per peer submitted concurrently, results reassembled in input
+// order. Each group inherits Run's retry and failover discipline, and
+// every result is byte-canonical regardless of which peer computed it.
+func (cc *ClusterClient) Sweep(ctx context.Context, specs []Spec) ([]RunResult, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	// Group by owner, remembering each spec's original position.
+	groups := make(map[int][]int) // owner peer index → spec indexes
+	for i, spec := range specs {
+		key, err := RunKey(spec)
+		if err != nil {
+			return nil, fmt.Errorf("stems: sweep spec %d: %w", i, err)
+		}
+		owner := cc.shard.Owner(key)
+		cc.note(owner, func(p *PeerStats) { p.RunsRouted++ })
+		groups[owner] = append(groups[owner], i)
+	}
+
+	out := make([]RunResult, len(specs))
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for owner, idxs := range groups {
+		wg.Add(1)
+		go func(owner int, idxs []int) {
+			defer wg.Done()
+			job := JobSpec{Runs: make([]RunSpec, len(idxs))}
+			for gi, si := range idxs {
+				job.Runs[gi] = specs[si]
+			}
+			// Any run's key ranks the whole group at its owner: every
+			// run in the group has the same owner by construction.
+			key, err := RunKey(specs[idxs[0]])
+			if err == nil {
+				var st JobStatus
+				st, err = cc.submitJob(ctx, key, job)
+				if err == nil {
+					var res []RunResult
+					res, err = st.DecodedResults()
+					if err == nil && len(res) != len(idxs) {
+						err = fmt.Errorf("stems: peer returned %d results, want %d", len(res), len(idxs))
+					}
+					if err == nil {
+						for gi, si := range idxs {
+							out[si] = res[gi]
+						}
+					}
+				}
+			}
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+			}
+		}(owner, idxs)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// Metrics fetches /metrics from every peer, index-aligned with Peers.
+// Unreachable peers yield a zero entry and an error naming them; reach
+// the survivors' entries regardless.
+func (cc *ClusterClient) Metrics(ctx context.Context) ([]ServiceMetrics, error) {
+	out := make([]ServiceMetrics, len(cc.peers))
+	var firstErr error
+	for i, p := range cc.peers {
+		m, err := p.Metrics(ctx)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("stems: metrics from %s: %w", p.BaseURL(), err)
+			}
+			continue
+		}
+		out[i] = m
+	}
+	return out, firstErr
+}
+
+// submitJob runs one job against the peers ranked for key: the owner
+// first, then the failover order. Per peer it retries transient errors
+// AttemptsPerPeer times with exponential backoff + jitter; a terminal
+// job failure or a structured client error (e.g. invalid_spec) is
+// returned immediately — re-running a deterministic simulation cannot
+// change its outcome.
+func (cc *ClusterClient) submitJob(ctx context.Context, key string, job JobSpec) (JobStatus, error) {
+	ranked := cc.shard.Ranked(key)
+	var lastErr error
+	for rank, peerIdx := range ranked {
+		if rank > 0 {
+			cc.note(peerIdx, func(p *PeerStats) { p.Failovers++ })
+		}
+		st, err := cc.submitToPeer(ctx, peerIdx, job)
+		if err == nil {
+			cc.note(peerIdx, func(p *PeerStats) { p.JobsServed++ })
+			return st, nil
+		}
+		if !transient(err) || ctx.Err() != nil {
+			return JobStatus{}, err
+		}
+		lastErr = err
+	}
+	return JobStatus{}, fmt.Errorf("stems: no cluster peer could serve the job (last error: %w)", lastErr)
+}
+
+// submitToPeer drives one peer through submit → wait with bounded
+// retries on transient errors.
+func (cc *ClusterClient) submitToPeer(ctx context.Context, peerIdx int, job JobSpec) (JobStatus, error) {
+	peer := cc.peers[peerIdx]
+	var lastErr error
+	for attempt := 0; attempt < cc.cfg.AttemptsPerPeer; attempt++ {
+		if attempt > 0 {
+			cc.note(peerIdx, func(p *PeerStats) { p.Retries++ })
+			if err := cc.sleep(ctx, attempt-1); err != nil {
+				return JobStatus{}, err
+			}
+		}
+		st, err := peer.Submit(ctx, job)
+		if err == nil {
+			st, err = peer.Wait(ctx, st.ID)
+			if err == nil {
+				switch st.State {
+				case JobDone:
+					return st, nil
+				case JobCanceled:
+					// Daemon-side cancellation (e.g. it began draining
+					// mid-job): transient from the cluster's view.
+					err = fmt.Errorf("stems: peer %s canceled the job: %s", peer.BaseURL(), st.Error)
+				default:
+					// A failed deterministic simulation fails everywhere;
+					// surface it rather than retrying.
+					return st, &permanentError{fmt.Errorf("stems: job failed on %s: %s", peer.BaseURL(), st.Error)}
+				}
+			}
+		}
+		if !transient(err) || ctx.Err() != nil {
+			return JobStatus{}, err
+		}
+		lastErr = err
+	}
+	return JobStatus{}, lastErr
+}
+
+// sleep blocks for the retry-th backoff interval (exponential from
+// RetryBase, capped at RetryMax, plus up to 50% jitter) or until ctx
+// ends.
+func (cc *ClusterClient) sleep(ctx context.Context, retry int) error {
+	d := cc.cfg.RetryBase << retry
+	if d > cc.cfg.RetryMax || d <= 0 {
+		d = cc.cfg.RetryMax
+	}
+	cc.mu.Lock()
+	d += time.Duration(cc.rng.Int63n(int64(d)/2 + 1))
+	cc.mu.Unlock()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// note updates one peer's stats under the lock.
+func (cc *ClusterClient) note(peerIdx int, f func(*PeerStats)) {
+	cc.mu.Lock()
+	f(&cc.stats[peerIdx])
+	cc.mu.Unlock()
+}
+
+// permanentError marks an outcome that retrying on another peer cannot
+// change — a deterministic simulation that failed.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// transient classifies errors worth retrying or failing over: network
+// failures (connection refused, reset, timeout) and 5xx responses (a
+// full queue or draining daemon answers 503). Structured 4xx refusals
+// and terminal job failures are permanent — the outcome is the same on
+// every peer.
+func transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var pe *permanentError
+	if errors.As(err, &pe) {
+		return false
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.StatusCode >= 500
+	}
+	// Everything else reaching here is transport-level: dial failures,
+	// resets, deadlines, or a stream cut mid-job.
+	return true
+}

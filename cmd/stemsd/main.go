@@ -7,6 +7,16 @@
 //
 //	stemsd -addr :8091 -workers 4 -queue 64 -cache 256
 //
+// With -store DIR the result cache gains a disk tier: every computed
+// result is persisted under its content address (atomic writes,
+// CRC-checked reads), so a restarted daemon answers repeat jobs from
+// disk without recomputing. With -peers (a comma-separated list of every
+// cluster daemon's base URL) the daemon joins a static shard map and
+// /metrics reports how submitted runs distribute over their owners; add
+// -self with this daemon's own URL to also count misrouted runs. Routing
+// itself is client-side — see stems.NewClusterClient and README
+// "Running a cluster".
+//
 // Submit and watch with curl (see README "Running the service") or the
 // typed client in the stems package (stems.NewClient).
 //
@@ -26,31 +36,58 @@ import (
 	"syscall"
 	"time"
 
+	"strings"
+
 	"stems/internal/server"
 	"stems/internal/service"
+	"stems/internal/store"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8091", "listen address")
-		workers = flag.Int("workers", 0, "concurrent simulation workers (0 = GOMAXPROCS)")
-		queue   = flag.Int("queue", 64, "max queued jobs before submissions shed with 503")
-		cache   = flag.Int("cache", 256, "result-cache entries (LRU)")
-		traces  = flag.Int("traces", 8, "resident workload traces in the shared arena (LRU; raised to worker count when smaller)")
-		retain  = flag.Int("retain", 1024, "finished jobs kept queryable before the oldest are forgotten")
-		drain   = flag.Duration("drain-timeout", 2*time.Minute, "max time to wait for open connections after drain")
+		addr         = flag.String("addr", ":8091", "listen address")
+		workers      = flag.Int("workers", 0, "concurrent simulation workers (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 64, "max queued jobs before submissions shed with 503")
+		cache        = flag.Int("cache", 256, "result-cache entries (LRU)")
+		traces       = flag.Int("traces", 8, "resident workload traces in the shared arena (LRU; raised to worker count when smaller)")
+		retain       = flag.Int("retain", 1024, "finished jobs kept queryable before the oldest are forgotten")
+		drain        = flag.Duration("drain-timeout", 2*time.Minute, "max time to wait for open connections after drain")
+		storeDir     = flag.String("store", "", "disk-backed result store directory (persists the cache across restarts; empty = memory-only)")
+		storeEntries = flag.Int("store-entries", 4096, "max result files retained in -store (LRU)")
+		peers        = flag.String("peers", "", "comma-separated base URLs of every cluster daemon, this one included (enables shard-routing metrics)")
+		self         = flag.String("self", "", "this daemon's own base URL within -peers (counts misrouted submissions)")
 	)
 	flag.Parse()
 	log.SetPrefix("stemsd: ")
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
 
-	svc := service.New(service.Config{
+	cfg := service.Config{
 		Workers:    *workers,
 		QueueBound: *queue,
 		CacheBound: *cache,
 		TraceBound: *traces,
 		RetainJobs: *retain,
-	})
+		Self:       *self,
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, *storeEntries)
+		if err != nil {
+			log.Fatalf("opening result store: %v", err)
+		}
+		stats := st.Stats()
+		log.Printf("result store %s: %d entries, %d bytes", *storeDir, stats.Entries, stats.Bytes)
+		cfg.Store = st
+	}
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			cfg.Peers = append(cfg.Peers, strings.TrimSpace(p))
+		}
+	}
+
+	svc, err := service.New(cfg)
+	if err != nil {
+		log.Fatalf("configuring service: %v", err)
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: server.New(svc)}
 
 	errc := make(chan error, 1)
@@ -78,6 +115,9 @@ func main() {
 	}()
 
 	svc.Drain()
+	if cfg.Store != nil {
+		cfg.Store.Close() //nolint:errcheck // drained: no writers left
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()

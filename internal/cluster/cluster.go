@@ -1,0 +1,126 @@
+// Package cluster implements the static shard map a stemsd cluster
+// routes by: N daemon base URLs, a rendezvous hash over run keys, and a
+// deterministic failover order. Every participant — the cluster-aware
+// client in the public stems package and each daemon's /metrics routing
+// counters — builds the same Map from the same peer list, so they agree
+// on ownership without any coordination protocol.
+//
+// Rendezvous (highest-random-weight) hashing beats mod-N here for one
+// property: removing or adding a peer only remaps the keys that peer
+// owned — every other key keeps its owner, so a rolling cluster resize
+// invalidates the minimum amount of placement. And because run keys are
+// content addresses of deterministic simulations, ownership is an
+// optimization, not a correctness constraint: any peer asked to compute
+// a key produces the identical bytes, which is what makes failover to a
+// non-owner safe.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// Map is an immutable shard map over a fixed peer list. Safe for
+// concurrent use.
+type Map struct {
+	peers []string
+}
+
+// NewMap builds a shard map from peer base URLs (e.g.
+// "http://10.0.0.1:8091"). Order does not affect ownership — rendezvous
+// hashing scores each peer by name, not position — but it is preserved
+// for index-aligned reporting. Trailing slashes are trimmed so spellings
+// of the same peer agree; empty and duplicate entries are rejected.
+func NewMap(peers []string) (*Map, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cluster: no peers")
+	}
+	canon := make([]string, len(peers))
+	seen := make(map[string]bool, len(peers))
+	for i, p := range peers {
+		p = strings.TrimRight(strings.TrimSpace(p), "/")
+		if p == "" {
+			return nil, fmt.Errorf("cluster: empty peer at index %d", i)
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("cluster: duplicate peer %q", p)
+		}
+		seen[p] = true
+		canon[i] = p
+	}
+	return &Map{peers: canon}, nil
+}
+
+// Peers returns the canonicalized peer list in construction order.
+func (m *Map) Peers() []string {
+	out := make([]string, len(m.peers))
+	copy(out, m.peers)
+	return out
+}
+
+// Len returns the number of peers.
+func (m *Map) Len() int { return len(m.peers) }
+
+// Index returns the position of peer in the map (canonicalized
+// spelling), or -1 if absent — how a daemon locates its own -self entry.
+func (m *Map) Index(peer string) int {
+	peer = strings.TrimRight(strings.TrimSpace(peer), "/")
+	for i, p := range m.peers {
+		if p == peer {
+			return i
+		}
+	}
+	return -1
+}
+
+// Owner returns the index of the peer owning key: the rendezvous winner
+// (highest score). Every Map built from the same peer set returns the
+// same owner for the same key.
+func (m *Map) Owner(key string) int {
+	best, bestScore := 0, score(m.peers[0], key)
+	for i := 1; i < len(m.peers); i++ {
+		if s := score(m.peers[i], key); s > bestScore || (s == bestScore && m.peers[i] < m.peers[best]) {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// Ranked returns every peer index ordered by descending rendezvous score
+// for key — the owner first, then the deterministic failover sequence a
+// client walks when the owner is down. Like Owner, it is a pure function
+// of (peer set, key).
+func (m *Map) Ranked(key string) []int {
+	type scored struct {
+		idx int
+		s   uint64
+	}
+	all := make([]scored, len(m.peers))
+	for i := range m.peers {
+		all[i] = scored{idx: i, s: score(m.peers[i], key)}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].s != all[b].s {
+			return all[a].s > all[b].s
+		}
+		return m.peers[all[a].idx] < m.peers[all[b].idx] // total order on (score, name)
+	})
+	out := make([]int, len(all))
+	for i, sc := range all {
+		out[i] = sc.idx
+	}
+	return out
+}
+
+// score is the rendezvous weight of (peer, key): FNV-64a over
+// peer NUL key. FNV mixes hex-string keys (already uniform — they are
+// SHA-256 digests) more than well enough, and is allocation-free.
+func score(peer, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(peer)) //nolint:errcheck // hash.Hash never errors
+	h.Write([]byte{0})    //nolint:errcheck
+	h.Write([]byte(key))  //nolint:errcheck
+	return h.Sum64()
+}

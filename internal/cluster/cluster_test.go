@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+		out[i] = hex.EncodeToString(sum[:])
+	}
+	return out
+}
+
+func TestNewMapValidation(t *testing.T) {
+	if _, err := NewMap(nil); err == nil {
+		t.Fatal("empty peer list accepted")
+	}
+	if _, err := NewMap([]string{"http://a:1", ""}); err == nil {
+		t.Fatal("empty peer accepted")
+	}
+	if _, err := NewMap([]string{"http://a:1", "http://a:1/"}); err == nil {
+		t.Fatal("duplicate (modulo trailing slash) peer accepted")
+	}
+	m, err := NewMap([]string{" http://a:1/ ", "http://b:2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Peers()[0]; got != "http://a:1" {
+		t.Fatalf("peer not canonicalized: %q", got)
+	}
+	if m.Index("http://a:1/") != 0 || m.Index("http://b:2") != 1 || m.Index("http://c:3") != -1 {
+		t.Fatal("Index lookup wrong")
+	}
+}
+
+func TestOwnerDeterministicAndOrderIndependent(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:2", "http://c:3"}
+	m1, _ := NewMap(peers)
+	m2, _ := NewMap([]string{peers[2], peers[0], peers[1]}) // shuffled
+
+	for _, k := range keys(200) {
+		o1 := m1.Peers()[m1.Owner(k)]
+		o2 := m2.Peers()[m2.Owner(k)]
+		if o1 != o2 {
+			t.Fatalf("owner of %s differs across peer orderings: %s vs %s", k[:8], o1, o2)
+		}
+		if again := m1.Peers()[m1.Owner(k)]; again != o1 {
+			t.Fatalf("owner of %s not deterministic", k[:8])
+		}
+	}
+}
+
+func TestRankedProperties(t *testing.T) {
+	m, _ := NewMap([]string{"http://a:1", "http://b:2", "http://c:3", "http://d:4"})
+	for _, k := range keys(100) {
+		r := m.Ranked(k)
+		if len(r) != 4 {
+			t.Fatalf("Ranked returned %d entries, want 4", len(r))
+		}
+		if r[0] != m.Owner(k) {
+			t.Fatalf("Ranked[0]=%d != Owner=%d for %s", r[0], m.Owner(k), k[:8])
+		}
+		seen := map[int]bool{}
+		for _, i := range r {
+			if seen[i] {
+				t.Fatalf("Ranked repeats index %d for %s", i, k[:8])
+			}
+			seen[i] = true
+		}
+	}
+}
+
+// TestDistribution sanity-checks rendezvous balance: over many uniform
+// keys every peer should own a non-trivial share (the binomial spread
+// around N/3 makes a <15% share astronomically unlikely).
+func TestDistribution(t *testing.T) {
+	m, _ := NewMap([]string{"http://a:1", "http://b:2", "http://c:3"})
+	counts := make([]int, 3)
+	ks := keys(3000)
+	for _, k := range ks {
+		counts[m.Owner(k)]++
+	}
+	for i, c := range counts {
+		if c < len(ks)*15/100 {
+			t.Fatalf("peer %d owns only %d/%d keys — shard map badly skewed: %v", i, c, len(ks), counts)
+		}
+	}
+}
+
+// TestMinimalRemapping checks the rendezvous property the design leans
+// on: dropping one peer only remaps the keys that peer owned.
+func TestMinimalRemapping(t *testing.T) {
+	full, _ := NewMap([]string{"http://a:1", "http://b:2", "http://c:3"})
+	reduced, _ := NewMap([]string{"http://a:1", "http://b:2"})
+	for _, k := range keys(500) {
+		ownerFull := full.Peers()[full.Owner(k)]
+		ownerReduced := reduced.Peers()[reduced.Owner(k)]
+		if ownerFull != "http://c:3" && ownerReduced != ownerFull {
+			t.Fatalf("key %s moved from surviving peer %s to %s when c was removed",
+				k[:8], ownerFull, ownerReduced)
+		}
+	}
+}

@@ -350,6 +350,54 @@ type Metrics struct {
 	TracesResident   int `json:"traces_resident"`
 	TraceGenerations int `json:"trace_generations"`
 	TraceHits        int `json:"trace_hits"`
+
+	// Store reports the disk tier of the result cache; absent when the
+	// daemon runs memory-only (no -store).
+	Store *StoreMetrics `json:"store,omitempty"`
+
+	// Cluster reports shard-routing observability; absent when the
+	// daemon runs standalone (no -peers).
+	Cluster *ClusterMetrics `json:"cluster,omitempty"`
+}
+
+// StoreMetrics is the /metrics section for the disk-backed result
+// store: residency, verified-read outcomes, and eviction pressure.
+type StoreMetrics struct {
+	// Dir is the store root on disk.
+	Dir string `json:"dir"`
+	// Entries and Bytes describe resident payloads; Bound is the LRU
+	// entry cap.
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+	Bound   int   `json:"bound"`
+	// Hits counts results served from disk (a restarted daemon's warm
+	// answers); Misses counts disk lookups that fell through to a real
+	// simulation.
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Evictions counts LRU drops; CorruptDropped counts entries deleted
+	// because CRC/header verification failed on read.
+	Evictions      uint64 `json:"evictions"`
+	CorruptDropped uint64 `json:"corrupt_dropped"`
+}
+
+// ClusterMetrics is the /metrics section for shard routing: which peers
+// this daemon knows, and how the runs it has been asked to execute
+// distribute over the shard map's owners.
+type ClusterMetrics struct {
+	// Peers is the full shard map (every daemon's base URL, this one
+	// included); Self names this daemon's own entry when configured.
+	Peers []string `json:"peers"`
+	Self  string   `json:"self,omitempty"`
+	// PeerRuns counts the runs submitted to this daemon bucketed by the
+	// peer the shard map says owns them, index-aligned with Peers. On a
+	// well-routed cluster a daemon's own bucket dominates; weight
+	// elsewhere means clients are bypassing the shard map (or covering
+	// for a down owner).
+	PeerRuns []uint64 `json:"peer_runs"`
+	// MisroutedRuns totals the runs owned by a peer other than Self
+	// (zero until Self is configured).
+	MisroutedRuns uint64 `json:"misrouted_runs"`
 }
 
 // ErrorBody is the structured error envelope every non-2xx response

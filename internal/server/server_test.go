@@ -22,7 +22,10 @@ import (
 // newTestServer wires service → server → httptest and a client at it.
 func newTestServer(t *testing.T, cfg service.Config) (*stems.Client, *service.Service) {
 	t.Helper()
-	svc := service.New(cfg)
+	svc, err := service.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(server.New(svc))
 	t.Cleanup(func() {
 		svc.Abort()

@@ -2,35 +2,14 @@ package service
 
 import (
 	"container/list"
-	"crypto/sha256"
-	"encoding/hex"
-	"encoding/json"
-	"fmt"
 	"sync"
 
-	"stems"
+	"stems/internal/store"
 )
 
-// runKey computes the content address of one run's result: a SHA-256 over
-// the canonical JSON of everything that determines the simulation output.
-// opt is the Runner's *effective* options (after workload-class
-// defaulting), so two specs that resolve to the same configuration share
-// an address even if they spelled it differently. Labels are
-// presentation-only and excluded.
-func runKey(predictor, workload string, seed int64, n int, opt stems.Options) (string, error) {
-	payload, err := json.Marshal(struct {
-		Predictor string        `json:"predictor"`
-		Workload  string        `json:"workload"`
-		Seed      int64         `json:"seed"`
-		N         int           `json:"n"`
-		Options   stems.Options `json:"options"`
-	}{predictor, workload, seed, n, opt})
-	if err != nil {
-		return "", fmt.Errorf("service: hashing run spec: %w", err)
-	}
-	sum := sha256.Sum256(payload)
-	return hex.EncodeToString(sum[:]), nil
-}
+// The content address of a run's result is stems.RunKey — one hashing
+// contract shared by this cache, the disk store beneath it, and the
+// cluster client's shard routing.
 
 // flight is one in-progress computation of a cache key. Followers wait on
 // done; a failed flight leaves err set and followers recompute for
@@ -41,12 +20,18 @@ type flight struct {
 	err  error
 }
 
-// resultCache is a bounded LRU of canonical result bytes keyed by runKey,
-// with single-flight de-duplication: concurrent jobs computing the same
-// key run one simulation, the rest wait and share the bytes.
+// resultCache is a bounded LRU of canonical result bytes keyed by
+// stems.RunKey, with single-flight de-duplication: concurrent jobs
+// computing the same key run one simulation, the rest wait and share the
+// bytes. With a disk store attached it becomes the memory tier of a
+// two-tier cache: stored results are written through to disk, and a
+// memory miss consults the store before conceding — so a restarted
+// daemon (cold memory, warm disk) answers repeat jobs without
+// recomputing, byte-identically.
 type resultCache struct {
 	mu      sync.Mutex
 	bound   int
+	disk    *store.Store             // nil = memory-only
 	entries map[string]*list.Element // key → ll element holding *cacheEntry
 	ll      *list.List               // front = most recently used
 	flights map[string]*flight
@@ -59,30 +44,39 @@ type cacheEntry struct {
 	data []byte
 }
 
-func newResultCache(bound int) *resultCache {
+func newResultCache(bound int, disk *store.Store) *resultCache {
 	if bound <= 0 {
 		bound = 1
 	}
 	return &resultCache{
 		bound:   bound,
+		disk:    disk,
 		entries: make(map[string]*list.Element),
 		ll:      list.New(),
 		flights: make(map[string]*flight),
 	}
 }
 
-// get returns the cached bytes for key, counting a hit or miss.
+// get returns the cached bytes for key, counting a hit or miss. A
+// memory miss falls through to the disk store (when attached); a disk
+// hit re-installs the bytes in the memory tier.
 func (c *resultCache) get(key string) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.entries[key]
-	if !ok {
-		c.misses++
-		return nil, false
+	if el, ok := c.entries[key]; ok {
+		c.hits++
+		c.ll.MoveToFront(el)
+		return el.Value.(*cacheEntry).data, true
 	}
-	c.hits++
-	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).data, true
+	if c.disk != nil {
+		if data, ok := c.disk.Get(key); ok {
+			c.hits++
+			c.installLocked(key, data)
+			return data, true
+		}
+	}
+	c.misses++
+	return nil, false
 }
 
 // claim returns the flight for key and whether the caller is its leader.
@@ -114,7 +108,20 @@ func (c *resultCache) resolve(key string, fl *flight, data []byte, err error) {
 	close(fl.done)
 }
 
+// storeLocked records a freshly computed result in both tiers: the
+// memory LRU and (write-through) the disk store.
 func (c *resultCache) storeLocked(key string, data []byte) {
+	c.installLocked(key, data)
+	if c.disk != nil {
+		// Best-effort: a full or failing disk degrades the daemon to its
+		// pre-store behaviour (memory-only), it does not fail the job.
+		c.disk.Put(key, data) //nolint:errcheck
+	}
+}
+
+// installLocked places bytes in the memory tier only — used for disk
+// hits, where writing back to disk would be a no-op.
+func (c *resultCache) installLocked(key string, data []byte) {
 	if el, ok := c.entries[key]; ok {
 		c.ll.MoveToFront(el)
 		el.Value.(*cacheEntry).data = data

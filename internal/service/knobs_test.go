@@ -17,7 +17,7 @@ import (
 // configuration, hence one content address — the second job is a cache
 // hit (no recomputation) with byte-identical result bytes.
 func TestExplicitDefaultKnobsShareCacheEntry(t *testing.T) {
-	svc := New(Config{Workers: 1, QueueBound: 8})
+	svc := mustNew(t, Config{Workers: 1, QueueBound: 8})
 	defer svc.Drain()
 
 	plain := smallRun("em3d", 20_000)
@@ -66,7 +66,7 @@ func TestExplicitDefaultKnobsShareCacheEntry(t *testing.T) {
 // TestKnobOverridesDistinctCacheEntry: a non-default knob is a
 // different configuration and must not collide with the default run.
 func TestKnobOverridesDistinctCacheEntry(t *testing.T) {
-	svc := New(Config{Workers: 1, QueueBound: 8})
+	svc := mustNew(t, Config{Workers: 1, QueueBound: 8})
 	defer svc.Drain()
 
 	plain := smallRun("em3d", 20_000)
@@ -92,7 +92,7 @@ func TestKnobOverridesDistinctCacheEntry(t *testing.T) {
 // identical to the equivalent WithConfigure run executed locally — and
 // to the same Runner's own Spec() resubmitted.
 func TestKnobSpecMatchesConfigure(t *testing.T) {
-	svc := New(Config{Workers: 1, QueueBound: 8})
+	svc := mustNew(t, Config{Workers: 1, QueueBound: 8})
 	defer svc.Drain()
 
 	local, err := stems.New(
@@ -140,7 +140,7 @@ func TestKnobSpecMatchesConfigure(t *testing.T) {
 // TestKnobValidation400s: knob errors are field-level ErrInvalidSpec
 // naming the run and the knob.
 func TestKnobValidation400s(t *testing.T) {
-	svc := New(Config{Workers: 1, QueueBound: 4})
+	svc := mustNew(t, Config{Workers: 1, QueueBound: 4})
 	defer svc.Drain()
 
 	cases := []struct {
@@ -170,7 +170,7 @@ func TestKnobValidation400s(t *testing.T) {
 // TestNormalizedKnobsReportedInStatus: the job status carries the
 // canonical (kind-coerced) knob map, not the submitted spelling.
 func TestNormalizedKnobsReportedInStatus(t *testing.T) {
-	svc := New(Config{Workers: 1, QueueBound: 4})
+	svc := mustNew(t, Config{Workers: 1, QueueBound: 4})
 	defer svc.Drain()
 
 	spec := smallRun("em3d", 1000)

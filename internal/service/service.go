@@ -19,8 +19,10 @@ import (
 	"time"
 
 	"stems"
+	"stems/internal/cluster"
 	"stems/internal/enc"
 	"stems/internal/par"
+	"stems/internal/store"
 )
 
 // Submission errors (beyond ErrInvalidSpec, which validate.go owns).
@@ -61,6 +63,24 @@ type Config struct {
 	// results before they rotate out (the result cache still answers a
 	// resubmission without recomputing).
 	RetainJobs int
+	// Store, when non-nil, is the disk tier of the result cache: every
+	// computed result is written through to it, and a memory-tier miss
+	// consults it before simulating — so a restarted daemon opened on
+	// the same directory answers repeat jobs from disk with zero runs
+	// computed. The service does not close it; the owner does, after
+	// Drain.
+	Store *store.Store
+	// Peers, when non-empty, is the cluster's full shard map (every
+	// daemon's base URL, this one included). The service uses it for
+	// observability only — /metrics reports how submitted runs
+	// distribute over their owners — routing itself is the cluster
+	// client's job, and a daemon always executes what it is asked to
+	// (content addressing makes serving a non-owned run correct).
+	Peers []string
+	// Self is this daemon's own base URL within Peers; when set,
+	// /metrics additionally counts misrouted runs (owned by another
+	// peer).
+	Self string
 }
 
 func (c *Config) fill() {
@@ -102,6 +122,14 @@ type Service struct {
 	cache *resultCache
 	arena *stems.Arena
 
+	// shard is the cluster's shard map (nil standalone); selfIdx is this
+	// daemon's index within it (-1 when unknown). peerRuns counts
+	// submitted runs by owning peer, index-aligned with shard.Peers().
+	shard     *cluster.Map
+	selfIdx   int
+	peerRuns  []atomic.Uint64
+	misrouted atomic.Uint64
+
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	order    []string // insertion order, for listing
@@ -126,20 +154,41 @@ type arenaKey struct {
 	n    int
 }
 
-// New starts a Service with cfg's worker pool running.
-func New(cfg Config) *Service {
+// New starts a Service with cfg's worker pool running. An invalid peer
+// list (empty or duplicate entries) fails construction.
+func New(cfg Config) (*Service, error) {
 	cfg.fill()
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Service{
+	s := &Service{
 		cfg:     cfg,
 		start:   time.Now(),
 		baseCtx: ctx,
 		abort:   cancel,
 		pool:    par.NewPool(ctx, cfg.Workers, cfg.QueueBound),
-		cache:   newResultCache(cfg.CacheBound),
+		cache:   newResultCache(cfg.CacheBound, cfg.Store),
 		arena:   stems.NewArena(),
 		jobs:    make(map[string]*Job),
+		selfIdx: -1,
 	}
+	if len(cfg.Peers) > 0 {
+		shard, err := cluster.NewMap(cfg.Peers)
+		if err != nil {
+			cancel()
+			s.pool.Close()
+			return nil, err
+		}
+		s.shard = shard
+		s.peerRuns = make([]atomic.Uint64, shard.Len())
+		if cfg.Self != "" {
+			s.selfIdx = shard.Index(cfg.Self)
+			if s.selfIdx < 0 {
+				cancel()
+				s.pool.Close()
+				return nil, fmt.Errorf("service: self %q not in peers %v", cfg.Self, shard.Peers())
+			}
+		}
+	}
+	return s, nil
 }
 
 // Submit validates spec, enqueues a job, and returns it in queued state.
@@ -149,6 +198,19 @@ func (s *Service) Submit(spec enc.JobSpec) (*Job, error) {
 	runs, err := resolveSpec(&spec)
 	if err != nil {
 		return nil, err
+	}
+	if s.shard != nil {
+		// Routing observability: bucket each run by the peer the shard
+		// map says owns it. A daemon's own bucket dominating means
+		// clients route well; weight elsewhere means they bypass the map
+		// or are covering for a down owner.
+		for i := range runs {
+			owner := s.shard.Owner(runs[i].key)
+			s.peerRuns[owner].Add(1)
+			if s.selfIdx >= 0 && owner != s.selfIdx {
+				s.misrouted.Add(1)
+			}
+		}
 	}
 
 	s.mu.Lock()
@@ -291,6 +353,33 @@ func (s *Service) Metrics() enc.Metrics {
 	}
 	if uptime > 0 {
 		m.AccessesPerSec = float64(m.AccessesSimulated) / uptime
+	}
+	if s.cfg.Store != nil {
+		st := s.cfg.Store.Stats()
+		m.Store = &enc.StoreMetrics{
+			Dir:            s.cfg.Store.Dir(),
+			Entries:        st.Entries,
+			Bytes:          st.Bytes,
+			Bound:          s.cfg.Store.Bound(),
+			Hits:           st.Hits,
+			Misses:         st.Misses,
+			Evictions:      st.Evictions,
+			CorruptDropped: st.CorruptDropped,
+		}
+	}
+	if s.shard != nil {
+		cm := &enc.ClusterMetrics{
+			Peers:         s.shard.Peers(),
+			MisroutedRuns: s.misrouted.Load(),
+			PeerRuns:      make([]uint64, len(s.peerRuns)),
+		}
+		if s.selfIdx >= 0 {
+			cm.Self = s.shard.Peers()[s.selfIdx]
+		}
+		for i := range s.peerRuns {
+			cm.PeerRuns[i] = s.peerRuns[i].Load()
+		}
+		m.Cluster = cm
 	}
 	return m
 }

@@ -19,6 +19,15 @@ func smallRun(workload string, accesses int) enc.RunSpec {
 	return enc.RunSpec{Predictor: "stems", Workload: workload, Accesses: accesses}
 }
 
+func mustNew(t testing.TB, cfg Config) *Service {
+	t.Helper()
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
 func waitJob(t *testing.T, j *Job) enc.JobStatus {
 	t.Helper()
 	select {
@@ -33,7 +42,7 @@ func waitJob(t *testing.T, j *Job) enc.JobStatus {
 // must be byte-identical to the same configuration run directly through
 // stems.Run and encoded with the shared marshaler.
 func TestSubmitMatchesDirectRun(t *testing.T) {
-	svc := New(Config{Workers: 2, QueueBound: 8})
+	svc := mustNew(t, Config{Workers: 2, QueueBound: 8})
 	defer svc.Drain()
 
 	j, err := svc.Submit(enc.JobSpec{RunSpec: smallRun("em3d", 30_000)})
@@ -78,7 +87,7 @@ func TestSubmitMatchesDirectRun(t *testing.T) {
 // second job must be served from the result cache (no recomputation) with
 // byte-identical result bytes.
 func TestCacheHitByteIdentical(t *testing.T) {
-	svc := New(Config{Workers: 1, QueueBound: 8})
+	svc := mustNew(t, Config{Workers: 1, QueueBound: 8})
 	defer svc.Drain()
 
 	spec := enc.JobSpec{RunSpec: smallRun("DB2", 20_000)}
@@ -112,7 +121,7 @@ func TestCacheHitByteIdentical(t *testing.T) {
 // TestSingleFlight floods the pool with identical jobs: single-flight
 // de-duplication must collapse them to one simulation.
 func TestSingleFlight(t *testing.T) {
-	svc := New(Config{Workers: 4, QueueBound: 32})
+	svc := mustNew(t, Config{Workers: 4, QueueBound: 32})
 	defer svc.Drain()
 
 	spec := enc.JobSpec{RunSpec: smallRun("ocean", 20_000)}
@@ -140,7 +149,7 @@ func TestSingleFlight(t *testing.T) {
 // TestSweepJob runs a multi-run job and checks ordering and per-run
 // labels, plus cache reuse across runs inside one job.
 func TestSweepJob(t *testing.T) {
-	svc := New(Config{Workers: 2, QueueBound: 8})
+	svc := mustNew(t, Config{Workers: 2, QueueBound: 8})
 	defer svc.Drain()
 
 	spec := enc.JobSpec{Runs: []enc.RunSpec{
@@ -188,7 +197,7 @@ func TestSweepJob(t *testing.T) {
 
 // TestCancelQueued cancels a job before any worker reaches it.
 func TestCancelQueued(t *testing.T) {
-	svc := New(Config{Workers: 1, QueueBound: 8})
+	svc := mustNew(t, Config{Workers: 1, QueueBound: 8})
 	defer svc.Drain()
 
 	// Occupy the single worker so the next submission stays queued.
@@ -216,7 +225,7 @@ func TestCancelQueued(t *testing.T) {
 // TestCancelRunning cancels a job mid-replay; the worker must wind down
 // at a block boundary without completing the trace.
 func TestCancelRunning(t *testing.T) {
-	svc := New(Config{Workers: 1, QueueBound: 4})
+	svc := mustNew(t, Config{Workers: 1, QueueBound: 4})
 	defer svc.Drain()
 
 	j := mustSubmit(t, svc, enc.JobSpec{RunSpec: smallRun("Apache", 1_000_000)})
@@ -249,7 +258,7 @@ func TestCancelRunning(t *testing.T) {
 
 // TestValidationErrors exercises the descriptive-rejection satellite.
 func TestValidationErrors(t *testing.T) {
-	svc := New(Config{Workers: 1, QueueBound: 4})
+	svc := mustNew(t, Config{Workers: 1, QueueBound: 4})
 	defer svc.Drain()
 
 	cases := []struct {
@@ -293,7 +302,7 @@ func TestEmptyRunsFromJSON(t *testing.T) {
 
 // TestQueueBackpressure fills the bounded queue and expects load shedding.
 func TestQueueBackpressure(t *testing.T) {
-	svc := New(Config{Workers: 1, QueueBound: 1})
+	svc := mustNew(t, Config{Workers: 1, QueueBound: 1})
 	defer func() { svc.Abort(); svc.Drain() }()
 
 	// Big enough to hold the worker while we overfill the queue.
@@ -317,7 +326,7 @@ func TestQueueBackpressure(t *testing.T) {
 // TestDrain submits a batch and drains: every job must reach a terminal
 // state before Drain returns, and late submissions must be refused.
 func TestDrain(t *testing.T) {
-	svc := New(Config{Workers: 2, QueueBound: 16})
+	svc := mustNew(t, Config{Workers: 2, QueueBound: 16})
 	var jobs []*Job
 	for i := 0; i < 6; i++ {
 		jobs = append(jobs, mustSubmit(t, svc, enc.JobSpec{RunSpec: enc.RunSpec{
@@ -344,7 +353,7 @@ func TestDrain(t *testing.T) {
 // run under -race in CI. Every job must land in a terminal state and the
 // bookkeeping must balance.
 func TestStress(t *testing.T) {
-	svc := New(Config{Workers: 4, QueueBound: 256, CacheBound: 8, TraceBound: 2})
+	svc := mustNew(t, Config{Workers: 4, QueueBound: 256, CacheBound: 8, TraceBound: 2})
 	defer svc.Drain()
 
 	workloads := []string{"em3d", "DB2", "Apache"}
@@ -418,7 +427,7 @@ func TestStress(t *testing.T) {
 // TestJobRetention checks the job table stays bounded: beyond RetainJobs
 // the oldest terminal jobs are forgotten, while live jobs survive.
 func TestJobRetention(t *testing.T) {
-	svc := New(Config{Workers: 1, QueueBound: 8, RetainJobs: 2})
+	svc := mustNew(t, Config{Workers: 1, QueueBound: 8, RetainJobs: 2})
 	defer svc.Drain()
 
 	var ids []string
@@ -442,7 +451,7 @@ func TestJobRetention(t *testing.T) {
 
 // TestJobNotFound covers the lookup error path.
 func TestJobNotFound(t *testing.T) {
-	svc := New(Config{Workers: 1, QueueBound: 1})
+	svc := mustNew(t, Config{Workers: 1, QueueBound: 1})
 	defer svc.Drain()
 	if _, err := svc.Job("j-999999"); !errors.Is(err, ErrNotFound) {
 		t.Errorf("Job error = %v, want ErrNotFound", err)

@@ -102,20 +102,17 @@ func resolveSpec(spec *enc.JobSpec) ([]resolvedRun, error) {
 			n = wl.DefaultAccesses
 		}
 
-		// Build once now through the same FromSpec path the worker uses:
-		// surfaces any residual configuration error at submit time (a
-		// descriptive 400, not a failed job) and yields the *effective*
-		// options the content address hashes — which is what makes the
-		// cache key canonical: a knob spelled at its default value
-		// produces the same effective options, hence the same key, as
-		// omitting it.
-		runner, err := stems.FromSpec(*r)
+		// stems.RunKey builds the run through the same FromSpec path the
+		// worker uses: it surfaces any residual configuration error at
+		// submit time (a descriptive 400, not a failed job) and hashes
+		// the *effective* options — which is what makes the content
+		// address canonical: a knob spelled at its default value produces
+		// the same effective options, hence the same key, as omitting it.
+		// The same key shards runs across a cluster (internal/cluster)
+		// and names the entry file in the disk store (internal/store).
+		key, err := stems.RunKey(*r)
 		if err != nil {
 			return nil, fmt.Errorf("%w: run %d: %v", ErrInvalidSpec, i, err)
-		}
-		key, err := runKey(r.Predictor, r.Workload, r.Seed, n, runner.Options())
-		if err != nil {
-			return nil, err
 		}
 		out[i] = resolvedRun{spec: *r, n: n, key: key}
 	}

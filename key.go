@@ -1,0 +1,64 @@
+package stems
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// RunKey returns the content address of a spec's result: a SHA-256 (hex)
+// over the canonical JSON of everything that determines the simulation
+// output — predictor, workload, seed, resolved trace length, and the
+// *effective* Options after defaulting and knob application. Two specs
+// that resolve to the same configuration share an address even if they
+// spelled it differently (a knob written at its default value, an
+// omitted field, a different label), and labels are presentation-only
+// and excluded.
+//
+// This one function is the addressing contract of the whole system: the
+// stemsd result cache and its disk store file entries under it, and the
+// cluster client shards runs across daemons with it — which is why
+// failing over to a non-owner peer is always correct: any daemon
+// computing the same key produces the same bytes.
+func RunKey(spec Spec) (string, error) {
+	// Fill the wire defaults the service applies, so a zero field and
+	// its explicit default address identically.
+	spec.Label = ""
+	if spec.Predictor == "" {
+		spec.Predictor = "stems"
+	}
+	if spec.Workload == "" {
+		spec.Workload = "DB2"
+	}
+	if spec.Seed == 0 {
+		spec.Seed = 1
+	}
+	wl, err := WorkloadByName(spec.Workload)
+	if err != nil {
+		return "", fmt.Errorf("stems: run key: %w", err)
+	}
+	n := spec.Accesses
+	if n == 0 {
+		n = wl.DefaultAccesses
+	}
+	// FromSpec applies the system selection, workload-class defaulting,
+	// and canonicalized knobs — the effective options are what the
+	// simulation actually sees, so they are what the address hashes.
+	r, err := FromSpec(spec)
+	if err != nil {
+		return "", fmt.Errorf("stems: run key: %w", err)
+	}
+	payload, err := json.Marshal(struct {
+		Predictor string  `json:"predictor"`
+		Workload  string  `json:"workload"`
+		Seed      int64   `json:"seed"`
+		N         int     `json:"n"`
+		Options   Options `json:"options"`
+	}{spec.Predictor, spec.Workload, spec.Seed, n, r.Options()})
+	if err != nil {
+		return "", fmt.Errorf("stems: run key: %w", err)
+	}
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:]), nil
+}

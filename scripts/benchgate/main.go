@@ -1,0 +1,130 @@
+// Command benchgate compares a freshly produced BENCH_<rev>.json (see
+// scripts/benchjson) against the committed baseline and fails — exit 1 —
+// when a gated metric regressed by more than the allowed fraction. It is
+// the CI tripwire that turns the per-commit perf trajectory into an
+// enforced floor instead of an archive nobody reads.
+//
+//	go run ./scripts/benchgate -baseline bench/baseline.json -current BENCH_abc1234.json
+//
+// Only benchmarks present in BOTH files and carrying the gated metric
+// are compared; new or renamed benchmarks never fail the gate (they
+// start gating once they land in the refreshed baseline). The default
+// gated metric is "accesses/sec" (higher is better) from the stemsd
+// service-throughput probe — a whole-trace measurement that is stable
+// enough on shared runners, unlike 1-iteration ns/op samples.
+//
+// Refresh the baseline deliberately after an accepted perf change:
+//
+//	OUT_DIR=bench ./scripts/bench.sh && cp bench/BENCH_<rev>.json bench/baseline.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+)
+
+type benchmark struct {
+	Name    string             `json:"name"`
+	Pkg     string             `json:"pkg,omitempty"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+type report struct {
+	Rev        string      `json:"rev,omitempty"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+func load(path string) (report, error) {
+	var r report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// metricIndex maps pkg/name to the gated metric's value for benchmarks
+// matching re.
+func metricIndex(r report, metric string, re *regexp.Regexp) map[string]float64 {
+	idx := make(map[string]float64)
+	for _, b := range r.Benchmarks {
+		if !re.MatchString(b.Name) {
+			continue
+		}
+		if v, ok := b.Metrics[metric]; ok && v > 0 {
+			idx[b.Pkg+"/"+b.Name] = v
+		}
+	}
+	return idx
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "bench/baseline.json", "committed baseline report")
+	currentPath := flag.String("current", "", "freshly measured report (required)")
+	metric := flag.String("metric", "accesses/sec", "gated metric key (higher is better)")
+	match := flag.String("match", ".", "regexp selecting which benchmarks to gate (by name)")
+	maxRegress := flag.Float64("max-regress", 0.10, "allowed fractional drop before failing")
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
+		os.Exit(2)
+	}
+	re, err := regexp.Compile(*match)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate: bad -match:", err)
+		os.Exit(2)
+	}
+
+	base, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	cur, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	baseIdx := metricIndex(base, *metric, re)
+	curIdx := metricIndex(cur, *metric, re)
+	if len(baseIdx) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: baseline %s has no %q datapoints\n", *baselinePath, *metric)
+		os.Exit(2)
+	}
+
+	failed := false
+	compared := 0
+	for name, baseVal := range baseIdx {
+		curVal, ok := curIdx[name]
+		if !ok {
+			fmt.Printf("benchgate: %s: gone from current report (not gated)\n", name)
+			continue
+		}
+		compared++
+		change := curVal/baseVal - 1
+		status := "ok"
+		if change < -*maxRegress {
+			status = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("benchgate: %-60s %s %14.0f -> %14.0f (%+.1f%%, floor %.0f%%) %s\n",
+			name, *metric, baseVal, curVal, 100*change, -100**maxRegress, status)
+	}
+	if compared == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: no benchmark overlaps baseline on %q — refresh bench/baseline.json\n", *metric)
+		os.Exit(2)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchgate: %q regression beyond %.0f%% vs %s (rev %s)\n",
+			*metric, 100**maxRegress, *baselinePath, base.Rev)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d benchmark(s) within %.0f%% of baseline (rev %s)\n", compared, 100**maxRegress, base.Rev)
+}

@@ -34,7 +34,10 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("serverbench: ")
 
-	svc := service.New(service.Config{Workers: *workers, QueueBound: 64})
+	svc, err := service.New(service.Config{Workers: *workers, QueueBound: 64})
+	if err != nil {
+		log.Fatal(err)
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)

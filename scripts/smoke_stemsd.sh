@@ -2,9 +2,11 @@
 # smoke_stemsd.sh — black-box smoke test of the stemsd daemon: build it,
 # start it, hit /healthz, submit one small job, watch it finish, check the
 # /metrics counters moved, then SIGTERM and require a clean (exit 0)
-# drain. CI runs this after the unit suites; it is the one check that
+# drain. Finally it relaunches the daemon on the same -store directory and
+# requires the same job to be answered from disk: zero runs computed, one
+# cache hit. CI runs this after the unit suites; it is the one check that
 # exercises the real binary end to end (flags, signal handling, HTTP
-# stack) rather than an in-process httptest server.
+# stack, restart durability) rather than an in-process httptest server.
 #
 # Needs only bash + curl + grep/sed (no jq): field extraction below works
 # on the server's compact single-line JSON.
@@ -15,19 +17,20 @@ ADDR="${STEMSD_ADDR:-127.0.0.1:18091}"
 BASE="http://$ADDR"
 BIN="$(mktemp -d)/stemsd"
 LOG="$(mktemp)"
+STORE="$(mktemp -d)"
 
 cleanup() {
   [[ -n "${PID:-}" ]] && kill -9 "$PID" 2>/dev/null || true
   rm -f "$LOG"
-  rm -rf "$(dirname "$BIN")"
+  rm -rf "$(dirname "$BIN")" "$STORE"
 }
 trap cleanup EXIT
 
 echo "== build"
 go build -o "$BIN" ./cmd/stemsd
 
-echo "== start on $ADDR"
-"$BIN" -addr "$ADDR" -workers 2 -queue 8 -cache 16 >"$LOG" 2>&1 &
+echo "== start on $ADDR (store: $STORE)"
+"$BIN" -addr "$ADDR" -workers 2 -queue 8 -cache 16 -store "$STORE" >"$LOG" 2>&1 &
 PID=$!
 
 # jsonfield DOC KEY — extract a scalar field from compact JSON.
@@ -114,5 +117,53 @@ if [[ "$EXIT" -ne 0 ]]; then
 fi
 PID=""
 grep -q "drained, exiting" "$LOG" || { echo "no clean-drain log line:"; cat "$LOG"; exit 1; }
+
+echo "== restart on the same -store directory"
+: >"$LOG"
+"$BIN" -addr "$ADDR" -workers 2 -queue 8 -cache 16 -store "$STORE" >"$LOG" 2>&1 &
+PID=$!
+for _ in $(seq 1 100); do
+  if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  if ! kill -0 "$PID" 2>/dev/null; then
+    echo "daemon died during restart:"; cat "$LOG"; exit 1
+  fi
+  sleep 0.1
+done
+# The startup log reports what the store rebuild found.
+grep -q "result store" "$LOG" || { echo "no store-open log line:"; cat "$LOG"; exit 1; }
+
+echo "== resubmit the first job: must be served from disk"
+RESUBMIT="$(curl -fsS -X POST "$BASE/v1/jobs" \
+  -H 'Content-Type: application/json' \
+  -d '{"predictor":"stems","workload":"em3d","accesses":30000}')"
+RJOB="$(jsonfield "$RESUBMIT" id)"
+[[ "$RJOB" == j-* ]] || { echo "no job id in restart response"; exit 1; }
+RSTATE=""
+for _ in $(seq 1 300); do
+  RSTATUS="$(curl -fsS "$BASE/v1/jobs/$RJOB")"
+  RSTATE="$(jsonfield "$RSTATUS" state)"
+  [[ "$RSTATE" == "done" || "$RSTATE" == "failed" || "$RSTATE" == "canceled" ]] && break
+  sleep 0.1
+done
+[[ "$RSTATE" == "done" ]] || { echo "restart job ended in state '$RSTATE'"; cat "$LOG"; exit 1; }
+grep -q '"covered"' <<<"$RSTATUS" || { echo "restart result missing counters"; exit 1; }
+
+echo "== restart metrics: zero runs computed, one cache hit, one disk hit"
+RMETRICS="$(curl -fsS "$BASE/metrics")"
+echo "$RMETRICS"
+[[ "$(jsonfield "$RMETRICS" runs_computed)" == "0" ]] || { echo "restarted daemon recomputed (runs_computed != 0)"; exit 1; }
+[[ "$(jsonfield "$RMETRICS" cache_hits)" == "1" ]] || { echo "cache_hits != 1 after restart"; exit 1; }
+RSTORE="$(grep -o '"store":{[^}]*}' <<<"$RMETRICS")"
+[[ "$(jsonfield "$RSTORE" hits)" == "1" ]] || { echo "store hits != 1 after restart: $RSTORE"; exit 1; }
+[[ "$(jsonfield "$RSTORE" entries)" -ge 1 ]] || { echo "store empty after restart: $RSTORE"; exit 1; }
+
+echo "== second SIGTERM drains cleanly"
+kill -TERM "$PID"
+EXIT=0
+wait "$PID" || EXIT=$?
+if [[ "$EXIT" -ne 0 ]]; then
+  echo "daemon exited $EXIT after restart SIGTERM:"; cat "$LOG"; exit 1
+fi
+PID=""
 
 echo "== smoke OK"
