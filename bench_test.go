@@ -10,8 +10,12 @@
 package stems_test
 
 import (
+	"context"
+	"sort"
 	"testing"
+	"time"
 
+	"stems"
 	"stems/internal/config"
 	"stems/internal/core"
 	"stems/internal/figures"
@@ -351,6 +355,101 @@ func BenchmarkSimBlocksBaseline(b *testing.B) {
 	benchSimBlocks(b, func(b *testing.B) *sim.Machine {
 		return sim.NewMachine(config.ScaledSystem(), sim.Nop{})
 	})
+}
+
+// BenchmarkStepBlockMedianSTeMS is the benchgate kernel probe: K full
+// DB2 replays through fresh STeMS machines per iteration, reporting the
+// MEDIAN per-access latency as "median-step-ns". The median of whole-trace
+// replays is stable enough to threshold on shared runners — unlike raw
+// 1-iteration ns/op samples — so scripts/benchgate gates this metric
+// (lower is better) to catch kernel regressions even when the service
+// path masks them.
+func BenchmarkStepBlockMedianSTeMS(b *testing.B) {
+	const replays = 5
+	spec, _ := workload.ByName("DB2")
+	const accesses = 200_000
+	bt := trace.NewBlockTrace(spec.Generate(1, accesses))
+	opt := sim.DefaultOptions()
+	opt.System = config.ScaledSystem()
+	var median float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		samples := make([]float64, replays)
+		for r := 0; r < replays; r++ {
+			m, err := sim.Build(sim.KindSTeMS, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			start := time.Now()
+			m.RunBlocks(bt.Blocks())
+			samples[r] = float64(time.Since(start).Nanoseconds()) / accesses
+		}
+		sort.Float64s(samples)
+		median = samples[replays/2]
+	}
+	b.ReportMetric(median, "median-step-ns")
+	b.ReportMetric(0, "ns/op") // the headline is the median, not the K-replay total
+}
+
+// fig10CellMachines builds one seed panel of a Figure 10 cell: the
+// stride baseline plus the three compared predictor kinds.
+func fig10CellMachines(b *testing.B, opt sim.Options) []*sim.Machine {
+	b.Helper()
+	kinds := append([]sim.Kind{sim.KindStride}, figures.Fig10Kinds...)
+	machines := make([]*sim.Machine, len(kinds))
+	for i, kind := range kinds {
+		m, err := sim.Build(kind, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		machines[i] = m
+	}
+	return machines
+}
+
+// BenchmarkFig10CellSeqSeeds is the pre-lockstep reference shape of one
+// Figure 10 cell: 5 confidence-interval seeds of the DB2 workload, each
+// seed's panel (stride baseline + 3 kinds) replayed one machine at a
+// time. Compare with BenchmarkFig10CellLockstep — the ns/op ratio is the
+// wall-clock win of the MachineSet replay.
+func BenchmarkFig10CellSeqSeeds(b *testing.B) {
+	spec, _ := workload.ByName("DB2")
+	const accesses, seeds = 100_000, 5
+	opt := sim.DefaultOptions()
+	opt.System = config.ScaledSystem()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < seeds; s++ {
+			bt := spec.GenerateBlocks(1+int64(s)*stems.SeedStride, accesses)
+			for _, m := range fig10CellMachines(b, opt) {
+				m.RunBlocks(bt.Blocks())
+			}
+		}
+	}
+}
+
+// BenchmarkFig10CellLockstep replays the same 5-seed cell as
+// BenchmarkFig10CellSeqSeeds, but each seed's panel advances as one
+// lockstep MachineSet over a shared trace cursor: every block is fetched
+// once and stepped by all four machines while its columns are hot, and on
+// multi-core hosts the lanes advance in parallel (Parallelism 0 =
+// GOMAXPROCS — on a single-core runner the benchmark isolates the pure
+// cache-locality win).
+func BenchmarkFig10CellLockstep(b *testing.B) {
+	spec, _ := workload.ByName("DB2")
+	const accesses, seeds = 100_000, 5
+	opt := sim.DefaultOptions()
+	opt.System = config.ScaledSystem()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < seeds; s++ {
+			bt := spec.GenerateBlocks(1+int64(s)*stems.SeedStride, accesses)
+			set := sim.NewSharedSet(bt.Blocks(), fig10CellMachines(b, opt)...)
+			if _, err := set.Run(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
 }
 
 // BenchmarkTraceMemory reports the resident bytes/access of the two trace

@@ -6,6 +6,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"stems/internal/mem"
 )
@@ -23,6 +24,9 @@ func (c Config) Validate() error {
 	if c.SizeBytes <= 0 || c.Ways <= 0 {
 		return fmt.Errorf("cache: non-positive geometry %+v", c)
 	}
+	if c.Ways > 64 {
+		return fmt.Errorf("cache: associativity %d exceeds the 64-way limit", c.Ways)
+	}
 	blocks := c.SizeBytes / mem.BlockSize
 	if blocks*mem.BlockSize != c.SizeBytes {
 		return fmt.Errorf("cache: size %d not a multiple of block size", c.SizeBytes)
@@ -37,20 +41,25 @@ func (c Config) Validate() error {
 	return nil
 }
 
-type way struct {
-	tag   mem.Addr // block base address
-	valid bool
-	dirty bool
-	lru   uint64 // last-touch stamp; larger = more recent
-}
-
 // Cache is a set-associative, LRU-replacement, write-allocate cache of
 // 64-byte blocks. It tracks presence only (no data payload); the simulator
 // is trace-driven.
+//
+// Way state is stored column-wise: one contiguous tag array (way-major
+// within each set) plus per-set valid/dirty bitmasks and a parallel LRU
+// stamp array. A probe scans the set's tags in one cache line (an 8-way
+// set is exactly 64 bytes of tags) instead of striding over padded
+// per-way structs — the probe loops sit on the per-access simulation path
+// for every level of the hierarchy and on the stream engine's
+// duplicate-fetch filter.
 type Cache struct {
 	cfg     Config
-	sets    [][]way
+	ways    int
 	setMask uint64
+	tags    []mem.Addr // sets × ways block base addresses
+	lrus    []uint64   // sets × ways last-touch stamps; larger = more recent
+	valid   []uint64   // per-set validity bitmask over ways
+	dirty   []uint64   // per-set dirty bitmask over ways
 	stamp   uint64
 
 	// OnEvict, if non-nil, is invoked with the block base address of every
@@ -68,34 +77,35 @@ func New(cfg Config) *Cache {
 		panic(err)
 	}
 	sets := cfg.SizeBytes / mem.BlockSize / cfg.Ways
-	c := &Cache{cfg: cfg, setMask: uint64(sets - 1)}
-	c.sets = make([][]way, sets)
-	backing := make([]way, sets*cfg.Ways)
-	for i := range c.sets {
-		c.sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	return &Cache{
+		cfg:     cfg,
+		ways:    cfg.Ways,
+		setMask: uint64(sets - 1),
+		tags:    make([]mem.Addr, sets*cfg.Ways),
+		lrus:    make([]uint64, sets*cfg.Ways),
+		valid:   make([]uint64, sets),
+		dirty:   make([]uint64, sets),
 	}
-	return c
 }
 
 // Sets returns the number of sets.
-func (c *Cache) Sets() int { return len(c.sets) }
+func (c *Cache) Sets() int { return len(c.valid) }
 
 // Ways returns the associativity.
 func (c *Cache) Ways() int { return c.cfg.Ways }
-
-func (c *Cache) setFor(block mem.Addr) []way {
-	return c.sets[block.BlockIndex()&c.setMask]
-}
 
 // Contains reports whether the block holding addr is present, without
 // touching LRU state or statistics.
 func (c *Cache) Contains(addr mem.Addr) bool {
 	block := addr.Block()
-	set := c.setFor(block)
-	for i := range set {
-		if set[i].valid && set[i].tag == block {
+	set := block.BlockIndex() & c.setMask
+	vm := c.valid[set]
+	base := int(set) * c.ways
+	for _, t := range c.tags[base : base+c.ways] {
+		if t == block && vm&1 != 0 {
 			return true
 		}
+		vm >>= 1
 	}
 	return false
 }
@@ -106,13 +116,15 @@ func (c *Cache) Contains(addr mem.Addr) bool {
 // the fill that follows the miss) so that prefetch buffers can intervene.
 func (c *Cache) Access(addr mem.Addr, write bool) bool {
 	block := addr.Block()
-	set := c.setFor(block)
+	set := block.BlockIndex() & c.setMask
+	vm := c.valid[set]
+	base := int(set) * c.ways
 	c.stamp++
-	for i := range set {
-		if set[i].valid && set[i].tag == block {
-			set[i].lru = c.stamp
+	for i, t := range c.tags[base : base+c.ways] {
+		if t == block && vm>>uint(i)&1 != 0 {
+			c.lrus[base+i] = c.stamp
 			if write {
-				set[i].dirty = true
+				c.dirty[set] |= 1 << uint(i)
 			}
 			c.hits++
 			return true
@@ -126,26 +138,28 @@ func (c *Cache) Access(addr mem.Addr, write bool) bool {
 // full. Filling a block that is already present refreshes it instead.
 func (c *Cache) Fill(addr mem.Addr, write bool) {
 	block := addr.Block()
-	set := c.setFor(block)
+	set := block.BlockIndex() & c.setMask
+	vm := c.valid[set]
+	base := int(set) * c.ways
 	c.stamp++
 	victim := 0
 	firstInvalid := -1
-	for i := range set {
-		if set[i].valid && set[i].tag == block {
-			set[i].lru = c.stamp
-			if write {
-				set[i].dirty = true
-			}
-			return
-		}
-		if !set[i].valid {
+	for i, t := range c.tags[base : base+c.ways] {
+		if vm>>uint(i)&1 == 0 {
 			if firstInvalid < 0 {
 				// The preferred victim, but keep scanning for the tag.
 				firstInvalid = i
 			}
 			continue
 		}
-		if set[victim].valid && set[i].lru < set[victim].lru {
+		if t == block {
+			c.lrus[base+i] = c.stamp
+			if write {
+				c.dirty[set] |= 1 << uint(i)
+			}
+			return
+		}
+		if vm>>uint(victim)&1 != 0 && c.lrus[base+i] < c.lrus[base+victim] {
 			victim = i
 		}
 	}
@@ -153,10 +167,17 @@ func (c *Cache) Fill(addr mem.Addr, write bool) {
 	if firstInvalid >= 0 {
 		victim = firstInvalid
 	}
-	if set[victim].valid && c.OnEvict != nil {
-		c.OnEvict(set[victim].tag)
+	if vm>>uint(victim)&1 != 0 && c.OnEvict != nil {
+		c.OnEvict(c.tags[base+victim])
 	}
-	set[victim] = way{tag: block, valid: true, dirty: write, lru: c.stamp}
+	c.tags[base+victim] = block
+	c.lrus[base+victim] = c.stamp
+	c.valid[set] |= 1 << uint(victim)
+	if write {
+		c.dirty[set] |= 1 << uint(victim)
+	} else {
+		c.dirty[set] &^= 1 << uint(victim)
+	}
 }
 
 // Invalidate removes the block holding addr if present, reporting whether it
@@ -165,10 +186,12 @@ func (c *Cache) Fill(addr mem.Addr, write bool) {
 // invalidated from the L1 cache" (§2.4).
 func (c *Cache) Invalidate(addr mem.Addr) bool {
 	block := addr.Block()
-	set := c.setFor(block)
-	for i := range set {
-		if set[i].valid && set[i].tag == block {
-			set[i].valid = false
+	set := block.BlockIndex() & c.setMask
+	vm := c.valid[set]
+	base := int(set) * c.ways
+	for i, t := range c.tags[base : base+c.ways] {
+		if t == block && vm>>uint(i)&1 != 0 {
+			c.valid[set] &^= 1 << uint(i)
 			if c.OnEvict != nil {
 				c.OnEvict(block)
 			}
@@ -187,12 +210,8 @@ func (c *Cache) ResetStats() { c.hits, c.misses = 0, 0 }
 // Occupancy returns the number of valid blocks currently resident.
 func (c *Cache) Occupancy() int {
 	n := 0
-	for _, set := range c.sets {
-		for i := range set {
-			if set[i].valid {
-				n++
-			}
-		}
+	for _, vm := range c.valid {
+		n += bits.OnesCount64(vm)
 	}
 	return n
 }

@@ -36,18 +36,101 @@ type Reconstructor struct {
 	//
 	// Dedup is a per-region offset bitmap rather than a per-block hash
 	// set: duplicates can only arise between blocks of the same 32-block
-	// region, and every block place places from one RMOB entry shares that
+	// region, and every block placed from one RMOB entry shares that
 	// entry's region — so one region probe covers the entry's temporal
 	// placement and its whole spatial expansion, replacing a hash per
 	// placed block with a hash per consumed entry.
 	slots      []mem.Addr
 	valid      []uint64 // occupancy bitmap over slots
 	filled     int
-	regionBits *flat.U64Table[uint32]
+	regionBits *flat.U64Table[regionCell]
 	out        []mem.Addr
+
+	// Batch state: Window gathers the RMOB entries of one window into one
+	// probe array, resolving each entry's PST lookup through the batch's
+	// key-dedup scratch as it goes (the table's hash index is probed once
+	// per distinct key), then reconstructs by streaming over the resolved
+	// probes. Deferred work queues let the batch pay once per distinct
+	// key or region for what the entry-at-a-time loop paid per entry:
+	//
+	//   - touchQ:  PST recency. N lookups leave the LRU ordered by each
+	//     key's last occurrence, so one Touch per distinct key, applied
+	//     in ascending last-occurrence order, lands the identical state.
+	//   - notifyQ: onRegion. The consumer folds notifications into a
+	//     region-keyed last-writer-wins LRU, so one callback per distinct
+	//     region, in ascending last-notification order, folds to the
+	//     identical state.
+	//
+	// Both queues are probe-index buckets: slot i holds the pending
+	// action whose last occurrence (so far) is probe i, moved forward as
+	// later occurrences arrive, then drained in index order. Nothing
+	// observes PST or consumer state mid-window, so the deferral is
+	// invisible.
+	//
+	// The placement loop caches one expansion template per key *group*
+	// (dense ids assigned to the distinct keys of a window): templates
+	// live in the arena, tmplOff/tmplLen index it per group. Keys recur
+	// about three times per window on the synthetic suite — interleaved,
+	// rarely back to back — so two of every three template builds and
+	// PST index probes are amortized away.
+	batch    *LookupBatch
+	arena    []expElem
+	tmplOff  []int32
+	tmplLen  []int32
+	tmplMask []uint32
+	touchQ   []int32
+	notifyQ  []int32
+	cells    []*regionCell
 
 	stats ReconStats
 }
+
+// regionCell is the per-window state of one region: the offset dedup
+// bitmap plus the deferred-notification record (the region, the last
+// spatial key seen, and the probe index of that last sighting, +1 so the
+// zero value means "none yet"). mark distinguishes an initialized cell
+// from the zero value Ref inserts.
+type regionCell struct {
+	region mem.Addr
+	kLast  uint64
+	lastP1 int32
+	bits   uint32
+	mark   uint32
+	ci     int32 // index into rc.cells
+}
+
+// expElem is one confident element of a resolved pattern, precomputed into
+// the form the placement loop consumes: the prefix-summed slot advance
+// from the trigger slot, the byte offset from the trigger block, and the
+// region-offset dedup bit. Everything about an element except the trigger
+// slot and block is determined by (lookup key, entry), so one template
+// serves every probe of the key's group.
+type expElem struct {
+	spOff int32
+	dOff  int32
+	bit   uint32
+}
+
+// placeDrop marks a fully occupied search neighborhood in placeTab2.
+const placeDrop = int8(127)
+
+// placeTab2 drives the §4.3 collision search for the default distance of
+// two: index by the 5-bit occupancy neighborhood around the intended slot
+// (bit i = slot-2+i occupied) and get the displacement of the first free
+// candidate in check order 0, +1, −1, +2, −2 — one table lookup instead
+// of up to five dependent bit tests.
+var placeTab2 = func() (t [32]int8) {
+	for nb := range t {
+		t[nb] = placeDrop
+		for _, d := range [...]int8{0, 1, -1, 2, -2} {
+			if nb&(1<<(2+d)) == 0 {
+				t[nb] = d
+				break
+			}
+		}
+	}
+	return
+}()
 
 // NewReconstructor creates a reconstructor with the given buffer size
 // (paper: 256 entries) and collision search distance (paper: 2).
@@ -63,161 +146,383 @@ func NewReconstructor(pst *PST, rmob *RMOB, bufSlots, search int) *Reconstructor
 		rmob:     rmob,
 		bufSlots: bufSlots,
 		search:   search,
-		slots: make([]mem.Addr, bufSlots),
-		valid: make([]uint64, (bufSlots+63)/64),
+		slots:    make([]mem.Addr, bufSlots),
+		valid:    make([]uint64, (bufSlots+63)/64),
 		// At most one region per consumed entry, and a window consumes at
 		// most bufSlots entries (slots strictly advance), so the bitmap
-		// table never grows.
-		regionBits: flat.NewU64Table[uint32](bufSlots),
+		// table never grows and Ref pointers stay valid window-long.
+		regionBits: flat.NewU64Table[regionCell](bufSlots),
 		out:        make([]mem.Addr, 0, bufSlots),
+		// Slots strictly advance entry to entry, so a window consumes at
+		// most bufSlots RMOB entries: the gather batch and the deferred
+		// queues never grow. The arena starts big enough for typical
+		// windows and grows (amortized, then stable) if a window holds
+		// unusually many long templates.
+		batch:    NewLookupBatch(bufSlots),
+		arena:    make([]expElem, 0, 8*bufSlots),
+		tmplOff:  make([]int32, bufSlots),
+		tmplLen:  make([]int32, bufSlots),
+		tmplMask: make([]uint32, bufSlots),
+		touchQ:   make([]int32, bufSlots),
+		notifyQ:  make([]int32, bufSlots),
+		cells:    make([]*regionCell, 0, bufSlots),
 	}
 }
 
 // Stats returns cumulative reconstruction statistics.
 func (rc *Reconstructor) Stats() ReconStats { return rc.stats }
 
-func (rc *Reconstructor) slotValid(i int) bool {
-	return rc.valid[i>>6]&(1<<(uint(i)&63)) != 0
-}
-
-// place inserts block at the intended slot, searching ±search for a free
-// slot on collision (§4.3). A block already placed anywhere in the window
-// is not placed twice: the RMOB records spatial *misses* that the PST may
-// nevertheless predict on this pass, and both sources would otherwise
-// consume two slots for one future access, cascading collisions — callers
-// test the dedup bit before calling, so place never sees a duplicate.
-// dedup is the caller-held dedup bitmap for block's region (see
-// regionBits) and bit the block's offset bit within it.
-func (rc *Reconstructor) place(dedup *uint32, bit uint32, slot int, block mem.Addr) {
-	free := -1
-	if slot >= 0 && slot < rc.bufSlots && rc.filled < rc.bufSlots {
-		free = slot
-		if rc.slotValid(slot) {
-			free = -1
-			for d := 1; d <= rc.search; d++ {
-				if s := slot + d; s < rc.bufSlots && !rc.slotValid(s) {
-					free = s
-					break
-				}
-				if s := slot - d; s >= 0 && !rc.slotValid(s) {
-					free = s
-					break
-				}
-			}
-		}
-	}
-	if free < 0 {
-		// Out of range, buffer full, or collision search exhausted.
-		rc.stats.Dropped++
-		return
-	}
-	*dedup |= bit
-	rc.slots[free] = block
-	rc.valid[free>>6] |= 1 << (uint(free) & 63)
-	rc.filled++
-	if free == slot {
-		rc.stats.PlacedExact++
-	} else {
-		rc.stats.PlacedNear++
-	}
-}
-
 // Window reconstructs one buffer of predicted addresses starting from the
 // RMOB position *pos, advancing *pos past every entry consumed. For each
-// entry whose spatial lookup hits, onRegion (if non-nil) is informed of the
-// region and the index used — the state the AGT keeps for spatial-only
-// stream detection (§4.2). The returned blocks are in predicted total miss
-// order.
+// region some consumed entry hit a spatial pattern in, onRegion (if
+// non-nil) is called once with the region and the last lookup index used
+// for it, calls ordered by that last use — the state the AGT keeps for
+// spatial-only stream detection (§4.2) is region-keyed and last-writer-
+// wins, so this folds to the same state as a call per entry. The returned
+// blocks are in predicted total miss order.
 //
 // The returned slice is the reconstructor's reusable output buffer: it is
 // valid until the next Window call. Callers that keep the addresses (the
 // stream engine copies them into queue storage) need no copy.
+//
+// The reconstruction is batched (§4.3 collision search and dedup
+// semantics unchanged, results byte-identical to the entry-at-a-time
+// form): one fused pass walks the ring, resolves each entry's PST lookup
+// through the batch's key-dedup scratch (the table's hash index is probed
+// once per distinct key), and places temporal entries and spatial
+// expansions from per-group templates, while recency updates and region
+// notifications ride the deferred queues to one replay per distinct key
+// or region.
+//
+// A block already placed anywhere in the window is not placed twice: the
+// RMOB records spatial *misses* that the PST may nevertheless predict on
+// this pass, and both sources would otherwise consume two slots for one
+// future access, cascading collisions.
 func (rc *Reconstructor) Window(pos *uint64, onRegion func(region mem.Addr, k Key)) []mem.Addr {
-	clear(rc.valid)
-	rc.filled = 0
-	rc.regionBits.Reset() // values are uint32 bitmaps; occupancy-only clear
-	prevTrig := 0
-	first := true
-	consumed := 0
-	// Spatial misses of one generation land in the RMOB back to back, so
-	// runs of consecutive entries share a lookup index; a repeat of the
-	// immediately preceding onRegion notification is an exact no-op (same
-	// value, already most-recent) and is skipped. The RMOB bounds are
-	// loop-invariant — no append happens mid-window — so the ring is read
-	// directly with the At validity check hoisted out of the loop.
-	var lastRegion mem.Addr
-	var lastK Key
-	notified := false
+	// The RMOB bounds are loop-invariant — no append happens mid-window —
+	// so the ring is read directly with the At validity check hoisted out
+	// of the loop.
 	rmob := rc.rmob
+	ring := rmob.ring
 	hi := rmob.appends
 	lo := uint64(0)
-	if hi > uint64(len(rmob.ring)) {
-		lo = hi - uint64(len(rmob.ring))
+	if hi > uint64(len(ring)) {
+		lo = hi - uint64(len(ring))
 	}
-	for {
-		p := *pos
-		if p < lo || p >= hi {
-			break
+	p := *pos
+	if p < lo || p >= hi {
+		return nil
+	}
+	batch := rc.batch
+	bufSlots := rc.bufSlots
+	rmask := rmob.mask
+	t := rc.pst.table
+	batch.epoch++
+	if batch.epoch == 0 { // stamp wraparound: invalidate everything once
+		clear(batch.scratch)
+		batch.epoch = 1
+	}
+	epoch := batch.epoch
+	scratch := batch.scratch
+	smask := uint32(len(scratch) - 1)
+	shift := batch.sshift
+	touchQ := rc.touchQ
+	notifyQ := rc.notifyQ
+	cells := rc.cells[:0]
+	arena := rc.arena[:0]
+	tmplOff := rc.tmplOff
+	clear(rc.valid)
+	rc.regionBits.Reset() // pointer-free cells; occupancy-only clear
+	useCtrs, thr := rc.pst.useCounters, rc.pst.threshold
+	search := rc.search
+	fast2 := search == 2
+	valid := rc.valid
+	slots := rc.slots
+	filled := 0
+	var (
+		dedup       *regionCell
+		dedupRegion mem.Addr
+		haveDedup   bool
+
+		placedExact, placedNear, dropped, spatialHits uint64
+	)
+	n := int32(0)
+	ngroups := int32(0)
+	prevTrig := 0
+	first := true
+	var prevKey uint64
+	var prevEnt *PSTEntry
+	prevGrp := int32(-1)
+	prevJ := int32(-1)
+	for ; p < hi; p++ {
+		var e RMOBEntry
+		if rmask != 0 {
+			e = ring[p&rmask]
+		} else {
+			e = ring[p%uint64(len(ring))]
 		}
-		e := rmob.ring[rmob.slot(p)]
 		slot := 0
 		if !first {
 			slot = prevTrig + 1 + int(e.Delta)
-			if slot >= rc.bufSlots {
+			if slot >= bufSlots {
 				break // start of the next window; leave for the next call
 			}
 		}
 		first = false
-		*pos++
-		consumed++
-		rc.stats.Entries++
-		// One region probe serves the temporal placement and the whole
-		// spatial expansion: every block below is in e.Block's region.
-		region := e.Block.Region()
-		dedup := rc.regionBits.Ref(uint64(region))
-		if bit := uint32(1) << uint(e.Block.RegionOffset()); *dedup&bit == 0 {
-			rc.place(dedup, bit, slot, e.Block)
-		}
 		prevTrig = slot
-
-		k := Key{PC: e.PC, Offset: e.Block.RegionOffset()}
-		if ent := rc.pst.Lookup(k); ent != nil {
-			rc.stats.SpatialHits++
-			if onRegion != nil {
-				if !notified || region != lastRegion || k != lastK {
-					onRegion(region, k)
-					lastRegion, lastK, notified = region, k, true
+		i := n
+		n++
+		block := e.Block
+		// One region probe serves the temporal placement and the whole
+		// spatial expansion: every block below is in block's region.
+		region := block.Region()
+		if !haveDedup || region != dedupRegion {
+			dedup = rc.regionBits.Ref(uint64(region))
+			if dedup.mark == 0 {
+				*dedup = regionCell{region: region, mark: 1, ci: int32(len(cells))}
+				cells = append(cells, dedup)
+			}
+			dedupRegion, haveDedup = region, true
+		}
+		if bit := uint32(1) << uint(block.RegionOffset()); dedup.bits&bit == 0 {
+			free := -1
+			if valid[slot>>6]&(1<<(uint(slot)&63)) == 0 {
+				free = slot
+			} else if filled < bufSlots {
+				if fast2 && uint(slot-2) <= uint(bufSlots-5) {
+					w := slot - 2
+					nb := valid[w>>6] >> (uint(w) & 63)
+					if uint(w)&63 > 59 {
+						nb |= valid[w>>6+1] << (64 - uint(w)&63)
+					}
+					if d := placeTab2[nb&31]; d != placeDrop {
+						free = slot + int(d)
+					}
+				} else {
+					for d := 1; d <= search; d++ {
+						if s := slot + d; s < bufSlots && valid[s>>6]&(1<<(uint(s)&63)) == 0 {
+							free = s
+							break
+						}
+						if s := slot - d; s >= 0 && valid[s>>6]&(1<<(uint(s)&63)) == 0 {
+							free = s
+							break
+						}
+					}
 				}
 			}
-			sp := slot
-			useCtrs, thr := rc.pst.useCounters, rc.pst.threshold
-			for _, el := range ent.Sequence() {
-				sp += 1 + int(el.Delta)
-				if sp >= rc.bufSlots {
+			if free < 0 {
+				// Buffer full or collision search exhausted.
+				dropped++
+			} else {
+				dedup.bits |= bit
+				slots[free] = block
+				valid[free>>6] |= 1 << (uint(free) & 63)
+				filled++
+				if free == slot {
+					placedExact++
+				} else {
+					placedNear++
+				}
+			}
+		}
+		// Resolve the entry's PST lookup through the key-dedup scratch:
+		// one index probe per distinct key (Find is read-only, so
+		// skipping repeats changes nothing), the key's pending recency
+		// bump riding forward in touchQ to its latest occurrence.
+		k := e.PC<<mem.RegionBlockBits | uint64(block.RegionOffset())
+		var ent *PSTEntry
+		var grp int32
+		if prevGrp >= 0 && k == prevKey {
+			ent, grp = prevEnt, prevGrp
+			if prevJ >= 0 {
+				s := &scratch[prevJ]
+				touchQ[s.last] = 0
+				touchQ[i] = prevJ + 1
+				s.last = i
+			}
+		} else {
+			for j := uint32(k*0x9E3779B97F4A7C15>>shift) & smask; ; j = (j + 1) & smask {
+				s := &scratch[j]
+				if s.stamp != epoch {
+					// First occurrence of k in this window: the one
+					// real index probe.
+					node := int32(-1)
+					if fn, ok := t.Find(k); ok {
+						node = int32(fn)
+						ent = t.RefAt(fn)
+					}
+					grp = ngroups
+					ngroups++
+					*s = scratchSlot{key: k, ent: ent, node: node, grp: grp, last: i, stamp: epoch}
+					if node >= 0 {
+						touchQ[i] = int32(j) + 1
+						prevJ = int32(j)
+					} else {
+						prevJ = -1 // a missing key never bumps recency
+					}
+					// Build the group's expansion template on first
+					// sight: confident, in-region elements only, with
+					// the slot advance prefix-summed over the full
+					// sequence (low-confidence elements still advance
+					// the cursor). In bit-vector mode every stored
+					// element predicts itself, so the counter filter
+					// applies only in counter mode. The template
+					// depends on (key, entry) alone, both fixed per
+					// group for the window.
+					start := int32(len(arena))
+					msk := uint32(0)
+					if ent != nil {
+						keyOff := int(k & (mem.RegionBlocks - 1))
+						sp := int32(0)
+						for _, el := range ent.Sequence() {
+							sp += 1 + int32(el.Delta)
+							if useCtrs && ent.counterAt(el.Offset) < thr {
+								continue
+							}
+							abs := keyOff + int(el.Offset)
+							if uint(abs) >= mem.RegionBlocks {
+								continue // defensive: never predict outside the region
+							}
+							msk |= 1 << uint(abs)
+							arena = append(arena, expElem{
+								spOff: sp,
+								dOff:  int32(el.Offset) * mem.BlockSize,
+								bit:   1 << uint(abs),
+							})
+						}
+					}
+					tmplOff[grp] = start
+					rc.tmplLen[grp] = int32(len(arena)) - start
+					rc.tmplMask[grp] = msk
 					break
 				}
-				// predictsHot with the mode test hoisted: the counter
-				// compare inlines, keeping the hot expansion call-free.
-				if useCtrs {
-					if ent.counterAt(el.Offset) < thr {
-						continue
+				if s.key == k {
+					ent = s.ent
+					grp = s.grp
+					if s.node >= 0 {
+						touchQ[s.last] = 0
+						touchQ[i] = int32(j) + 1
+						s.last = i
+						prevJ = int32(j)
+					} else {
+						prevJ = -1
 					}
-				} else if !rc.pst.predictsHot(ent, el.Offset) {
-					continue
+					break
 				}
-				b := mem.Addr(int64(e.Block) + int64(el.Offset)*mem.BlockSize)
-				if !mem.SameRegion(b, e.Block) {
-					continue // defensive: never predict outside the region
+			}
+			prevKey, prevEnt, prevGrp = k, ent, grp
+		}
+		if ent == nil {
+			continue
+		}
+		spatialHits++
+		if onRegion != nil {
+			// Defer: only the region's last (key, order) sighting
+			// matters to the region-keyed consumer. Ride it forward.
+			if lp := dedup.lastP1; lp != 0 {
+				notifyQ[lp-1] = 0
+			}
+			notifyQ[i] = dedup.ci + 1
+			dedup.lastP1 = i + 1
+			dedup.kLast = k
+		}
+		// A repeated key whose template offsets are all deduped already
+		// (the common shape: the same trigger recurring in one region)
+		// would skip every element — elide the whole walk. Elements cut
+		// off at the window edge place nothing either way, so the full
+		// mask is a safe over-approximation.
+		if dedup.bits&rc.tmplMask[grp] == rc.tmplMask[grp] {
+			continue
+		}
+		off := tmplOff[grp]
+		for _, x := range arena[off : off+rc.tmplLen[grp]] {
+			// spOff is strictly increasing, so the first out-of-window
+			// element ends the expansion exactly like the sequential scan.
+			sp := slot + int(x.spOff)
+			if sp >= bufSlots {
+				break
+			}
+			if dedup.bits&x.bit == 0 {
+				b := mem.Addr(int64(block) + int64(x.dOff))
+				free := -1
+				if valid[sp>>6]&(1<<(uint(sp)&63)) == 0 {
+					free = sp
+				} else if filled < bufSlots {
+					if fast2 && uint(sp-2) <= uint(bufSlots-5) {
+						w := sp - 2
+						nb := valid[w>>6] >> (uint(w) & 63)
+						if uint(w)&63 > 59 {
+							nb |= valid[w>>6+1] << (64 - uint(w)&63)
+						}
+						if d := placeTab2[nb&31]; d != placeDrop {
+							free = sp + int(d)
+						}
+					} else {
+						for d := 1; d <= search; d++ {
+							if s := sp + d; s < bufSlots && valid[s>>6]&(1<<(uint(s)&63)) == 0 {
+								free = s
+								break
+							}
+							if s := sp - d; s >= 0 && valid[s>>6]&(1<<(uint(s)&63)) == 0 {
+								free = s
+								break
+							}
+						}
+					}
 				}
-				if bit := uint32(1) << uint(b.RegionOffset()); *dedup&bit == 0 {
-					rc.place(dedup, bit, sp, b)
+				if free < 0 {
+					dropped++
+				} else {
+					dedup.bits |= x.bit
+					slots[free] = b
+					valid[free>>6] |= 1 << (uint(free) & 63)
+					filled++
+					if free == sp {
+						placedExact++
+					} else {
+						placedNear++
+					}
 				}
 			}
 		}
 	}
-	if consumed == 0 {
-		return nil
+	batch.groups = int(ngroups)
+	rc.stats.Entries += p - *pos
+	*pos = p
+
+	// Deferred recency replay: one Touch per distinct present key, in
+	// ascending last-occurrence order. A run of Gets leaves the LRU
+	// ordered by last occurrence, so this lands the byte-identical state
+	// (nothing reads the table's order mid-window). The drain also
+	// re-zeroes touchQ for the next window.
+	for i := int32(0); i < n; i++ {
+		if j := touchQ[i]; j != 0 {
+			touchQ[i] = 0
+			t.Touch(int(scratch[j-1].node))
+		}
 	}
+	// Deferred notifications: one call per distinct region, ascending by
+	// last sighting. The drain re-zeroes notifyQ for the next window.
+	if onRegion != nil {
+		for i := int32(0); i < n; i++ {
+			if c := notifyQ[i]; c != 0 {
+				notifyQ[i] = 0
+				cell := cells[c-1]
+				onRegion(cell.region, Key{
+					PC:     cell.kLast >> mem.RegionBlockBits,
+					Offset: int(cell.kLast & (mem.RegionBlocks - 1)),
+				})
+			}
+		}
+	}
+	rc.cells = cells
+	rc.arena = arena
+	rc.filled = filled
+	rc.stats.PlacedExact += placedExact
+	rc.stats.PlacedNear += placedNear
+	rc.stats.Dropped += dropped
+	rc.stats.SpatialHits += spatialHits
 	rc.stats.Windows++
 	rc.out = rc.out[:0]
 	for w, word := range rc.valid {

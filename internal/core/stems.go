@@ -58,7 +58,7 @@ type STeMS struct {
 	// during recent reconstructions — the state against which new
 	// generations are compared to detect the need for spatial-only
 	// streams (§4.2).
-	reconRegions *lru.U64Map[Key] // keyed by uint64(region)
+	reconRegions *lru.U64Map[uint64] // keyed by uint64(region); value Key.pack()
 
 	eventIdx      uint64 // global off-chip read event counter
 	lastRMOBEvent uint64 // eventIdx at the most recent RMOB append
@@ -96,7 +96,7 @@ func New(cfg config.STeMS, engine *stream.Engine) *STeMS {
 		rmob:         rmob,
 		recon:        NewReconstructor(pst, rmob, cfg.ReconBufEntries, cfg.ReconSearch),
 		agt:          lru.NewU64[*agtGen](cfg.AGTEntries),
-		reconRegions: lru.NewU64[Key](4096),
+		reconRegions: lru.NewU64[uint64](4096),
 		genFree:      make([]*agtGen, 0, cfg.AGTEntries+1),
 	}
 	s.refillFn = s.refillStream
@@ -305,11 +305,17 @@ func (s *STeMS) refillStream(q *stream.Queue) {
 	}
 }
 
+// onReconRegion is the reconstruction notification hook. Window already
+// folds the per-entry notifications down to one per distinct region in
+// last-use order, so a plain Put per call reproduces the per-entry
+// recency state exactly (the map is region-keyed, last writer wins).
+func (s *STeMS) onReconRegion(region mem.Addr, k Key) {
+	s.reconRegions.Put(uint64(region), k.pack())
+}
+
 func (s *STeMS) reconWindow(pos *uint64) []mem.Addr {
 	before := *pos
-	out := s.recon.Window(pos, func(region mem.Addr, k Key) {
-		s.reconRegions.Put(uint64(region), k)
-	})
+	out := s.recon.Window(pos, s.onReconRegion)
 	if s.meta != nil {
 		// Reconstruction read the RMOB entries in [before, *pos) and
 		// performed one PST lookup per entry (§4.2).
@@ -338,7 +344,7 @@ func (s *STeMS) maybeSpatialOnly(trigger mem.Addr, k Key, covered bool) {
 	// the reconstructed prediction is not delivering — stream the pattern
 	// regardless of what the reconstruction promised.
 	if covered {
-		if rk, ok := s.reconRegions.Get(uint64(trigger.Region())); ok && rk == k {
+		if rk, ok := s.reconRegions.Get(uint64(trigger.Region())); ok && rk == k.pack() {
 			return
 		}
 	}

@@ -339,10 +339,28 @@ type Fig10Row struct {
 
 // Figure10 measures performance improvement over the stride-prefetching
 // baseline across seeds (the stand-in for the paper's SimFlex sampling).
+//
+// Each seed's panel — the stride baseline plus every compared kind —
+// replays as one lockstep MachineSet over a single shared trace cursor:
+// the trace is generated once, each block is fetched once and stepped by
+// all four machines while its columns are hot in cache, and the results
+// are byte-identical to the former one-run-per-kind loop (machines share
+// no mutable state; the equivalence suite pins this). Extra
+// confidence-interval seeds never enter the arena at all — their trace
+// lives exactly as long as their set replays, which replaces the
+// generate-then-Drop arena juggling the sequential loop needed to keep
+// peak memory near one trace per worker.
 func Figure10(p Params) []Fig10Row {
 	seeds := p.Seeds
 	if seeds <= 0 {
 		seeds = 1
+	}
+	// When workloads already fan out across workers, each cell's set runs
+	// serially; a standalone (non-parallel) figure lets the set use the
+	// machine instead.
+	laneParallelism := 0
+	if p.Parallel {
+		laneParallelism = 1
 	}
 	return forEachWorkload(p, func(spec workload.Spec) Fig10Row {
 		row := Fig10Row{Workload: spec.Name, Speedup: map[sim.Kind]*stats.Sample{}}
@@ -351,17 +369,34 @@ func Figure10(p Params) []Fig10Row {
 		}
 		for s := 0; s < seeds; s++ {
 			seed := p.Seed + int64(s)*7919
-			base := runOne(p, spec, sim.KindStride, seed)
-			for _, kind := range Fig10Kinds {
-				res := runOne(p, spec, kind, seed)
-				row.Speedup[kind].Add(float64(base.Cycles)/float64(res.Cycles) - 1)
+			var bt *trace.BlockTrace
+			if seed == p.Seed {
+				// The base seed is shared with every other figure through
+				// the arena.
+				bt = p.traceAt(spec, seed)
+			} else {
+				bt = spec.GenerateBlocks(seed, p.accessesFor(spec))
 			}
-			if p.Arena != nil && seed != p.Seed {
-				// The extra confidence-interval seeds are Figure 10-only:
-				// release them as soon as their cells finish so peak arena
-				// memory stays near one trace per worker. The base seed
-				// stays resident for the other figures.
-				p.Arena.Drop(spec.Name, seed, p.accessesFor(spec))
+			machines := make([]*sim.Machine, 0, 1+len(Fig10Kinds))
+			for _, kind := range append([]sim.Kind{sim.KindStride}, Fig10Kinds...) {
+				opt := sim.DefaultOptions()
+				opt.System = p.system()
+				opt.Scientific = spec.Scientific
+				m, err := sim.Build(kind, opt)
+				if err != nil {
+					panic(err)
+				}
+				machines = append(machines, m)
+			}
+			set := sim.NewSharedSet(bt.Blocks(), machines...)
+			set.Parallelism = laneParallelism
+			results, err := set.Run(context.Background())
+			if err != nil {
+				panic(err)
+			}
+			base := results[0]
+			for i, kind := range Fig10Kinds {
+				row.Speedup[kind].Add(float64(base.Cycles)/float64(results[i+1].Cycles) - 1)
 			}
 		}
 		return row

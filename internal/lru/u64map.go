@@ -96,6 +96,28 @@ func (m *U64Map[V]) GetRef(k uint64) (*V, bool) {
 	return &m.entries[i].val, true
 }
 
+// Find returns the internal node index for k without refreshing recency
+// or copying the value. Together with Touch and RefAt it is the batch
+// probe path: a caller resolving many keys can separate the index probes
+// from the recency updates while preserving the exact Get semantics —
+// Find+Touch+RefAt in key order leaves the map byte-identical to a
+// GetRef per key. Node indexes are stable until the next Put or Delete.
+func (m *U64Map[V]) Find(k uint64) (int, bool) { return m.index.Get(k) }
+
+// Touch refreshes the recency of the node index i returned by Find,
+// exactly as Get would for its key.
+func (m *U64Map[V]) Touch(i int) {
+	if m.head != i {
+		m.unlink(i)
+		m.pushFront(i)
+	}
+}
+
+// RefAt returns a pointer to the value stored at node index i. Like
+// GetRef, the pointer is read-only for callers and valid only until the
+// next Put or Delete.
+func (m *U64Map[V]) RefAt(i int) *V { return &m.entries[i].val }
+
 // Peek returns the value for k without refreshing recency.
 func (m *U64Map[V]) Peek(k uint64) (V, bool) {
 	i, ok := m.index.Get(k)

@@ -1,0 +1,150 @@
+package service
+
+import (
+	"encoding/json"
+	"testing"
+
+	"stems/internal/enc"
+)
+
+func seedRun(workload string, accesses int, seed int64, label string) enc.RunSpec {
+	return enc.RunSpec{Predictor: "stems", Workload: workload, Accesses: accesses, Seed: seed, Label: label}
+}
+
+// TestLockstepSetByteIdentical is the service-side acceptance check for
+// seed-vectorized execution: a job whose runs differ only by seed
+// executes as one lockstep set, and every result must be byte-identical
+// to the same runs submitted as separate jobs against a fresh daemon.
+func TestLockstepSetByteIdentical(t *testing.T) {
+	seeds := []int64{1, 7920, 15839}
+
+	// Sequential reference: one daemon, one job per seed.
+	ref := mustNew(t, Config{Workers: 1, QueueBound: 8})
+	want := make([]string, len(seeds))
+	for i, seed := range seeds {
+		j, err := ref.Submit(enc.JobSpec{RunSpec: seedRun("em3d", 20_000, seed, "")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := waitJob(t, j)
+		if st.State != enc.JobDone {
+			t.Fatalf("reference seed %d: state = %s (err %q)", seed, st.State, st.Error)
+		}
+		want[i] = string(st.Results[0])
+	}
+	ref.Drain()
+
+	// Lockstep: one fresh daemon, one job carrying all seeds.
+	svc := mustNew(t, Config{Workers: 1, QueueBound: 8})
+	defer svc.Drain()
+	runs := make([]enc.RunSpec, len(seeds))
+	for i, seed := range seeds {
+		runs[i] = seedRun("em3d", 20_000, seed, "")
+	}
+	j, err := svc.Submit(enc.JobSpec{Runs: runs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitJob(t, j)
+	if st.State != enc.JobDone {
+		t.Fatalf("lockstep job: state = %s (err %q)", st.State, st.Error)
+	}
+	if len(st.Results) != len(seeds) {
+		t.Fatalf("got %d results, want %d", len(st.Results), len(seeds))
+	}
+	for i := range seeds {
+		if string(st.Results[i]) != want[i] {
+			t.Errorf("seed %d: lockstep result differs from sequential job:\n lockstep:   %s\n sequential: %s",
+				seeds[i], st.Results[i], want[i])
+		}
+	}
+	if st.Progress.CacheHits != 0 {
+		t.Errorf("lockstep job reported %d cache hits, want 0 (every seed computed here)", st.Progress.CacheHits)
+	}
+	if st.Progress.AccessesDone != st.Progress.AccessesTotal {
+		t.Errorf("progress = %d/%d, want complete", st.Progress.AccessesDone, st.Progress.AccessesTotal)
+	}
+
+	// Each seed's result is individually content-addressed: resubmitting
+	// one seed alone must be a pure cache hit.
+	j2, err := svc.Submit(enc.JobSpec{RunSpec: seedRun("em3d", 20_000, seeds[1], "")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := waitJob(t, j2)
+	if st2.State != enc.JobDone {
+		t.Fatalf("resubmit: state = %s (err %q)", st2.State, st2.Error)
+	}
+	if st2.Progress.CacheHits != 1 {
+		t.Errorf("resubmit of one set member: cache hits = %d, want 1", st2.Progress.CacheHits)
+	}
+	if string(st2.Results[0]) != want[1] {
+		t.Errorf("cached set member differs from sequential result")
+	}
+}
+
+// TestLockstepSetMixedCells checks that grouping stops at cell
+// boundaries: a job interleaving two cells still returns results in
+// submission order, each correct for its spec, with labels applied.
+func TestLockstepSetMixedCells(t *testing.T) {
+	svc := mustNew(t, Config{Workers: 1, QueueBound: 8})
+	defer svc.Drain()
+
+	runs := []enc.RunSpec{
+		seedRun("em3d", 20_000, 1, "a"),
+		seedRun("em3d", 20_000, 7920, "b"),
+		{Predictor: "sms", Workload: "em3d", Accesses: 20_000, Seed: 1, Label: "c"},
+		seedRun("em3d", 20_000, 1, "d"), // duplicate of run 0's cell+seed: cache hit
+	}
+	j, err := svc.Submit(enc.JobSpec{Runs: runs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitJob(t, j)
+	if st.State != enc.JobDone {
+		t.Fatalf("state = %s (err %q)", st.State, st.Error)
+	}
+	if len(st.Results) != len(runs) {
+		t.Fatalf("got %d results, want %d", len(st.Results), len(runs))
+	}
+	for i, want := range []string{"a", "b", "c", "d"} {
+		var res struct {
+			Label string `json:"label"`
+		}
+		if err := json.Unmarshal(st.Results[i], &res); err != nil {
+			t.Fatalf("result %d: %v", i, err)
+		}
+		if res.Label != want {
+			t.Errorf("result %d: label = %q, want %q", i, res.Label, want)
+		}
+	}
+	if st.Progress.CacheHits != 1 {
+		t.Errorf("cache hits = %d, want 1 (the duplicate run)", st.Progress.CacheHits)
+	}
+}
+
+// TestSameCell pins the grouping predicate: seed and label differences
+// group, anything else does not.
+func TestSameCell(t *testing.T) {
+	base := seedRun("DB2", 10_000, 1, "x")
+	same := seedRun("DB2", 10_000, 99, "y")
+	if !sameCell(&base, &same) {
+		t.Error("seed+label variation should share a cell")
+	}
+	diffs := []enc.RunSpec{
+		{Predictor: "sms", Workload: "DB2", Accesses: 10_000, Seed: 1},
+		{Predictor: "stems", Workload: "Oracle", Accesses: 10_000, Seed: 1},
+		{Predictor: "stems", Workload: "DB2", Accesses: 20_000, Seed: 1},
+		{Predictor: "stems", Workload: "DB2", Accesses: 10_000, Seed: 1, System: "paper"},
+	}
+	b := base
+	b.System = "scaled"
+	for i := range diffs {
+		if diffs[i].System == "" {
+			diffs[i].System = "scaled"
+		}
+		if sameCell(&b, &diffs[i]) {
+			t.Errorf("spec %d should not share a cell with the base", i)
+		}
+	}
+}

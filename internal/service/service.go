@@ -384,21 +384,57 @@ func (s *Service) Metrics() enc.Metrics {
 	return m
 }
 
+// setResult is one lockstep-set outcome parked until its run slot comes
+// up in job order: the canonical bytes plus whether they came from the
+// cache (for exact hit accounting) or were computed by this job's set.
+type setResult struct {
+	data      []byte
+	fromCache bool
+}
+
 // execute is the worker body: it runs a job's runs in order, consulting
-// the result cache before simulating.
+// the result cache before simulating. Consecutive runs that differ only
+// by seed (and label) — the sweep-over-seeds shape — execute as one
+// lockstep MachineSet: one scheduling unit, K predictor states, K
+// individually content-addressed results, byte-identical to running the
+// seeds sequentially. Set results land in computedHere ahead of their
+// run slots and are consumed exactly once, in job order, so the result
+// list the client sees is indistinguishable from sequential execution.
 func (s *Service) execute(j *Job) {
 	if !j.begin() {
 		// Cancelled while queued; requestCancel finished it and Cancel
 		// counted it.
 		return
 	}
+	computedHere := make(map[string]setResult)
 	for i := range j.runs {
 		if err := j.ctx.Err(); err != nil {
 			j.finish(enc.JobCanceled, err)
 			s.jobsCanceled.Add(1)
 			return
 		}
-		data, fromCache, err := s.runOne(j, &j.runs[i])
+		var data []byte
+		var fromCache bool
+		var err error
+		if sr, ok := computedHere[j.runs[i].key]; ok {
+			data, fromCache = sr.data, sr.fromCache
+			delete(computedHere, j.runs[i].key)
+		} else {
+			if g := lockstepGroup(j.runs[i:]); g >= 2 {
+				err = s.computeSet(j, j.runs[i:i+g], computedHere)
+			}
+			if err == nil {
+				if sr, ok := computedHere[j.runs[i].key]; ok {
+					data, fromCache = sr.data, sr.fromCache
+					delete(computedHere, j.runs[i].key)
+				} else {
+					// Not in the cache and led by another job's flight,
+					// or no set formed: the single-run path waits or
+					// computes as before.
+					data, fromCache, err = s.runOne(j, &j.runs[i])
+				}
+			}
+		}
 		if err != nil {
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				j.finish(enc.JobCanceled, err)
@@ -472,6 +508,113 @@ func (s *Service) compute(j *Job, r *resolvedRun) ([]byte, error) {
 	}
 	s.runsComputed.Add(1)
 	return json.Marshal(enc.FromResult("", res))
+}
+
+// sameCell reports whether two normalized run specs name the same
+// (workload, knobs) cell — equal in everything but seed and label, the
+// two fields that never change the predictor configuration. Such runs
+// can replay as one lockstep set.
+func sameCell(a, b *enc.RunSpec) bool {
+	if a.Predictor != b.Predictor || a.Workload != b.Workload ||
+		a.Accesses != b.Accesses || a.System != b.System ||
+		len(a.Knobs) != len(b.Knobs) {
+		return false
+	}
+	for name, v := range a.Knobs {
+		if w, ok := b.Knobs[name]; !ok || v != w {
+			return false
+		}
+	}
+	return true
+}
+
+// lockstepGroup returns the length of the maximal prefix of runs that
+// shares runs[0]'s cell.
+func lockstepGroup(runs []resolvedRun) int {
+	g := 1
+	for g < len(runs) && sameCell(&runs[0].spec, &runs[g].spec) {
+		g++
+	}
+	return g
+}
+
+// computeSet executes a same-cell run group as one lockstep seed set.
+// Each member is routed exactly as runOne would route it — cached
+// results are fetched, keys another job is already computing are left
+// for runOne's flight wait — and only the keys this job wins leadership
+// for become lanes of the set. One Runner.RunSeeds call then produces
+// every lane's result in a single pass; each result is resolved into the
+// cache under its own content address (single-flight followers across
+// jobs share it) and parked in computedHere for its run slot. Results
+// are byte-identical to sequential computation: lanes share no mutable
+// state, only the schedule.
+func (s *Service) computeSet(j *Job, group []resolvedRun, computedHere map[string]setResult) error {
+	type lane struct {
+		run *resolvedRun
+		fl  *flight
+	}
+	var lanes []lane
+	for i := range group {
+		r := &group[i]
+		if _, ok := computedHere[r.key]; ok {
+			continue // an earlier set already produced it; consumed at its slot
+		}
+		if data, ok := s.cache.get(r.key); ok {
+			computedHere[r.key] = setResult{data: data, fromCache: true}
+			continue
+		}
+		fl, leader := s.cache.claim(r.key)
+		if !leader {
+			// Another job (or an earlier duplicate seed in this group) is
+			// computing this key; runOne waits on the flight at its slot.
+			continue
+		}
+		lanes = append(lanes, lane{run: r, fl: fl})
+	}
+	if len(lanes) == 0 {
+		return nil
+	}
+
+	seeds := make([]int64, len(lanes))
+	for i := range lanes {
+		seeds[i] = lanes[i].run.spec.Seed
+		s.noteArenaUse(lanes[i].run.spec.Workload, lanes[i].run.spec.Seed, lanes[i].run.n)
+	}
+
+	base := j.accessesDone.Load()
+	var prev uint64
+	runner, err := stems.FromSpec(lanes[0].run.spec,
+		stems.WithSharedTrace(s.arena),
+		stems.WithRunProgress(func(done uint64) {
+			// RunSeeds serializes progress invocations, so the delta
+			// arithmetic is race-free even with parallel lanes.
+			s.accessesSim.Add(done - prev)
+			prev = done
+			j.noteProgress(base + done)
+		}))
+	var results []stems.Result
+	if err == nil {
+		results, err = runner.RunSeeds(j.ctx, seeds...)
+	}
+	if err != nil {
+		// Wake followers; they recompute for themselves (the set's
+		// failure — typically this job's cancellation — says nothing
+		// about their jobs).
+		for _, ln := range lanes {
+			s.cache.resolve(ln.run.key, ln.fl, nil, err)
+		}
+		return err
+	}
+	for i, ln := range lanes {
+		data, mErr := json.Marshal(enc.FromResult("", results[i]))
+		s.cache.resolve(ln.run.key, ln.fl, data, mErr)
+		if mErr != nil {
+			return mErr
+		}
+		s.runsComputed.Add(1)
+		computedHere[ln.run.key] = setResult{data: data}
+	}
+	return nil
 }
 
 // noteArenaUse bumps a trace key to the front of the arena LRU, dropping

@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"stems/internal/par"
+	"stems/internal/trace"
+)
+
+// Lane is one member of a MachineSet: an independent machine plus the
+// block cursor it replays. Lanes never share mutable state — each has its
+// own caches, SVB, and predictor tables — which is what makes lockstep
+// replay trivially byte-identical to running every lane alone.
+type Lane struct {
+	Machine *Machine
+	Source  trace.BlockSource
+}
+
+// MachineSet advances K independent machines over columnar blocks as one
+// lockstep set: one scheduling unit, one pass over each lane's columns,
+// K predictor states. Two sharing shapes exist:
+//
+//   - NewSharedSet: every machine replays ONE shared block stream. Each
+//     block is fetched once and stepped by all K machines back to back,
+//     so the columns are resolved while hot in cache — the Figure 10
+//     shape, where the stride baseline and the predictor kinds replay
+//     the same (workload, seed) trace.
+//
+//   - NewMachineSet: each lane replays its own cursor (the seed-sweep
+//     shape, where K runs differ only by workload seed and therefore by
+//     trace). Serial execution interleaves lanes block by block; with
+//     Parallelism > 1 lanes advance concurrently on a bounded pool.
+//
+// Either way the results are exactly those of running each machine alone
+// over its stream: machines share no mutable state and blocks are
+// read-only, so only the interleaving differs, never the outcome. The
+// equivalence suite pins this per predictor and workload.
+type MachineSet struct {
+	lanes  []Lane
+	shared trace.BlockSource // non-nil: every lane replays this stream
+
+	// Parallelism bounds the worker goroutines (0 = GOMAXPROCS,
+	// 1 = strictly serial lockstep). Shared sets step the same fetched
+	// block on all machines concurrently with a per-block barrier; lane
+	// sets give each worker whole lanes.
+	Parallelism int
+
+	// Progress, when non-nil, receives the cumulative number of accesses
+	// replayed across every lane, once per block from the replaying
+	// goroutine. With Parallelism > 1 it is invoked concurrently and must
+	// be safe for concurrent use. Keep it cheap — it sits on the replay
+	// path.
+	Progress func(accessesDone uint64)
+
+	replayed atomic.Uint64
+}
+
+// NewMachineSet builds a lockstep set of independent lanes, each with its
+// own block cursor.
+func NewMachineSet(lanes ...Lane) *MachineSet {
+	return &MachineSet{lanes: lanes}
+}
+
+// NewSharedSet builds a lockstep set in which every machine replays the
+// one shared block stream bs: a single cursor, fetched once per block,
+// stepped by all machines.
+func NewSharedSet(bs trace.BlockSource, machines ...*Machine) *MachineSet {
+	lanes := make([]Lane, len(machines))
+	for i, m := range machines {
+		lanes[i] = Lane{Machine: m}
+	}
+	return &MachineSet{lanes: lanes, shared: bs}
+}
+
+// Len returns the number of lanes.
+func (s *MachineSet) Len() int { return len(s.lanes) }
+
+func (s *MachineSet) workers() int {
+	w := s.Parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > len(s.lanes) {
+		w = len(s.lanes)
+	}
+	return w
+}
+
+func (s *MachineSet) noteBlock(accesses int) {
+	if s.Progress == nil {
+		s.replayed.Add(uint64(accesses))
+		return
+	}
+	s.Progress(s.replayed.Add(uint64(accesses)))
+}
+
+// Run replays every lane to exhaustion and returns the finalized results
+// in lane order. The context cancels the set in flight, checked once per
+// block round; on cancellation the partial results are discarded and only
+// the error returns.
+func (s *MachineSet) Run(ctx context.Context) ([]Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if s.shared != nil {
+		if err := s.runShared(ctx); err != nil {
+			return nil, err
+		}
+	} else if err := s.runLanes(ctx); err != nil {
+		return nil, err
+	}
+	results := make([]Result, len(s.lanes))
+	for i := range s.lanes {
+		results[i] = s.lanes[i].Machine.Finish()
+	}
+	return results, nil
+}
+
+// runShared drains the one shared cursor, stepping each fetched block
+// through every machine. Blocks are read-only to StepBlock, so the
+// parallel path steps the same block on all machines at once and joins
+// on a per-block barrier; the serial path steps them back to back while
+// the columns are hot.
+func (s *MachineSet) runShared(ctx context.Context) error {
+	done := ctx.Done()
+	parallel := s.workers() > 1
+	var b trace.Block
+	for s.shared.NextBlock(&b) {
+		if parallel {
+			var wg sync.WaitGroup
+			for i := range s.lanes {
+				wg.Add(1)
+				go func(m *Machine) {
+					defer wg.Done()
+					m.StepBlock(&b)
+				}(s.lanes[i].Machine)
+			}
+			wg.Wait()
+		} else {
+			for i := range s.lanes {
+				s.lanes[i].Machine.StepBlock(&b)
+			}
+		}
+		s.noteBlock(b.N * len(s.lanes))
+		select {
+		case <-done:
+			return ctx.Err()
+		default:
+		}
+	}
+	return nil
+}
+
+// runLanes advances per-lane cursors. Serial execution interleaves the
+// lanes block by block — lanes replaying views of one resident trace
+// stay roughly in step, sharing the columns' cache residency — while the
+// parallel path hands whole lanes to a bounded pool (the lanes share
+// nothing, so there is no cross-lane synchronization to amortize).
+func (s *MachineSet) runLanes(ctx context.Context) error {
+	if s.workers() > 1 {
+		_, err := par.Map(ctx, len(s.lanes), s.workers(),
+			func(ctx context.Context, i int) (struct{}, error) {
+				done := ctx.Done()
+				var b trace.Block
+				for s.lanes[i].Source.NextBlock(&b) {
+					s.lanes[i].Machine.StepBlock(&b)
+					s.noteBlock(b.N)
+					select {
+					case <-done:
+						return struct{}{}, ctx.Err()
+					default:
+					}
+				}
+				return struct{}{}, nil
+			})
+		return err
+	}
+	done := ctx.Done()
+	live := len(s.lanes)
+	exhausted := make([]bool, len(s.lanes))
+	var b trace.Block
+	for live > 0 {
+		for i := range s.lanes {
+			if exhausted[i] {
+				continue
+			}
+			if !s.lanes[i].Source.NextBlock(&b) {
+				exhausted[i] = true
+				live--
+				continue
+			}
+			s.lanes[i].Machine.StepBlock(&b)
+			s.noteBlock(b.N)
+		}
+		select {
+		case <-done:
+			return ctx.Err()
+		default:
+		}
+	}
+	return nil
+}

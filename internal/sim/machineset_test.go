@@ -1,0 +1,173 @@
+// Lockstep-set equivalence: a MachineSet must produce, lane for lane,
+// exactly the Results of running every machine alone over its stream —
+// for the shared-cursor shape (Figure 10's kind panel), the per-lane
+// cursor shape (seed sweeps), and the parallel variants of both.
+package sim_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"stems/internal/config"
+	"stems/internal/sim"
+	"stems/internal/trace"
+	"stems/internal/workload"
+
+	_ "stems/internal/predictors"
+)
+
+func setOptions(spec workload.Spec) sim.Options {
+	opt := sim.DefaultOptions()
+	opt.System = config.ScaledSystem()
+	opt.Scientific = spec.Scientific
+	return opt
+}
+
+func buildKind(t *testing.T, kind sim.Kind, opt sim.Options) *sim.Machine {
+	t.Helper()
+	m, err := sim.Build(kind, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestSharedSetMatchesSequential replays one trace through a shared-cursor
+// set of every registered predictor and requires each lane's Result to be
+// identical to a solo RunBlocks of the same kind.
+func TestSharedSetMatchesSequential(t *testing.T) {
+	const accesses = 12_000
+	spec, err := workload.ByName("DB2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt := trace.NewBlockTrace(spec.Generate(1, accesses))
+	opt := setOptions(spec)
+	kinds := sim.AllKinds()
+
+	want := make([]sim.Result, len(kinds))
+	for i, kind := range kinds {
+		want[i] = buildKind(t, kind, opt).RunBlocks(bt.Blocks())
+	}
+
+	for _, parallelism := range []int{1, 4} {
+		machines := make([]*sim.Machine, len(kinds))
+		for i, kind := range kinds {
+			machines[i] = buildKind(t, kind, opt)
+		}
+		set := sim.NewSharedSet(bt.Blocks(), machines...)
+		set.Parallelism = parallelism
+		got, err := set.Run(context.Background())
+		if err != nil {
+			t.Fatalf("parallelism=%d: %v", parallelism, err)
+		}
+		for i, kind := range kinds {
+			if got[i] != want[i] {
+				t.Errorf("parallelism=%d: %s diverged from solo run\n got: %+v\nwant: %+v",
+					parallelism, kind, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestLaneSetMatchesSequential replays K seed-differing traces through a
+// per-lane-cursor set and requires each lane to match its solo run.
+func TestLaneSetMatchesSequential(t *testing.T) {
+	const accesses = 12_000
+	spec, err := workload.ByName("Oracle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := setOptions(spec)
+	seeds := []int64{1, 7920, 15839}
+
+	traces := make([]*trace.BlockTrace, len(seeds))
+	want := make([]sim.Result, len(seeds))
+	for i, seed := range seeds {
+		traces[i] = trace.NewBlockTrace(spec.Generate(seed, accesses))
+		want[i] = buildKind(t, sim.KindSTeMS, opt).RunBlocks(traces[i].Blocks())
+	}
+
+	for _, parallelism := range []int{1, 3} {
+		lanes := make([]sim.Lane, len(seeds))
+		for i := range seeds {
+			lanes[i] = sim.Lane{
+				Machine: buildKind(t, sim.KindSTeMS, opt),
+				Source:  traces[i].Blocks(),
+			}
+		}
+		set := sim.NewMachineSet(lanes...)
+		set.Parallelism = parallelism
+		got, err := set.Run(context.Background())
+		if err != nil {
+			t.Fatalf("parallelism=%d: %v", parallelism, err)
+		}
+		for i := range seeds {
+			if got[i] != want[i] {
+				t.Errorf("parallelism=%d: seed %d diverged from solo run\n got: %+v\nwant: %+v",
+					parallelism, seeds[i], got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMachineSetProgress checks the cumulative cross-lane access counter:
+// the final callback value must equal lanes × trace length, monotonic
+// per observation under the serial path.
+func TestMachineSetProgress(t *testing.T) {
+	const accesses = 9_000
+	spec, err := workload.ByName("DB2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt := trace.NewBlockTrace(spec.Generate(1, accesses))
+	opt := setOptions(spec)
+
+	machines := []*sim.Machine{
+		buildKind(t, sim.KindStride, opt),
+		buildKind(t, sim.KindSMS, opt),
+	}
+	set := sim.NewSharedSet(bt.Blocks(), machines...)
+	set.Parallelism = 1
+	var mu sync.Mutex
+	var last uint64
+	set.Progress = func(done uint64) {
+		mu.Lock()
+		if done < last {
+			t.Errorf("progress went backwards: %d after %d", done, last)
+		}
+		last = done
+		mu.Unlock()
+	}
+	if _, err := set.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(2 * accesses); last != want {
+		t.Fatalf("final progress = %d, want %d", last, want)
+	}
+}
+
+// TestMachineSetCancel verifies a cancelled context stops the set within
+// one block round.
+func TestMachineSetCancel(t *testing.T) {
+	const accesses = 50_000
+	spec, err := workload.ByName("DB2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt := trace.NewBlockTrace(spec.Generate(1, accesses))
+	opt := setOptions(spec)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	set := sim.NewSharedSet(bt.Blocks(), buildKind(t, sim.KindStride, opt))
+	set.Parallelism = 1
+	set.Progress = func(done uint64) {
+		if done >= trace.BlockCap {
+			cancel()
+		}
+	}
+	if _, err := set.Run(ctx); err != context.Canceled {
+		t.Fatalf("Run after cancel = %v, want context.Canceled", err)
+	}
+}

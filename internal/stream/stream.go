@@ -145,6 +145,14 @@ type svbEntry struct {
 	active   bool
 }
 
+// svbRef is one svbRing entry: a slot id plus the stamp it was filled
+// with, so a popped ref whose slot has since been released or refilled is
+// recognized as stale.
+type svbRef struct {
+	slot  int32
+	stamp uint64
+}
+
 // Engine owns the stream queues and the SVB.
 type Engine struct {
 	cfg     Config
@@ -168,6 +176,16 @@ type Engine struct {
 	stamp     uint64
 	stats     Stats
 
+	// svbRing records fills in issue order so the eviction victim (the
+	// minimum-stamp live entry — stamps are strictly monotonic at fill
+	// time, so fill order IS stamp order) pops from the head instead of
+	// an argmin scan over every slot. Entries whose slot was released or
+	// refilled since the push are stale and skipped by stamp mismatch;
+	// a full ring compacts in place (at most SVBEntries refs are live).
+	svbRing  []svbRef
+	ringHead int
+	ringTail int
+
 	// Adaptive lookahead state.
 	curLookahead int
 	adaptWindow  uint64 // consumptions observed in the current window
@@ -185,6 +203,7 @@ func NewEngine(cfg Config, fetcher Fetcher) *Engine {
 		svbStamps:    make([]uint64, cfg.SVBEntries),
 		svbIndex:     flat.NewU64Table[int](cfg.SVBEntries),
 		svbFree:      make([]int, 0, cfg.SVBEntries),
+		svbRing:      make([]svbRef, ringSize(cfg.SVBEntries)),
 		queues:       make([]Queue, cfg.Queues),
 		curLookahead: cfg.Lookahead,
 	}
@@ -422,20 +441,57 @@ func (e *Engine) fetchInto(block mem.Addr, owner int, ownerGen int) bool {
 	}
 	e.svbStamps[slot] = e.svb[slot].stamp
 	e.svbIndex.Put(uint64(block), slot)
+	e.ringPush(svbRef{slot: int32(slot), stamp: e.svb[slot].stamp})
 	e.stats.Fetched++
 	return true
 }
 
+// ringSize returns the svbRing capacity for n SVB slots: a power of two
+// with headroom for stale refs between eviction drains.
+func ringSize(n int) int {
+	size := 8
+	for size < 4*n {
+		size <<= 1
+	}
+	return size
+}
+
+func (e *Engine) ringPush(r svbRef) {
+	mask := len(e.svbRing) - 1
+	if e.ringTail-e.ringHead == len(e.svbRing) {
+		// Full: compact stale refs away. At most SVBEntries refs are
+		// live (one per occupied slot), so this always recovers space.
+		w := e.ringHead
+		for i := e.ringHead; i < e.ringTail; i++ {
+			ref := e.svbRing[i&mask]
+			if e.svb[ref.slot].active && e.svb[ref.slot].stamp == ref.stamp {
+				e.svbRing[w&mask] = ref
+				w++
+			}
+		}
+		e.ringTail = w
+	}
+	e.svbRing[e.ringTail&(len(e.svbRing)-1)] = r
+	e.ringTail++
+}
+
 func (e *Engine) evictOldest() {
 	// Called only with every slot occupied (the free list is empty), so
-	// the stamp mirror is fully live: pure argmin, no validity checks.
+	// the ring holds a live ref for each slot: pop fill-order head refs,
+	// skipping stale ones, until a live entry surfaces. Stamps strictly
+	// increase fill to fill, so the head live ref is the argmin the
+	// previous full scan computed.
+	mask := len(e.svbRing) - 1
 	victim := -1
-	for i, st := range e.svbStamps {
-		if victim < 0 || st < e.svbStamps[victim] {
-			victim = i
+	for e.ringHead < e.ringTail {
+		ref := e.svbRing[e.ringHead&mask]
+		e.ringHead++
+		if e.svb[ref.slot].active && e.svb[ref.slot].stamp == ref.stamp {
+			victim = int(ref.slot)
+			break
 		}
 	}
-	if victim < 0 || !e.svb[victim].active {
+	if victim < 0 {
 		return
 	}
 	ent := e.svb[victim]

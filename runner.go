@@ -3,6 +3,7 @@ package stems
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"stems/internal/sim"
 	"stems/internal/trace"
@@ -26,16 +27,17 @@ type Runner struct {
 	// (WithWorkload or the default), i.e. a name FromSpec can resolve —
 	// the provenance Runner.Spec requires.
 	suiteWorkload bool
-	traceFile    string
-	traceAccs    []Access
-	traceSet     bool
-	sourceFn     func() Source
-	blockFn      func() BlockSource
-	arena        *Arena
+	traceFile     string
+	traceAccs     []Access
+	traceSet      bool
+	sourceFn      func() Source
+	blockFn       func() BlockSource
+	arena         *Arena
 
-	seed     int64
-	accesses int
-	progress func(accessesDone uint64)
+	seed      int64
+	seedCount int
+	accesses  int
+	progress  func(accessesDone uint64)
 
 	scientificSet bool
 	configure     []func(*Options)
@@ -196,6 +198,31 @@ func WithKnobs(knobs map[string]Value) Option {
 // instead of silently naming a different trace).
 func WithSeed(seed int64) Option {
 	return func(r *Runner) { r.seed = seed }
+}
+
+// SeedStride is the spacing of the derived seed progression WithSeeds
+// configures: seed s of a K-seed set is base + s*SeedStride. The figure
+// harness uses the same progression for Figure 10's confidence-interval
+// seeds, so a WithSeeds(1, k) run replays exactly the traces the paper
+// figures aggregate. (7919 — the 1000th prime — keeps derived seeds far
+// apart so neighboring bases never collide within a sweep's seed count.)
+const SeedStride = 7919
+
+// WithSeeds configures a K-seed set for RunSeeds: the seeds
+// base, base+SeedStride, ..., base+(k-1)*SeedStride — Figure 10's
+// confidence-interval progression. Run still replays only the base seed;
+// RunSeeds replays all K as one lockstep set. Like WithSeed, base must be
+// positive; k must be at least 1. Seed sets name workload traces, so
+// RunSeeds with k > 1 requires a workload source.
+func WithSeeds(base int64, k int) Option {
+	return func(r *Runner) {
+		if k < 1 {
+			r.errs = append(r.errs, fmt.Errorf("stems: invalid seed count %d: need at least 1", k))
+			return
+		}
+		r.seed = base
+		r.seedCount = k
+	}
 }
 
 // WithAccesses caps the trace length. Zero keeps the workload's default
@@ -433,7 +460,12 @@ func (r *Runner) Label() string {
 // stream — the pipeline's native currency. Workload and file sources are
 // produced (or cached) directly in columnar form; slice and custom
 // per-access sources go through the lossless Blocks adapter.
-func (r *Runner) source() (BlockSource, error) {
+func (r *Runner) source() (BlockSource, error) { return r.sourceAt(r.seed) }
+
+// sourceAt is source with an explicit workload seed — the per-lane trace
+// hook RunSeeds uses. Non-workload sources ignore the seed (they are not
+// seed-addressable; RunSeeds rejects multi-seed sets over them).
+func (r *Runner) sourceAt(seed int64) (BlockSource, error) {
 	switch {
 	case r.specSet:
 		n := r.spec.DefaultAccesses
@@ -441,12 +473,12 @@ func (r *Runner) source() (BlockSource, error) {
 			n = r.accesses
 		}
 		if r.arena != nil {
-			bt := r.arena.Get(r.spec.Name, r.seed, n, func() []Access {
-				return r.spec.Generate(r.seed, n)
+			bt := r.arena.Get(r.spec.Name, seed, n, func() []Access {
+				return r.spec.Generate(seed, n)
 			})
 			return bt.Blocks(), nil
 		}
-		return r.spec.GenerateBlocks(r.seed, n).Blocks(), nil
+		return r.spec.GenerateBlocks(seed, n).Blocks(), nil
 	case r.traceFile != "":
 		bt, err := ReadTraceFileBlocks(r.traceFile, r.accesses)
 		if err != nil {
@@ -518,4 +550,81 @@ func (r *Runner) Run(ctx context.Context) (Result, error) {
 		}
 	}
 	return m.Finish(), nil
+}
+
+// Seeds returns the seed set RunSeeds will replay: the WithSeeds
+// progression when one was configured, else just the single configured
+// seed.
+func (r *Runner) Seeds() []int64 {
+	k := r.seedCount
+	if k < 1 {
+		k = 1
+	}
+	out := make([]int64, k)
+	for s := range out {
+		out[s] = r.seed + int64(s)*SeedStride
+	}
+	return out
+}
+
+// RunSeeds replays one run per seed as a single lockstep set — K fresh
+// machines of this Runner's configuration advancing together, one result
+// per seed in seed order. An explicit seed list overrides the configured
+// WithSeeds progression; with neither, RunSeeds degenerates to one run of
+// the configured seed.
+//
+// Results are byte-identical to calling Run once per seed sequentially:
+// the lanes share no mutable state, only the scheduling. What a set buys
+// is the batch shape — one job instead of K, traces resident only while
+// their lane replays, cross-lane cache locality when lanes alias one
+// trace, and (on multi-core hosts) the lanes advancing in parallel.
+//
+// A configured WithRunProgress callback receives the cumulative number of
+// accesses replayed across the whole set; invocations are serialized and
+// monotonic even when lanes run in parallel.
+func (r *Runner) RunSeeds(ctx context.Context, seeds ...int64) ([]Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	list := seeds
+	if len(list) == 0 {
+		list = r.Seeds()
+	}
+	for _, s := range list {
+		if s <= 0 {
+			return nil, fmt.Errorf("stems: invalid seed %d in seed set: workload seeds are positive", s)
+		}
+	}
+	if len(list) > 1 && !r.specSet {
+		return nil, fmt.Errorf("stems: multi-seed sets need a workload source (seeds name generated traces; this Runner replays a file, slice, or custom source)")
+	}
+	lanes := make([]sim.Lane, len(list))
+	for i, seed := range list {
+		bs, err := r.sourceAt(seed)
+		if err != nil {
+			return nil, err
+		}
+		m, err := sim.Build(sim.Kind(r.predictor), r.opt)
+		if err != nil {
+			return nil, err
+		}
+		lanes[i] = sim.Lane{Machine: m, Source: bs}
+	}
+	set := sim.NewMachineSet(lanes...)
+	if fn := r.progress; fn != nil {
+		// Serialize and de-race the callback: parallel lanes may observe
+		// cumulative counts out of order, and WithRunProgress promises a
+		// monotonic stream.
+		var mu sync.Mutex
+		var last uint64
+		set.Progress = func(done uint64) {
+			mu.Lock()
+			if done > last {
+				last = done
+				fn(done)
+			}
+			mu.Unlock()
+		}
+	}
+	return set.Run(ctx)
 }

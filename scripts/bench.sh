@@ -2,18 +2,20 @@
 # bench.sh — run the repository benchmark suite and emit machine-readable
 # results.
 #
-# Produces two artifacts in $OUT_DIR (default: the repo root):
+# Produces two artifacts in $OUT_DIR (default: bench/, beside the
+# committed baseline — see bench/README.md for the layout):
 #   bench.txt          raw `go test -bench` output (benchstat-compatible)
 #   BENCH_<rev>.json   parsed per-benchmark metrics (scripts/benchjson)
 #
-# The JSON file is what CI uploads per commit, so the performance
-# trajectory (replay ns/op, accesses/sec, coverage metrics, allocs) is
-# tracked across PRs instead of living only in transient logs.
+# The JSON file is what CI uploads per commit — and what lands in bench/
+# when a perf PR archives its measurement — so the performance trajectory
+# (replay ns/op, accesses/sec, coverage metrics, allocs) is tracked
+# across PRs instead of living only in transient logs.
 #
 # Environment:
 #   BENCHTIME  go test -benchtime value (default 1x: smoke every benchmark)
 #   BENCHRE    benchmark name regex (default '.': the full suite)
-#   OUT_DIR    artifact directory (default repo root)
+#   OUT_DIR    artifact directory (default bench/)
 #   SERVERBENCH_ACCESSES  per-run trace length for the stemsd throughput
 #                         probe (default 200000; see scripts/serverbench)
 set -euo pipefail
@@ -21,7 +23,7 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1x}"
 BENCHRE="${BENCHRE:-.}"
-OUT_DIR="${OUT_DIR:-.}"
+OUT_DIR="${OUT_DIR:-bench}"
 mkdir -p "$OUT_DIR"
 
 rev="$(git rev-parse --short HEAD 2>/dev/null || echo local)"

@@ -11,7 +11,12 @@
 // start gating once they land in the refreshed baseline). The default
 // gated metric is "accesses/sec" (higher is better) from the stemsd
 // service-throughput probe — a whole-trace measurement that is stable
-// enough on shared runners, unlike 1-iteration ns/op samples.
+// enough on shared runners, unlike 1-iteration ns/op samples. Latency
+// metrics gate with -direction lower, e.g. the STeMS kernel probe
+// (median-of-K whole-trace replays, see BenchmarkStepBlockMedianSTeMS):
+//
+//	go run ./scripts/benchgate -baseline bench/baseline.json -current bench/BENCH_abc1234.json \
+//	    -metric median-step-ns -direction lower -match StepBlockMedian
 //
 // Refresh the baseline deliberately after an accepted perf change:
 //
@@ -67,12 +72,17 @@ func metricIndex(r report, metric string, re *regexp.Regexp) map[string]float64 
 func main() {
 	baselinePath := flag.String("baseline", "bench/baseline.json", "committed baseline report")
 	currentPath := flag.String("current", "", "freshly measured report (required)")
-	metric := flag.String("metric", "accesses/sec", "gated metric key (higher is better)")
+	metric := flag.String("metric", "accesses/sec", "gated metric key")
+	direction := flag.String("direction", "higher", "which way is better for the metric: \"higher\" (throughput) or \"lower\" (latency)")
 	match := flag.String("match", ".", "regexp selecting which benchmarks to gate (by name)")
-	maxRegress := flag.Float64("max-regress", 0.10, "allowed fractional drop before failing")
+	maxRegress := flag.Float64("max-regress", 0.10, "allowed fractional regression before failing")
 	flag.Parse()
 	if *currentPath == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
+		os.Exit(2)
+	}
+	if *direction != "higher" && *direction != "lower" {
+		fmt.Fprintf(os.Stderr, "benchgate: bad -direction %q (choose \"higher\" or \"lower\")\n", *direction)
 		os.Exit(2)
 	}
 	re, err := regexp.Compile(*match)
@@ -109,13 +119,19 @@ func main() {
 		}
 		compared++
 		change := curVal/baseVal - 1
+		// Normalize so "regressed" is always a negative change: for
+		// lower-is-better metrics an increase is the regression.
+		regress := change
+		if *direction == "lower" {
+			regress = -change
+		}
 		status := "ok"
-		if change < -*maxRegress {
+		if regress < -*maxRegress {
 			status = "REGRESSED"
 			failed = true
 		}
-		fmt.Printf("benchgate: %-60s %s %14.0f -> %14.0f (%+.1f%%, floor %.0f%%) %s\n",
-			name, *metric, baseVal, curVal, 100*change, -100**maxRegress, status)
+		fmt.Printf("benchgate: %-60s %s %14.0f -> %14.0f (%+.1f%%, %s is better, floor %.0f%%) %s\n",
+			name, *metric, baseVal, curVal, 100*change, *direction, -100**maxRegress, status)
 	}
 	if compared == 0 {
 		fmt.Fprintf(os.Stderr, "benchgate: no benchmark overlaps baseline on %q — refresh bench/baseline.json\n", *metric)
