@@ -452,6 +452,70 @@ func BenchmarkFig10CellLockstep(b *testing.B) {
 	}
 }
 
+// sweepBenchGrid builds the multi-predictor same-trace grid the sweep
+// benchmarks replay: one DB2 cell, four predictor kinds, one shared
+// arena so trace generation is paid once per iteration on both sides.
+func sweepBenchGrid(b *testing.B, arena *stems.Arena, accesses int) []*stems.Runner {
+	b.Helper()
+	preds := []string{"stride", "sms", "tms", "stems"}
+	grid := make([]*stems.Runner, len(preds))
+	for i, pred := range preds {
+		r, err := stems.New(
+			stems.WithPredictor(pred),
+			stems.WithWorkload("DB2"),
+			stems.WithSeed(1),
+			stems.WithAccesses(accesses),
+			stems.WithSystem(stems.ScaledSystem()),
+			stems.WithSharedTrace(arena),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		grid[i] = r
+	}
+	return grid
+}
+
+// BenchmarkSweepPerRun is the pre-fusion reference shape of a
+// multi-predictor sweep: four predictors over one DB2 trace, each run
+// replaying the (arena-cached) trace with its own cursor, one run at a
+// time — the order a single daemon worker executes an unfused job in.
+// Compare with BenchmarkSweepFused; the accesses/sec ratio is the
+// sweep-fusion win.
+func BenchmarkSweepPerRun(b *testing.B) {
+	const accesses = 100_000
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arena := stems.NewArena()
+		grid := sweepBenchGrid(b, arena, accesses)
+		if _, err := stems.Sweep(ctx, grid, stems.WithFusion(false), stems.WithParallelism(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(4*accesses)*float64(b.N)/b.Elapsed().Seconds(), "accesses/sec")
+}
+
+// BenchmarkSweepFused replays the same four-predictor grid as
+// BenchmarkSweepPerRun as one fused lockstep set over a single shared
+// cursor: every block is fetched once and stepped by all four machines
+// while its columns are hot, and on multi-core hosts the lanes advance
+// in parallel (on a single-core runner the ratio isolates the pure
+// cache-locality win of the shared cursor).
+func BenchmarkSweepFused(b *testing.B) {
+	const accesses = 100_000
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arena := stems.NewArena()
+		grid := sweepBenchGrid(b, arena, accesses)
+		if _, err := stems.FuseSweep(ctx, grid); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(4*accesses)*float64(b.N)/b.Elapsed().Seconds(), "accesses/sec")
+}
+
 // BenchmarkTraceMemory reports the resident bytes/access of the two trace
 // representations the arena can hold: the legacy []Access versus the
 // columnar BlockTrace. The ratio is the arena footprint win.

@@ -190,6 +190,117 @@ func TestClusterSweepFasterAndByteIdentical(t *testing.T) {
 	}
 }
 
+// TestClusterSweepFoldsPerPeer: a routed sweep whose per-peer groups
+// share a trace must execute as one fused lockstep set on each peer —
+// observable in every peer's /metrics lockstep counters — while staying
+// byte-identical to direct in-process runs. Ownership is per run
+// content address, so the test searches for trace cells whose predictor
+// variants co-locate rather than assuming they do.
+func TestClusterSweepFoldsPerPeer(t *testing.T) {
+	const accesses = 10_000
+	preds := []string{"stride", "sms", "tms", "stems"}
+
+	var (
+		urls []string
+		svcs []*service.Service
+	)
+	for i := 0; i < 3; i++ {
+		svc, ts := startDaemon(t, service.Config{Workers: 1, QueueBound: 32})
+		urls = append(urls, ts.URL)
+		svcs = append(svcs, svc)
+	}
+	cc, err := stems.NewClusterClient(urls, fastRetry())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// For each peer, find a seed where at least two predictor variants of
+	// the em3d trace are owned by that peer: those runs arrive in one job
+	// and must fold into one fused set over a single cursor.
+	svcByURL := map[string]*service.Service{}
+	for i, u := range urls {
+		svcByURL[u] = svcs[i]
+	}
+	groupSize := map[string]int{}
+	var specs []stems.Spec
+	for _, peer := range cc.Peers() {
+		found := false
+		for seed := int64(1); seed <= 500 && !found; seed++ {
+			var owned []stems.Spec
+			for _, pred := range preds {
+				spec := stems.Spec{Predictor: pred, Workload: "em3d", Seed: seed, Accesses: accesses}
+				owner, err := cc.Owner(spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if owner == peer {
+					owned = append(owned, spec)
+				}
+			}
+			if len(owned) >= 2 {
+				specs = append(specs, owned...)
+				groupSize[peer] = len(owned)
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no seed in 1..500 co-locates two predictors on peer %s", peer)
+		}
+	}
+
+	results, err := cc.Sweep(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Byte identity: every routed result equals a direct in-process run.
+	for i, spec := range specs {
+		runner, err := stems.FromSpec(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := runner.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := json.Marshal(stems.EncodeResult("", direct))
+		got, _ := json.Marshal(results[i])
+		if !bytes.Equal(got, want) {
+			t.Fatalf("run %d (%s seed %d): routed result differs from direct run:\n got=%s\nwant=%s",
+				i, spec.Predictor, spec.Seed, got, want)
+		}
+	}
+
+	// Every peer folded its whole group into one fused set: the trace was
+	// traversed once per peer, not once per run.
+	for _, peer := range cc.Peers() {
+		ls := svcByURL[peer].Metrics().Lockstep
+		want := groupSize[peer]
+		if ls.SetsFormed != 1 {
+			t.Errorf("peer %s formed %d lockstep sets, want 1", peer, ls.SetsFormed)
+		}
+		if ls.RunsFolded != uint64(want) {
+			t.Errorf("peer %s folded %d runs, want %d", peer, ls.RunsFolded, want)
+		}
+		if ls.TracesSaved != uint64(want-1) {
+			t.Errorf("peer %s saved %d trace traversals, want %d", peer, ls.TracesSaved, want-1)
+		}
+	}
+
+	// The counters also travel the wire: /metrics from each peer must
+	// agree with the in-process service view.
+	wire, err := cc.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, peer := range cc.Peers() {
+		if wire[i].Lockstep != svcByURL[peer].Metrics().Lockstep {
+			t.Errorf("peer %s: /metrics lockstep %+v != service %+v",
+				peer, wire[i].Lockstep, svcByURL[peer].Metrics().Lockstep)
+		}
+	}
+}
+
 // TestClusterFailover kills a run's owner and requires the cluster
 // client to serve it from the next-ranked peer — correct because the
 // result is a content-addressed deterministic computation.

@@ -1,0 +1,207 @@
+// Fusion equivalence suite: trace-fused execution — many Runners stepping
+// one shared block cursor — must be invisible in the results. Every test
+// here compares fused output bit-for-bit against solo Run output, across
+// predictor pairs, parallelism levels, mixed grids, and callback
+// plumbing.
+package stems_test
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"stems"
+)
+
+// fusePoint builds one grid point over the shared DB2/seed-1/8k-access
+// trace cell; extra options layer predictor knobs or labels on top.
+func fusePoint(t *testing.T, predictor string, extra ...stems.Option) *stems.Runner {
+	t.Helper()
+	opts := append([]stems.Option{
+		stems.WithWorkload("DB2"),
+		stems.WithPredictor(predictor),
+		stems.WithAccesses(8_000),
+		stems.WithSystem(stems.ScaledSystem()),
+	}, extra...)
+	r, err := stems.New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestFuseSweepEveryPredictorPair fuses every pair of registered
+// predictors onto one shared cursor and requires each lane to match its
+// solo run exactly, at serial and parallel lane stepping. This is the
+// heterogeneous-set contract: fusion may mix any predictor kinds, and
+// under -race it additionally proves the lanes share no mutable state.
+func TestFuseSweepEveryPredictorPair(t *testing.T) {
+	preds := stems.Predictors()
+	solo := make(map[string]stems.Result, len(preds))
+	for _, p := range preds {
+		res, err := fusePoint(t, p).Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		solo[p] = res
+	}
+	for i, a := range preds {
+		for _, b := range preds[i+1:] {
+			for _, parallelism := range []int{1, 2} {
+				grid := []*stems.Runner{fusePoint(t, a), fusePoint(t, b)}
+				res, err := stems.FuseSweep(context.Background(), grid,
+					stems.WithParallelism(parallelism))
+				if err != nil {
+					t.Fatalf("%s+%s parallelism=%d: %v", a, b, parallelism, err)
+				}
+				if res[0] != solo[a] || res[1] != solo[b] {
+					t.Errorf("%s+%s parallelism=%d: fused pair diverged from solo runs", a, b, parallelism)
+				}
+			}
+		}
+	}
+}
+
+// TestSweepFusionMatchesUnfused runs one mixed grid — three trace cells,
+// same-cell members deliberately non-adjacent, plus a slice-trace run
+// fusion must leave alone — through the default fused Sweep and through
+// WithFusion(false), and requires identical results in identical order.
+func TestSweepFusionMatchesUnfused(t *testing.T) {
+	em3d, err := stems.WorkloadByName("em3d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accs := em3d.Generate(3, 5_000)
+	mk := func(opts ...stems.Option) *stems.Runner {
+		t.Helper()
+		r, err := stems.New(append(opts,
+			stems.WithSystem(stems.ScaledSystem()),
+			stems.WithAccesses(8_000))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	build := func() []*stems.Runner {
+		return []*stems.Runner{
+			mk(stems.WithWorkload("em3d"), stems.WithPredictor("stems")),
+			mk(stems.WithWorkload("DB2"), stems.WithPredictor("stride")),
+			mk(stems.WithWorkload("em3d"), stems.WithPredictor("tms")), // same cell as grid[0], not adjacent
+			mk(stems.WithTrace(accs), stems.WithPredictor("stems")),    // not fuse-eligible
+			mk(stems.WithWorkload("DB2"), stems.WithPredictor("stems"),
+				stems.WithConfigure(func(o *stems.Options) { o.STeMS.RMOBEntries = 4096 })),
+			mk(stems.WithWorkload("em3d"), stems.WithPredictor("stems"), stems.WithSeed(7920)), // own cell
+		}
+	}
+	fused, err := stems.Sweep(context.Background(), build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	unfused, err := stems.Sweep(context.Background(), build(), stems.WithFusion(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range unfused {
+		if fused[i] != unfused[i] {
+			t.Errorf("grid[%d]: fused result %+v != unfused result %+v", i, fused[i], unfused[i])
+		}
+	}
+}
+
+// TestFuseSweepCallbacks pins the callback contract of a fused set: every
+// grid index's RunResult fires exactly once with the returned result,
+// Progress counts 1..N over the full grid, and each member's own
+// WithRunProgress receives a monotonic per-lane access count that ends at
+// exactly the trace length (not the set total).
+func TestFuseSweepCallbacks(t *testing.T) {
+	const accesses = 10_000
+	preds := []string{"stride", "sms", "stems"}
+	var mu sync.Mutex
+	lane := make([][]uint64, len(preds))
+	grid := make([]*stems.Runner, len(preds))
+	for i, p := range preds {
+		i := i
+		grid[i] = fusePoint(t, p,
+			stems.WithAccesses(accesses),
+			stems.WithRunProgress(func(done uint64) {
+				mu.Lock()
+				lane[i] = append(lane[i], done)
+				mu.Unlock()
+			}))
+	}
+	byIndex := make(map[int]stems.Result)
+	completed := 0
+	results, err := stems.FuseSweep(context.Background(), grid,
+		stems.WithProgress(func(done, total int, label string, res stems.Result) {
+			completed++
+			if done != completed || total != len(grid) {
+				t.Errorf("progress (%d/%d), want (%d/%d)", done, total, completed, len(grid))
+			}
+		}),
+		stems.WithRunResult(func(i int, res stems.Result) {
+			if _, dup := byIndex[i]; dup {
+				t.Errorf("grid[%d] delivered twice", i)
+			}
+			byIndex[i] = res
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if completed != len(grid) || len(byIndex) != len(grid) {
+		t.Fatalf("saw %d progress and %d result callbacks, want %d", completed, len(byIndex), len(grid))
+	}
+	for i, res := range results {
+		if byIndex[i] != res {
+			t.Errorf("grid[%d]: callback result differs from returned result", i)
+		}
+	}
+	for i, obs := range lane {
+		if len(obs) == 0 {
+			t.Fatalf("lane %d saw no progress", i)
+		}
+		for k := 1; k < len(obs); k++ {
+			if obs[k] <= obs[k-1] {
+				t.Errorf("lane %d progress not monotonic: %d after %d", i, obs[k], obs[k-1])
+			}
+		}
+		if final := obs[len(obs)-1]; final != accesses {
+			t.Errorf("lane %d final progress = %d, want %d", i, final, accesses)
+		}
+	}
+}
+
+// TestFuseSweepRejects covers the strict primitive's error paths: grids
+// mixing trace cells or containing non-cell-addressable runs are errors,
+// nil runners are errors, and the empty grid is trivially complete.
+func TestFuseSweepRejects(t *testing.T) {
+	mixed := []*stems.Runner{
+		fusePoint(t, "stems"),
+		fusePoint(t, "stems", stems.WithSeed(2)), // different cell
+	}
+	if _, err := stems.FuseSweep(context.Background(), mixed); err == nil ||
+		!strings.Contains(err.Error(), "share one trace cell") {
+		t.Fatalf("mixed-cell grid: err = %v, want trace-cell mismatch", err)
+	}
+
+	slice, err := stems.New(
+		stems.WithTrace([]stems.Access{{Addr: 64}}),
+		stems.WithPredictor("stride"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stems.FuseSweep(context.Background(), []*stems.Runner{slice}); err == nil ||
+		!strings.Contains(err.Error(), "not fuse-eligible") {
+		t.Fatalf("slice-trace grid: err = %v, want not fuse-eligible", err)
+	}
+
+	if _, err := stems.FuseSweep(context.Background(), []*stems.Runner{nil}); err == nil {
+		t.Fatal("nil runner accepted")
+	}
+
+	res, err := stems.FuseSweep(context.Background(), nil)
+	if err != nil || len(res) != 0 {
+		t.Fatalf("empty grid: res=%v err=%v, want empty success", res, err)
+	}
+}

@@ -351,6 +351,10 @@ type Metrics struct {
 	TraceGenerations int `json:"trace_generations"`
 	TraceHits        int `json:"trace_hits"`
 
+	// Lockstep reports run folding: how often the scheduler merged a
+	// job's runs into lockstep sets instead of executing them one by one.
+	Lockstep LockstepMetrics `json:"lockstep"`
+
 	// Store reports the disk tier of the result cache; absent when the
 	// daemon runs memory-only (no -store).
 	Store *StoreMetrics `json:"store,omitempty"`
@@ -358,6 +362,22 @@ type Metrics struct {
 	// Cluster reports shard-routing observability; absent when the
 	// daemon runs standalone (no -peers).
 	Cluster *ClusterMetrics `json:"cluster,omitempty"`
+}
+
+// LockstepMetrics is the /metrics section for run folding: a job's runs
+// that replay the same trace (any predictors/knobs) fuse onto one shared
+// cursor, and runs differing only by seed advance as one seed set.
+type LockstepMetrics struct {
+	// SetsFormed counts lockstep sets of two or more lanes actually
+	// executed (fused same-trace sets and seed sets alike).
+	SetsFormed uint64 `json:"sets_formed"`
+	// RunsFolded counts the runs those sets absorbed — runs that were
+	// simulated as set lanes rather than as standalone runs.
+	RunsFolded uint64 `json:"runs_folded"`
+	// TracesSaved counts whole trace traversals avoided by shared-cursor
+	// (same-trace) sets: lanes minus one per fused set. Seed sets save
+	// no traversals (each lane replays its own trace) and don't count.
+	TracesSaved uint64 `json:"traces_saved"`
 }
 
 // StoreMetrics is the /metrics section for the disk-backed result

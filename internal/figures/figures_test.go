@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -130,6 +131,34 @@ func TestHybridAblationShape(t *testing.T) {
 	}
 	if out := RenderHybrid(rows); !strings.Contains(out, "ratio") {
 		t.Error("render missing ratio")
+	}
+}
+
+// TestFusedPanelsMatchIndividualFigures is the cross-figure equivalence
+// gate: one fused pass per workload (analysis observers + predictor
+// panel + hybrid sharing a single cursor) must reproduce every row the
+// standalone figure functions compute, bit for bit, serial and parallel.
+func TestFusedPanelsMatchIndividualFigures(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		p := tinyParams()
+		p.Accesses = 12_000
+		p.Parallel = parallel
+		got := FusedPanels(p)
+		if !reflect.DeepEqual(got.Fig6, Figure6(p)) {
+			t.Errorf("parallel=%v: fused Figure 6 diverged", parallel)
+		}
+		if !reflect.DeepEqual(got.Fig7, Figure7(p)) {
+			t.Errorf("parallel=%v: fused Figure 7 diverged", parallel)
+		}
+		if !reflect.DeepEqual(got.Fig8, Figure8(p)) {
+			t.Errorf("parallel=%v: fused Figure 8 diverged", parallel)
+		}
+		if !reflect.DeepEqual(got.Fig9, Figure9(p)) {
+			t.Errorf("parallel=%v: fused Figure 9 diverged", parallel)
+		}
+		if !reflect.DeepEqual(got.Hybrid, HybridAblation(p)) {
+			t.Errorf("parallel=%v: fused hybrid ablation diverged", parallel)
+		}
 	}
 }
 

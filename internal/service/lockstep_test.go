@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"stems/internal/enc"
+	"stems/internal/sim"
 )
 
 func seedRun(workload string, accesses int, seed int64, label string) enc.RunSpec {
@@ -120,6 +121,171 @@ func TestLockstepSetMixedCells(t *testing.T) {
 	}
 	if st.Progress.CacheHits != 1 {
 		t.Errorf("cache hits = %d, want 1 (the duplicate run)", st.Progress.CacheHits)
+	}
+}
+
+// TestFusedSetByteIdentical is the service-side acceptance check for
+// trace-fused execution: a job whose runs replay one trace with
+// different predictors and knobs executes as one fused set over a
+// single cursor, and every result must be byte-identical to the same
+// specs submitted as separate jobs against a fresh daemon. The
+// lockstep counters must record the fold.
+func TestFusedSetByteIdentical(t *testing.T) {
+	specs := []enc.RunSpec{
+		{Predictor: "stride", Workload: "em3d", Accesses: 20_000, Seed: 1},
+		{Predictor: "sms", Workload: "em3d", Accesses: 20_000, Seed: 1},
+		{Predictor: "tms", Workload: "em3d", Accesses: 20_000, Seed: 1},
+		{Predictor: "stems", Workload: "em3d", Accesses: 20_000, Seed: 1},
+		{Predictor: "stems", Workload: "em3d", Accesses: 20_000, Seed: 1,
+			Knobs: map[string]sim.Value{"stems.rmob_entries": sim.IntValue(4096)}},
+	}
+
+	// Sequential reference: one daemon, one job per spec.
+	ref := mustNew(t, Config{Workers: 1, QueueBound: 8})
+	want := make([]string, len(specs))
+	for i, spec := range specs {
+		j, err := ref.Submit(enc.JobSpec{RunSpec: spec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := waitJob(t, j)
+		if st.State != enc.JobDone {
+			t.Fatalf("reference run %d: state = %s (err %q)", i, st.State, st.Error)
+		}
+		want[i] = string(st.Results[0])
+	}
+	refLS := ref.Metrics().Lockstep
+	if refLS.SetsFormed != 0 || refLS.RunsFolded != 0 || refLS.TracesSaved != 0 {
+		t.Errorf("single-run reference jobs recorded lockstep activity: %+v", refLS)
+	}
+	ref.Drain()
+
+	// Fused: one fresh daemon, one job carrying every predictor.
+	svc := mustNew(t, Config{Workers: 1, QueueBound: 8})
+	defer svc.Drain()
+	j, err := svc.Submit(enc.JobSpec{Runs: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitJob(t, j)
+	if st.State != enc.JobDone {
+		t.Fatalf("fused job: state = %s (err %q)", st.State, st.Error)
+	}
+	if len(st.Results) != len(specs) {
+		t.Fatalf("got %d results, want %d", len(st.Results), len(specs))
+	}
+	for i := range specs {
+		if string(st.Results[i]) != want[i] {
+			t.Errorf("run %d (%s): fused result differs from sequential job:\n fused:      %s\n sequential: %s",
+				i, specs[i].Predictor, st.Results[i], want[i])
+		}
+	}
+	if st.Progress.CacheHits != 0 {
+		t.Errorf("fused job reported %d cache hits, want 0", st.Progress.CacheHits)
+	}
+	if st.Progress.AccessesDone != st.Progress.AccessesTotal {
+		t.Errorf("progress = %d/%d, want complete", st.Progress.AccessesDone, st.Progress.AccessesTotal)
+	}
+	ls := svc.Metrics().Lockstep
+	if ls.SetsFormed != 1 {
+		t.Errorf("lockstep sets formed = %d, want 1", ls.SetsFormed)
+	}
+	if ls.RunsFolded != uint64(len(specs)) {
+		t.Errorf("runs folded = %d, want %d", ls.RunsFolded, len(specs))
+	}
+	if ls.TracesSaved != uint64(len(specs)-1) {
+		t.Errorf("traces saved = %d, want %d", ls.TracesSaved, len(specs)-1)
+	}
+
+	// Each lane's result is individually content-addressed: resubmitting
+	// one member alone must be a pure cache hit, not a new set.
+	j2, err := svc.Submit(enc.JobSpec{RunSpec: specs[2]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := waitJob(t, j2)
+	if st2.State != enc.JobDone {
+		t.Fatalf("resubmit: state = %s (err %q)", st2.State, st2.Error)
+	}
+	if st2.Progress.CacheHits != 1 {
+		t.Errorf("resubmit of one fused member: cache hits = %d, want 1", st2.Progress.CacheHits)
+	}
+	if string(st2.Results[0]) != want[2] {
+		t.Errorf("cached fused member differs from sequential result")
+	}
+	if after := svc.Metrics().Lockstep; after != ls {
+		t.Errorf("cache-hit resubmit changed lockstep counters: %+v -> %+v", ls, after)
+	}
+}
+
+// TestLockstepSetNonAdjacent checks that same-trace and same-cell runs
+// fold even when other work sits between them in the job: results still
+// arrive in submission order with the right labels.
+func TestLockstepSetNonAdjacent(t *testing.T) {
+	svc := mustNew(t, Config{Workers: 1, QueueBound: 8})
+	defer svc.Drain()
+
+	runs := []enc.RunSpec{
+		seedRun("em3d", 20_000, 1, "a"),
+		{Predictor: "stride", Workload: "DB2", Accesses: 20_000, Seed: 1, Label: "b"},
+		{Predictor: "sms", Workload: "em3d", Accesses: 20_000, Seed: 1, Label: "c"},
+		seedRun("em3d", 20_000, 7920, "d"),
+	}
+	j, err := svc.Submit(enc.JobSpec{Runs: runs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitJob(t, j)
+	if st.State != enc.JobDone {
+		t.Fatalf("state = %s (err %q)", st.State, st.Error)
+	}
+	for i, want := range []string{"a", "b", "c", "d"} {
+		var res struct {
+			Label string `json:"label"`
+		}
+		if err := json.Unmarshal(st.Results[i], &res); err != nil {
+			t.Fatalf("result %d: %v", i, err)
+		}
+		if res.Label != want {
+			t.Errorf("result %d: label = %q, want %q", i, res.Label, want)
+		}
+	}
+	// Runs 0 and 2 share em3d/seed-1/20k and fold into one fused set
+	// across the intervening DB2 run; run 3 shares only the cell (same
+	// workload and length, different seed) and is too late to join a
+	// seed set once run 0 has executed, so it runs alone.
+	ls := svc.Metrics().Lockstep
+	if ls.SetsFormed != 1 {
+		t.Errorf("lockstep sets formed = %d, want 1 (the non-adjacent fused pair)", ls.SetsFormed)
+	}
+	if ls.RunsFolded != 2 {
+		t.Errorf("runs folded = %d, want 2", ls.RunsFolded)
+	}
+	if ls.TracesSaved != 1 {
+		t.Errorf("traces saved = %d, want 1", ls.TracesSaved)
+	}
+}
+
+// TestTraceGroupScansPastStrangers pins the grouping helpers directly:
+// both traceGroup and cellGroup collect every matching tail member, not
+// just the adjacent prefix.
+func TestTraceGroupScansPastStrangers(t *testing.T) {
+	runs := []resolvedRun{
+		{spec: seedRun("em3d", 20_000, 1, ""), n: 20_000},
+		{spec: enc.RunSpec{Predictor: "stride", Workload: "DB2", Accesses: 20_000, Seed: 1}, n: 20_000},
+		{spec: enc.RunSpec{Predictor: "sms", Workload: "em3d", Accesses: 20_000, Seed: 1}, n: 20_000},
+		{spec: seedRun("em3d", 20_000, 7920, ""), n: 20_000},
+	}
+	g := traceGroup(runs, 0)
+	if len(g) != 2 || g[0] != &runs[0] || g[1] != &runs[2] {
+		t.Errorf("traceGroup(0) folded %d runs, want runs 0 and 2", len(g))
+	}
+	if g := traceGroup(runs, 1); len(g) != 1 {
+		t.Errorf("traceGroup(1) folded %d runs, want the DB2 run alone", len(g))
+	}
+	cg := cellGroup(runs, 0)
+	if len(cg) != 2 || cg[0] != &runs[0] || cg[1] != &runs[3] {
+		t.Errorf("cellGroup(0) folded %d runs, want runs 0 and 3 (same cell, different seed)", len(cg))
 	}
 }
 

@@ -146,6 +146,11 @@ type Service struct {
 	jobsCanceled  atomic.Uint64
 	runsComputed  atomic.Uint64
 	accessesSim   atomic.Uint64
+
+	// Run-folding observability (see enc.LockstepMetrics).
+	lockstepSets atomic.Uint64
+	runsFolded   atomic.Uint64
+	tracesSaved  atomic.Uint64
 }
 
 type arenaKey struct {
@@ -347,6 +352,11 @@ func (s *Service) Metrics() enc.Metrics {
 		TracesResident:    ast.Resident,
 		TraceGenerations:  ast.Generations,
 		TraceHits:         ast.Hits,
+		Lockstep: enc.LockstepMetrics{
+			SetsFormed:  s.lockstepSets.Load(),
+			RunsFolded:  s.runsFolded.Load(),
+			TracesSaved: s.tracesSaved.Load(),
+		},
 	}
 	if total := hits + misses; total > 0 {
 		m.CacheHitRate = float64(hits) / float64(total)
@@ -393,13 +403,17 @@ type setResult struct {
 }
 
 // execute is the worker body: it runs a job's runs in order, consulting
-// the result cache before simulating. Consecutive runs that differ only
-// by seed (and label) — the sweep-over-seeds shape — execute as one
-// lockstep MachineSet: one scheduling unit, K predictor states, K
-// individually content-addressed results, byte-identical to running the
-// seeds sequentially. Set results land in computedHere ahead of their
-// run slots and are consumed exactly once, in job order, so the result
-// list the client sees is indistinguishable from sequential execution.
+// the result cache before simulating. Runs that fold are executed as one
+// lockstep MachineSet — one scheduling unit, K predictor states, K
+// individually content-addressed results, byte-identical to running them
+// sequentially. Two shapes fold, members in either needing no adjacency:
+// runs replaying the same (workload, seed, length) trace with any
+// predictors or knobs fuse onto one shared cursor (the sweep-grid shape;
+// each trace is traversed once for the whole group), and runs differing
+// only by seed (and label) advance as a per-lane-cursor seed set. Set
+// results land in computedHere ahead of their run slots and are consumed
+// exactly once, in job order, so the result list the client sees is
+// indistinguishable from sequential execution.
 func (s *Service) execute(j *Job) {
 	if !j.begin() {
 		// Cancelled while queued; requestCancel finished it and Cancel
@@ -420,8 +434,10 @@ func (s *Service) execute(j *Job) {
 			data, fromCache = sr.data, sr.fromCache
 			delete(computedHere, j.runs[i].key)
 		} else {
-			if g := lockstepGroup(j.runs[i:]); g >= 2 {
-				err = s.computeSet(j, j.runs[i:i+g], computedHere)
+			if g := traceGroup(j.runs, i); len(g) >= 2 {
+				err = s.computeFused(j, g, computedHere)
+			} else if g := cellGroup(j.runs, i); len(g) >= 2 {
+				err = s.computeSet(j, g, computedHere)
 			}
 			if err == nil {
 				if sr, ok := computedHere[j.runs[i].key]; ok {
@@ -528,34 +544,59 @@ func sameCell(a, b *enc.RunSpec) bool {
 	return true
 }
 
-// lockstepGroup returns the length of the maximal prefix of runs that
-// shares runs[0]'s cell.
-func lockstepGroup(runs []resolvedRun) int {
-	g := 1
-	for g < len(runs) && sameCell(&runs[0].spec, &runs[g].spec) {
-		g++
-	}
-	return g
+// sameTrace reports whether two resolved runs replay the same generated
+// trace: equal workload, seed, and resolved length. Predictor, knobs,
+// system, and label are all free to differ — a trace is a pure function
+// of its (workload, seed, length) cell, so machines agreeing on the cell
+// can fold onto one shared cursor.
+func sameTrace(a, b *resolvedRun) bool {
+	return a.spec.Workload == b.spec.Workload &&
+		a.spec.Seed == b.spec.Seed &&
+		a.n == b.n
 }
 
-// computeSet executes a same-cell run group as one lockstep seed set.
-// Each member is routed exactly as runOne would route it — cached
-// results are fetched, keys another job is already computing are left
-// for runOne's flight wait — and only the keys this job wins leadership
-// for become lanes of the set. One Runner.RunSeeds call then produces
-// every lane's result in a single pass; each result is resolved into the
-// cache under its own content address (single-flight followers across
-// jobs share it) and parked in computedHere for its run slot. Results
-// are byte-identical to sequential computation: lanes share no mutable
-// state, only the schedule.
-func (s *Service) computeSet(j *Job, group []resolvedRun, computedHere map[string]setResult) error {
-	type lane struct {
-		run *resolvedRun
-		fl  *flight
+// traceGroup collects, in job order, every run from position i on that
+// replays runs[i]'s trace. Members need not be adjacent — scanning the
+// whole tail is equivalent to stably sorting the job by trace cell before
+// grouping, and the client-visible result order is unchanged because set
+// results are parked in computedHere and consumed at their own slots.
+func traceGroup(runs []resolvedRun, i int) []*resolvedRun {
+	group := []*resolvedRun{&runs[i]}
+	for k := i + 1; k < len(runs); k++ {
+		if sameTrace(&runs[i], &runs[k]) {
+			group = append(group, &runs[k])
+		}
 	}
+	return group
+}
+
+// cellGroup collects, in job order, every run from position i on that
+// shares runs[i]'s cell — same predictor configuration, any seed: the
+// seed-sweep shape computeSet replays as one per-lane-cursor set. Like
+// traceGroup, members need not be adjacent.
+func cellGroup(runs []resolvedRun, i int) []*resolvedRun {
+	group := []*resolvedRun{&runs[i]}
+	for k := i + 1; k < len(runs); k++ {
+		if sameCell(&runs[i].spec, &runs[k].spec) {
+			group = append(group, &runs[k])
+		}
+	}
+	return group
+}
+
+// lane pairs a run this job won cache leadership for with its in-flight
+// claim; claimLanes routes a set's members exactly as runOne would route
+// them — cached results are fetched, keys another job is already
+// computing are left for runOne's flight wait — and returns only the
+// members that become lanes of the lockstep set.
+type lane struct {
+	run *resolvedRun
+	fl  *flight
+}
+
+func (s *Service) claimLanes(group []*resolvedRun, computedHere map[string]setResult) []lane {
 	var lanes []lane
-	for i := range group {
-		r := &group[i]
+	for _, r := range group {
 		if _, ok := computedHere[r.key]; ok {
 			continue // an earlier set already produced it; consumed at its slot
 		}
@@ -565,12 +606,36 @@ func (s *Service) computeSet(j *Job, group []resolvedRun, computedHere map[strin
 		}
 		fl, leader := s.cache.claim(r.key)
 		if !leader {
-			// Another job (or an earlier duplicate seed in this group) is
+			// Another job (or an earlier duplicate in this group) is
 			// computing this key; runOne waits on the flight at its slot.
 			continue
 		}
 		lanes = append(lanes, lane{run: r, fl: fl})
 	}
+	return lanes
+}
+
+// noteFold records an executed lockstep set of two or more lanes;
+// tracesSaved counts shared-cursor traversals avoided (0 for seed sets,
+// lanes-1 for fused same-trace sets).
+func (s *Service) noteFold(lanes, tracesSaved int) {
+	if lanes < 2 {
+		return
+	}
+	s.lockstepSets.Add(1)
+	s.runsFolded.Add(uint64(lanes))
+	s.tracesSaved.Add(uint64(tracesSaved))
+}
+
+// computeSet executes a same-cell run group as one lockstep seed set.
+// One Runner.RunSeeds call produces every claimed lane's result in a
+// single pass; each result is resolved into the cache under its own
+// content address (single-flight followers across jobs share it) and
+// parked in computedHere for its run slot. Results are byte-identical to
+// sequential computation: lanes share no mutable state, only the
+// schedule.
+func (s *Service) computeSet(j *Job, group []*resolvedRun, computedHere map[string]setResult) error {
+	lanes := s.claimLanes(group, computedHere)
 	if len(lanes) == 0 {
 		return nil
 	}
@@ -614,6 +679,72 @@ func (s *Service) computeSet(j *Job, group []resolvedRun, computedHere map[strin
 		s.runsComputed.Add(1)
 		computedHere[ln.run.key] = setResult{data: data}
 	}
+	s.noteFold(len(lanes), 0)
+	return nil
+}
+
+// computeFused executes a same-trace run group — any mix of predictors,
+// knobs, and systems over one (workload, seed, length) trace — as a
+// single fused lockstep set: the trace is resolved once through the
+// arena, every block is fetched once and stepped through all claimed
+// lanes' machines. Cache routing, single-flight claims, result parking,
+// and byte-identity to sequential computation all work exactly as in
+// computeSet; what this shape additionally saves is lanes-1 whole trace
+// traversals per set.
+func (s *Service) computeFused(j *Job, group []*resolvedRun, computedHere map[string]setResult) error {
+	lanes := s.claimLanes(group, computedHere)
+	if len(lanes) == 0 {
+		return nil
+	}
+
+	s.noteArenaUse(lanes[0].run.spec.Workload, lanes[0].run.spec.Seed, lanes[0].run.n)
+
+	base := j.accessesDone.Load()
+	var prev uint64
+	k := uint64(len(lanes))
+	runners := make([]*stems.Runner, len(lanes))
+	for i := range lanes {
+		extra := []stems.Option{stems.WithSharedTrace(s.arena)}
+		if i == 0 {
+			// One lane observes progress for the whole set: lanes advance
+			// in lockstep over one cursor, so the set total is the lane
+			// count times any lane's cumulative count. FuseSweep serializes
+			// the callback, keeping the delta arithmetic race-free.
+			extra = append(extra, stems.WithRunProgress(func(done uint64) {
+				s.accessesSim.Add((done - prev) * k)
+				prev = done
+				j.noteProgress(base + done*k)
+			}))
+		}
+		runner, err := stems.FromSpec(lanes[i].run.spec, extra...)
+		if err != nil {
+			for _, ln := range lanes {
+				s.cache.resolve(ln.run.key, ln.fl, nil, err)
+			}
+			return err
+		}
+		runners[i] = runner
+	}
+	results, err := stems.FuseSweep(j.ctx, runners)
+	if err != nil {
+		// Wake followers; they recompute for themselves (the set's
+		// failure — typically this job's cancellation — says nothing
+		// about their jobs).
+		for _, ln := range lanes {
+			s.cache.resolve(ln.run.key, ln.fl, nil, err)
+		}
+		return err
+	}
+	for i, ln := range lanes {
+		data, mErr := json.Marshal(enc.FromResult("", results[i]))
+		s.cache.resolve(ln.run.key, ln.fl, data, mErr)
+		if mErr != nil {
+			return mErr
+		}
+		s.runsComputed.Add(1)
+		computedHere[ln.run.key] = setResult{data: data}
+	}
+	s.noteFold(len(lanes), len(lanes)-1)
 	return nil
 }
 

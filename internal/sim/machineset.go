@@ -27,7 +27,11 @@ type Lane struct {
 //     block is fetched once and stepped by all K machines back to back,
 //     so the columns are resolved while hot in cache — the Figure 10
 //     shape, where the stride baseline and the predictor kinds replay
-//     the same (workload, seed) trace.
+//     the same (workload, seed) trace. The machines are deliberately
+//     heterogeneous: any mix of predictor kinds, option sets, and even
+//     observer-only baseline machines may share the cursor, which is what
+//     lets a whole sweep grid over one trace (different predictors,
+//     different knob values) execute as a single pass.
 //
 //   - NewMachineSet: each lane replays its own cursor (the seed-sweep
 //     shape, where K runs differ only by workload seed and therefore by
@@ -122,21 +126,31 @@ func (s *MachineSet) Run(ctx context.Context) ([]Result, error) {
 // runShared drains the one shared cursor, stepping each fetched block
 // through every machine. Blocks are read-only to StepBlock, so the
 // parallel path steps the same block on all machines at once and joins
-// on a per-block barrier; the serial path steps them back to back while
-// the columns are hot.
+// on a per-block barrier (the cursor may reuse the block buffer, so no
+// lane can run ahead); the serial path steps them back to back while the
+// columns are hot. Worker goroutines are bounded by Parallelism — lanes
+// beyond the worker count queue on an atomic index, so a 16-lane set on
+// a 2-core box spawns 2 steppers per block, not 16.
 func (s *MachineSet) runShared(ctx context.Context) error {
 	done := ctx.Done()
-	parallel := s.workers() > 1
+	workers := s.workers()
 	var b trace.Block
 	for s.shared.NextBlock(&b) {
-		if parallel {
+		if workers > 1 {
+			var next atomic.Int64
 			var wg sync.WaitGroup
-			for i := range s.lanes {
+			for w := 0; w < workers; w++ {
 				wg.Add(1)
-				go func(m *Machine) {
+				go func() {
 					defer wg.Done()
-					m.StepBlock(&b)
-				}(s.lanes[i].Machine)
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= len(s.lanes) {
+							return
+						}
+						s.lanes[i].Machine.StepBlock(&b)
+					}
+				}()
 			}
 			wg.Wait()
 		} else {

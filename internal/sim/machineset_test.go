@@ -71,6 +71,56 @@ func TestSharedSetMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestSharedSetKnobPanel replays one trace through a shared-cursor set of
+// machines that differ only by option values — the fused sweep-grid shape,
+// where every point of a knob sweep shares the trace. Each lane must match
+// its solo run at any parallelism, including more lanes than workers.
+func TestSharedSetKnobPanel(t *testing.T) {
+	const accesses = 12_000
+	spec, err := workload.ByName("em3d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt := trace.NewBlockTrace(spec.Generate(1, accesses))
+	base := setOptions(spec)
+	points := []func(*sim.Options){
+		func(o *sim.Options) { o.STeMS.RMOBEntries = 4096 },
+		func(o *sim.Options) { o.STeMS.RMOBEntries = 16384 },
+		func(o *sim.Options) { o.STeMS.Lookahead = 4 },
+		func(o *sim.Options) { o.STeMS.Lookahead = 16 },
+		func(o *sim.Options) { o.STeMS.ReconSearch = 0 },
+	}
+	optAt := func(i int) sim.Options {
+		opt := base
+		points[i](&opt)
+		return opt
+	}
+
+	want := make([]sim.Result, len(points))
+	for i := range points {
+		want[i] = buildKind(t, sim.KindSTeMS, optAt(i)).RunBlocks(bt.Blocks())
+	}
+
+	for _, parallelism := range []int{1, 2} {
+		machines := make([]*sim.Machine, len(points))
+		for i := range points {
+			machines[i] = buildKind(t, sim.KindSTeMS, optAt(i))
+		}
+		set := sim.NewSharedSet(bt.Blocks(), machines...)
+		set.Parallelism = parallelism
+		got, err := set.Run(context.Background())
+		if err != nil {
+			t.Fatalf("parallelism=%d: %v", parallelism, err)
+		}
+		for i := range points {
+			if got[i] != want[i] {
+				t.Errorf("parallelism=%d: knob point %d diverged from solo run\n got: %+v\nwant: %+v",
+					parallelism, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 // TestLaneSetMatchesSequential replays K seed-differing traces through a
 // per-lane-cursor set and requires each lane to match its solo run.
 func TestLaneSetMatchesSequential(t *testing.T) {

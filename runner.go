@@ -518,6 +518,39 @@ func (r *Runner) sourceAt(seed int64) (BlockSource, error) {
 	}
 }
 
+// traceCell names one resolved generated trace: the (workload, seed,
+// length) triple that fully determines a suite workload's access stream.
+// Runners agreeing on the cell replay byte-identical streams, which is
+// what licenses fusing them onto one shared block cursor.
+type traceCell struct {
+	workload string
+	seed     int64
+	accesses int
+}
+
+// fuseCell reports the Runner's resolved trace cell and whether the run
+// is fuse-eligible. Only named suite workloads qualify: their traces are
+// pure functions of the cell, so matching cells guarantee matching
+// streams. File, slice, custom-source, and WithWorkloadSpec runs are not
+// cell-addressable (two process-local specs could share a name yet
+// generate different streams) and always replay their own cursor.
+func (r *Runner) fuseCell() (traceCell, bool) {
+	if !r.specSet || !r.suiteWorkload {
+		return traceCell{}, false
+	}
+	n := r.spec.DefaultAccesses
+	if r.accesses > 0 {
+		n = r.accesses
+	}
+	return traceCell{workload: r.spec.Name, seed: r.seed, accesses: n}, true
+}
+
+// buildMachine constructs the fresh simulation machine one run of this
+// Runner drives.
+func (r *Runner) buildMachine() (*sim.Machine, error) {
+	return sim.Build(sim.Kind(r.predictor), r.opt)
+}
+
 // Run builds a fresh machine, replays the configured access stream through
 // the batched block kernel, and returns the result. The context cancels a
 // run in flight (checked once per block, i.e. every few thousand
@@ -530,7 +563,7 @@ func (r *Runner) Run(ctx context.Context) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	m, err := sim.Build(sim.Kind(r.predictor), r.opt)
+	m, err := r.buildMachine()
 	if err != nil {
 		return Result{}, err
 	}

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# pgo.sh — regenerate the committed profile-guided-optimization profile.
+#
+# Captures CPU profiles from the STeMS kernel benchmarks (the hot
+# replay loop stemsd spends its time in), merges them, and writes
+# cmd/stemsd/default.pgo. `go build` applies that profile to every
+# stemsd build automatically (-pgo=auto has been the default since Go
+# 1.21, and auto means "use the main package's default.pgo"); CI
+# asserts the profile actually reaches the compiler by grepping the
+# `go build -x` log for -pgoprofile.
+#
+# Re-run after significant kernel changes, then commit the updated
+# profile:
+#
+#   ./scripts/pgo.sh && git add cmd/stemsd/default.pgo
+#
+# Environment:
+#   RUNS       how many profiling runs to merge (default 3)
+#   BENCHTIME  go test -benchtime per run (default 3x)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+RUNS="${RUNS:-3}"
+profiles=()
+for i in $(seq "$RUNS"); do
+  go test -run '^$' -bench 'SimBlocksSTeMS|StepBlockMedianSTeMS' \
+    -benchtime "${BENCHTIME:-3x}" -cpuprofile "$tmp/cpu.$i.prof" . >/dev/null
+  profiles+=("$tmp/cpu.$i.prof")
+done
+
+go tool pprof -proto "${profiles[@]}" > cmd/stemsd/default.pgo
+echo "wrote cmd/stemsd/default.pgo ($(wc -c < cmd/stemsd/default.pgo) bytes from $RUNS runs)"
