@@ -8,9 +8,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"stems/internal/enc"
@@ -105,6 +107,14 @@ type (
 	// lockstep sets formed, runs folded into them, and whole trace
 	// traversals avoided by fused same-trace sets.
 	LockstepMetrics = enc.LockstepMetrics
+	// PhaseSpan is one entry of JobStatus.Phases: cumulative time and
+	// span count a job spent in one execution phase (queue wait, trace
+	// resolve, simulate, encode, cache/store write).
+	PhaseSpan = enc.PhaseSpan
+	// LatencyStats summarizes a latency histogram (count, mean,
+	// p50/p90/p99 in microseconds) as /metrics reports it for the disk
+	// store's read and write paths.
+	LatencyStats = enc.LatencyStats
 )
 
 // Job lifecycle states reported by JobStatus.State.
@@ -147,6 +157,42 @@ func (e *APIError) Error() string {
 type Client struct {
 	baseURL string
 	http    *http.Client
+	log     *slog.Logger
+
+	// Degradation accounting: transient stream errors Wait/Watch
+	// swallowed by design (the poll fallback preserves the result
+	// contract) are still counted and logged, so a fleet quietly running
+	// on the fallback path is visible. See Stats.
+	streamErrors  atomic.Uint64
+	pollFallbacks atomic.Uint64
+}
+
+// ClientStats counts a Client's degraded-path activity.
+type ClientStats struct {
+	// StreamErrors counts SSE watch attempts that failed transiently
+	// (transport errors, truncated streams) before falling back.
+	StreamErrors uint64
+	// PollFallbacks counts Wait/Watch calls that completed via the
+	// polling fallback instead of the event stream.
+	PollFallbacks uint64
+}
+
+// Stats snapshots the client's degradation counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		StreamErrors:  c.streamErrors.Load(),
+		PollFallbacks: c.pollFallbacks.Load(),
+	}
+}
+
+// SetLogger directs the client's diagnostics — notably stream-to-poll
+// fallbacks, which are otherwise silent by design — to l. nil restores
+// the default (discard).
+func (c *Client) SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = slog.New(slog.DiscardHandler)
+	}
+	c.log = l
 }
 
 // NewClient targets a stemsd base URL (e.g. "http://localhost:8091").
@@ -161,7 +207,11 @@ func NewClient(baseURL string, httpClient *http.Client) *Client {
 	if httpClient == nil {
 		httpClient = defaultHTTPClient
 	}
-	return &Client{baseURL: strings.TrimRight(baseURL, "/"), http: httpClient}
+	return &Client{
+		baseURL: strings.TrimRight(baseURL, "/"),
+		http:    httpClient,
+		log:     slog.New(slog.DiscardHandler),
+	}
 }
 
 // BaseURL returns the service base URL this client targets.
@@ -278,6 +328,13 @@ func (c *Client) WatchRuns(ctx context.Context, id string, fn func(JobStatus), o
 	if errors.As(err, &apiErr) {
 		return st, err // the server answered; a structured refusal is final
 	}
+	// Swallowing the stream error is deliberate — polling preserves the
+	// delivery contract — but never silent: it is logged and counted so a
+	// client quietly living on the fallback path shows up in diagnostics.
+	c.streamErrors.Add(1)
+	c.pollFallbacks.Add(1)
+	c.log.Warn("event stream failed, falling back to polling",
+		"job", id, "runs_seen", runsSeen, "err", err)
 	return c.poll(ctx, id, fn, onResult, &runsSeen)
 }
 

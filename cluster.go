@@ -10,7 +10,14 @@ import (
 	"time"
 
 	"stems/internal/cluster"
+	"stems/internal/obs"
 )
+
+// LatencySnapshot is a mergeable point-in-time copy of a latency
+// histogram (log-bucketed, power-of-two nanosecond bounds); PeerStats
+// carries one per peer. Derive summaries with its Mean and Quantile
+// methods, or combine clients by merging snapshots.
+type LatencySnapshot = obs.Snapshot
 
 // ClusterConfig tunes a ClusterClient. The zero value (or nil) selects
 // the defaults noted per field.
@@ -64,6 +71,9 @@ type PeerStats struct {
 	// redirected here (the content-addressed store makes any peer a
 	// correct fallback).
 	Failovers uint64
+	// Latency is the distribution of this peer's whole-attempt RPC
+	// latencies (submit through terminal wait, failures included).
+	Latency LatencySnapshot
 }
 
 // ClusterClient drives a stemsd cluster: a static set of daemons sharing
@@ -87,6 +97,10 @@ type ClusterClient struct {
 	mu    sync.Mutex
 	rng   *rand.Rand
 	stats []PeerStats
+
+	// lat records per-peer attempt latency, index-aligned with peers;
+	// histograms are atomic, so attempts record without cc.mu.
+	lat []*obs.Histogram
 }
 
 // NewClusterClient builds a cluster client over the daemons' base URLs.
@@ -113,6 +127,7 @@ func NewClusterClient(peers []string, cfg *ClusterConfig) (*ClusterClient, error
 	for i, u := range shard.Peers() {
 		cc.peers = append(cc.peers, NewClient(u, httpc))
 		cc.stats[i].URL = u
+		cc.lat = append(cc.lat, &obs.Histogram{})
 	}
 	return cc, nil
 }
@@ -133,9 +148,12 @@ func (cc *ClusterClient) Owner(spec Spec) (string, error) {
 // Stats snapshots the per-peer routing counters.
 func (cc *ClusterClient) Stats() ClusterStats {
 	cc.mu.Lock()
-	defer cc.mu.Unlock()
 	out := make([]PeerStats, len(cc.stats))
 	copy(out, cc.stats)
+	cc.mu.Unlock()
+	for i := range out {
+		out[i].Latency = cc.lat[i].Snapshot()
+	}
 	return ClusterStats{Peers: out}
 }
 
@@ -290,22 +308,24 @@ func (cc *ClusterClient) submitToPeer(ctx context.Context, peerIdx int, job JobS
 				return JobStatus{}, err
 			}
 		}
+		attemptStart := time.Now()
 		st, err := peer.Submit(ctx, job)
 		if err == nil {
 			st, err = peer.Wait(ctx, st.ID)
-			if err == nil {
-				switch st.State {
-				case JobDone:
-					return st, nil
-				case JobCanceled:
-					// Daemon-side cancellation (e.g. it began draining
-					// mid-job): transient from the cluster's view.
-					err = fmt.Errorf("stems: peer %s canceled the job: %s", peer.BaseURL(), st.Error)
-				default:
-					// A failed deterministic simulation fails everywhere;
-					// surface it rather than retrying.
-					return st, &permanentError{fmt.Errorf("stems: job failed on %s: %s", peer.BaseURL(), st.Error)}
-				}
+		}
+		cc.lat[peerIdx].Observe(time.Since(attemptStart))
+		if err == nil {
+			switch st.State {
+			case JobDone:
+				return st, nil
+			case JobCanceled:
+				// Daemon-side cancellation (e.g. it began draining
+				// mid-job): transient from the cluster's view.
+				err = fmt.Errorf("stems: peer %s canceled the job: %s", peer.BaseURL(), st.Error)
+			default:
+				// A failed deterministic simulation fails everywhere;
+				// surface it rather than retrying.
+				return st, &permanentError{fmt.Errorf("stems: job failed on %s: %s", peer.BaseURL(), st.Error)}
 			}
 		}
 		if !transient(err) || ctx.Err() != nil {

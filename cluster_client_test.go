@@ -459,3 +459,36 @@ func TestClusterRejectsPermanentErrors(t *testing.T) {
 		t.Fatalf("client retried a permanent error %d times", ps.Retries)
 	}
 }
+
+// TestClusterPeerLatencyStats: every attempt a peer serves lands in that
+// peer's latency histogram, surfaced as a mergeable snapshot in Stats.
+func TestClusterPeerLatencyStats(t *testing.T) {
+	_, ts1 := startDaemon(t, service.Config{Workers: 1, QueueBound: 8})
+	_, ts2 := startDaemon(t, service.Config{Workers: 1, QueueBound: 8})
+	cc, err := stems.NewClusterClient([]string{ts1.URL, ts2.URL}, fastRetry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := balancedSpecs(t, cc, 10_000, 1)
+	if _, err := cc.Sweep(context.Background(), specs); err != nil {
+		t.Fatal(err)
+	}
+
+	var merged stems.LatencySnapshot
+	for _, p := range cc.Stats().Peers {
+		if p.JobsServed == 0 {
+			continue
+		}
+		if p.Latency.Count == 0 {
+			t.Errorf("peer %s served %d jobs but recorded no attempt latency", p.URL, p.JobsServed)
+		}
+		if p.Latency.Mean() <= 0 {
+			t.Errorf("peer %s latency mean = %v, want > 0", p.URL, p.Latency.Mean())
+		}
+		merged.Merge(p.Latency)
+	}
+	// One job per peer: the merged view counts both attempts.
+	if merged.Count != 2 {
+		t.Errorf("merged latency count = %d, want 2", merged.Count)
+	}
+}

@@ -17,6 +17,14 @@
 // itself is client-side — see stems.NewClusterClient and README
 // "Running a cluster".
 //
+// Observability: GET /metrics serves the JSON counters document, and
+// with ?format=prometheus the full Prometheus text exposition —
+// per-route request histograms, per-phase job latency histograms, cache
+// and store counters. -pprof mounts /debug/pprof/ for live CPU and heap
+// profiles. Logs are structured (log/slog): -log-level selects
+// verbosity, -log-format text or JSON lines. See README
+// "Observability".
+//
 // Submit and watch with curl (see README "Running the service") or the
 // typed client in the stems package (stems.NewClient).
 //
@@ -29,14 +37,14 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
-
-	"strings"
 
 	"stems/internal/server"
 	"stems/internal/service"
@@ -56,10 +64,16 @@ func main() {
 		storeEntries = flag.Int("store-entries", 4096, "max result files retained in -store (LRU)")
 		peers        = flag.String("peers", "", "comma-separated base URLs of every cluster daemon, this one included (enables shard-routing metrics)")
 		self         = flag.String("self", "", "this daemon's own base URL within -peers (counts misrouted submissions)")
+		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error (debug adds per-request and per-job-submit lines)")
+		logFormat    = flag.String("log-format", "text", "log output format: text or json")
+		pprofOn      = flag.Bool("pprof", false, "mount /debug/pprof/ (CPU, heap, goroutine profiles; exposes process memory — enable on trusted networks only)")
 	)
 	flag.Parse()
-	log.SetPrefix("stemsd: ")
-	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+	logger, err := newLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stemsd: %v\n", err)
+		os.Exit(2)
+	}
 
 	cfg := service.Config{
 		Workers:    *workers,
@@ -68,14 +82,15 @@ func main() {
 		TraceBound: *traces,
 		RetainJobs: *retain,
 		Self:       *self,
+		Logger:     logger,
 	}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir, *storeEntries)
 		if err != nil {
-			log.Fatalf("opening result store: %v", err)
+			fatal(logger, "opening result store", err)
 		}
 		stats := st.Stats()
-		log.Printf("result store %s: %d entries, %d bytes", *storeDir, stats.Entries, stats.Bytes)
+		logger.Info("result store", "dir", *storeDir, "entries", stats.Entries, "bytes", stats.Bytes)
 		cfg.Store = st
 	}
 	if *peers != "" {
@@ -86,13 +101,18 @@ func main() {
 
 	svc, err := service.New(cfg)
 	if err != nil {
-		log.Fatalf("configuring service: %v", err)
+		fatal(logger, "configuring service", err)
 	}
-	httpSrv := &http.Server{Addr: *addr, Handler: server.New(svc)}
+	srvOpts := []server.Option{server.WithLogger(logger)}
+	if *pprofOn {
+		srvOpts = append(srvOpts, server.WithPprof())
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: server.New(svc, srvOpts...)}
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s", *addr)
+		logger.Info("listening", "addr", *addr)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -101,16 +121,16 @@ func main() {
 
 	select {
 	case err := <-errc:
-		log.Fatalf("serve: %v", err)
+		fatal(logger, "serve", err)
 	case sig := <-sigc:
-		log.Printf("%s: draining (completing queued and in-flight jobs; signal again to cancel them)", sig)
+		logger.Info("draining: completing queued and in-flight jobs; signal again to cancel them", "signal", sig.String())
 	}
 
 	// A second signal hard-cancels outstanding jobs; Drain below then
 	// finishes almost immediately as workers observe their contexts.
 	go func() {
 		sig := <-sigc
-		log.Printf("%s: cancelling outstanding jobs", sig)
+		logger.Info("cancelling outstanding jobs", "signal", sig.String())
 		svc.Abort()
 	}()
 
@@ -122,8 +142,31 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("shutdown: %v", err)
+		logger.Warn("shutdown", "err", err)
 	}
 	<-errc // ListenAndServe has returned http.ErrServerClosed
-	log.Printf("drained, exiting")
+	logger.Info("drained, exiting")
+}
+
+// newLogger builds the process logger from the -log-level/-log-format
+// flags. Logs go to stderr, like the stdlib logger they replace.
+func newLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
+}
+
+func fatal(logger *slog.Logger, msg string, err error) {
+	logger.Error(msg, "err", err)
+	os.Exit(1)
 }

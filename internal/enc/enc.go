@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"stems/internal/obs"
 	"stems/internal/sim"
 	"stems/internal/workload"
 )
@@ -200,13 +201,50 @@ type JobProgress struct {
 	CacheHits int `json:"cache_hits"`
 }
 
+// The five phases of a job's lifecycle, in execution order — the spans
+// JobStatus.Phases reports and the service's phase-latency histograms
+// bucket. "queue" is the wait between submission and a worker picking
+// the job up; "resolve" covers trace materialization through the arena;
+// "simulate" is replay; "encode" is result marshaling and relabeling;
+// "store" is the cache/disk write of computed results.
+const (
+	PhaseQueue = iota
+	PhaseResolve
+	PhaseSimulate
+	PhaseEncode
+	PhaseStore
+)
+
+// PhaseNames lists the job phases in execution order, indexed by the
+// Phase* constants.
+var PhaseNames = [...]string{"queue", "resolve", "simulate", "encode", "store"}
+
+// NumPhases is the number of job phases.
+const NumPhases = len(PhaseNames)
+
+// PhaseSpan is the accumulated time a job spent in one phase. A sweep
+// job passes through the non-queue phases once per computed run (cached
+// runs skip them), so Count reports how many spans the total aggregates.
+type PhaseSpan struct {
+	// Phase is the span's name (see PhaseNames).
+	Phase string `json:"phase"`
+	// Nanos is the total time spent in the phase, in nanoseconds.
+	Nanos int64 `json:"nanos"`
+	// Count is the number of individual spans accumulated into Nanos.
+	Count int64 `json:"count"`
+}
+
 // JobStatus is the wire form of GET /v1/jobs/{id} and of every SSE event.
 type JobStatus struct {
 	ID       string      `json:"id"`
 	State    JobState    `json:"state"`
 	Spec     JobSpec     `json:"spec"`
 	Progress JobProgress `json:"progress"`
-	Error    string      `json:"error,omitempty"`
+	// Phases reports where the job's wall-clock time went, one entry per
+	// phase in PhaseNames order — all five always present, zero-valued
+	// until the job reaches them.
+	Phases []PhaseSpan `json:"phases,omitempty"`
+	Error  string      `json:"error,omitempty"`
 	// Results holds one canonical Result document per run, present once
 	// the job is done. Raw bytes, so a cached result round-trips through
 	// the API without re-marshaling drift.
@@ -341,9 +379,14 @@ type Metrics struct {
 
 	// AccessesSimulated counts accesses replayed by the engine since
 	// start; AccessesPerSec divides it by uptime — the service-side
-	// throughput figure the bench pipeline records.
+	// throughput figure the bench pipeline records. That quotient is a
+	// lifetime average: on a long-lived daemon an idle hour drags it
+	// toward zero no matter what is happening now, so AccessesPerSec1m
+	// additionally reports the windowed rate over the trailing 60
+	// seconds — the number a dashboard should graph.
 	AccessesSimulated uint64  `json:"accesses_simulated"`
 	AccessesPerSec    float64 `json:"accesses_per_sec"`
+	AccessesPerSec1m  float64 `json:"accesses_per_sec_1m"`
 
 	// Trace-arena activity: workload traces resident, generator
 	// invocations, and arena cache hits across jobs.
@@ -399,6 +442,40 @@ type StoreMetrics struct {
 	// because CRC/header verification failed on read.
 	Evictions      uint64 `json:"evictions"`
 	CorruptDropped uint64 `json:"corrupt_dropped"`
+	// ReadLatency and WriteLatency summarize the disk I/O distributions
+	// (entry read+verify, entry write+sync+rename), present once at
+	// least one operation has been recorded.
+	ReadLatency  *LatencyStats `json:"read_latency,omitempty"`
+	WriteLatency *LatencyStats `json:"write_latency,omitempty"`
+}
+
+// LatencyStats is the wire summary of a latency histogram: count, mean,
+// and tail quantiles in microseconds. Quantiles are bucket upper bounds
+// of the underlying log-bucketed histogram — accurate to one
+// power-of-two bucket, which is the resolution monitoring needs.
+type LatencyStats struct {
+	Count  uint64  `json:"count"`
+	MeanUs float64 `json:"mean_us"`
+	P50Us  float64 `json:"p50_us"`
+	P90Us  float64 `json:"p90_us"`
+	P99Us  float64 `json:"p99_us"`
+}
+
+// LatencyFromSnapshot summarizes a histogram snapshot in wire form; nil
+// when the histogram has recorded nothing (so empty distributions stay
+// out of JSON documents entirely).
+func LatencyFromSnapshot(s obs.Snapshot) *LatencyStats {
+	if s.Count == 0 {
+		return nil
+	}
+	us := func(d int64) float64 { return float64(d) / 1e3 }
+	return &LatencyStats{
+		Count:  s.Count,
+		MeanUs: us(int64(s.Mean())),
+		P50Us:  us(int64(s.Quantile(0.50))),
+		P90Us:  us(int64(s.Quantile(0.90))),
+		P99Us:  us(int64(s.Quantile(0.99))),
+	}
 }
 
 // ClusterMetrics is the /metrics section for shard routing: which peers

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the fixed bucket count of every Histogram: power-of-two
+// duration buckets from 1ns up. Buckets 0..NumBuckets-2 have finite
+// upper bounds (bucket i counts observations ≤ 2^i nanoseconds ≈ 73
+// minutes at the top); the last bucket is the overflow (+Inf) bucket.
+const NumBuckets = 44
+
+// Histogram is a log-bucketed latency histogram: recording rounds an
+// observation up to the nearest power-of-two nanosecond bound, so the
+// full dynamic range from sub-microsecond cache probes to multi-minute
+// queue waits fits in 44 fixed buckets at ~2x resolution — distributions
+// and tail quantiles, not just averages, at the cost of three atomic adds
+// and zero heap allocations per observation (gated by alloc_test.go).
+//
+// The zero value is ready to use; Registry.Histogram (or
+// Registry.AttachHistogram) exposes one under a name. Safe for
+// concurrent use. Concurrent Observe against Snapshot trades exactness
+// for speed: a snapshot taken mid-observation may transiently see a
+// bucket increment before the count/sum (or vice versa) — fine for
+// monitoring, which only ever reads monotone counters.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64 // nanoseconds
+	buckets [NumBuckets]atomic.Uint64
+}
+
+// bucketIndex maps a duration to its bucket: the smallest i with
+// d ≤ 2^i ns, clamped into the overflow bucket.
+func bucketIndex(d time.Duration) int {
+	if d <= 1 {
+		return 0
+	}
+	i := bits.Len64(uint64(d) - 1) // smallest i with d <= 1<<i
+	if i >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return i
+}
+
+// BucketBound returns bucket i's inclusive upper bound. The last bucket
+// is the overflow bucket; its nominal bound is returned but exposition
+// renders it as +Inf.
+func BucketBound(i int) time.Duration { return time.Duration(uint64(1) << uint(i)) }
+
+// Observe records one duration. Negative durations clamp to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(uint64(d))
+	h.buckets[bucketIndex(d)].Add(1)
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() Snapshot {
+	var s Snapshot
+	s.Count = h.count.Load()
+	s.SumNanos = h.sum.Load()
+	for i := range s.Buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Snapshot is a point-in-time copy of a Histogram, safe to merge,
+// compare, and serialize. Buckets[i] counts observations in bucket i
+// (see BucketBound).
+type Snapshot struct {
+	Count    uint64             `json:"count"`
+	SumNanos uint64             `json:"sum_nanos"`
+	Buckets  [NumBuckets]uint64 `json:"buckets"`
+}
+
+// Merge accumulates another snapshot into this one — the cross-peer /
+// cross-shard aggregation primitive.
+func (s *Snapshot) Merge(o Snapshot) {
+	s.Count += o.Count
+	s.SumNanos += o.SumNanos
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// Mean returns the average observed duration (0 when empty).
+func (s Snapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNanos / s.Count)
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) as the upper bound of
+// the first bucket whose cumulative count reaches q·Count — an estimate
+// within one power-of-two bucket of the true value, which is the
+// resolution monitoring needs. Returns 0 when the histogram is empty.
+func (s Snapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range s.Buckets {
+		cum += c
+		if cum >= rank {
+			return BucketBound(i)
+		}
+	}
+	return BucketBound(NumBuckets - 1)
+}

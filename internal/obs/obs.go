@@ -1,0 +1,217 @@
+// Package obs is stemsd's dependency-free metrics core: atomic counters,
+// callback gauges, and log-bucketed latency histograms behind a named
+// registry with two exporters — Prometheus text exposition (see
+// WritePrometheus, served at GET /metrics?format=prometheus) and the
+// JSON snapshot the service's enc.Metrics document is rebuilt on top of
+// (the service reads the same counters this registry exposes, so the two
+// views can never disagree).
+//
+// The record path — Counter.Add, Histogram.Observe, Rate.Add — is the
+// hot path: it runs inside replay progress callbacks and HTTP handlers,
+// so it performs zero heap allocations (gated by alloc_test.go, like the
+// simulator kernel) and takes no locks beyond Rate's short mutex.
+// Registration and exposition are cold paths and lock freely.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric dimension, rendered as {key="value"} in Prometheus
+// exposition. Labels are fixed at registration: a per-route histogram is
+// one series registered per route, not a dynamic lookup on the record
+// path.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready to use; Register (or Registry.Counter) attaches it to a name.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// metricKind discriminates the series types a registry holds.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindFuncCounter
+	kindHistogram
+)
+
+// promType maps a series kind to its Prometheus TYPE keyword.
+func (k metricKind) promType() string {
+	switch k {
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "counter"
+	}
+}
+
+// series is one registered (name, labels) pair and its backing metric.
+type series struct {
+	labels  []Label
+	counter *Counter
+	hist    *Histogram
+	fn      func() float64
+}
+
+// labelString renders the label set as {k="v",...} (empty for none),
+// used both for exposition and duplicate detection.
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel applies Prometheus label-value escaping.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// family groups every series sharing one metric name (same type and
+// help, differing labels).
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	series []*series
+}
+
+// Registry is a named collection of metrics. It is safe for concurrent
+// use; registration normally happens once at construction time while
+// exposition runs per scrape.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	names    []string // registration order; sorted at exposition
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register adds one series, enforcing name/type consistency and
+// label-set uniqueness. Registration conflicts are programmer errors and
+// panic — a daemon with colliding metric names should fail at startup,
+// not scrape time.
+func (r *Registry) register(name, help string, kind metricKind, s *series) {
+	if name == "" {
+		panic("obs: empty metric name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind}
+		r.families[name] = f
+		r.names = append(r.names, name)
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q reregistered as %s (was %s)", name, kind.promType(), f.kind.promType()))
+	}
+	ls := labelString(s.labels)
+	for _, have := range f.series {
+		if labelString(have.labels) == ls {
+			panic(fmt.Sprintf("obs: duplicate series %s%s", name, ls))
+		}
+	}
+	f.series = append(f.series, s)
+}
+
+// Counter creates and registers a counter series. Conventionally the
+// name ends in _total.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := &Counter{}
+	r.register(name, help, kindCounter, &series{labels: labels, counter: c})
+	return c
+}
+
+// Gauge registers a callback gauge: fn is invoked at exposition time, so
+// existing mutex-guarded state (queue depth, cache residency) exports
+// without restructuring.
+func (r *Registry) Gauge(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, kindGauge, &series{labels: labels, fn: fn})
+}
+
+// FuncCounter registers a callback counter — a monotone value owned by
+// existing code (cache hit totals, store evictions) exposed without
+// moving it into an obs.Counter.
+func (r *Registry) FuncCounter(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, kindFuncCounter, &series{labels: labels, fn: fn})
+}
+
+// Histogram creates and registers a latency histogram series.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	h := &Histogram{}
+	r.register(name, help, kindHistogram, &series{labels: labels, hist: h})
+	return h
+}
+
+// AttachHistogram registers an externally owned histogram (e.g. the
+// disk store's read-latency histogram, which exists whether or not a
+// registry does) under a name.
+func (r *Registry) AttachHistogram(name, help string, h *Histogram, labels ...Label) {
+	if h == nil {
+		panic("obs: attaching nil histogram")
+	}
+	r.register(name, help, kindHistogram, &series{labels: labels, hist: h})
+}
+
+// sortedFamilies snapshots the family list in name order; series within
+// a family sort by label string, so exposition is stable regardless of
+// registration order.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := append([]string(nil), r.names...)
+	sort.Strings(names)
+	out := make([]*family, 0, len(names))
+	for _, n := range names {
+		f := r.families[n]
+		fc := &family{name: f.name, help: f.help, kind: f.kind,
+			series: append([]*series(nil), f.series...)}
+		sort.Slice(fc.series, func(i, j int) bool {
+			return labelString(fc.series[i].labels) < labelString(fc.series[j].labels)
+		})
+		out = append(out, fc)
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PrometheusContentType is the Content-Type of WritePrometheus output.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format (version 0.0.4): families in name order, series in
+// label order, histograms as cumulative _bucket{le=...} series plus
+// _sum and _count. Exposition is deterministic for a fixed registry
+// state — the golden test pins it.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.sortedFamilies() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind.promType()); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f *family, s *series) error {
+	switch f.kind {
+	case kindHistogram:
+		return writeHistogram(w, f.name, s.labels, s.hist.Snapshot())
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(s.labels), s.counter.Value())
+		return err
+	default: // gauge, func counter
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(s.labels), formatFloat(s.fn()))
+		return err
+	}
+}
+
+// writeHistogram emits the cumulative bucket series. Empty leading and
+// trailing bucket runs are elided (cumulative counts lose nothing), so
+// a latency histogram spanning nanoseconds to minutes stays a handful
+// of lines; the +Inf bucket (which absorbs the overflow bucket) and the
+// _sum/_count pair are always present.
+func writeHistogram(w io.Writer, name string, labels []Label, snap Snapshot) error {
+	// Find the occupied bucket range, excluding the overflow bucket
+	// (rendered only through +Inf).
+	lo, hi := -1, -1
+	for i := 0; i < NumBuckets-1; i++ {
+		if snap.Buckets[i] != 0 {
+			if lo < 0 {
+				lo = i
+			}
+			hi = i
+		}
+	}
+	var cum uint64
+	for i := lo; i >= 0 && i <= hi; i++ {
+		cum += snap.Buckets[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			name, bucketLabels(labels, formatFloat(BucketBound(i).Seconds())), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, bucketLabels(labels, "+Inf"), snap.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, labelString(labels), formatFloat(float64(snap.SumNanos)/1e9)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labelString(labels), snap.Count)
+	return err
+}
+
+// bucketLabels renders a series' labels with le appended.
+func bucketLabels(labels []Label, le string) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for _, l := range labels {
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteString(`",`)
+	}
+	b.WriteString(`le="`)
+	b.WriteString(le)
+	b.WriteString(`"}`)
+	return b.String()
+}
+
+// formatFloat renders a float the way Prometheus expects: shortest
+// round-trip representation.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp applies HELP-line escaping.
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}

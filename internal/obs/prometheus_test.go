@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPrometheusGolden pins the full exposition text of a small registry:
+// family ordering (by name), HELP/TYPE lines, label rendering, cumulative
+// histogram buckets with empty runs elided, +Inf/_sum/_count, and gauge
+// float formatting. Any format drift fails here, not in a scraper.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	jobs := r.Counter("stemsd_jobs_total", "Jobs accepted.", L("state", "done"))
+	jobs.Add(3)
+	r.Counter("stemsd_jobs_total", "Jobs accepted.", L("state", "failed")) // stays 0
+	r.Gauge("stemsd_queue_depth", "Queued jobs.", func() float64 { return 2.5 })
+	h := r.Histogram("stemsd_request_seconds", "Request latency.", L("route", "GET /metrics"))
+	h.Observe(900 * time.Nanosecond)  // bucket 2^10 ns = 1.024e-06 s
+	h.Observe(1000 * time.Nanosecond) // same bucket
+	h.Observe(3 * time.Microsecond)   // bucket 2^12 ns = 4.096e-06 s
+	h.Observe(200 * time.Hour)        // overflow → +Inf only
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP stemsd_jobs_total Jobs accepted.
+# TYPE stemsd_jobs_total counter
+stemsd_jobs_total{state="done"} 3
+stemsd_jobs_total{state="failed"} 0
+# HELP stemsd_queue_depth Queued jobs.
+# TYPE stemsd_queue_depth gauge
+stemsd_queue_depth 2.5
+# HELP stemsd_request_seconds Request latency.
+# TYPE stemsd_request_seconds histogram
+stemsd_request_seconds_bucket{route="GET /metrics",le="1.024e-06"} 2
+stemsd_request_seconds_bucket{route="GET /metrics",le="2.048e-06"} 2
+stemsd_request_seconds_bucket{route="GET /metrics",le="4.096e-06"} 3
+stemsd_request_seconds_bucket{route="GET /metrics",le="+Inf"} 4
+stemsd_request_seconds_sum{route="GET /metrics"} 720000.0000049
+stemsd_request_seconds_count{route="GET /metrics"} 4
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestPrometheusEscaping covers label-value and HELP escaping.
+func TestPrometheusEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "line1\nline2 \\ backslash", L("p", `a"b\c`+"\n"))
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `# HELP esc_total line1\nline2 \\ backslash`) {
+		t.Errorf("HELP not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `esc_total{p="a\"b\\c\n"} 0`) {
+		t.Errorf("label not escaped:\n%s", out)
+	}
+}

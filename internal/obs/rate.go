@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// rateWindow is the Rate averaging horizon in seconds.
+const rateWindow = 60
+
+// Rate measures recent throughput: a ring of per-second buckets over the
+// last 60 seconds, so /metrics can report the *current* rate next to the
+// lifetime average (which, on a long-lived daemon, is history rather
+// than status: an idle hour drags it toward zero no matter what the
+// daemon is doing now). Add is mutex-guarded but allocation-free; it is
+// called from replay progress callbacks (once per ~4096-access block),
+// where a short critical section is noise.
+//
+// The zero value is NOT ready; construct with NewRate.
+type Rate struct {
+	mu      sync.Mutex
+	started int64 // unix second of construction, for the warm-up window
+	secs    [rateWindow]int64
+	counts  [rateWindow]uint64
+	now     func() time.Time // test hook; time.Now outside tests
+}
+
+// NewRate creates a rate meter starting its warm-up window now.
+func NewRate() *Rate {
+	r := &Rate{now: time.Now}
+	r.started = r.now().Unix()
+	return r
+}
+
+// newRateAt is the test constructor with a fake clock.
+func newRateAt(now func() time.Time) *Rate {
+	r := &Rate{now: now}
+	r.started = r.now().Unix()
+	return r
+}
+
+// Add records n events at the current second.
+func (r *Rate) Add(n uint64) {
+	sec := r.now().Unix()
+	i := sec % rateWindow
+	r.mu.Lock()
+	if r.secs[i] != sec {
+		r.secs[i] = sec
+		r.counts[i] = 0
+	}
+	r.counts[i] += n
+	r.mu.Unlock()
+}
+
+// PerSec returns the event rate over the trailing window: events in the
+// last 60 seconds divided by 60, except during the first minute of life,
+// where it divides by the elapsed time so a young daemon's rate is not
+// artificially diluted by seconds that never existed.
+func (r *Rate) PerSec() float64 {
+	sec := r.now().Unix()
+	window := sec - r.started
+	if window < 1 {
+		window = 1
+	}
+	if window > rateWindow {
+		window = rateWindow
+	}
+	var sum uint64
+	r.mu.Lock()
+	for i := range r.secs {
+		if r.secs[i] > sec-rateWindow {
+			sum += r.counts[i]
+		}
+	}
+	r.mu.Unlock()
+	return float64(sum) / float64(window)
+}

@@ -9,40 +9,149 @@
 //	GET    /v1/predictors       registered predictors with full knob schemas
 //	GET    /v1/workloads        the paper's workload suite
 //	GET    /healthz             liveness
-//	GET    /metrics             queue/cache/throughput counters (JSON)
+//	GET    /metrics             queue/cache/throughput counters (JSON);
+//	                            ?format=prometheus for text exposition
+//	GET    /debug/pprof/*       runtime profiles (only with WithPprof)
 //
 // Every non-2xx response carries the structured enc.ErrorBody envelope.
+//
+// Every route records a request counter and latency histogram
+// (stemsd_http_requests_total / stemsd_http_request_seconds, labeled by
+// route pattern) into the service's obs registry, so the Prometheus
+// exposition covers the HTTP layer alongside the simulation core.
 package server
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"time"
 
 	"stems/internal/enc"
+	"stems/internal/obs"
 	"stems/internal/service"
 )
 
 // Server routes HTTP requests to a service.Service.
 type Server struct {
-	svc *service.Service
-	mux *http.ServeMux
+	svc   *service.Service
+	mux   *http.ServeMux
+	log   *slog.Logger
+	pprof bool
 }
 
-// New builds a Server over svc.
-func New(svc *service.Service) *Server {
-	s := &Server{svc: svc, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /v1/jobs", s.submitJob)
-	s.mux.HandleFunc("GET /v1/jobs", s.listJobs)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.getJob)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancelJob)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.jobEvents)
-	s.mux.HandleFunc("GET /v1/predictors", s.predictors)
-	s.mux.HandleFunc("GET /v1/workloads", s.workloads)
-	s.mux.HandleFunc("GET /healthz", s.healthz)
-	s.mux.HandleFunc("GET /metrics", s.metrics)
+// Option configures a Server at construction.
+type Option func(*Server)
+
+// WithPprof mounts net/http/pprof under /debug/pprof/. Off by default:
+// profiles expose memory contents, so the daemon owner opts in (stemsd's
+// -pprof flag).
+func WithPprof() Option { return func(s *Server) { s.pprof = true } }
+
+// WithLogger directs per-request debug logs to l (default: discard).
+func WithLogger(l *slog.Logger) Option {
+	return func(s *Server) {
+		if l != nil {
+			s.log = l
+		}
+	}
+}
+
+// New builds a Server over svc. Construct at most one Server per
+// service: route metric series register in svc's obs registry, which
+// rejects duplicates.
+func New(svc *service.Service, opts ...Option) *Server {
+	s := &Server{svc: svc, mux: http.NewServeMux(), log: slog.New(slog.DiscardHandler)}
+	for _, o := range opts {
+		o(s)
+	}
+	s.handle("POST /v1/jobs", s.submitJob)
+	s.handle("GET /v1/jobs", s.listJobs)
+	s.handle("GET /v1/jobs/{id}", s.getJob)
+	s.handle("DELETE /v1/jobs/{id}", s.cancelJob)
+	s.handle("GET /v1/jobs/{id}/events", s.jobEvents)
+	s.handle("GET /v1/predictors", s.predictors)
+	s.handle("GET /v1/workloads", s.workloads)
+	s.handle("GET /healthz", s.healthz)
+	s.handle("GET /metrics", s.metrics)
+	if s.pprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
+}
+
+// handle registers a route together with its request counter and latency
+// histogram. Series are created here, once, keyed by the route pattern —
+// not the raw URL — so label cardinality is fixed and the per-request
+// record path allocates nothing.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	reg := s.svc.Obs()
+	reqs := reg.Counter("stemsd_http_requests_total",
+		"HTTP requests served, by route pattern.", obs.L("route", pattern))
+	lat := reg.Histogram("stemsd_http_request_seconds",
+		"HTTP request latency by route pattern.", obs.L("route", pattern))
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ww, sw := wrapWriter(w)
+		h(ww, r)
+		d := time.Since(start)
+		reqs.Inc()
+		lat.Observe(d)
+		s.log.Debug("http request", "route", pattern, "path", r.URL.Path,
+			"status", sw.code(), "dur", d)
+	})
+}
+
+// statusWriter captures the response status code for request logging.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) code() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}
+
+// flusherWriter additionally forwards http.Flusher: the SSE handler
+// type-asserts the writer for it, so the logging wrapper must not mask
+// the capability.
+type flusherWriter struct {
+	*statusWriter
+	fl http.Flusher
+}
+
+func (w *flusherWriter) Flush() { w.fl.Flush() }
+
+func wrapWriter(w http.ResponseWriter) (http.ResponseWriter, *statusWriter) {
+	sw := &statusWriter{ResponseWriter: w}
+	if fl, ok := w.(http.Flusher); ok {
+		return &flusherWriter{statusWriter: sw, fl: fl}, sw
+	}
+	return sw, sw
 }
 
 // ServeHTTP implements http.Handler.
@@ -218,5 +327,10 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", obs.PrometheusContentType)
+		s.svc.Obs().WritePrometheus(w) //nolint:errcheck // a failed write means the scraper left
+		return
+	}
 	writeJSON(w, http.StatusOK, s.svc.Metrics())
 }

@@ -7,6 +7,8 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -15,6 +17,7 @@ import (
 
 	"stems"
 	"stems/internal/enc"
+	"stems/internal/obs"
 	"stems/internal/server"
 	"stems/internal/service"
 )
@@ -494,5 +497,165 @@ func TestKnobSubmitOverHTTP(t *testing.T) {
 	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest ||
 		apiErr.Code != "invalid_spec" || !strings.Contains(apiErr.Message, `unknown knob "nope"`) {
 		t.Errorf("bad knob error = %v, want structured 400 invalid_spec naming the knob", err)
+	}
+}
+
+// TestObservabilityEndpoints drives one job to completion and then
+// exercises the PR's HTTP observability surface: phase spans in the job
+// status document, well-formed Prometheus exposition (with the per-route
+// request histograms and the service's phase histograms), the legacy
+// JSON /metrics document, and the opt-in pprof mount.
+func TestObservabilityEndpoints(t *testing.T) {
+	svc, err := service.New(service.Config{Workers: 1, QueueBound: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(svc, server.WithPprof()))
+	t.Cleanup(func() {
+		svc.Abort()
+		svc.Drain()
+		ts.Close()
+	})
+	c := stems.NewClient(ts.URL, nil)
+
+	final := submitAndWait(t, c, stems.JobSpec{RunSpec: stems.RunSpec{
+		Predictor: "stems", Workload: "em3d", Accesses: 20_000,
+	}})
+	if len(final.Phases) != len(enc.PhaseNames) {
+		t.Fatalf("status phases = %+v, want all %d", final.Phases, len(enc.PhaseNames))
+	}
+	for i, ph := range final.Phases {
+		if ph.Phase != enc.PhaseNames[i] {
+			t.Errorf("phase[%d] = %q, want %q", i, ph.Phase, enc.PhaseNames[i])
+		}
+	}
+	if sim := final.Phases[enc.PhaseSimulate]; sim.Count < 1 || sim.Nanos <= 0 {
+		t.Errorf("simulate span empty in finished status: %+v", sim)
+	}
+
+	// Prometheus exposition.
+	resp, err := http.Get(ts.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prometheus scrape: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.PrometheusContentType {
+		t.Errorf("content type = %q, want %q", ct, obs.PrometheusContentType)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE stemsd_http_request_seconds histogram",
+		`stemsd_http_request_seconds_bucket{route="POST /v1/jobs",le="`,
+		`stemsd_http_request_seconds_count{route="POST /v1/jobs"} 1`,
+		`stemsd_http_requests_total{route="POST /v1/jobs"} 1`,
+		`stemsd_job_phase_seconds_bucket{phase="simulate",le="+Inf"} 1`,
+		"stemsd_jobs_completed_total 1",
+		"stemsd_accesses_simulated_total 20000",
+		"# TYPE stemsd_uptime_seconds gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// The legacy JSON document still serves, with the windowed rate.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m enc.Metrics
+	err = json.NewDecoder(resp.Body).Decode(&m)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.JobsCompleted != 1 || m.AccessesSimulated != 20_000 {
+		t.Errorf("JSON metrics disagree with exposition: %+v", m)
+	}
+	if m.AccessesPerSec1m <= 0 {
+		t.Errorf("accesses_per_sec_1m = %v, want > 0 right after a run", m.AccessesPerSec1m)
+	}
+
+	// pprof is mounted when opted in...
+	resp, err = http.Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof cmdline with WithPprof: %d, want 200", resp.StatusCode)
+	}
+
+	// ...and absent by default.
+	svc2, err := service.New(service.Config{Workers: 1, QueueBound: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(server.New(svc2))
+	t.Cleanup(func() {
+		svc2.Drain()
+		ts2.Close()
+	})
+	resp, err = http.Get(ts2.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof without WithPprof: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestWatchPollFallback breaks the SSE endpoint in front of an otherwise
+// healthy daemon: Wait must complete through the polling fallback — and
+// the swallowed stream error must be visible, both counted in the
+// client's Stats and logged through its slog logger.
+func TestWatchPollFallback(t *testing.T) {
+	svc, err := service.New(service.Config{Workers: 1, QueueBound: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := server.New(svc)
+	broken := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/events") {
+			// Answer 200 and close without a single event: a truncated
+			// stream, the transient shape the fallback exists for.
+			w.Header().Set("Content-Type", "text/event-stream")
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(func() {
+		svc.Abort()
+		svc.Drain()
+		broken.Close()
+	})
+
+	c := stems.NewClient(broken.URL, nil)
+	var logBuf strings.Builder
+	c.SetLogger(slog.New(slog.NewTextHandler(&logBuf, nil)))
+
+	final := submitAndWait(t, c, stems.JobSpec{RunSpec: stems.RunSpec{
+		Predictor: "stems", Workload: "em3d", Accesses: 20_000,
+	}})
+	if len(final.Results) != 1 {
+		t.Fatalf("fallback wait returned %d results, want 1", len(final.Results))
+	}
+
+	stats := c.Stats()
+	if stats.StreamErrors != 1 || stats.PollFallbacks != 1 {
+		t.Errorf("client stats = %+v, want 1 stream error and 1 poll fallback", stats)
+	}
+	if logged := logBuf.String(); !strings.Contains(logged, "falling back to polling") {
+		t.Errorf("fallback not logged; log output: %q", logged)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"stems/internal/enc"
 )
@@ -41,6 +42,16 @@ type Job struct {
 	accessesDone  atomic.Uint64
 	accessesTotal uint64
 
+	// created stamps submission time; the queue phase span is the gap to
+	// the worker's begin().
+	created time.Time
+
+	// Phase accounting (see enc.PhaseNames): total nanoseconds and span
+	// counts per phase, atomics because workers record them while HTTP
+	// handlers snapshot Status concurrently.
+	phaseNanos  [enc.NumPhases]atomic.Int64
+	phaseCounts [enc.NumPhases]atomic.Int64
+
 	mu        sync.Mutex
 	state     enc.JobState
 	err       error
@@ -66,10 +77,34 @@ func newJob(id string, spec enc.JobSpec, runs []resolvedRun, parent context.Cont
 		ctx:           ctx,
 		cancel:        cancel,
 		accessesTotal: total,
+		created:       time.Now(),
 		state:         enc.JobQueued,
 		subs:          make(map[chan struct{}]struct{}),
 		done:          make(chan struct{}),
 	}
+}
+
+// notePhase accumulates one span into a phase's total.
+func (j *Job) notePhase(phase int, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	j.phaseNanos[phase].Add(int64(d))
+	j.phaseCounts[phase].Add(1)
+}
+
+// phases snapshots the per-phase accounting in wire form — always all
+// five, in enc.PhaseNames order.
+func (j *Job) phases() []enc.PhaseSpan {
+	out := make([]enc.PhaseSpan, enc.NumPhases)
+	for i := range out {
+		out[i] = enc.PhaseSpan{
+			Phase: enc.PhaseNames[i],
+			Nanos: j.phaseNanos[i].Load(),
+			Count: j.phaseCounts[i].Load(),
+		}
+	}
+	return out
 }
 
 // Done closes when the job reaches a terminal state.
@@ -80,9 +115,10 @@ func (j *Job) Status() enc.JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := enc.JobStatus{
-		ID:    j.ID,
-		State: j.state,
-		Spec:  j.spec,
+		ID:     j.ID,
+		State:  j.state,
+		Spec:   j.spec,
+		Phases: j.phases(),
 		Progress: enc.JobProgress{
 			RunsDone:      j.runsDone,
 			RunsTotal:     len(j.runs),

@@ -13,14 +13,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"stems"
 	"stems/internal/cluster"
 	"stems/internal/enc"
+	"stems/internal/obs"
 	"stems/internal/par"
 	"stems/internal/store"
 )
@@ -81,6 +82,15 @@ type Config struct {
 	// /metrics additionally counts misrouted runs (owned by another
 	// peer).
 	Self string
+	// Obs, when non-nil, is the metrics registry the service registers
+	// its counters, gauges, and histograms in (default: a fresh private
+	// registry). Pass a shared registry so other layers' series — the
+	// HTTP server's per-route histograms, say — land in the same
+	// Prometheus exposition.
+	Obs *obs.Registry
+	// Logger, when non-nil, receives job-lifecycle logs (default:
+	// discard).
+	Logger *slog.Logger
 }
 
 func (c *Config) fill() {
@@ -127,8 +137,22 @@ type Service struct {
 	// submitted runs by owning peer, index-aligned with shard.Peers().
 	shard     *cluster.Map
 	selfIdx   int
-	peerRuns  []atomic.Uint64
-	misrouted atomic.Uint64
+	peerRuns  []*obs.Counter
+	misrouted *obs.Counter
+
+	// obs is the metrics registry every counter below lives in — the
+	// JSON /metrics document and the Prometheus exposition read the same
+	// values, so the two views can never disagree. log receives
+	// job-lifecycle events; rate tracks replayed accesses over the
+	// trailing 60s for accesses_per_sec_1m.
+	obs  *obs.Registry
+	log  *slog.Logger
+	rate *obs.Rate
+
+	// phaseHist aggregates phase span latencies service-wide, one
+	// histogram per enc.PhaseNames entry (jobs additionally keep their
+	// own per-phase totals for JobStatus).
+	phaseHist [enc.NumPhases]*obs.Histogram
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -140,17 +164,17 @@ type Service struct {
 	// stays bounded in a long-lived daemon.
 	arenaLRU []arenaKey
 
-	jobsSubmitted atomic.Uint64
-	jobsCompleted atomic.Uint64
-	jobsFailed    atomic.Uint64
-	jobsCanceled  atomic.Uint64
-	runsComputed  atomic.Uint64
-	accessesSim   atomic.Uint64
+	jobsSubmitted *obs.Counter
+	jobsCompleted *obs.Counter
+	jobsFailed    *obs.Counter
+	jobsCanceled  *obs.Counter
+	runsComputed  *obs.Counter
+	accessesSim   *obs.Counter
 
 	// Run-folding observability (see enc.LockstepMetrics).
-	lockstepSets atomic.Uint64
-	runsFolded   atomic.Uint64
-	tracesSaved  atomic.Uint64
+	lockstepSets *obs.Counter
+	runsFolded   *obs.Counter
+	tracesSaved  *obs.Counter
 }
 
 type arenaKey struct {
@@ -163,6 +187,14 @@ type arenaKey struct {
 // list (empty or duplicate entries) fails construction.
 func New(cfg Config) (*Service, error) {
 	cfg.fill()
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
 		cfg:     cfg,
@@ -174,6 +206,9 @@ func New(cfg Config) (*Service, error) {
 		arena:   stems.NewArena(),
 		jobs:    make(map[string]*Job),
 		selfIdx: -1,
+		obs:     reg,
+		log:     logger,
+		rate:    obs.NewRate(),
 	}
 	if len(cfg.Peers) > 0 {
 		shard, err := cluster.NewMap(cfg.Peers)
@@ -183,7 +218,6 @@ func New(cfg Config) (*Service, error) {
 			return nil, err
 		}
 		s.shard = shard
-		s.peerRuns = make([]atomic.Uint64, shard.Len())
 		if cfg.Self != "" {
 			s.selfIdx = shard.Index(cfg.Self)
 			if s.selfIdx < 0 {
@@ -193,7 +227,124 @@ func New(cfg Config) (*Service, error) {
 			}
 		}
 	}
+	s.register()
 	return s, nil
+}
+
+// register wires every service metric into the registry. Hot counters
+// (bumped from workers and progress callbacks) are owned obs.Counters;
+// values already guarded by existing locks — cache totals, arena stats,
+// pool depth, store residency — export as callbacks evaluated per
+// scrape, so no state moves and no lock is taken twice.
+func (s *Service) register() {
+	r := s.obs
+	s.jobsSubmitted = r.Counter("stemsd_jobs_submitted_total", "Jobs accepted by Submit.")
+	s.jobsCompleted = r.Counter("stemsd_jobs_completed_total", "Jobs finished in state done.")
+	s.jobsFailed = r.Counter("stemsd_jobs_failed_total", "Jobs finished in state failed.")
+	s.jobsCanceled = r.Counter("stemsd_jobs_canceled_total", "Jobs finished in state canceled.")
+	s.runsComputed = r.Counter("stemsd_runs_computed_total", "Runs simulated (not served from any cache tier).")
+	s.accessesSim = r.Counter("stemsd_accesses_simulated_total", "Trace accesses replayed across all runs.")
+	s.lockstepSets = r.Counter("stemsd_lockstep_sets_total", "Lockstep sets executed (two or more folded runs).")
+	s.runsFolded = r.Counter("stemsd_runs_folded_total", "Runs folded into lockstep sets.")
+	s.tracesSaved = r.Counter("stemsd_traces_saved_total", "Whole-trace traversals avoided by fused same-trace sets.")
+
+	r.Gauge("stemsd_uptime_seconds", "Seconds since the service started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	r.Gauge("stemsd_workers", "Simulation worker pool size.",
+		func() float64 { return float64(s.cfg.Workers) })
+	r.Gauge("stemsd_queue_depth", "Queued-but-unstarted jobs.",
+		func() float64 { return float64(s.pool.QueueDepth()) })
+	r.Gauge("stemsd_queue_bound", "Job queue capacity.",
+		func() float64 { return float64(s.cfg.QueueBound) })
+	r.Gauge("stemsd_accesses_per_sec_1m", "Trace accesses replayed per second over the trailing 60s.",
+		s.rate.PerSec)
+
+	r.FuncCounter("stemsd_cache_hits_total", "Result-cache hits (memory, disk, and shared-flight).",
+		func() float64 { h, _, _ := s.cache.counters(); return float64(h) })
+	r.FuncCounter("stemsd_cache_misses_total", "Result-cache misses.",
+		func() float64 { _, m, _ := s.cache.counters(); return float64(m) })
+	r.Gauge("stemsd_cache_entries", "Resident result-cache entries.",
+		func() float64 { _, _, e := s.cache.counters(); return float64(e) })
+	r.Gauge("stemsd_cache_bound", "Result-cache capacity.",
+		func() float64 { return float64(s.cfg.CacheBound) })
+
+	r.FuncCounter("stemsd_trace_generations_total", "Workload traces generated into the arena.",
+		func() float64 { return float64(s.arena.Stats().Generations) })
+	r.FuncCounter("stemsd_trace_hits_total", "Arena hits (runs served an already-resident trace).",
+		func() float64 { return float64(s.arena.Stats().Hits) })
+	r.Gauge("stemsd_traces_resident", "Traces resident in the arena.",
+		func() float64 { return float64(s.arena.Stats().Resident) })
+
+	for i, name := range enc.PhaseNames {
+		s.phaseHist[i] = r.Histogram("stemsd_job_phase_seconds",
+			"Job phase span latency by phase (queue wait, trace resolve, simulate, encode, cache/store write).",
+			obs.L("phase", name))
+	}
+
+	if st := s.cfg.Store; st != nil {
+		r.Gauge("stemsd_store_entries", "Disk-tier resident entries.",
+			func() float64 { return float64(st.Stats().Entries) })
+		r.Gauge("stemsd_store_bytes", "Disk-tier resident payload bytes.",
+			func() float64 { return float64(st.Stats().Bytes) })
+		r.FuncCounter("stemsd_store_hits_total", "Disk-tier read hits.",
+			func() float64 { return float64(st.Stats().Hits) })
+		r.FuncCounter("stemsd_store_misses_total", "Disk-tier read misses.",
+			func() float64 { return float64(st.Stats().Misses) })
+		r.FuncCounter("stemsd_store_evictions_total", "Disk-tier entries evicted to respect the byte bound.",
+			func() float64 { return float64(st.Stats().Evictions) })
+		r.FuncCounter("stemsd_store_corrupt_dropped_total", "Disk-tier entries dropped on CRC or frame damage.",
+			func() float64 { return float64(st.Stats().CorruptDropped) })
+		read, write := st.Latencies()
+		r.AttachHistogram("stemsd_store_read_seconds", "Disk-tier read latency (entry decode included).", read)
+		r.AttachHistogram("stemsd_store_write_seconds", "Disk-tier write latency (fsync-free append).", write)
+	}
+
+	if s.shard != nil {
+		s.misrouted = r.Counter("stemsd_misrouted_runs_total", "Runs submitted here but owned by another peer.")
+		peers := s.shard.Peers()
+		s.peerRuns = make([]*obs.Counter, len(peers))
+		for i, p := range peers {
+			s.peerRuns[i] = r.Counter("stemsd_peer_runs_total", "Submitted runs by owning peer.", obs.L("peer", p))
+		}
+	}
+}
+
+// Obs returns the service's metrics registry — the HTTP layer registers
+// its per-route series here and serves the Prometheus exposition from it.
+func (s *Service) Obs() *obs.Registry { return s.obs }
+
+// notePhase records one phase span on both the job (surfaced in its
+// status document) and the service-wide phase histogram.
+func (s *Service) notePhase(j *Job, phase int, d time.Duration) {
+	j.notePhase(phase, d)
+	s.phaseHist[phase].Observe(d)
+}
+
+// noteAccesses counts replayed accesses into both the lifetime counter
+// and the trailing-window rate meter. It runs inside replay progress
+// callbacks — the hot path — and allocates nothing.
+func (s *Service) noteAccesses(delta uint64) {
+	s.accessesSim.Add(delta)
+	s.rate.Add(delta)
+}
+
+// resolveTrace materializes a run's workload trace through the shared
+// arena ahead of simulation so trace resolution (generation, or an
+// arena hit) is timed as its own phase; the Runner's internal arena
+// lookup then finds the trace resident. Lookup errors are ignored here —
+// FromSpec surfaces them at simulate time with full context. A job
+// already canceled skips generation (its Run exits before replaying).
+func (s *Service) resolveTrace(j *Job, name string, seed int64, n int) {
+	if wl, err := stems.WorkloadByName(name); err == nil && j.ctx.Err() == nil {
+		start := time.Now()
+		s.arena.Get(name, seed, n, func() []stems.Access { return wl.Generate(seed, n) })
+		s.notePhase(j, enc.PhaseResolve, time.Since(start))
+	}
+	// LRU bookkeeping runs after the Get so the bound is enforced against
+	// traces actually resident: bumping first opens a window where another
+	// worker's eviction drops this key from the LRU before the trace
+	// exists, leaving the generation untracked and the arena over bound.
+	s.noteArenaUse(name, seed, n)
 }
 
 // Submit validates spec, enqueues a job, and returns it in queued state.
@@ -240,6 +391,7 @@ func (s *Service) Submit(spec enc.JobSpec) (*Job, error) {
 	s.pruneLocked()
 	s.mu.Unlock()
 	s.jobsSubmitted.Add(1)
+	s.log.Debug("job submitted", "job", id, "runs", len(runs))
 	return j, nil
 }
 
@@ -339,23 +491,23 @@ func (s *Service) Metrics() enc.Metrics {
 		Workers:           s.cfg.Workers,
 		QueueDepth:        s.pool.QueueDepth(),
 		QueueBound:        s.cfg.QueueBound,
-		JobsSubmitted:     s.jobsSubmitted.Load(),
-		JobsCompleted:     s.jobsCompleted.Load(),
-		JobsFailed:        s.jobsFailed.Load(),
-		JobsCanceled:      s.jobsCanceled.Load(),
-		RunsComputed:      s.runsComputed.Load(),
+		JobsSubmitted:     s.jobsSubmitted.Value(),
+		JobsCompleted:     s.jobsCompleted.Value(),
+		JobsFailed:        s.jobsFailed.Value(),
+		JobsCanceled:      s.jobsCanceled.Value(),
+		RunsComputed:      s.runsComputed.Value(),
 		CacheHits:         hits,
 		CacheMisses:       misses,
 		CacheEntries:      entries,
 		CacheBound:        s.cfg.CacheBound,
-		AccessesSimulated: s.accessesSim.Load(),
+		AccessesSimulated: s.accessesSim.Value(),
 		TracesResident:    ast.Resident,
 		TraceGenerations:  ast.Generations,
 		TraceHits:         ast.Hits,
 		Lockstep: enc.LockstepMetrics{
-			SetsFormed:  s.lockstepSets.Load(),
-			RunsFolded:  s.runsFolded.Load(),
-			TracesSaved: s.tracesSaved.Load(),
+			SetsFormed:  s.lockstepSets.Value(),
+			RunsFolded:  s.runsFolded.Value(),
+			TracesSaved: s.tracesSaved.Value(),
 		},
 	}
 	if total := hits + misses; total > 0 {
@@ -364,6 +516,7 @@ func (s *Service) Metrics() enc.Metrics {
 	if uptime > 0 {
 		m.AccessesPerSec = float64(m.AccessesSimulated) / uptime
 	}
+	m.AccessesPerSec1m = s.rate.PerSec()
 	if s.cfg.Store != nil {
 		st := s.cfg.Store.Stats()
 		m.Store = &enc.StoreMetrics{
@@ -375,19 +528,21 @@ func (s *Service) Metrics() enc.Metrics {
 			Misses:         st.Misses,
 			Evictions:      st.Evictions,
 			CorruptDropped: st.CorruptDropped,
+			ReadLatency:    enc.LatencyFromSnapshot(st.ReadLatency),
+			WriteLatency:   enc.LatencyFromSnapshot(st.WriteLatency),
 		}
 	}
 	if s.shard != nil {
 		cm := &enc.ClusterMetrics{
 			Peers:         s.shard.Peers(),
-			MisroutedRuns: s.misrouted.Load(),
+			MisroutedRuns: s.misrouted.Value(),
 			PeerRuns:      make([]uint64, len(s.peerRuns)),
 		}
 		if s.selfIdx >= 0 {
 			cm.Self = s.shard.Peers()[s.selfIdx]
 		}
 		for i := range s.peerRuns {
-			cm.PeerRuns[i] = s.peerRuns[i].Load()
+			cm.PeerRuns[i] = s.peerRuns[i].Value()
 		}
 		m.Cluster = cm
 	}
@@ -420,6 +575,8 @@ func (s *Service) execute(j *Job) {
 		// counted it.
 		return
 	}
+	s.notePhase(j, enc.PhaseQueue, time.Since(j.created))
+	s.log.Debug("job started", "job", j.ID, "runs", len(j.runs))
 	computedHere := make(map[string]setResult)
 	for i := range j.runs {
 		if err := j.ctx.Err(); err != nil {
@@ -455,23 +612,31 @@ func (s *Service) execute(j *Job) {
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				j.finish(enc.JobCanceled, err)
 				s.jobsCanceled.Add(1)
+				s.log.Info("job canceled", "job", j.ID, "runs_done", i)
 			} else {
-				j.finish(enc.JobFailed, fmt.Errorf("run %d (%s/%s): %w",
-					i, j.runs[i].spec.Predictor, j.runs[i].spec.Workload, err))
+				err = fmt.Errorf("run %d (%s/%s): %w",
+					i, j.runs[i].spec.Predictor, j.runs[i].spec.Workload, err)
+				j.finish(enc.JobFailed, err)
 				s.jobsFailed.Add(1)
+				s.log.Warn("job failed", "job", j.ID, "err", err)
 			}
 			return
 		}
+		encStart := time.Now()
 		labeled, err := enc.Relabel(data, j.runs[i].spec.Label)
+		s.notePhase(j, enc.PhaseEncode, time.Since(encStart))
 		if err != nil {
 			j.finish(enc.JobFailed, err)
 			s.jobsFailed.Add(1)
+			s.log.Warn("job failed", "job", j.ID, "err", err)
 			return
 		}
 		j.noteRunDone(labeled, j.runs[i].n, fromCache)
 	}
 	j.finish(enc.JobDone, nil)
 	s.jobsCompleted.Add(1)
+	s.log.Info("job done", "job", j.ID, "runs", len(j.runs),
+		"elapsed", time.Since(j.created))
 }
 
 // runOne produces the canonical (label-less) result bytes for one run:
@@ -485,7 +650,9 @@ func (s *Service) runOne(j *Job, r *resolvedRun) (data []byte, fromCache bool, e
 		fl, leader := s.cache.claim(r.key)
 		if leader {
 			data, err = s.compute(j, r)
+			storeStart := time.Now()
 			s.cache.resolve(r.key, fl, data, err)
+			s.notePhase(j, enc.PhaseStore, time.Since(storeStart))
 			return data, false, err
 		}
 		select {
@@ -510,20 +677,25 @@ func (s *Service) compute(j *Job, r *resolvedRun) ([]byte, error) {
 	runner, err := stems.FromSpec(r.spec,
 		stems.WithSharedTrace(s.arena),
 		stems.WithRunProgress(func(done uint64) {
-			s.accessesSim.Add(done - prev)
+			s.noteAccesses(done - prev)
 			prev = done
 			j.noteProgress(base + done)
 		}))
 	if err != nil {
 		return nil, err
 	}
-	s.noteArenaUse(r.spec.Workload, r.spec.Seed, r.n)
+	s.resolveTrace(j, r.spec.Workload, r.spec.Seed, r.n)
+	simStart := time.Now()
 	res, err := runner.Run(j.ctx)
+	s.notePhase(j, enc.PhaseSimulate, time.Since(simStart))
 	if err != nil {
 		return nil, err
 	}
 	s.runsComputed.Add(1)
-	return json.Marshal(enc.FromResult("", res))
+	encStart := time.Now()
+	data, err := json.Marshal(enc.FromResult("", res))
+	s.notePhase(j, enc.PhaseEncode, time.Since(encStart))
+	return data, err
 }
 
 // sameCell reports whether two normalized run specs name the same
@@ -643,7 +815,7 @@ func (s *Service) computeSet(j *Job, group []*resolvedRun, computedHere map[stri
 	seeds := make([]int64, len(lanes))
 	for i := range lanes {
 		seeds[i] = lanes[i].run.spec.Seed
-		s.noteArenaUse(lanes[i].run.spec.Workload, lanes[i].run.spec.Seed, lanes[i].run.n)
+		s.resolveTrace(j, lanes[i].run.spec.Workload, lanes[i].run.spec.Seed, lanes[i].run.n)
 	}
 
 	base := j.accessesDone.Load()
@@ -653,13 +825,15 @@ func (s *Service) computeSet(j *Job, group []*resolvedRun, computedHere map[stri
 		stems.WithRunProgress(func(done uint64) {
 			// RunSeeds serializes progress invocations, so the delta
 			// arithmetic is race-free even with parallel lanes.
-			s.accessesSim.Add(done - prev)
+			s.noteAccesses(done - prev)
 			prev = done
 			j.noteProgress(base + done)
 		}))
 	var results []stems.Result
 	if err == nil {
+		simStart := time.Now()
 		results, err = runner.RunSeeds(j.ctx, seeds...)
+		s.notePhase(j, enc.PhaseSimulate, time.Since(simStart))
 	}
 	if err != nil {
 		// Wake followers; they recompute for themselves (the set's
@@ -671,8 +845,12 @@ func (s *Service) computeSet(j *Job, group []*resolvedRun, computedHere map[stri
 		return err
 	}
 	for i, ln := range lanes {
+		encStart := time.Now()
 		data, mErr := json.Marshal(enc.FromResult("", results[i]))
+		s.notePhase(j, enc.PhaseEncode, time.Since(encStart))
+		storeStart := time.Now()
 		s.cache.resolve(ln.run.key, ln.fl, data, mErr)
+		s.notePhase(j, enc.PhaseStore, time.Since(storeStart))
 		if mErr != nil {
 			return mErr
 		}
@@ -697,7 +875,7 @@ func (s *Service) computeFused(j *Job, group []*resolvedRun, computedHere map[st
 		return nil
 	}
 
-	s.noteArenaUse(lanes[0].run.spec.Workload, lanes[0].run.spec.Seed, lanes[0].run.n)
+	s.resolveTrace(j, lanes[0].run.spec.Workload, lanes[0].run.spec.Seed, lanes[0].run.n)
 
 	base := j.accessesDone.Load()
 	var prev uint64
@@ -711,7 +889,7 @@ func (s *Service) computeFused(j *Job, group []*resolvedRun, computedHere map[st
 			// count times any lane's cumulative count. FuseSweep serializes
 			// the callback, keeping the delta arithmetic race-free.
 			extra = append(extra, stems.WithRunProgress(func(done uint64) {
-				s.accessesSim.Add((done - prev) * k)
+				s.noteAccesses((done - prev) * k)
 				prev = done
 				j.noteProgress(base + done*k)
 			}))
@@ -725,7 +903,9 @@ func (s *Service) computeFused(j *Job, group []*resolvedRun, computedHere map[st
 		}
 		runners[i] = runner
 	}
+	simStart := time.Now()
 	results, err := stems.FuseSweep(j.ctx, runners)
+	s.notePhase(j, enc.PhaseSimulate, time.Since(simStart))
 	if err != nil {
 		// Wake followers; they recompute for themselves (the set's
 		// failure — typically this job's cancellation — says nothing
@@ -736,8 +916,12 @@ func (s *Service) computeFused(j *Job, group []*resolvedRun, computedHere map[st
 		return err
 	}
 	for i, ln := range lanes {
+		encStart := time.Now()
 		data, mErr := json.Marshal(enc.FromResult("", results[i]))
+		s.notePhase(j, enc.PhaseEncode, time.Since(encStart))
+		storeStart := time.Now()
 		s.cache.resolve(ln.run.key, ln.fl, data, mErr)
+		s.notePhase(j, enc.PhaseStore, time.Since(storeStart))
 		if mErr != nil {
 			return mErr
 		}

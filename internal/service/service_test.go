@@ -83,6 +83,57 @@ func TestSubmitMatchesDirectRun(t *testing.T) {
 	}
 }
 
+// TestJobPhaseSpans checks the per-job phase accounting a finished
+// status reports: all five phases present in canonical order, with the
+// worked phases (queue wait, trace resolve, simulate, encode, cache
+// write) each recording at least one span for a computed run — and a
+// fully cache-served job recording no simulate span at all.
+func TestJobPhaseSpans(t *testing.T) {
+	svc := mustNew(t, Config{Workers: 1, QueueBound: 8})
+	defer svc.Drain()
+
+	spec := enc.JobSpec{RunSpec: smallRun("em3d", 20_000)}
+	st := waitJob(t, mustSubmit(t, svc, spec))
+	if st.State != enc.JobDone {
+		t.Fatalf("job: %s (%s)", st.State, st.Error)
+	}
+	if len(st.Phases) != enc.NumPhases {
+		t.Fatalf("got %d phase spans, want %d: %+v", len(st.Phases), enc.NumPhases, st.Phases)
+	}
+	for i, ph := range st.Phases {
+		if ph.Phase != enc.PhaseNames[i] {
+			t.Errorf("phase[%d] = %q, want %q", i, ph.Phase, enc.PhaseNames[i])
+		}
+		if ph.Count < 1 {
+			t.Errorf("phase %q recorded %d spans, want >= 1", ph.Phase, ph.Count)
+		}
+		if ph.Nanos < 0 {
+			t.Errorf("phase %q nanos = %d, want >= 0", ph.Phase, ph.Nanos)
+		}
+	}
+	if sim := st.Phases[enc.PhaseSimulate]; sim.Nanos <= 0 {
+		t.Errorf("simulate span = %dns, want > 0", sim.Nanos)
+	}
+
+	// A repeat of the same spec is served from the result cache: queue
+	// wait is still recorded, simulate never runs.
+	cached := waitJob(t, mustSubmit(t, svc, spec))
+	if cached.State != enc.JobDone {
+		t.Fatalf("cached job: %s (%s)", cached.State, cached.Error)
+	}
+	if n := cached.Phases[enc.PhaseSimulate].Count; n != 0 {
+		t.Errorf("cached job recorded %d simulate spans, want 0", n)
+	}
+	if n := cached.Phases[enc.PhaseQueue].Count; n != 1 {
+		t.Errorf("cached job recorded %d queue spans, want 1", n)
+	}
+
+	m := svc.Metrics()
+	if m.AccessesPerSec1m <= 0 {
+		t.Errorf("accesses_per_sec_1m = %v, want > 0 right after a run", m.AccessesPerSec1m)
+	}
+}
+
 // TestCacheHitByteIdentical submits the same configuration twice: the
 // second job must be served from the result cache (no recomputation) with
 // byte-identical result bytes.

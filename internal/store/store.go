@@ -35,6 +35,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"stems/internal/obs"
 )
 
 // Entry header: magic + uint32 payload length + uint32 CRC-32 (IEEE) of
@@ -59,6 +61,10 @@ type Stats struct {
 	Misses         uint64
 	Evictions      uint64
 	CorruptDropped uint64
+	// ReadLatency and WriteLatency are the disk I/O distributions: entry
+	// read+verify time (hits only) and entry write+sync+rename time.
+	ReadLatency  obs.Snapshot
+	WriteLatency obs.Snapshot
 }
 
 // Store is a disk-backed content-addressed byte store, safe for
@@ -73,6 +79,14 @@ type Store struct {
 	ll      *list.List               // front = most recently used
 	bytes   int64
 	stats   Stats
+
+	// Disk-latency histograms (lock-free; recorded outside s.mu would be
+	// ideal, but the durations are µs-scale against a held mutex that
+	// every caller already pays — the observability is worth it). They
+	// live here rather than in a registry so a store is observable with
+	// or without one; the service attaches them to its registry.
+	readLat  obs.Histogram
+	writeLat obs.Histogram
 }
 
 type entry struct {
@@ -196,7 +210,9 @@ func (s *Store) Get(key string) ([]byte, bool) {
 		s.stats.Misses++
 		return nil, false
 	}
+	start := time.Now()
 	data, err := readEntry(s.path(key))
+	s.readLat.Observe(time.Since(start))
 	if err != nil {
 		// Corrupt or vanished: drop it from disk and index, miss.
 		s.dropLocked(el)
@@ -239,7 +255,10 @@ func (s *Store) Put(key string, data []byte) error {
 		s.ll.MoveToFront(el)
 		return nil
 	}
-	if err := writeEntry(s.path(key), data); err != nil {
+	start := time.Now()
+	err := writeEntry(s.path(key), data)
+	s.writeLat.Observe(time.Since(start))
+	if err != nil {
 		return err
 	}
 	s.entries[key] = s.ll.PushFront(&entry{key: key, size: int64(len(data))})
@@ -279,7 +298,16 @@ func (s *Store) Stats() Stats {
 	st := s.stats
 	st.Entries = s.ll.Len()
 	st.Bytes = s.bytes
+	st.ReadLatency = s.readLat.Snapshot()
+	st.WriteLatency = s.writeLat.Snapshot()
 	return st
+}
+
+// Latencies exposes the live disk-latency histograms so an owner can
+// attach them to a metrics registry (the service registers them as
+// stemsd_store_read_seconds / stemsd_store_write_seconds).
+func (s *Store) Latencies() (read, write *obs.Histogram) {
+	return &s.readLat, &s.writeLat
 }
 
 // Close marks the store closed; subsequent Get misses and Put fails

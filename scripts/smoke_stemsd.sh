@@ -10,6 +10,10 @@
 #
 # Needs only bash + curl + grep/sed (no jq): field extraction below works
 # on the server's compact single-line JSON.
+#
+# Set SMOKE_OUT to a directory to keep observability artifacts (the
+# Prometheus scrape and a 1-second CPU profile from /debug/pprof); CI
+# uploads them so a failing or slow run can be inspected offline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,6 +22,8 @@ BASE="http://$ADDR"
 BIN="$(mktemp -d)/stemsd"
 LOG="$(mktemp)"
 STORE="$(mktemp -d)"
+OUT="${SMOKE_OUT:-}"
+[[ -n "$OUT" ]] && mkdir -p "$OUT"
 
 cleanup() {
   [[ -n "${PID:-}" ]] && kill -9 "$PID" 2>/dev/null || true
@@ -30,7 +36,7 @@ echo "== build"
 go build -o "$BIN" ./cmd/stemsd
 
 echo "== start on $ADDR (store: $STORE)"
-"$BIN" -addr "$ADDR" -workers 2 -queue 8 -cache 16 -store "$STORE" >"$LOG" 2>&1 &
+"$BIN" -addr "$ADDR" -workers 2 -queue 8 -cache 16 -store "$STORE" -pprof >"$LOG" 2>&1 &
 PID=$!
 
 # jsonfield DOC KEY — extract a scalar field from compact JSON.
@@ -76,11 +82,35 @@ echo "$STATUS"
 [[ "$STATE" == "done" ]] || { echo "job ended in state '$STATE'"; cat "$LOG"; exit 1; }
 grep -q '"covered"' <<<"$STATUS" || { echo "result document missing counters"; exit 1; }
 
+echo "== finished job reports phase spans"
+for PHASE in queue resolve simulate encode store; do
+  grep -q "\"phase\":\"$PHASE\"" <<<"$STATUS" || { echo "status missing phase span '$PHASE'"; exit 1; }
+done
+# The simulate phase actually accumulated time for a computed run.
+SIM_NANOS="$(sed -n 's/.*{"phase":"simulate","nanos":\([0-9]*\),.*/\1/p' <<<"$STATUS")"
+[[ -n "$SIM_NANOS" && "$SIM_NANOS" -gt 0 ]] || { echo "simulate phase span empty: $STATUS"; exit 1; }
+
 echo "== metrics recorded the work"
 METRICS="$(curl -fsS "$BASE/metrics")"
 echo "$METRICS"
 [[ "$(jsonfield "$METRICS" jobs_completed)" == "1" ]] || { echo "jobs_completed != 1"; exit 1; }
 [[ "$(jsonfield "$METRICS" accesses_simulated)" == "30000" ]] || { echo "accesses_simulated != 30000"; exit 1; }
+grep -q '"accesses_per_sec_1m"' <<<"$METRICS" || { echo "metrics missing windowed rate"; exit 1; }
+
+echo "== Prometheus exposition"
+PROM="$(curl -fsS "$BASE/metrics?format=prometheus")"
+[[ -n "$OUT" ]] && printf '%s\n' "$PROM" >"$OUT/metrics.prom"
+grep -q '^# TYPE stemsd_jobs_completed_total counter' <<<"$PROM" || { echo "exposition missing TYPE line"; exit 1; }
+grep -q '^stemsd_jobs_completed_total 1$' <<<"$PROM" || { echo "exposition jobs_completed != 1"; exit 1; }
+grep -q '^# TYPE stemsd_http_request_seconds histogram' <<<"$PROM" || { echo "exposition missing request histogram"; exit 1; }
+grep -q 'stemsd_http_request_seconds_bucket{route="GET /v1/jobs/{id}",le="+Inf"}' <<<"$PROM" || { echo "exposition missing route histogram buckets"; exit 1; }
+grep -q 'stemsd_job_phase_seconds_count{phase="simulate"}' <<<"$PROM" || { echo "exposition missing phase histogram"; exit 1; }
+grep -q 'stemsd_store_write_seconds_count' <<<"$PROM" || { echo "exposition missing store write histogram"; exit 1; }
+
+echo "== pprof CPU profile"
+PROFILE_DEST="${OUT:-$(dirname "$BIN")}/cpu.pprof"
+curl -fsS -o "$PROFILE_DEST" "$BASE/debug/pprof/profile?seconds=1" || { echo "pprof profile capture failed"; exit 1; }
+[[ -s "$PROFILE_DEST" ]] || { echo "pprof profile empty"; exit 1; }
 
 echo "== submit a knob-override job"
 SUBMIT2="$(curl -fsS -X POST "$BASE/v1/jobs" \
