@@ -71,8 +71,24 @@ type (
 	// the service defaults: predictor "stems", workload "DB2", seed 1,
 	// workload-default length, scaled system).
 	RunSpec = enc.RunSpec
-	// JobSpec is a submission: a single run or a sweep (Runs).
+	// JobSpec is a submission: a single run, a sweep (Runs), or a
+	// server-side sweep grid (Grid).
 	JobSpec = enc.JobSpec
+	// GridSpec is a declarative sweep grid — a base run crossed with named
+	// knob axes — expanded server-side into one job (SubmitGrid).
+	GridSpec = enc.GridSpec
+	// GridAxis is one swept dimension of a GridSpec: a knob name and its
+	// values.
+	GridAxis = enc.GridAxis
+	// ScheduleSpec is a recurring submission: a name, a cron expression
+	// (five fields or "@every DURATION"), the job each fire submits, and
+	// the notifiers told when it finishes.
+	ScheduleSpec = enc.ScheduleSpec
+	// ScheduleStatus is a registered schedule plus its live fire state.
+	ScheduleStatus = enc.ScheduleStatus
+	// Notification is the completion document notifiers deliver when a
+	// job reaches a terminal state.
+	Notification = enc.Notification
 	// JobStatus is a job snapshot: state, progress, and results.
 	JobStatus = enc.JobStatus
 	// JobState is the job lifecycle position; see the Job* constants.
@@ -107,6 +123,12 @@ type (
 	// lockstep sets formed, runs folded into them, and whole trace
 	// traversals avoided by fused same-trace sets.
 	LockstepMetrics = enc.LockstepMetrics
+	// SchedMetrics is the cron-scheduler section of ServiceMetrics
+	// (present when the daemon runs with schedules configured).
+	SchedMetrics = enc.SchedMetrics
+	// NotifyMetrics is the completion-notifier section of ServiceMetrics
+	// (present when the daemon runs with notifiers configured).
+	NotifyMetrics = enc.NotifyMetrics
 	// PhaseSpan is one entry of JobStatus.Phases: cumulative time and
 	// span count a job spent in one execution phase (queue wait, trace
 	// resolve, simulate, encode, cache/store write).
@@ -276,6 +298,44 @@ func (c *Client) Submit(ctx context.Context, spec JobSpec) (JobStatus, error) {
 	var st JobStatus
 	err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &st)
 	return st, err
+}
+
+// SubmitGrid posts a server-side sweep grid as one job: the service
+// expands the cartesian product, labels each cell with its axis values,
+// and dedupes duplicate cells through the content-addressed result
+// cache. Equivalent to Submit with JobSpec{Grid: &grid}.
+func (c *Client) SubmitGrid(ctx context.Context, grid GridSpec) (JobStatus, error) {
+	return c.Submit(ctx, JobSpec{Grid: &grid})
+}
+
+// CreateSchedule registers a recurring submission on the daemon and
+// returns its initial status (next fire armed).
+func (c *Client) CreateSchedule(ctx context.Context, spec ScheduleSpec) (ScheduleStatus, error) {
+	var st ScheduleStatus
+	err := c.do(ctx, http.MethodPost, "/v1/schedules", spec, &st)
+	return st, err
+}
+
+// Schedules lists the daemon's registered schedules with fire state.
+func (c *Client) Schedules(ctx context.Context) ([]ScheduleStatus, error) {
+	var body struct {
+		Schedules []ScheduleStatus `json:"schedules"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/schedules", nil, &body)
+	return body.Schedules, err
+}
+
+// Schedule fetches one schedule's status by name.
+func (c *Client) Schedule(ctx context.Context, name string) (ScheduleStatus, error) {
+	var st ScheduleStatus
+	err := c.do(ctx, http.MethodGet, "/v1/schedules/"+name, nil, &st)
+	return st, err
+}
+
+// DeleteSchedule unregisters a schedule. Jobs already fired keep
+// running.
+func (c *Client) DeleteSchedule(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/schedules/"+name, nil, nil)
 }
 
 // Job fetches the current status of a job.

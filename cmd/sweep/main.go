@@ -18,6 +18,12 @@
 // With -json, one canonical NDJSON record is flushed per point as soon
 // as it (and every point before it) has finished, so piping into head
 // or a live dashboard sees records immediately, in sweep order.
+//
+// With -grid URL the sweep does not run locally at all: it is submitted
+// to the stemsd daemon at URL as one server-side grid job (a GridSpec
+// with a single axis), letting the daemon's cache dedupe repeated cells
+// and its workers do the computing. Output is identical to the local
+// path — the same NDJSON records with -json, the same table without.
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -65,6 +72,7 @@ func main() {
 		parallelism = flag.Int("parallelism", 0, "concurrent sweep points (0 = GOMAXPROCS, 1 = serial)")
 		fuse        = flag.Bool("fuse", true, "run same-trace points as one fused lockstep set over a single cursor (one trace traversal for the whole sweep); -fuse=false replays the trace per point, which lowers time-to-first-record with -json")
 		jsonOut     = flag.Bool("json", false, "emit results as NDJSON in the stemsd service encoding (diffable against /v1/jobs results), flushed per record")
+		gridURL     = flag.String("grid", "", "submit the sweep as one server-side grid job to the stemsd daemon at this base URL instead of running locally")
 	)
 	base := map[string]stems.Value{}
 	flag.Func("set", "fixed knob override applied to every point, as name=value (repeatable)", func(s string) error {
@@ -104,20 +112,36 @@ func main() {
 		points[i] = v
 	}
 
+	// Fixed knobs shared by every point: -set overrides, then alias pins
+	// where not already overridden.
+	fixed := make(map[string]stems.Value, len(base)+len(pins))
+	for name, bv := range base {
+		fixed[name] = bv
+	}
+	for name, pv := range pins {
+		if _, overridden := fixed[name]; !overridden {
+			fixed[name] = pv
+		}
+	}
+
+	if *gridURL != "" {
+		spec := gridSpec(*predictor, *wl, *seed, *accesses, fixed, knobName, points)
+		if err := runGrid(context.Background(), stems.NewClient(*gridURL, nil), spec, *param, *jsonOut, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	// Every sweep point shares one trace arena: the first point to run
 	// generates the trace, the rest replay the same read-only slice.
 	arena := stems.NewArena()
 
 	grid := make([]*stems.Runner, len(points))
 	for i, v := range points {
-		knobs := make(map[string]stems.Value, len(base)+len(pins)+1)
-		for name, bv := range base {
-			knobs[name] = bv
-		}
-		for name, pv := range pins {
-			if _, overridden := knobs[name]; !overridden {
-				knobs[name] = pv
-			}
+		knobs := make(map[string]stems.Value, len(fixed)+1)
+		for name, fv := range fixed {
+			knobs[name] = fv
 		}
 		knobs[knobName] = v
 		r, err := stems.FromSpec(stems.Spec{
@@ -187,4 +211,87 @@ func main() {
 			label, 100*res.Coverage(), 100*res.OverpredictionRate(), res.Cycles,
 			100*res.ReconDropFraction())
 	}
+}
+
+// gridSpec builds the one-axis server-side grid equivalent of the local
+// sweep: the shared configuration as the base, the swept knob as the
+// sole axis.
+func gridSpec(predictor, workload string, seed int64, accesses int, fixed map[string]stems.Value, knob string, points []stems.Value) stems.GridSpec {
+	return stems.GridSpec{
+		Base: stems.RunSpec{
+			Predictor: predictor,
+			Workload:  workload,
+			Seed:      seed,
+			Accesses:  accesses,
+			Knobs:     fixed,
+		},
+		Axes: []stems.GridAxis{{Knob: knob, Values: points}},
+	}
+}
+
+// runGrid submits the sweep to a daemon as one grid job and renders it
+// exactly like the local path: NDJSON records flushed to w in run order
+// as the daemon reports them, or the summary table after completion.
+func runGrid(ctx context.Context, c *stems.Client, spec stems.GridSpec, param string, jsonOut bool, w io.Writer) error {
+	st, err := c.SubmitGrid(ctx, spec)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		out := bufio.NewWriter(w)
+		encoder := json.NewEncoder(out)
+		var encErr error
+		final, err := c.WatchRuns(ctx, st.ID, nil, func(_ int, res stems.RunResult) {
+			if encErr != nil {
+				return
+			}
+			if encErr = encoder.Encode(res); encErr == nil {
+				encErr = out.Flush()
+			}
+		})
+		if err != nil {
+			return err
+		}
+		if encErr != nil {
+			return encErr
+		}
+		return jobErr(final)
+	}
+
+	final, err := c.Wait(ctx, st.ID)
+	if err != nil {
+		return err
+	}
+	if err := jobErr(final); err != nil {
+		return err
+	}
+	results, err := final.DecodedResults()
+	if err != nil {
+		return err
+	}
+	var n uint64
+	if len(results) > 0 {
+		n = results[0].Accesses
+	}
+	fmt.Fprintf(w, "%s %s sweep on %s (%d accesses, via %s)\n\n",
+		spec.Base.Predictor, spec.Axes[0].Knob, spec.Base.Workload, n, c.BaseURL())
+	fmt.Fprintf(w, "%-8s %9s %10s %12s %12s\n", param, "covered", "overpred", "cycles", "recon-drop")
+	for _, res := range results {
+		fmt.Fprintf(w, "%-8s %8.1f%% %9.1f%% %12d %11.1f%%\n",
+			res.Label, 100*res.Coverage, 100*res.OverpredictionRate, res.Cycles,
+			100*res.ReconDropFraction)
+	}
+	return nil
+}
+
+// jobErr folds a terminal job status into an error: only a completed job
+// has the full result set.
+func jobErr(st stems.JobStatus) error {
+	if st.State != stems.JobDone {
+		if st.Error != "" {
+			return fmt.Errorf("grid job %s %s: %s", st.ID, st.State, st.Error)
+		}
+		return fmt.Errorf("grid job %s %s", st.ID, st.State)
+	}
+	return nil
 }

@@ -1,0 +1,329 @@
+// Package conf loads and validates the stemsd config file: a JSON
+// document carrying every daemon flag plus the blocks that have no flag
+// form — completion notifiers and cron schedules. Loading is strict
+// (unknown keys and type mismatches are named, field-level errors) and
+// validation is exhaustive: one pass reports every broken field, not the
+// first. Flags explicitly set on the command line override their file
+// counterparts (Apply), so `stemsd -config stemsd.json -addr :9000`
+// means "the file, but on :9000".
+package conf
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/url"
+	"os"
+	"slices"
+	"strings"
+	"time"
+
+	"stems/internal/enc"
+	"stems/internal/sched"
+)
+
+// Duration is a time.Duration that travels as a JSON string in
+// time.ParseDuration syntax ("2m", "90s").
+type Duration time.Duration
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("want a duration string like \"2m\"")
+	}
+	v, err := time.ParseDuration(s)
+	if err != nil {
+		return fmt.Errorf("bad duration %q", s)
+	}
+	*d = Duration(v)
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// Notifier is one configured completion notifier. Type "webhook" POSTs
+// notifications to URL with retry/backoff; type "log" writes one
+// structured log line per completion.
+type Notifier struct {
+	// Name is how schedules reference the notifier; unique per config.
+	Name string `json:"name"`
+	// Type selects the delivery mechanism: "webhook" or "log".
+	Type string `json:"type"`
+	// URL receives webhook POSTs (webhook type only).
+	URL string `json:"url,omitempty"`
+	// Attempts caps delivery attempts per notification, 1-10
+	// (webhook only; 0 selects the default, 3).
+	Attempts int `json:"attempts,omitempty"`
+	// Backoff is the wait after the first failed attempt, doubling per
+	// retry (webhook only; 0 selects the default, 250ms).
+	Backoff Duration `json:"backoff,omitempty"`
+	// Timeout bounds each delivery attempt (webhook only; 0 selects the
+	// default, 5s).
+	Timeout Duration `json:"timeout,omitempty"`
+	// AllJobs notifies this target for every job completion, not only
+	// the schedules that name it.
+	AllJobs bool `json:"all_jobs,omitempty"`
+}
+
+// File is the config-file schema. Scalar fields are pointers so Apply
+// can tell "absent" from "set to the zero value"; nil fields leave the
+// flag (or its default) in charge.
+type File struct {
+	Addr          *string            `json:"addr"`
+	Workers       *int               `json:"workers"`
+	Queue         *int               `json:"queue"`
+	Cache         *int               `json:"cache"`
+	Traces        *int               `json:"traces"`
+	Retain        *int               `json:"retain"`
+	DrainTimeout  *Duration          `json:"drain_timeout"`
+	Store         *string            `json:"store"`
+	StoreEntries  *int               `json:"store_entries"`
+	Peers         []string           `json:"peers"`
+	Self          *string            `json:"self"`
+	LogLevel      *string            `json:"log_level"`
+	LogFormat     *string            `json:"log_format"`
+	Pprof         *bool              `json:"pprof"`
+	ScheduleState *string            `json:"schedule_state"`
+	Notifiers     []Notifier         `json:"notifiers"`
+	Schedules     []enc.ScheduleSpec `json:"schedules"`
+}
+
+// Settings is the daemon's resolved runtime configuration: flag
+// defaults, overlaid by the config file, overlaid by explicitly-set
+// flags.
+type Settings struct {
+	Addr         string
+	Workers      int
+	Queue        int
+	Cache        int
+	Traces       int
+	Retain       int
+	DrainTimeout time.Duration
+	Store        string
+	StoreEntries int
+	Peers        []string
+	Self         string
+	LogLevel     string
+	LogFormat    string
+	Pprof        bool
+	// ScheduleState is the scheduler's fire-state file; empty defers to
+	// "<store>/schedules.json" when a store is configured, else
+	// memory-only schedules.
+	ScheduleState string
+	Notifiers     []Notifier
+	Schedules     []enc.ScheduleSpec
+}
+
+// Defaults mirrors the stemsd flag defaults.
+func Defaults() Settings {
+	return Settings{
+		Addr:         ":8091",
+		Queue:        64,
+		Cache:        256,
+		Traces:       8,
+		Retain:       1024,
+		DrainTimeout: 2 * time.Minute,
+		StoreEntries: 4096,
+		LogLevel:     "info",
+		LogFormat:    "text",
+	}
+}
+
+// Load reads, parses, and validates a config file.
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("conf: %w", err)
+	}
+	f, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("conf: %s: %w", path, err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("conf: %s: %w", path, err)
+	}
+	return f, nil
+}
+
+// Parse decodes the config document strictly: an unknown key or a
+// wrongly-typed value is an error naming the field.
+func Parse(data []byte) (*File, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var f File
+	if err := dec.Decode(&f); err != nil {
+		return nil, namedDecodeError(err)
+	}
+	// A second document in the file is a structural mistake worth naming.
+	if dec.More() {
+		return nil, errors.New("trailing data after the config object")
+	}
+	return &f, nil
+}
+
+// namedDecodeError rewrites encoding/json errors into field-level
+// messages.
+func namedDecodeError(err error) error {
+	var typeErr *json.UnmarshalTypeError
+	if errors.As(err, &typeErr) {
+		field := typeErr.Field
+		if field == "" {
+			field = "(document root)"
+		}
+		return fmt.Errorf("field %q: cannot use JSON %s as %s", field, typeErr.Value, typeErr.Type)
+	}
+	// DisallowUnknownFields reports `json: unknown field "xyz"`; surface
+	// the name without the package prefix.
+	if msg := err.Error(); strings.HasPrefix(msg, "json: unknown field ") {
+		return fmt.Errorf("unknown field %s", strings.TrimPrefix(msg, "json: unknown field "))
+	}
+	return err
+}
+
+// Validate checks every field and reports every violation at once, each
+// prefixed with its JSON path.
+func (f *File) Validate() error {
+	var errs []string
+	bad := func(field, format string, args ...any) {
+		errs = append(errs, field+": "+fmt.Sprintf(format, args...))
+	}
+
+	if f.Addr != nil && *f.Addr == "" {
+		bad("addr", "must not be empty")
+	}
+	nonNegative := func(field string, v *int) {
+		if v != nil && *v < 0 {
+			bad(field, "must not be negative (got %d)", *v)
+		}
+	}
+	nonNegative("workers", f.Workers)
+	nonNegative("queue", f.Queue)
+	nonNegative("cache", f.Cache)
+	nonNegative("traces", f.Traces)
+	nonNegative("retain", f.Retain)
+	nonNegative("store_entries", f.StoreEntries)
+	if f.DrainTimeout != nil && *f.DrainTimeout <= 0 {
+		bad("drain_timeout", "must be positive (got %s)", time.Duration(*f.DrainTimeout))
+	}
+	for i, p := range f.Peers {
+		if strings.TrimSpace(p) == "" {
+			bad(fmt.Sprintf("peers[%d]", i), "must not be empty")
+		}
+	}
+	if f.LogLevel != nil && !slices.Contains([]string{"debug", "info", "warn", "error"}, *f.LogLevel) {
+		bad("log_level", "unknown level %q (want debug, info, warn, or error)", *f.LogLevel)
+	}
+	if f.LogFormat != nil && *f.LogFormat != "text" && *f.LogFormat != "json" {
+		bad("log_format", "unknown format %q (want text or json)", *f.LogFormat)
+	}
+
+	names := make(map[string]bool, len(f.Notifiers))
+	for i, n := range f.Notifiers {
+		field := fmt.Sprintf("notifiers[%d]", i)
+		if n.Name == "" {
+			bad(field+".name", "must not be empty")
+		} else if names[n.Name] {
+			bad(field+".name", "duplicate notifier %q", n.Name)
+		}
+		names[n.Name] = true
+		switch n.Type {
+		case "webhook":
+			if n.URL == "" {
+				bad(field+".url", "webhook notifier needs a url")
+			} else if u, err := url.Parse(n.URL); err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+				bad(field+".url", "%q is not an http(s) URL", n.URL)
+			}
+		case "log":
+			if n.URL != "" {
+				bad(field+".url", "log notifier takes no url")
+			}
+		default:
+			bad(field+".type", "unknown type %q (want webhook or log)", n.Type)
+		}
+		if n.Attempts < 0 || n.Attempts > 10 {
+			bad(field+".attempts", "must be 1-10, or 0 for the default (got %d)", n.Attempts)
+		}
+		if n.Backoff < 0 {
+			bad(field+".backoff", "must not be negative")
+		}
+		if n.Timeout < 0 {
+			bad(field+".timeout", "must not be negative")
+		}
+	}
+
+	schedNames := make(map[string]bool, len(f.Schedules))
+	for i, s := range f.Schedules {
+		field := fmt.Sprintf("schedules[%d]", i)
+		if s.Name == "" {
+			bad(field+".name", "must not be empty")
+		} else if schedNames[s.Name] {
+			bad(field+".name", "duplicate schedule %q", s.Name)
+		}
+		schedNames[s.Name] = true
+		if _, err := sched.ParseCron(s.Cron); err != nil {
+			bad(field+".cron", "%v", err)
+		}
+		if s.Job == nil {
+			bad(field+".job", "must be set")
+		}
+		for j, n := range s.Notify {
+			if !names[n] {
+				bad(fmt.Sprintf("%s.notify[%d]", field, j), "unknown notifier %q", n)
+			}
+		}
+	}
+
+	if len(errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("invalid config:\n  - %s", strings.Join(errs, "\n  - "))
+}
+
+// Apply overlays the file onto s, skipping any field whose flag the user
+// set explicitly — command line beats file, file beats default. explicit
+// reports whether the named flag ("drain-timeout", not "drain_timeout")
+// was passed; pass a function built on flag.Visit.
+func (f *File) Apply(s *Settings, explicit func(flagName string) bool) {
+	if explicit == nil {
+		explicit = func(string) bool { return false }
+	}
+	setStr := func(flagName string, dst *string, src *string) {
+		if src != nil && !explicit(flagName) {
+			*dst = *src
+		}
+	}
+	setInt := func(flagName string, dst *int, src *int) {
+		if src != nil && !explicit(flagName) {
+			*dst = *src
+		}
+	}
+	setStr("addr", &s.Addr, f.Addr)
+	setInt("workers", &s.Workers, f.Workers)
+	setInt("queue", &s.Queue, f.Queue)
+	setInt("cache", &s.Cache, f.Cache)
+	setInt("traces", &s.Traces, f.Traces)
+	setInt("retain", &s.Retain, f.Retain)
+	if f.DrainTimeout != nil && !explicit("drain-timeout") {
+		s.DrainTimeout = time.Duration(*f.DrainTimeout)
+	}
+	setStr("store", &s.Store, f.Store)
+	setInt("store-entries", &s.StoreEntries, f.StoreEntries)
+	if f.Peers != nil && !explicit("peers") {
+		s.Peers = append([]string(nil), f.Peers...)
+	}
+	setStr("self", &s.Self, f.Self)
+	setStr("log-level", &s.LogLevel, f.LogLevel)
+	setStr("log-format", &s.LogFormat, f.LogFormat)
+	if f.Pprof != nil && !explicit("pprof") {
+		s.Pprof = *f.Pprof
+	}
+	if f.ScheduleState != nil {
+		s.ScheduleState = *f.ScheduleState
+	}
+	s.Notifiers = append([]Notifier(nil), f.Notifiers...)
+	s.Schedules = append([]enc.ScheduleSpec(nil), f.Schedules...)
+}

@@ -1,0 +1,265 @@
+package conf
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func parseOK(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return f
+}
+
+// wantErr asserts that every fragment appears in err's message — the
+// field name plus enough of the complaint to pin the wording.
+func wantErr(t *testing.T, err error, fragments ...string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("want error mentioning %q, got nil", fragments)
+	}
+	for _, frag := range fragments {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("error %q does not mention %q", err, frag)
+		}
+	}
+}
+
+func TestParseFullDocument(t *testing.T) {
+	f := parseOK(t, `{
+		"addr": ":9000",
+		"workers": 4,
+		"queue": 16,
+		"cache": 512,
+		"traces": 2,
+		"retain": 100,
+		"drain_timeout": "90s",
+		"store": "/tmp/store",
+		"store_entries": 2048,
+		"peers": ["http://a:1", "http://b:2"],
+		"self": "http://a:1",
+		"log_level": "debug",
+		"log_format": "json",
+		"pprof": true,
+		"schedule_state": "/tmp/schedules.json",
+		"notifiers": [
+			{"name": "hook", "type": "webhook", "url": "http://sink:8080/n",
+			 "attempts": 5, "backoff": "100ms", "timeout": "2s", "all_jobs": true},
+			{"name": "log", "type": "log"}
+		],
+		"schedules": [
+			{"name": "nightly", "cron": "0 3 * * *",
+			 "job": {"runs": [{"predictor": "stems", "workload": "em3d", "accesses": 1000}]},
+			 "notify": ["hook"]}
+		]
+	}`)
+	if err := f.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if *f.Addr != ":9000" || *f.Workers != 4 || time.Duration(*f.DrainTimeout) != 90*time.Second {
+		t.Errorf("scalars misparsed: %+v", f)
+	}
+	if len(f.Peers) != 2 || len(f.Notifiers) != 2 || len(f.Schedules) != 1 {
+		t.Errorf("blocks misparsed: %+v", f)
+	}
+	if f.Notifiers[0].Attempts != 5 || time.Duration(f.Notifiers[0].Backoff) != 100*time.Millisecond || !f.Notifiers[0].AllJobs {
+		t.Errorf("notifier misparsed: %+v", f.Notifiers[0])
+	}
+}
+
+func TestParseUnknownKey(t *testing.T) {
+	_, err := Parse([]byte(`{"adddr": ":9000"}`))
+	wantErr(t, err, "unknown field", "adddr")
+	_, err = Parse([]byte(`{"notifiers": [{"name": "x", "type": "log", "uri": "y"}]}`))
+	wantErr(t, err, "unknown field", "uri")
+}
+
+func TestParseBadTypes(t *testing.T) {
+	cases := []struct {
+		src   string
+		field string
+	}{
+		{`{"addr": 9000}`, "addr"},
+		{`{"workers": "four"}`, "workers"},
+		{`{"pprof": "yes"}`, "pprof"},
+		{`{"peers": "http://a:1"}`, "peers"},
+		{`{"store_entries": 1.5}`, "store_entries"},
+	}
+	for _, c := range cases {
+		_, err := Parse([]byte(c.src))
+		wantErr(t, err, c.field)
+	}
+	// Duration fields speak ParseDuration, not numbers.
+	_, err := Parse([]byte(`{"drain_timeout": 90}`))
+	wantErr(t, err, "duration")
+	_, err = Parse([]byte(`{"drain_timeout": "ninety sec"}`))
+	wantErr(t, err, `bad duration "ninety sec"`)
+}
+
+func TestParseTrailingData(t *testing.T) {
+	_, err := Parse([]byte(`{"addr": ":9000"} {"addr": ":9001"}`))
+	wantErr(t, err, "trailing data")
+}
+
+func TestValidateScalarRanges(t *testing.T) {
+	f := parseOK(t, `{
+		"addr": "",
+		"workers": -1,
+		"queue": -2,
+		"cache": -3,
+		"traces": -4,
+		"retain": -5,
+		"store_entries": -6,
+		"drain_timeout": "-1s",
+		"peers": ["http://a:1", " "],
+		"log_level": "loud",
+		"log_format": "xml"
+	}`)
+	err := f.Validate()
+	wantErr(t, err,
+		"addr: must not be empty",
+		"workers: must not be negative (got -1)",
+		"queue: must not be negative (got -2)",
+		"cache: must not be negative (got -3)",
+		"traces: must not be negative (got -4)",
+		"retain: must not be negative (got -5)",
+		"store_entries: must not be negative (got -6)",
+		"drain_timeout: must be positive",
+		"peers[1]: must not be empty",
+		`log_level: unknown level "loud"`,
+		`log_format: unknown format "xml"`,
+	)
+}
+
+func TestValidateNotifiers(t *testing.T) {
+	f := parseOK(t, `{
+		"notifiers": [
+			{"name": "", "type": "webhook"},
+			{"name": "hook", "type": "webhook", "url": "not a url"},
+			{"name": "hook", "type": "webhook", "url": "ftp://x/y"},
+			{"name": "chatty", "type": "log", "url": "http://x/y"},
+			{"name": "odd", "type": "smoke-signal"},
+			{"name": "many", "type": "webhook", "url": "http://ok:1/n", "attempts": 11}
+		]
+	}`)
+	err := f.Validate()
+	wantErr(t, err,
+		"notifiers[0].name: must not be empty",
+		"notifiers[0].url: webhook notifier needs a url",
+		"notifiers[1].url",
+		"notifiers[2].name: duplicate notifier \"hook\"",
+		"notifiers[2].url: \"ftp://x/y\" is not an http(s) URL",
+		"notifiers[3].url: log notifier takes no url",
+		"notifiers[4].type: unknown type \"smoke-signal\"",
+		"notifiers[5].attempts: must be 1-10, or 0 for the default (got 11)",
+	)
+}
+
+func TestValidateSchedules(t *testing.T) {
+	f := parseOK(t, `{
+		"notifiers": [{"name": "log", "type": "log"}],
+		"schedules": [
+			{"name": "", "cron": "bogus", "notify": ["log", "mystery"]},
+			{"name": "a", "cron": "@every 1m", "job": {"runs": []}},
+			{"name": "a", "cron": "0 3 * * *", "job": {"runs": []}}
+		]
+	}`)
+	err := f.Validate()
+	wantErr(t, err,
+		"schedules[0].name: must not be empty",
+		"schedules[0].cron",
+		"schedules[0].job: must be set",
+		`schedules[0].notify[1]: unknown notifier "mystery"`,
+		`schedules[2].name: duplicate schedule "a"`,
+	)
+	// The one declared notifier is fine.
+	if strings.Contains(err.Error(), `unknown notifier "log"`) {
+		t.Errorf("declared notifier flagged: %v", err)
+	}
+}
+
+func TestValidateCollectsAllErrors(t *testing.T) {
+	f := parseOK(t, `{"addr": "", "workers": -1, "log_level": "loud"}`)
+	err := f.Validate()
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if n := strings.Count(err.Error(), "\n  - "); n != 3 {
+		t.Errorf("want 3 collected errors, got %d in %q", n, err)
+	}
+}
+
+func TestApplyPrecedence(t *testing.T) {
+	f := parseOK(t, `{
+		"addr": ":9000",
+		"workers": 4,
+		"drain_timeout": "90s",
+		"peers": ["http://a:1"],
+		"pprof": true,
+		"log_level": "debug"
+	}`)
+	s := Defaults()
+	// Simulate `-addr :7777 -pprof` on the command line.
+	s.Addr = ":7777"
+	s.Pprof = false
+	explicit := map[string]bool{"addr": true, "pprof": true}
+	f.Apply(&s, func(name string) bool { return explicit[name] })
+
+	if s.Addr != ":7777" {
+		t.Errorf("explicit flag lost to file: addr = %q", s.Addr)
+	}
+	if s.Pprof {
+		t.Errorf("explicit -pprof=false lost to file")
+	}
+	if s.Workers != 4 || s.DrainTimeout != 90*time.Second || s.LogLevel != "debug" {
+		t.Errorf("file values not applied: %+v", s)
+	}
+	if len(s.Peers) != 1 || s.Peers[0] != "http://a:1" {
+		t.Errorf("peers not applied: %v", s.Peers)
+	}
+	// Fields absent from the file keep their defaults.
+	if s.Queue != 64 || s.Cache != 256 || s.LogFormat != "text" {
+		t.Errorf("defaults disturbed: %+v", s)
+	}
+}
+
+func TestApplyAbsentFieldsUntouched(t *testing.T) {
+	f := parseOK(t, `{}`)
+	s := Defaults()
+	f.Apply(&s, nil)
+	if !reflect.DeepEqual(s, Defaults()) {
+		t.Errorf("empty file changed settings: %+v", s)
+	}
+}
+
+func TestLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "stemsd.json")
+	if err := os.WriteFile(path, []byte(`{"addr": ":9000"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *f.Addr != ":9000" {
+		t.Errorf("addr = %q", *f.Addr)
+	}
+
+	if err := os.WriteFile(path, []byte(`{"workers": -1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(path)
+	wantErr(t, err, path, "workers: must not be negative")
+
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file: want error")
+	}
+}

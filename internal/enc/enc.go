@@ -58,13 +58,20 @@ func (r RunSpec) IsZero() bool {
 		r.Accesses == 0 && r.System == "" && r.Label == "" && len(r.Knobs) == 0
 }
 
-// JobSpec is the body of POST /v1/jobs: either a single run (top-level
-// RunSpec fields) or a sweep (Runs), not both.
+// JobSpec is the body of POST /v1/jobs: exactly one of a single run
+// (top-level RunSpec fields), a sweep (Runs), or a declarative grid
+// (Grid).
 type JobSpec struct {
 	RunSpec
 	// Runs, when non-empty, makes the job a sweep executing each run in
 	// order. Runs sharing a configuration hit the result cache.
 	Runs []RunSpec `json:"runs,omitempty"`
+	// Grid, when non-nil, makes the job a server-side sweep grid: the
+	// service expands the cartesian product into Runs (row-major, last
+	// axis fastest), normalizes each cell, and deduplicates identical
+	// cells through the content-addressed result cache. The submitted
+	// Grid is retained in job status alongside the expanded Runs.
+	Grid *GridSpec `json:"grid,omitempty"`
 }
 
 // RunSpecs flattens the job to its run list: Runs if present, otherwise
@@ -394,9 +401,21 @@ type Metrics struct {
 	TraceGenerations int `json:"trace_generations"`
 	TraceHits        int `json:"trace_hits"`
 
+	// GridJobs counts jobs submitted as declarative grids (JobSpec.Grid)
+	// and expanded server-side.
+	GridJobs uint64 `json:"grid_jobs"`
+
 	// Lockstep reports run folding: how often the scheduler merged a
 	// job's runs into lockstep sets instead of executing them one by one.
 	Lockstep LockstepMetrics `json:"lockstep"`
+
+	// Sched reports the cron scheduler; absent when the daemon runs
+	// without schedules.
+	Sched *SchedMetrics `json:"sched,omitempty"`
+
+	// Notify reports completion-notifier deliveries; absent when no
+	// notifiers are configured.
+	Notify *NotifyMetrics `json:"notify,omitempty"`
 
 	// Store reports the disk tier of the result cache; absent when the
 	// daemon runs memory-only (no -store).

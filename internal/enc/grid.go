@@ -1,0 +1,228 @@
+package enc
+
+// This file is the wire surface of the job-orchestration subsystem:
+// declarative sweep grids (GridSpec), recurring schedules
+// (ScheduleSpec/ScheduleStatus), and the completion notification document
+// webhooks receive. Like everything in enc, these are pure data — a grid
+// is expanded by Expand below (the service calls it server-side), a
+// schedule's cron text is interpreted by internal/sched, and notifiers in
+// internal/notify deliver Notification bodies verbatim.
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"stems/internal/sim"
+)
+
+// MaxGridCells caps a single grid's cartesian product. A grid beyond it
+// is a spec error, not a queue of work: one job's expansion stays small
+// enough that its run list, progress accounting, and result documents
+// remain cheap to hold and ship.
+const MaxGridCells = 4096
+
+// GridAxis is one named dimension of a sweep grid: a registered knob and
+// the values it takes. Values may repeat — duplicate cells cost nothing,
+// because every expanded run is deduplicated through the content-addressed
+// result cache (stems.RunKey) before it can reach the simulator.
+type GridAxis struct {
+	// Knob is a registered knob name (see /v1/predictors for the schema).
+	Knob string `json:"knob"`
+	// Values are the settings this axis sweeps, in sweep order.
+	Values []sim.Value `json:"values"`
+}
+
+// GridSpec is a declarative sweep grid: a base run crossed with named
+// knob axes into a cartesian product, expanded and normalized
+// server-side. Submitting {"grid": {...}} to POST /v1/jobs turns the
+// expansion into one job whose runs are the grid's cells in row-major
+// order (first axis slowest, last axis fastest) — the same order a
+// client-side nested loop would produce.
+type GridSpec struct {
+	// Base is the run configuration every cell shares: predictor,
+	// workload, seed, trace length, system, and fixed knob overrides.
+	// Base.Label, when set, prefixes each cell's generated label.
+	Base RunSpec `json:"base"`
+	// Axes are the swept dimensions, outermost first.
+	Axes []GridAxis `json:"axes"`
+}
+
+// Cells returns the grid's cartesian-product size (0 when any axis is
+// empty).
+func (g GridSpec) Cells() int {
+	if len(g.Axes) == 0 {
+		return 0
+	}
+	n := 1
+	for _, ax := range g.Axes {
+		n *= len(ax.Values)
+	}
+	return n
+}
+
+// Expand materializes the grid's cells as run specs, in row-major axis
+// order. Each cell is Base with the axis knobs overlaid and a generated
+// label: the cell's axis values joined with commas ("4096" for one axis,
+// "4096,8" for two), prefixed by "Base.Label " when the base names one.
+// Structural errors — no axes, an empty axis, duplicate or base-shadowed
+// axis knobs, a product beyond MaxGridCells — are reported here; knob
+// names and values are validated per expanded run by the service, like
+// any other submitted spec.
+func (g GridSpec) Expand() ([]RunSpec, error) {
+	if len(g.Axes) == 0 {
+		return nil, fmt.Errorf("grid: no axes")
+	}
+	seen := make(map[string]bool, len(g.Axes))
+	for i, ax := range g.Axes {
+		if ax.Knob == "" {
+			return nil, fmt.Errorf("grid: axis %d: empty knob name", i)
+		}
+		if len(ax.Values) == 0 {
+			return nil, fmt.Errorf("grid: axis %d (%s): no values", i, ax.Knob)
+		}
+		if seen[ax.Knob] {
+			return nil, fmt.Errorf("grid: axis %d: knob %q repeated across axes", i, ax.Knob)
+		}
+		seen[ax.Knob] = true
+		if _, fixed := g.Base.Knobs[ax.Knob]; fixed {
+			return nil, fmt.Errorf("grid: axis %d: knob %q also fixed in base knobs", i, ax.Knob)
+		}
+	}
+	cells := g.Cells()
+	if cells > MaxGridCells {
+		return nil, fmt.Errorf("grid: %d cells exceed the limit of %d", cells, MaxGridCells)
+	}
+
+	runs := make([]RunSpec, 0, cells)
+	idx := make([]int, len(g.Axes))
+	parts := make([]string, len(g.Axes))
+	for {
+		cell := g.Base
+		cell.Knobs = make(map[string]sim.Value, len(g.Base.Knobs)+len(g.Axes))
+		for name, v := range g.Base.Knobs {
+			cell.Knobs[name] = v
+		}
+		for i, ax := range g.Axes {
+			v := ax.Values[idx[i]]
+			cell.Knobs[ax.Knob] = v
+			parts[i] = v.String()
+		}
+		cell.Label = strings.Join(parts, ",")
+		if g.Base.Label != "" {
+			cell.Label = g.Base.Label + " " + cell.Label
+		}
+		runs = append(runs, cell)
+
+		// Odometer increment, last axis fastest.
+		i := len(idx) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(g.Axes[i].Values) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			return runs, nil
+		}
+	}
+}
+
+// ScheduleSpec is the body of POST /v1/schedules: a named recurring
+// submission. Every fire submits Job (which may itself carry a grid) as
+// an ordinary job, so scheduled work flows through the same queue,
+// cache, and folding machinery as interactive submissions.
+type ScheduleSpec struct {
+	// Name identifies the schedule ("nightly-regression"); unique per
+	// daemon.
+	Name string `json:"name"`
+	// Cron is the fire schedule: either five standard cron fields
+	// ("30 2 * * *" — minute hour day-of-month month day-of-week, with
+	// *, lists, ranges, and /step), or "@every DURATION" ("@every 6h")
+	// for fixed intervals.
+	Cron string `json:"cron"`
+	// Job is what each fire submits.
+	Job *JobSpec `json:"job"`
+	// Notify names the configured notifiers (see the stemsd config file)
+	// that receive a Notification when a fired job reaches a terminal
+	// state.
+	Notify []string `json:"notify,omitempty"`
+}
+
+// ScheduleStatus is the wire form of GET /v1/schedules entries: the spec
+// plus the scheduler's live state for it.
+type ScheduleStatus struct {
+	ScheduleSpec
+	// NextFire is when the schedule fires next.
+	NextFire time.Time `json:"next_fire"`
+	// Fires counts submissions this schedule has made (persisted across
+	// restarts along with NextFire when the daemon runs with schedule
+	// state enabled).
+	Fires uint64 `json:"fires"`
+	// LastJob is the job ID of the most recent fire, LastState that
+	// job's last observed terminal state ("" while it still runs).
+	LastJob   string   `json:"last_job,omitempty"`
+	LastState JobState `json:"last_state,omitempty"`
+	// LastError records the most recent fire-time submission failure
+	// (queue full, draining); cleared by the next successful fire.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Notification is the completion document notifiers deliver (webhook
+// POST body, slog fields) when a job reaches a terminal state.
+type Notification struct {
+	// Job is the finished job's ID; State its terminal state.
+	Job   string   `json:"job"`
+	State JobState `json:"state"`
+	// Schedule names the schedule whose fire produced the job (empty for
+	// interactively submitted jobs).
+	Schedule string `json:"schedule,omitempty"`
+	// RunsDone/RunsTotal and CacheHits summarize the job's outcome
+	// without shipping result documents; fetch GET /v1/jobs/{id} for
+	// those.
+	RunsDone  int `json:"runs_done"`
+	RunsTotal int `json:"runs_total"`
+	CacheHits int `json:"cache_hits"`
+	// Error carries the failure or cancellation cause for non-done
+	// terminal states.
+	Error string `json:"error,omitempty"`
+}
+
+// NotificationFromStatus builds the completion document for a terminal
+// job status.
+func NotificationFromStatus(st JobStatus, schedule string) Notification {
+	return Notification{
+		Job:       st.ID,
+		State:     st.State,
+		Schedule:  schedule,
+		RunsDone:  st.Progress.RunsDone,
+		RunsTotal: st.Progress.RunsTotal,
+		CacheHits: st.Progress.CacheHits,
+		Error:     st.Error,
+	}
+}
+
+// SchedMetrics is the /metrics section for the cron scheduler; absent
+// when the daemon runs without one.
+type SchedMetrics struct {
+	// Schedules is the number of registered schedules.
+	Schedules int `json:"schedules"`
+	// Fires counts jobs submitted by schedule fires; FireErrors counts
+	// fires whose submission failed (queue full, invalid at fire time).
+	Fires      uint64 `json:"schedule_fires"`
+	FireErrors uint64 `json:"schedule_fire_errors"`
+}
+
+// NotifyMetrics is the /metrics section for completion notifiers; absent
+// when none are configured.
+type NotifyMetrics struct {
+	// Notifiers is the number of registered notifiers.
+	Notifiers int `json:"notifiers"`
+	// Sent counts notifications delivered successfully; Failed counts
+	// deliveries abandoned after retries; Retries counts individual
+	// delivery attempts beyond each notification's first.
+	Sent    uint64 `json:"notifications_sent"`
+	Failed  uint64 `json:"notifications_failed"`
+	Retries uint64 `json:"notification_retries"`
+}

@@ -1,0 +1,166 @@
+package enc
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"stems/internal/sim"
+)
+
+func iv(v int64) sim.Value { return sim.IntValue(v) }
+
+func TestGridExpandRowMajor(t *testing.T) {
+	g := GridSpec{
+		Base: RunSpec{Predictor: "stems", Workload: "em3d"},
+		Axes: []GridAxis{
+			{Knob: "stems.rmob_entries", Values: []sim.Value{iv(4096), iv(16384)}},
+			{Knob: "stems.lookahead", Values: []sim.Value{iv(4), iv(8), iv(12)}},
+		},
+	}
+	if got := g.Cells(); got != 6 {
+		t.Fatalf("Cells() = %d, want 6", got)
+	}
+	runs, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLabels := []string{"4096,4", "4096,8", "4096,12", "16384,4", "16384,8", "16384,12"}
+	if len(runs) != len(wantLabels) {
+		t.Fatalf("expanded %d runs, want %d", len(runs), len(wantLabels))
+	}
+	for i, r := range runs {
+		if r.Label != wantLabels[i] {
+			t.Errorf("run %d label = %q, want %q", i, r.Label, wantLabels[i])
+		}
+		if r.Predictor != "stems" || r.Workload != "em3d" {
+			t.Errorf("run %d lost base fields: %+v", i, r)
+		}
+		if len(r.Knobs) != 2 {
+			t.Errorf("run %d has %d knobs, want 2", i, len(r.Knobs))
+		}
+	}
+	// Last axis fastest: run 1 differs from run 0 in lookahead only.
+	if runs[0].Knobs["stems.rmob_entries"] != runs[1].Knobs["stems.rmob_entries"] {
+		t.Error("first axis changed between adjacent cells")
+	}
+	if runs[0].Knobs["stems.lookahead"] == runs[1].Knobs["stems.lookahead"] {
+		t.Error("last axis did not advance between adjacent cells")
+	}
+}
+
+func TestGridExpandBaseKnobsAndLabelPrefix(t *testing.T) {
+	g := GridSpec{
+		Base: RunSpec{
+			Label: "night",
+			Knobs: map[string]sim.Value{"scientific": sim.BoolValue(false)},
+		},
+		Axes: []GridAxis{{Knob: "stems.lookahead", Values: []sim.Value{iv(4)}}},
+	}
+	runs, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs[0].Label != "night 4" {
+		t.Errorf("label = %q, want %q", runs[0].Label, "night 4")
+	}
+	if v, ok := runs[0].Knobs["scientific"]; !ok || v.Bool() {
+		t.Errorf("base knob not carried into cell: %+v", runs[0].Knobs)
+	}
+	// Expansion must not alias the base knob map across cells.
+	if &g.Base.Knobs == &runs[0].Knobs {
+		t.Error("cell shares the base knob map")
+	}
+}
+
+func TestGridExpandErrors(t *testing.T) {
+	axis := GridAxis{Knob: "stems.lookahead", Values: []sim.Value{iv(4)}}
+	cases := []struct {
+		name string
+		grid GridSpec
+		want string
+	}{
+		{"no axes", GridSpec{}, "no axes"},
+		{"empty knob", GridSpec{Axes: []GridAxis{{Values: []sim.Value{iv(1)}}}}, "empty knob"},
+		{"no values", GridSpec{Axes: []GridAxis{{Knob: "k"}}}, "no values"},
+		{"repeated axis", GridSpec{Axes: []GridAxis{axis, axis}}, "repeated"},
+		{"base shadow", GridSpec{
+			Base: RunSpec{Knobs: map[string]sim.Value{"stems.lookahead": iv(2)}},
+			Axes: []GridAxis{axis},
+		}, "also fixed in base"},
+		{"too many cells", GridSpec{Axes: []GridAxis{
+			{Knob: "a", Values: make([]sim.Value, 100)},
+			{Knob: "b", Values: make([]sim.Value, 100)},
+		}}, "exceed"},
+	}
+	for _, tc := range cases {
+		if _, err := tc.grid.Expand(); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestGridDuplicateValuesExpand(t *testing.T) {
+	// Duplicate axis values are legal — they expand to duplicate cells
+	// (the service dedupes them through the result cache).
+	g := GridSpec{Axes: []GridAxis{
+		{Knob: "stems.lookahead", Values: []sim.Value{iv(8), iv(8), iv(4)}},
+	}}
+	runs, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 3 {
+		t.Fatalf("expanded %d runs, want 3", len(runs))
+	}
+	if runs[0].Label != runs[1].Label || runs[0].Label != "8" {
+		t.Errorf("duplicate cells labeled %q/%q, want both \"8\"", runs[0].Label, runs[1].Label)
+	}
+}
+
+func TestGridSpecRoundTrip(t *testing.T) {
+	g := GridSpec{
+		Base: RunSpec{Predictor: "stems", Workload: "Zeus", Seed: 3},
+		Axes: []GridAxis{{Knob: "stems.pst_entries", Values: []sim.Value{iv(1024), iv(4096)}}},
+	}
+	data, err := json.Marshal(JobSpec{Grid: &g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back JobSpec
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Grid == nil || len(back.Grid.Axes) != 1 || back.Grid.Axes[0].Knob != "stems.pst_entries" {
+		t.Fatalf("grid did not round-trip: %s", data)
+	}
+	a, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.Grid.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Errorf("expansion differs after a JSON hop:\n %s\n %s", aj, bj)
+	}
+}
+
+func TestNotificationFromStatus(t *testing.T) {
+	st := JobStatus{
+		ID:    "j-000007",
+		State: JobFailed,
+		Error: "boom",
+		Progress: JobProgress{
+			RunsDone: 2, RunsTotal: 5, CacheHits: 1,
+		},
+	}
+	n := NotificationFromStatus(st, "nightly")
+	if n.Job != "j-000007" || n.State != JobFailed || n.Schedule != "nightly" ||
+		n.RunsDone != 2 || n.RunsTotal != 5 || n.CacheHits != 1 || n.Error != "boom" {
+		t.Errorf("notification = %+v", n)
+	}
+}

@@ -1,0 +1,250 @@
+package notify
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"encoding/json"
+	"log/slog"
+
+	"stems/internal/enc"
+	"stems/internal/obs"
+)
+
+func testNotification() enc.Notification {
+	return enc.Notification{
+		Job: "j-000001", State: enc.JobDone, Schedule: "nightly",
+		RunsDone: 3, RunsTotal: 3, CacheHits: 1,
+	}
+}
+
+// sink records webhook deliveries and can fail the first failFirst
+// requests with HTTP 500.
+type sink struct {
+	mu        sync.Mutex
+	failFirst int
+	requests  int
+	bodies    []enc.Notification
+}
+
+func (s *sink) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.requests++
+		if s.requests <= s.failFirst {
+			http.Error(w, "induced failure", http.StatusInternalServerError)
+			return
+		}
+		var n enc.Notification
+		if err := json.NewDecoder(r.Body).Decode(&n); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		s.bodies = append(s.bodies, n)
+		w.WriteHeader(http.StatusOK)
+	})
+}
+
+func (s *sink) snapshot() (int, []enc.Notification) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.requests, append([]enc.Notification(nil), s.bodies...)
+}
+
+func TestWebhookDelivers(t *testing.T) {
+	sk := &sink{}
+	srv := httptest.NewServer(sk.handler())
+	defer srv.Close()
+
+	w := NewWebhook("hook", WebhookConfig{URL: srv.URL, Backoff: time.Millisecond})
+	if err := w.Send(context.Background(), testNotification()); err != nil {
+		t.Fatal(err)
+	}
+	reqs, bodies := sk.snapshot()
+	if reqs != 1 || len(bodies) != 1 {
+		t.Fatalf("requests = %d, delivered = %d, want 1/1", reqs, len(bodies))
+	}
+	if bodies[0] != testNotification() {
+		t.Errorf("delivered body = %+v", bodies[0])
+	}
+}
+
+func TestWebhookRetriesFirstFailure(t *testing.T) {
+	sk := &sink{failFirst: 1}
+	srv := httptest.NewServer(sk.handler())
+	defer srv.Close()
+
+	w := NewWebhook("hook", WebhookConfig{URL: srv.URL, Backoff: time.Millisecond})
+	if err := w.Send(context.Background(), testNotification()); err != nil {
+		t.Fatalf("delivery should survive one failure: %v", err)
+	}
+	reqs, bodies := sk.snapshot()
+	if reqs != 2 {
+		t.Errorf("requests = %d, want 2 (one failure + one retry)", reqs)
+	}
+	if len(bodies) != 1 {
+		t.Errorf("delivered = %d, want 1", len(bodies))
+	}
+}
+
+func TestWebhookExhaustsAttempts(t *testing.T) {
+	sk := &sink{failFirst: 100}
+	srv := httptest.NewServer(sk.handler())
+	defer srv.Close()
+
+	w := NewWebhook("hook", WebhookConfig{URL: srv.URL, Attempts: 3, Backoff: time.Millisecond})
+	err := w.Send(context.Background(), testNotification())
+	if err == nil || !strings.Contains(err.Error(), "HTTP 500") {
+		t.Fatalf("err = %v, want HTTP 500 after exhausting attempts", err)
+	}
+	if reqs, _ := sk.snapshot(); reqs != 3 {
+		t.Errorf("requests = %d, want 3", reqs)
+	}
+}
+
+func TestWebhookHonorsContext(t *testing.T) {
+	sk := &sink{failFirst: 100}
+	srv := httptest.NewServer(sk.handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	w := NewWebhook("hook", WebhookConfig{URL: srv.URL, Attempts: 5, Backoff: time.Hour})
+	if err := w.Send(ctx, testNotification()); err == nil {
+		t.Fatal("cancelled send should error")
+	}
+}
+
+func TestLogNotifier(t *testing.T) {
+	var buf strings.Builder
+	l := NewLog("log", slog.New(slog.NewTextHandler(&buf, nil)))
+	if err := l.Send(context.Background(), testNotification()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"j-000001", "done", "nightly"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log line missing %q: %s", want, out)
+		}
+	}
+}
+
+func TestSetFanOutAndMetrics(t *testing.T) {
+	good := &sink{}
+	bad := &sink{failFirst: 100}
+	goodSrv := httptest.NewServer(good.handler())
+	defer goodSrv.Close()
+	badSrv := httptest.NewServer(bad.handler())
+	defer badSrv.Close()
+
+	reg := obs.NewRegistry()
+	set := NewSet(reg, nil)
+	mustRegister(t, set, NewWebhook("good", WebhookConfig{URL: goodSrv.URL, Backoff: time.Millisecond}), false)
+	mustRegister(t, set, NewWebhook("bad", WebhookConfig{URL: badSrv.URL, Attempts: 2, Backoff: time.Millisecond}), false)
+	mustRegister(t, set, NewLog("log", nil), true)
+
+	// "good" named twice and "log" implied via all-jobs: three deliveries,
+	// one of which fails after a retry.
+	set.Send([]string{"good", "good", "bad"}, testNotification())
+	set.Close()
+
+	m := set.Metrics()
+	if m.Notifiers != 3 {
+		t.Errorf("Notifiers = %d, want 3", m.Notifiers)
+	}
+	if m.Sent != 2 || m.Failed != 1 {
+		t.Errorf("Sent/Failed = %d/%d, want 2/1", m.Sent, m.Failed)
+	}
+	if m.Retries != 1 {
+		t.Errorf("Retries = %d, want 1 (bad notifier's second attempt)", m.Retries)
+	}
+	if reqs, _ := good.snapshot(); reqs != 1 {
+		t.Errorf("good sink saw %d requests, want 1 (names deduplicated)", reqs)
+	}
+
+	var prom strings.Builder
+	reg.WritePrometheus(&prom)
+	for _, want := range []string{
+		`stemsd_notifications_sent_total{notifier="good"} 1`,
+		`stemsd_notifications_failed_total{notifier="bad"} 1`,
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Errorf("prometheus exposition missing %q:\n%s", want, prom.String())
+		}
+	}
+}
+
+func TestSetDropsAfterClose(t *testing.T) {
+	sk := &sink{}
+	srv := httptest.NewServer(sk.handler())
+	defer srv.Close()
+
+	set := NewSet(nil, nil)
+	mustRegister(t, set, NewWebhook("hook", WebhookConfig{URL: srv.URL}), true)
+	set.Close()
+	set.Send(nil, testNotification())
+	set.Close() // idempotent
+	if reqs, _ := sk.snapshot(); reqs != 0 {
+		t.Errorf("send after close delivered %d requests", reqs)
+	}
+}
+
+func TestSetRegisterErrors(t *testing.T) {
+	set := NewSet(nil, nil)
+	mustRegister(t, set, NewLog("log", nil), false)
+	if err := set.Register(NewLog("log", nil), false); err == nil {
+		t.Error("duplicate name should be rejected")
+	}
+	if err := set.Register(NewLog("", nil), false); err == nil {
+		t.Error("empty name should be rejected")
+	}
+	if !set.Has("log") || set.Has("nope") {
+		t.Error("Has() misreports registration")
+	}
+	if names := set.Names(); len(names) != 1 || names[0] != "log" {
+		t.Errorf("Names() = %v", names)
+	}
+}
+
+func TestSetSendIsAsync(t *testing.T) {
+	release := make(chan struct{})
+	var started atomic.Bool
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		started.Store(true)
+		<-release
+	}))
+	defer slow.Close()
+
+	set := NewSet(nil, nil)
+	mustRegister(t, set, NewWebhook("slow", WebhookConfig{URL: slow.URL, Timeout: time.Minute}), false)
+
+	done := make(chan struct{})
+	go func() {
+		set.Send([]string{"slow"}, testNotification())
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Send blocked on a slow delivery")
+	}
+	close(release)
+	set.Close()
+	if !started.Load() {
+		t.Error("delivery never reached the webhook")
+	}
+}
+
+func mustRegister(t *testing.T, s *Set, n Notifier, allJobs bool) {
+	t.Helper()
+	if err := s.Register(n, allJobs); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,87 @@
+package sched
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the scheduler so tests drive fires
+// deterministically with a FakeClock.
+type Clock interface {
+	Now() time.Time
+	// After behaves like time.After; the scheduler waits on it between
+	// fires (capped, so a live clock never sleeps unboundedly).
+	After(d time.Duration) <-chan time.Time
+}
+
+// RealClock is the production Clock.
+type RealClock struct{}
+
+// Now implements Clock.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// After implements Clock.
+func (RealClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// FakeClock is a manually advanced Clock for tests. Advance moves the
+// clock and releases any waiter whose deadline has passed.
+type FakeClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []fakeWaiter
+}
+
+type fakeWaiter struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// NewFakeClock starts a fake clock at the given instant.
+func NewFakeClock(at time.Time) *FakeClock {
+	return &FakeClock{now: at}
+}
+
+// Now implements Clock.
+func (f *FakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// After implements Clock. A non-positive duration fires immediately.
+func (f *FakeClock) After(d time.Duration) <-chan time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	at := f.now.Add(d)
+	if d <= 0 {
+		ch <- f.now
+		return ch
+	}
+	f.waiters = append(f.waiters, fakeWaiter{at: at, ch: ch})
+	return ch
+}
+
+// Advance moves the clock forward by d, waking every waiter whose
+// deadline is reached.
+func (f *FakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = f.now.Add(d)
+	kept := f.waiters[:0]
+	for _, w := range f.waiters {
+		if !w.at.After(f.now) {
+			w.ch <- f.now
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	f.waiters = kept
+}
+
+// Waiters reports how many After calls are pending.
+func (f *FakeClock) Waiters() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.waiters)
+}

@@ -1,0 +1,172 @@
+package sched
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Cron is a parsed fire schedule: either a five-field cron expression or
+// a fixed "@every DURATION" interval.
+type Cron struct {
+	// every is the fixed interval for "@every" schedules; zero means the
+	// field sets below apply instead.
+	every time.Duration
+
+	// Field sets, one bit per permitted value. dom/dow follow vixie cron:
+	// when both are restricted (neither is "*"), a time matches if EITHER
+	// matches; when only one is restricted, it alone decides.
+	minute, hour, dom, month, dow uint64
+	domStar, dowStar              bool
+
+	// text is the original expression, kept for String/round-tripping.
+	text string
+}
+
+// cron field value ranges, in field order.
+var cronFields = []struct {
+	name     string
+	min, max int
+}{
+	{"minute", 0, 59},
+	{"hour", 0, 23},
+	{"day-of-month", 1, 31},
+	{"month", 1, 12},
+	{"day-of-week", 0, 6},
+}
+
+// ParseCron parses a schedule expression: five whitespace-separated cron
+// fields (minute hour day-of-month month day-of-week, each "*", a value,
+// a range "a-b", a list "a,b,c", any with an optional "/step"), or
+// "@every DURATION" with DURATION in time.ParseDuration syntax and at
+// least one minute.
+func ParseCron(text string) (Cron, error) {
+	trimmed := strings.TrimSpace(text)
+	if rest, ok := strings.CutPrefix(trimmed, "@every"); ok {
+		d, err := time.ParseDuration(strings.TrimSpace(rest))
+		if err != nil {
+			return Cron{}, fmt.Errorf("cron: @every: %w", err)
+		}
+		if d < time.Second {
+			return Cron{}, fmt.Errorf("cron: @every interval %v is below the 1s floor", d)
+		}
+		return Cron{every: d, text: trimmed}, nil
+	}
+	fields := strings.Fields(trimmed)
+	if len(fields) != len(cronFields) {
+		return Cron{}, fmt.Errorf("cron: %d fields, want 5 (minute hour day-of-month month day-of-week)", len(fields))
+	}
+	c := Cron{text: trimmed}
+	sets := []*uint64{&c.minute, &c.hour, &c.dom, &c.month, &c.dow}
+	for i, f := range fields {
+		set, star, err := parseField(f, cronFields[i].min, cronFields[i].max)
+		if err != nil {
+			return Cron{}, fmt.Errorf("cron: %s field %q: %w", cronFields[i].name, f, err)
+		}
+		*sets[i] = set
+		switch i {
+		case 2:
+			c.domStar = star
+		case 4:
+			c.dowStar = star
+		}
+	}
+	return c, nil
+}
+
+// parseField parses one cron field into a bitset over [min, max]. star
+// reports whether the field is an unrestricted "*" (no step) — the
+// vixie day-of-month/day-of-week rule needs to know.
+func parseField(field string, min, max int) (set uint64, star bool, err error) {
+	star = field == "*"
+	for _, part := range strings.Split(field, ",") {
+		rangeText, stepText, hasStep := strings.Cut(part, "/")
+		step := 1
+		if hasStep {
+			step, err = strconv.Atoi(stepText)
+			if err != nil || step < 1 {
+				return 0, false, fmt.Errorf("bad step %q", stepText)
+			}
+		}
+		lo, hi := min, max
+		if rangeText != "*" {
+			loText, hiText, isRange := strings.Cut(rangeText, "-")
+			lo, err = strconv.Atoi(loText)
+			if err != nil {
+				return 0, false, fmt.Errorf("bad value %q", loText)
+			}
+			if isRange {
+				hi, err = strconv.Atoi(hiText)
+				if err != nil {
+					return 0, false, fmt.Errorf("bad value %q", hiText)
+				}
+			} else if hasStep {
+				// "N/step" means start at N, run to the field max.
+				hi = max
+			} else {
+				hi = lo
+			}
+		}
+		if lo < min || hi > max || lo > hi {
+			return 0, false, fmt.Errorf("value out of range %d-%d", min, max)
+		}
+		for v := lo; v <= hi; v += step {
+			set |= 1 << uint(v)
+		}
+	}
+	if set == 0 {
+		return 0, false, fmt.Errorf("empty field")
+	}
+	return set, star, nil
+}
+
+// String returns the original expression text.
+func (c Cron) String() string { return c.text }
+
+// Next returns the first fire time strictly after t. Cron fields have
+// minute granularity; @every intervals tick from t exactly.
+func (c Cron) Next(t time.Time) time.Time {
+	if c.every > 0 {
+		return t.Add(c.every)
+	}
+	// Jump-stepping search: truncate to the next whole minute, then bump
+	// the coarsest non-matching field, resetting finer ones. Bounded at
+	// five years — beyond that the expression matches nothing real
+	// (e.g. "0 0 30 2 *").
+	t = t.Truncate(time.Minute).Add(time.Minute)
+	limit := t.AddDate(5, 0, 0)
+	for t.Before(limit) {
+		if c.month&(1<<uint(t.Month())) == 0 {
+			// Advance to the first day of the next month.
+			t = time.Date(t.Year(), t.Month(), 1, 0, 0, 0, 0, t.Location()).AddDate(0, 1, 0)
+			continue
+		}
+		if !c.dayMatches(t) {
+			t = time.Date(t.Year(), t.Month(), t.Day(), 0, 0, 0, 0, t.Location()).AddDate(0, 0, 1)
+			continue
+		}
+		if c.hour&(1<<uint(t.Hour())) == 0 {
+			t = time.Date(t.Year(), t.Month(), t.Day(), t.Hour(), 0, 0, 0, t.Location()).Add(time.Hour)
+			continue
+		}
+		if c.minute&(1<<uint(t.Minute())) == 0 {
+			t = t.Add(time.Minute)
+			continue
+		}
+		return t
+	}
+	return limit
+}
+
+// dayMatches applies the vixie day rule: with both day fields
+// restricted, either matching suffices; otherwise the restricted one
+// (or trivially "*") decides.
+func (c Cron) dayMatches(t time.Time) bool {
+	domOK := c.dom&(1<<uint(t.Day())) != 0
+	dowOK := c.dow&(1<<uint(t.Weekday())) != 0
+	if !c.domStar && !c.dowStar {
+		return domOK || dowOK
+	}
+	return domOK && dowOK
+}

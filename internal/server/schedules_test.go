@@ -1,0 +1,244 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"stems"
+	"stems/internal/enc"
+	"stems/internal/notify"
+	"stems/internal/sched"
+	"stems/internal/server"
+	"stems/internal/service"
+	"stems/internal/sim"
+)
+
+// newSchedServer wires service + scheduler (fake clock) + notifier set
+// behind an httptest server, mirroring cmd/stemsd's glue, and returns a
+// typed client at it.
+func newSchedServer(t *testing.T) (*stems.Client, *sched.FakeClock, *notify.Set) {
+	t.Helper()
+	svc, err := service.New(service.Config{Workers: 2, QueueBound: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := notify.NewSet(svc.Obs(), nil)
+	if err := set.Register(notify.NewLog("log", nil), false); err != nil {
+		t.Fatal(err)
+	}
+	clk := sched.NewFakeClock(time.Date(2026, 8, 8, 10, 0, 0, 0, time.UTC))
+	scheduler, err := sched.New(sched.Config{
+		Submit: func(spec enc.JobSpec) (string, error) {
+			j, err := svc.Submit(spec)
+			if err != nil {
+				return "", err
+			}
+			return j.ID, nil
+		},
+		Validate:    service.Validate,
+		HasNotifier: set.Has,
+		Clock:       clk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.OnJobDone(func(st enc.JobStatus) {
+		name, names, _ := scheduler.JobCompleted(st)
+		set.Send(names, enc.NotificationFromStatus(st, name))
+	})
+	svc.AddMetricsHook(func(m *enc.Metrics) {
+		sm := scheduler.Metrics()
+		m.Sched = &sm
+		nm := set.Metrics()
+		m.Notify = &nm
+	})
+	ts := httptest.NewServer(server.New(svc, server.WithScheduler(scheduler)))
+	t.Cleanup(func() {
+		scheduler.Stop()
+		svc.Abort()
+		svc.Drain()
+		set.Close()
+		ts.Close()
+	})
+	return stems.NewClient(ts.URL, nil), clk, set
+}
+
+func scheduleSpec(name string) stems.ScheduleSpec {
+	return stems.ScheduleSpec{
+		Name: name,
+		Cron: "@every 1m",
+		Job: &stems.JobSpec{RunSpec: stems.RunSpec{
+			Predictor: "stems", Workload: "em3d", Accesses: 10_000,
+		}},
+		Notify: []string{"log"},
+	}
+}
+
+func TestScheduleCRUD(t *testing.T) {
+	c, clk, _ := newSchedServer(t)
+	ctx := context.Background()
+
+	st, err := c.CreateSchedule(ctx, scheduleSpec("nightly"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Name != "nightly" || st.Fires != 0 || st.NextFire.IsZero() {
+		t.Fatalf("created status = %+v", st)
+	}
+
+	list, err := c.Schedules(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].Name != "nightly" {
+		t.Fatalf("list = %+v", list)
+	}
+
+	// Fire once and confirm the status reflects it over HTTP.
+	clk.Advance(time.Minute)
+	deadline := time.Now().Add(30 * time.Second)
+	var got stems.ScheduleStatus
+	for {
+		got, err = c.Schedule(ctx, "nightly")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Fires == 1 && got.LastState == stems.JobDone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("schedule never fired and completed: %+v", got)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got.LastJob == "" {
+		t.Errorf("no LastJob recorded: %+v", got)
+	}
+	// The fired job is a real job, fetchable like any other.
+	job, err := c.Job(ctx, got.LastJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != stems.JobDone {
+		t.Errorf("fired job state = %s", job.State)
+	}
+
+	// Metrics document carries the scheduler and notifier sections.
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Sched == nil || m.Sched.Schedules != 1 || m.Sched.Fires != 1 {
+		t.Errorf("metrics sched section = %+v", m.Sched)
+	}
+	if m.Notify == nil || m.Notify.Notifiers != 1 {
+		t.Errorf("metrics notify section = %+v", m.Notify)
+	}
+
+	if err := c.DeleteSchedule(ctx, "nightly"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Schedule(ctx, "nightly"); !isAPIError(err, 404, "not_found") {
+		t.Errorf("get after delete: %v", err)
+	}
+	if err := c.DeleteSchedule(ctx, "nightly"); !isAPIError(err, 404, "not_found") {
+		t.Errorf("double delete: %v", err)
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	c, _, _ := newSchedServer(t)
+	ctx := context.Background()
+
+	bad := scheduleSpec("bad")
+	bad.Cron = "not cron"
+	if _, err := c.CreateSchedule(ctx, bad); !isAPIError(err, 400, "invalid_schedule") {
+		t.Errorf("bad cron: %v", err)
+	}
+	badJob := scheduleSpec("badjob")
+	badJob.Job = &stems.JobSpec{RunSpec: stems.RunSpec{Workload: "nope"}}
+	if _, err := c.CreateSchedule(ctx, badJob); !isAPIError(err, 400, "invalid_schedule") {
+		t.Errorf("bad job: %v", err)
+	}
+	badNotify := scheduleSpec("badnotify")
+	badNotify.Notify = []string{"mystery"}
+	if _, err := c.CreateSchedule(ctx, badNotify); !isAPIError(err, 400, "invalid_schedule") {
+		t.Errorf("unknown notifier: %v", err)
+	}
+
+	if _, err := c.CreateSchedule(ctx, scheduleSpec("dup")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateSchedule(ctx, scheduleSpec("dup")); !isAPIError(err, 409, "exists") {
+		t.Errorf("duplicate: %v", err)
+	}
+}
+
+// TestSubmitGridOverHTTP drives the server-side grid path end to end
+// through the typed client.
+func TestSubmitGridOverHTTP(t *testing.T) {
+	c, _ := newTestServer(t, service.Config{Workers: 2, QueueBound: 8})
+	ctx := context.Background()
+
+	grid := stems.GridSpec{
+		Base: stems.RunSpec{Predictor: "stems", Workload: "em3d", Accesses: 10_000},
+		Axes: []stems.GridAxis{
+			{Knob: "stems.lookahead", Values: []sim.Value{sim.IntValue(4), sim.IntValue(4), sim.IntValue(8)}},
+		},
+	}
+	st, err := c.SubmitGrid(ctx, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Spec.Grid == nil || len(st.Spec.Runs) != 3 {
+		t.Fatalf("submitted status spec = grid %v, %d runs", st.Spec.Grid != nil, len(st.Spec.Runs))
+	}
+	final, err := c.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != stems.JobDone || len(final.Results) != 3 {
+		t.Fatalf("final = %s with %d results", final.State, len(final.Results))
+	}
+	if final.Progress.CacheHits != 1 {
+		t.Errorf("CacheHits = %d, want 1 (the duplicate cell)", final.Progress.CacheHits)
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.GridJobs != 1 {
+		t.Errorf("GridJobs = %d, want 1", m.GridJobs)
+	}
+	if m.RunsComputed != 2 {
+		t.Errorf("RunsComputed = %d, want 2 (unique cells only)", m.RunsComputed)
+	}
+	// A grid and its client-side expansion are the same job body.
+	bad := stems.JobSpec{Grid: &grid, Runs: []stems.RunSpec{{Workload: "em3d"}}}
+	if _, err := c.Submit(ctx, bad); !isAPIError(err, 400, "invalid_spec") {
+		t.Errorf("grid+runs: %v", err)
+	}
+}
+
+// TestScheduleRoutesAbsentWithoutScheduler pins that a daemon without a
+// scheduler 404s the schedule surface instead of half-serving it.
+func TestScheduleRoutesAbsentWithoutScheduler(t *testing.T) {
+	c, _ := newTestServer(t, service.Config{Workers: 1, QueueBound: 4})
+	if _, err := c.Schedules(context.Background()); !isAPIError(err, 404, "") {
+		t.Errorf("schedules on a schedule-free daemon: %v", err)
+	}
+}
+
+func isAPIError(err error, status int, code string) bool {
+	var apiErr *stems.APIError
+	if !errors.As(err, &apiErr) {
+		return false
+	}
+	if apiErr.StatusCode != status {
+		return false
+	}
+	return code == "" || apiErr.Code == code
+}

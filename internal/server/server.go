@@ -6,6 +6,10 @@
 //	GET    /v1/jobs/{id}        job status and results
 //	DELETE /v1/jobs/{id}        cancel a job
 //	GET    /v1/jobs/{id}/events stream status/progress/per-run results via SSE
+//	POST   /v1/schedules        register a recurring submission (201 + status)
+//	GET    /v1/schedules        list schedules with fire state
+//	GET    /v1/schedules/{name} one schedule's status
+//	DELETE /v1/schedules/{name} unregister a schedule (204)
 //	GET    /v1/predictors       registered predictors with full knob schemas
 //	GET    /v1/workloads        the paper's workload suite
 //	GET    /healthz             liveness
@@ -32,12 +36,14 @@ import (
 
 	"stems/internal/enc"
 	"stems/internal/obs"
+	"stems/internal/sched"
 	"stems/internal/service"
 )
 
 // Server routes HTTP requests to a service.Service.
 type Server struct {
 	svc   *service.Service
+	sched *sched.Scheduler
 	mux   *http.ServeMux
 	log   *slog.Logger
 	pprof bool
@@ -60,6 +66,12 @@ func WithLogger(l *slog.Logger) Option {
 	}
 }
 
+// WithScheduler mounts the /v1/schedules CRUD routes over sc. Without
+// it, the daemon runs schedule-free and the routes 404.
+func WithScheduler(sc *sched.Scheduler) Option {
+	return func(s *Server) { s.sched = sc }
+}
+
 // New builds a Server over svc. Construct at most one Server per
 // service: route metric series register in svc's obs registry, which
 // rejects duplicates.
@@ -73,6 +85,12 @@ func New(svc *service.Service, opts ...Option) *Server {
 	s.handle("GET /v1/jobs/{id}", s.getJob)
 	s.handle("DELETE /v1/jobs/{id}", s.cancelJob)
 	s.handle("GET /v1/jobs/{id}/events", s.jobEvents)
+	if s.sched != nil {
+		s.handle("POST /v1/schedules", s.createSchedule)
+		s.handle("GET /v1/schedules", s.listSchedules)
+		s.handle("GET /v1/schedules/{name}", s.getSchedule)
+		s.handle("DELETE /v1/schedules/{name}", s.deleteSchedule)
+	}
 	s.handle("GET /v1/predictors", s.predictors)
 	s.handle("GET /v1/workloads", s.workloads)
 	s.handle("GET /healthz", s.healthz)
@@ -181,6 +199,14 @@ func writeError(w http.ResponseWriter, err error) {
 		status, code = http.StatusServiceUnavailable, "queue_full"
 		w.Header().Set("Retry-After", "1")
 	case errors.Is(err, service.ErrDraining):
+		status, code = http.StatusServiceUnavailable, "draining"
+	case errors.Is(err, sched.ErrInvalid):
+		status, code = http.StatusBadRequest, "invalid_schedule"
+	case errors.Is(err, sched.ErrExists):
+		status, code = http.StatusConflict, "exists"
+	case errors.Is(err, sched.ErrNotFound):
+		status, code = http.StatusNotFound, "not_found"
+	case errors.Is(err, sched.ErrStopped):
 		status, code = http.StatusServiceUnavailable, "draining"
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -305,6 +331,46 @@ func (s *Server) jobEvents(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+}
+
+func (s *Server) createSchedule(w http.ResponseWriter, r *http.Request) {
+	var spec enc.ScheduleSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, fmt.Errorf("%w: decoding body: %v", sched.ErrInvalid, err))
+		return
+	}
+	st, err := s.sched.Add(spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/schedules/"+st.Name)
+	writeJSON(w, http.StatusCreated, st)
+}
+
+func (s *Server) listSchedules(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Schedules []enc.ScheduleStatus `json:"schedules"`
+	}{s.sched.List()})
+}
+
+func (s *Server) getSchedule(w http.ResponseWriter, r *http.Request) {
+	st, err := s.sched.Get(r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) deleteSchedule(w http.ResponseWriter, r *http.Request) {
+	if err := s.sched.Remove(r.PathValue("name")); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) predictors(w http.ResponseWriter, r *http.Request) {

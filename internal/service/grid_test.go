@@ -1,0 +1,358 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"stems"
+	"stems/internal/enc"
+	"stems/internal/notify"
+	"stems/internal/sched"
+	"stems/internal/sim"
+)
+
+// chanStatuses collects completion-hook statuses under a lock.
+type chanStatuses struct {
+	mu  sync.Mutex
+	got []enc.JobStatus
+}
+
+func (c *chanStatuses) add(st enc.JobStatus) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.got = append(c.got, st)
+}
+
+func (c *chanStatuses) snapshot() []enc.JobStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]enc.JobStatus(nil), c.got...)
+}
+
+// flakySink is a webhook receiver that 500s its first failFirst requests
+// and hands successful deliveries to waitDelivery.
+type flakySink struct {
+	mu        sync.Mutex
+	failFirst int
+	requests  int
+	delivered chan enc.Notification
+}
+
+func (s *flakySink) start(t *testing.T) string {
+	t.Helper()
+	s.delivered = make(chan enc.Notification, 8)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		s.requests++
+		fail := s.requests <= s.failFirst
+		s.mu.Unlock()
+		if fail {
+			http.Error(w, "induced failure", http.StatusInternalServerError)
+			return
+		}
+		var n enc.Notification
+		if err := json.NewDecoder(r.Body).Decode(&n); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		s.delivered <- n
+	}))
+	t.Cleanup(srv.Close)
+	return srv.URL
+}
+
+func (s *flakySink) requestCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.requests
+}
+
+func (s *flakySink) waitDelivery(t *testing.T) enc.Notification {
+	t.Helper()
+	select {
+	case n := <-s.delivered:
+		return n
+	case <-time.After(time.Minute):
+		t.Fatal("no notification delivered within 1m")
+		return enc.Notification{}
+	}
+}
+
+// gridOf builds a one-axis grid over stems.lookahead for a small run.
+func gridOf(workload string, accesses int, lookaheads ...int64) *enc.GridSpec {
+	vals := make([]sim.Value, len(lookaheads))
+	for i, v := range lookaheads {
+		vals[i] = sim.IntValue(v)
+	}
+	return &enc.GridSpec{
+		Base: smallRun(workload, accesses),
+		Axes: []enc.GridAxis{{Knob: "stems.lookahead", Values: vals}},
+	}
+}
+
+// TestGridJobMatchesClientExpansion is the grid acceptance check: a
+// server-side grid job's result list must be byte-identical to the same
+// cells written out by the client as an explicit runs list.
+func TestGridJobMatchesClientExpansion(t *testing.T) {
+	grid := &enc.GridSpec{
+		Base: smallRun("em3d", 20_000),
+		Axes: []enc.GridAxis{
+			{Knob: "stems.lookahead", Values: []sim.Value{sim.IntValue(4), sim.IntValue(8)}},
+			{Knob: "stems.pst_entries", Values: []sim.Value{sim.IntValue(1024), sim.IntValue(4096)}},
+		},
+	}
+	expanded, err := grid.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	svcGrid := mustNew(t, Config{Workers: 2, QueueBound: 8})
+	defer svcGrid.Drain()
+	gst := waitJob(t, mustSubmit(t, svcGrid, enc.JobSpec{Grid: grid}))
+	if gst.State != enc.JobDone {
+		t.Fatalf("grid job: %s (%s)", gst.State, gst.Error)
+	}
+
+	// A fresh service, so the grid job's cache can't feed the client path.
+	svcList := mustNew(t, Config{Workers: 2, QueueBound: 8})
+	defer svcList.Drain()
+	lst := waitJob(t, mustSubmit(t, svcList, enc.JobSpec{Runs: expanded}))
+	if lst.State != enc.JobDone {
+		t.Fatalf("runs job: %s (%s)", lst.State, lst.Error)
+	}
+
+	if len(gst.Results) != 4 || len(lst.Results) != len(gst.Results) {
+		t.Fatalf("results: grid %d, runs %d, want 4", len(gst.Results), len(lst.Results))
+	}
+	for i := range gst.Results {
+		if string(gst.Results[i]) != string(lst.Results[i]) {
+			t.Errorf("result %d differs:\n grid: %s\n runs: %s", i, gst.Results[i], lst.Results[i])
+		}
+	}
+	// Status retains the grid alongside the server-side expansion.
+	if gst.Spec.Grid == nil || len(gst.Spec.Runs) != 4 {
+		t.Errorf("status spec lost the grid or its expansion: grid=%v runs=%d",
+			gst.Spec.Grid != nil, len(gst.Spec.Runs))
+	}
+	if m := svcGrid.Metrics(); m.GridJobs != 1 {
+		t.Errorf("GridJobs = %d, want 1", m.GridJobs)
+	}
+	if m := svcList.Metrics(); m.GridJobs != 0 {
+		t.Errorf("runs-list service GridJobs = %d, want 0", m.GridJobs)
+	}
+}
+
+// TestGridDuplicateCellsComputedOnce pins the dedup guarantee: a grid
+// with duplicate cells computes each distinct content address exactly
+// once; the duplicates are cache hits.
+func TestGridDuplicateCellsComputedOnce(t *testing.T) {
+	svc := mustNew(t, Config{Workers: 2, QueueBound: 8})
+	defer svc.Drain()
+
+	// 3 cells, 2 unique: lookahead 8 appears twice.
+	st := waitJob(t, mustSubmit(t, svc, enc.JobSpec{Grid: gridOf("em3d", 20_000, 8, 8, 4)}))
+	if st.State != enc.JobDone {
+		t.Fatalf("job: %s (%s)", st.State, st.Error)
+	}
+	if st.Progress.RunsDone != 3 {
+		t.Errorf("RunsDone = %d, want 3", st.Progress.RunsDone)
+	}
+	uniqueKeys := make(map[string]bool)
+	for _, r := range st.Spec.Runs {
+		key, err := stems.RunKey(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uniqueKeys[key] = true
+	}
+	if len(uniqueKeys) != 2 {
+		t.Fatalf("expansion has %d unique keys, want 2", len(uniqueKeys))
+	}
+	m := svc.Metrics()
+	if int(m.RunsComputed) != len(uniqueKeys) {
+		t.Errorf("RunsComputed = %d, want %d (one per unique content address)",
+			m.RunsComputed, len(uniqueKeys))
+	}
+	if st.Progress.CacheHits != 1 {
+		t.Errorf("CacheHits = %d, want 1 (the duplicate cell)", st.Progress.CacheHits)
+	}
+	// The duplicate cells' results are byte-identical.
+	if string(st.Results[0]) != string(st.Results[1]) {
+		t.Errorf("duplicate cells differ:\n %s\n %s", st.Results[0], st.Results[1])
+	}
+}
+
+func TestGridSpecValidation(t *testing.T) {
+	svc := mustNew(t, Config{Workers: 1, QueueBound: 8})
+	defer svc.Drain()
+
+	cases := []struct {
+		name string
+		spec enc.JobSpec
+		want string
+	}{
+		{"grid plus runs", enc.JobSpec{
+			Grid: gridOf("em3d", 1000, 4),
+			Runs: []enc.RunSpec{smallRun("em3d", 1000)},
+		}, "not both"},
+		{"grid plus top-level run", enc.JobSpec{
+			Grid:    gridOf("em3d", 1000, 4),
+			RunSpec: smallRun("em3d", 1000),
+		}, "not both"},
+		{"empty grid", enc.JobSpec{Grid: &enc.GridSpec{}}, "no axes"},
+		{"unknown knob", enc.JobSpec{Grid: &enc.GridSpec{
+			Base: smallRun("em3d", 1000),
+			Axes: []enc.GridAxis{{Knob: "stems.bogus", Values: []sim.Value{sim.IntValue(1)}}},
+		}}, "stems.bogus"},
+	}
+	for _, tc := range cases {
+		_, err := svc.Submit(tc.spec)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+		if err != nil && !strings.Contains(err.Error(), ErrInvalidSpec.Error()) {
+			t.Errorf("%s: err %v is not an ErrInvalidSpec", tc.name, err)
+		}
+		// Validate agrees with Submit without enqueueing.
+		if verr := Validate(tc.spec); verr == nil {
+			t.Errorf("%s: Validate accepted", tc.name)
+		}
+	}
+	if err := Validate(enc.JobSpec{Grid: gridOf("em3d", 1000, 4, 8)}); err != nil {
+		t.Errorf("Validate rejected a good grid: %v", err)
+	}
+	if m := svc.Metrics(); m.JobsSubmitted != 0 || m.GridJobs != 0 {
+		t.Errorf("rejected specs counted: %+v", m)
+	}
+}
+
+// TestOnJobDoneHooks pins the completion-hook contract: hooks fire with
+// terminal statuses for done jobs and queued-canceled jobs alike, and
+// Drain returning means the hooks of executed jobs have run.
+func TestOnJobDoneHooks(t *testing.T) {
+	svc := mustNew(t, Config{Workers: 1, QueueBound: 8})
+	var mu chanStatuses
+	svc.OnJobDone(mu.add)
+
+	j := mustSubmit(t, svc, enc.JobSpec{RunSpec: smallRun("em3d", 20_000)})
+	waitJob(t, j)
+	svc.Drain()
+
+	got := mu.snapshot()
+	if len(got) != 1 || got[0].ID != j.ID || got[0].State != enc.JobDone {
+		t.Fatalf("hook statuses = %+v, want one done status for %s", got, j.ID)
+	}
+}
+
+func TestOnJobDoneHookQueuedCancel(t *testing.T) {
+	// One worker wedged by a long first job, so the second stays queued.
+	svc := mustNew(t, Config{Workers: 1, QueueBound: 8})
+	defer svc.Drain()
+	var mu chanStatuses
+	svc.OnJobDone(mu.add)
+
+	blocker := mustSubmit(t, svc, enc.JobSpec{RunSpec: smallRun("em3d", 400_000)})
+	queued := mustSubmit(t, svc, enc.JobSpec{RunSpec: smallRun("Zeus", 1000)})
+	if err := svc.Cancel(queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	st := waitJob(t, queued)
+	if st.State != enc.JobCanceled {
+		t.Fatalf("queued job state = %s, want canceled", st.State)
+	}
+	// The hook ran synchronously inside Cancel.
+	found := false
+	for _, got := range mu.snapshot() {
+		if got.ID == queued.ID && got.State == enc.JobCanceled {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no canceled hook for %s: %+v", queued.ID, mu.snapshot())
+	}
+	_ = svc.Cancel(blocker.ID)
+	waitJob(t, blocker)
+}
+
+// TestScheduleFireDeliversNotification is the end-to-end wiring check at
+// the service level: a schedule fires under a fake clock, the job runs
+// to completion, the completion hook attributes it back to the schedule,
+// and the notification is delivered to a webhook that fails the first
+// request — proving the retry path — all through the same glue
+// cmd/stemsd installs.
+func TestScheduleFireDeliversNotification(t *testing.T) {
+	svc := mustNew(t, Config{Workers: 2, QueueBound: 8})
+	defer svc.Drain()
+
+	sk := &flakySink{failFirst: 1}
+	hookSrv := sk.start(t)
+
+	set := notify.NewSet(svc.Obs(), nil)
+	if err := set.Register(notify.NewWebhook("hook", notify.WebhookConfig{
+		URL: hookSrv, Backoff: time.Millisecond,
+	}), false); err != nil {
+		t.Fatal(err)
+	}
+
+	clk := sched.NewFakeClock(time.Date(2026, 8, 8, 10, 0, 0, 0, time.UTC))
+	scheduler, err := sched.New(sched.Config{
+		Submit: func(spec enc.JobSpec) (string, error) {
+			j, err := svc.Submit(spec)
+			if err != nil {
+				return "", err
+			}
+			return j.ID, nil
+		},
+		Validate:    Validate,
+		HasNotifier: set.Has,
+		Clock:       clk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer scheduler.Stop()
+
+	// The cmd/stemsd completion glue: attribute, then fan out.
+	svc.OnJobDone(func(st enc.JobStatus) {
+		name, names, _ := scheduler.JobCompleted(st)
+		set.Send(names, enc.NotificationFromStatus(st, name))
+	})
+
+	if _, err := scheduler.Add(enc.ScheduleSpec{
+		Name:   "smoke",
+		Cron:   "@every 1m",
+		Job:    &enc.JobSpec{Grid: gridOf("em3d", 20_000, 4, 4)},
+		Notify: []string{"hook"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Minute)
+
+	n := sk.waitDelivery(t)
+	if n.Schedule != "smoke" || n.State != enc.JobDone {
+		t.Fatalf("notification = %+v, want done for schedule smoke", n)
+	}
+	if n.RunsTotal != 2 || n.RunsDone != 2 || n.CacheHits != 1 {
+		t.Errorf("notification progress = %+v, want 2 runs with 1 cache hit", n)
+	}
+	if got := sk.requestCount(); got != 2 {
+		t.Errorf("webhook saw %d requests, want 2 (first fails, retry lands)", got)
+	}
+
+	set.Close()
+	if m := set.Metrics(); m.Sent != 1 || m.Failed != 0 || m.Retries != 1 {
+		t.Errorf("notify metrics = %+v, want 1 sent with 1 retry", m)
+	}
+	st, err := scheduler.Get("smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Fires != 1 || st.LastState != enc.JobDone {
+		t.Errorf("schedule status = %+v, want 1 fire ending done", st)
+	}
+}

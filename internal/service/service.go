@@ -160,11 +160,20 @@ type Service struct {
 	nextID   uint64
 	draining bool
 
+	// doneHooks run synchronously at every terminal transition — on the
+	// worker for executed jobs, on the canceller for queued cancels — so
+	// Drain returning means every completion hook has run. metricsHooks
+	// let other subsystems (scheduler, notifiers) extend the JSON
+	// /metrics document.
+	doneHooks    []func(enc.JobStatus)
+	metricsHooks []func(*enc.Metrics)
+
 	// arenaLRU tracks resident trace keys most-recent-first so the arena
 	// stays bounded in a long-lived daemon.
 	arenaLRU []arenaKey
 
 	jobsSubmitted *obs.Counter
+	gridJobs      *obs.Counter
 	jobsCompleted *obs.Counter
 	jobsFailed    *obs.Counter
 	jobsCanceled  *obs.Counter
@@ -239,6 +248,7 @@ func New(cfg Config) (*Service, error) {
 func (s *Service) register() {
 	r := s.obs
 	s.jobsSubmitted = r.Counter("stemsd_jobs_submitted_total", "Jobs accepted by Submit.")
+	s.gridJobs = r.Counter("stemsd_grid_jobs_total", "Accepted jobs submitted as server-side sweep grids.")
 	s.jobsCompleted = r.Counter("stemsd_jobs_completed_total", "Jobs finished in state done.")
 	s.jobsFailed = r.Counter("stemsd_jobs_failed_total", "Jobs finished in state failed.")
 	s.jobsCanceled = r.Counter("stemsd_jobs_canceled_total", "Jobs finished in state canceled.")
@@ -391,8 +401,47 @@ func (s *Service) Submit(spec enc.JobSpec) (*Job, error) {
 	s.pruneLocked()
 	s.mu.Unlock()
 	s.jobsSubmitted.Add(1)
+	if spec.Grid != nil {
+		s.gridJobs.Add(1)
+	}
 	s.log.Debug("job submitted", "job", id, "runs", len(runs))
 	return j, nil
+}
+
+// OnJobDone registers a completion hook, called with the terminal status
+// of every job — the notifier fan-out and schedule attribution attach
+// here. Hooks run synchronously on the finishing goroutine (a worker, or
+// the canceller of a still-queued job): register only fast hooks, and
+// register them before traffic. Because workers run hooks inline, Drain
+// returning implies every completed job's hooks have run.
+func (s *Service) OnJobDone(fn func(enc.JobStatus)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.doneHooks = append(s.doneHooks, fn)
+}
+
+// AddMetricsHook registers an extension of the JSON /metrics document;
+// each hook edits the snapshot before Metrics returns it. The scheduler
+// and notifier sections attach here so daemon wiring stays in cmd/stemsd.
+func (s *Service) AddMetricsHook(fn func(*enc.Metrics)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metricsHooks = append(s.metricsHooks, fn)
+}
+
+// fireDone runs the completion hooks for a job that just reached a
+// terminal state.
+func (s *Service) fireDone(j *Job) {
+	s.mu.Lock()
+	hooks := s.doneHooks
+	s.mu.Unlock()
+	if len(hooks) == 0 {
+		return
+	}
+	st := j.Status()
+	for _, fn := range hooks {
+		fn(st)
+	}
 }
 
 // pruneLocked forgets the oldest terminal jobs beyond the retention
@@ -447,8 +496,10 @@ func (s *Service) Cancel(id string) error {
 	}
 	if j.requestCancel(context.Canceled) {
 		// The job was still queued and this call finished it; a running
-		// job is counted by its worker when it winds down.
+		// job is counted (and its completion hooks run) by its worker when
+		// it winds down.
 		s.jobsCanceled.Add(1)
+		s.fireDone(j)
 	}
 	return nil
 }
@@ -495,6 +546,7 @@ func (s *Service) Metrics() enc.Metrics {
 		JobsCompleted:     s.jobsCompleted.Value(),
 		JobsFailed:        s.jobsFailed.Value(),
 		JobsCanceled:      s.jobsCanceled.Value(),
+		GridJobs:          s.gridJobs.Value(),
 		RunsComputed:      s.runsComputed.Value(),
 		CacheHits:         hits,
 		CacheMisses:       misses,
@@ -546,6 +598,12 @@ func (s *Service) Metrics() enc.Metrics {
 		}
 		m.Cluster = cm
 	}
+	s.mu.Lock()
+	hooks := s.metricsHooks
+	s.mu.Unlock()
+	for _, fn := range hooks {
+		fn(&m)
+	}
 	return m
 }
 
@@ -582,6 +640,7 @@ func (s *Service) execute(j *Job) {
 		if err := j.ctx.Err(); err != nil {
 			j.finish(enc.JobCanceled, err)
 			s.jobsCanceled.Add(1)
+			s.fireDone(j)
 			return
 		}
 		var data []byte
@@ -620,6 +679,7 @@ func (s *Service) execute(j *Job) {
 				s.jobsFailed.Add(1)
 				s.log.Warn("job failed", "job", j.ID, "err", err)
 			}
+			s.fireDone(j)
 			return
 		}
 		encStart := time.Now()
@@ -629,6 +689,7 @@ func (s *Service) execute(j *Job) {
 			j.finish(enc.JobFailed, err)
 			s.jobsFailed.Add(1)
 			s.log.Warn("job failed", "job", j.ID, "err", err)
+			s.fireDone(j)
 			return
 		}
 		j.noteRunDone(labeled, j.runs[i].n, fromCache)
@@ -637,6 +698,7 @@ func (s *Service) execute(j *Job) {
 	s.jobsCompleted.Add(1)
 	s.log.Info("job done", "job", j.ID, "runs", len(j.runs),
 		"elapsed", time.Since(j.created))
+	s.fireDone(j)
 }
 
 // runOne produces the canonical (label-less) result bytes for one run:

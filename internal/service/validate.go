@@ -74,6 +74,20 @@ func normalize(i int, r *enc.RunSpec) error {
 // normalized specs, resolved trace lengths, content-address keys, and
 // the Runner options that execute them.
 func resolveSpec(spec *enc.JobSpec) ([]resolvedRun, error) {
+	if spec.Grid != nil {
+		// A grid job is expanded server-side into its cells, which then
+		// flow through the same normalization, keying, and folding as a
+		// client-written run list. The Grid field stays on the spec, so
+		// job status shows what was asked for alongside the expansion.
+		if len(spec.Runs) > 0 || !spec.RunSpec.IsZero() {
+			return nil, fmt.Errorf("%w: specify either \"grid\" or run fields, not both", ErrInvalidSpec)
+		}
+		cells, err := spec.Grid.Expand()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrInvalidSpec, err)
+		}
+		spec.Runs = cells
+	}
 	if len(spec.Runs) > 0 && !spec.RunSpec.IsZero() {
 		return nil, fmt.Errorf("%w: specify either top-level run fields or \"runs\", not both", ErrInvalidSpec)
 	}
@@ -125,4 +139,13 @@ func resolveSpec(spec *enc.JobSpec) ([]resolvedRun, error) {
 		spec.Runs = runs
 	}
 	return out, nil
+}
+
+// Validate checks a job spec exactly as Submit would — grid expansion,
+// per-run normalization, content addressing — without enqueueing
+// anything. The scheduler vets schedule specs with it at registration so
+// a broken spec is a 400 at POST /v1/schedules, not a fire-time failure.
+func Validate(spec enc.JobSpec) error {
+	_, err := resolveSpec(&spec)
+	return err
 }

@@ -2,11 +2,17 @@
 # smoke_stemsd.sh — black-box smoke test of the stemsd daemon: build it,
 # start it, hit /healthz, submit one small job, watch it finish, check the
 # /metrics counters moved, then SIGTERM and require a clean (exit 0)
-# drain. Finally it relaunches the daemon on the same -store directory and
+# drain. It then relaunches the daemon on the same -store directory and
 # requires the same job to be answered from disk: zero runs computed, one
-# cache hit. CI runs this after the unit suites; it is the one check that
-# exercises the real binary end to end (flags, signal handling, HTTP
-# stack, restart durability) rather than an in-process httptest server.
+# cache hit. A third launch runs from a -config file with an "@every 1s"
+# schedule wired to a webhook notifier (a local webhooksink receiver that
+# fails the first delivery, forcing a retry), submits a server-side grid
+# job with duplicate cells, and asserts the new counters — grid jobs,
+# schedule fires, notifications sent — in both the JSON and Prometheus
+# expositions. CI runs this after the unit suites; it is the one check
+# that exercises the real binary end to end (flags, config file, signal
+# handling, HTTP stack, restart durability) rather than an in-process
+# httptest server.
 #
 # Needs only bash + curl + grep/sed (no jq): field extraction below works
 # on the server's compact single-line JSON.
@@ -25,15 +31,26 @@ STORE="$(mktemp -d)"
 OUT="${SMOKE_OUT:-}"
 [[ -n "$OUT" ]] && mkdir -p "$OUT"
 
+SINK_ADDR="${WEBHOOKSINK_ADDR:-127.0.0.1:18092}"
+SINK="$(dirname "$BIN")/webhooksink"
+CFG="$(mktemp)"
+
 cleanup() {
   [[ -n "${PID:-}" ]] && kill -9 "$PID" 2>/dev/null || true
-  rm -f "$LOG"
+  [[ -n "${SINK_PID:-}" ]] && kill -9 "$SINK_PID" 2>/dev/null || true
+  rm -f "$LOG" "$CFG"
   rm -rf "$(dirname "$BIN")" "$STORE"
 }
 trap cleanup EXIT
 
 echo "== build"
 go build -o "$BIN" ./cmd/stemsd
+go build -o "$SINK" ./scripts/webhooksink
+
+echo "== -version"
+VERSION_OUT="$("$BIN" -version)"
+echo "$VERSION_OUT"
+grep -q '^stemsd ' <<<"$VERSION_OUT" || { echo "-version output malformed"; exit 1; }
 
 echo "== start on $ADDR (store: $STORE)"
 "$BIN" -addr "$ADDR" -workers 2 -queue 8 -cache 16 -store "$STORE" -pprof >"$LOG" 2>&1 &
@@ -195,5 +212,113 @@ if [[ "$EXIT" -ne 0 ]]; then
   echo "daemon exited $EXIT after restart SIGTERM:"; cat "$LOG"; exit 1
 fi
 PID=""
+
+echo "== start webhook sink on $SINK_ADDR (first delivery fails, forcing a retry)"
+"$SINK" -addr "$SINK_ADDR" -fail-first 1 >/dev/null 2>&1 &
+SINK_PID=$!
+for _ in $(seq 1 100); do
+  curl -fsS "http://$SINK_ADDR/stats" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+
+echo "== config-file daemon: schedule + webhook notifier"
+cat >"$CFG" <<EOF
+{
+  "addr": "$ADDR",
+  "workers": 2,
+  "queue": 8,
+  "cache": 16,
+  "log_level": "debug",
+  "notifiers": [
+    {"name": "sink", "type": "webhook", "url": "http://$SINK_ADDR/notify",
+     "attempts": 5, "backoff": "100ms"}
+  ],
+  "schedules": [
+    {"name": "smoke", "cron": "@every 1s",
+     "job": {"predictor": "stems", "workload": "em3d", "accesses": 20000},
+     "notify": ["sink"]}
+  ]
+}
+EOF
+: >"$LOG"
+"$BIN" -config "$CFG" >"$LOG" 2>&1 &
+PID=$!
+for _ in $(seq 1 100); do
+  if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  if ! kill -0 "$PID" 2>/dev/null; then
+    echo "daemon died during config-file startup:"; cat "$LOG"; exit 1
+  fi
+  sleep 0.1
+done
+
+echo "== schedule is registered and visible over the API"
+SCHEDULES="$(curl -fsS "$BASE/v1/schedules")"
+echo "$SCHEDULES"
+grep -q '"name":"smoke"' <<<"$SCHEDULES" || { echo "config schedule not registered"; exit 1; }
+
+echo "== submit a grid job with duplicate cells"
+GRID_SUBMIT="$(curl -fsS -X POST "$BASE/v1/jobs" \
+  -H 'Content-Type: application/json' \
+  -d '{"grid":{"base":{"predictor":"stems","workload":"em3d","accesses":30000},
+       "axes":[{"knob":"stems.lookahead","values":[4,4,8]}]}}')"
+echo "$GRID_SUBMIT"
+GJOB="$(jsonfield "$GRID_SUBMIT" id)"
+[[ "$GJOB" == j-* ]] || { echo "no job id in grid response"; exit 1; }
+# The grid expanded server-side into its 3 cells.
+grep -q '"runs_total":3' <<<"$GRID_SUBMIT" || { echo "grid not expanded to 3 runs: $GRID_SUBMIT"; exit 1; }
+
+echo "== poll $GJOB to completion"
+GSTATE=""
+for _ in $(seq 1 300); do
+  GSTATUS="$(curl -fsS "$BASE/v1/jobs/$GJOB")"
+  GSTATE="$(jsonfield "$GSTATUS" state)"
+  [[ "$GSTATE" == "done" || "$GSTATE" == "failed" || "$GSTATE" == "canceled" ]] && break
+  sleep 0.1
+done
+[[ "$GSTATE" == "done" ]] || { echo "grid job ended in state '$GSTATE'"; cat "$LOG"; exit 1; }
+# 3 cells, but the duplicate was a cache hit: only 2 unique cells computed.
+grep -q '"runs_done":3' <<<"$GSTATUS" || { echo "grid runs_done != 3: $GSTATUS"; exit 1; }
+grep -q '"cache_hits":1' <<<"$GSTATUS" || { echo "grid duplicate cell not deduped (cache_hits != 1): $GSTATUS"; exit 1; }
+
+echo "== wait for a schedule fire and its webhook delivery"
+DELIVERED=""
+for _ in $(seq 1 300); do
+  SINK_STATS="$(curl -fsS "http://$SINK_ADDR/stats")"
+  DELIVERED="$(jsonfield "$SINK_STATS" delivered)"
+  [[ -n "$DELIVERED" && "$DELIVERED" -ge 1 ]] && break
+  sleep 0.1
+done
+echo "$SINK_STATS"
+[[ "$DELIVERED" -ge 1 ]] || { echo "no notification delivered to sink: $SINK_STATS"; cat "$LOG"; exit 1; }
+# -fail-first 1 made the first attempt a 500, so delivery took a retry.
+[[ "$(jsonfield "$SINK_STATS" requests)" -ge 2 ]] || { echo "sink saw no retry: $SINK_STATS"; exit 1; }
+
+echo "== grid/schedule/notification counters in the JSON document"
+CMETRICS="$(curl -fsS "$BASE/metrics")"
+echo "$CMETRICS"
+[[ "$(jsonfield "$CMETRICS" grid_jobs)" == "1" ]] || { echo "grid_jobs != 1"; exit 1; }
+[[ "$(jsonfield "$CMETRICS" schedules)" == "1" ]] || { echo "sched.schedules != 1"; exit 1; }
+[[ "$(jsonfield "$CMETRICS" schedule_fires)" -ge 1 ]] || { echo "schedule_fires < 1"; exit 1; }
+[[ "$(jsonfield "$CMETRICS" notifications_sent)" -ge 1 ]] || { echo "notifications_sent < 1"; exit 1; }
+[[ "$(jsonfield "$CMETRICS" notification_retries)" -ge 1 ]] || { echo "notification_retries < 1"; exit 1; }
+
+echo "== and in the Prometheus exposition"
+CPROM="$(curl -fsS "$BASE/metrics?format=prometheus")"
+[[ -n "$OUT" ]] && printf '%s\n' "$CPROM" >"$OUT/metrics-sched.prom"
+grep -q '^stemsd_grid_jobs_total 1$' <<<"$CPROM" || { echo "exposition grid_jobs != 1"; exit 1; }
+grep -q '^stemsd_schedules 1$' <<<"$CPROM" || { echo "exposition schedules gauge != 1"; exit 1; }
+grep -Eq '^stemsd_schedule_fires_total [1-9]' <<<"$CPROM" || { echo "exposition missing schedule fires"; exit 1; }
+grep -Eq '^stemsd_notifications_sent_total\{notifier="sink"\} [1-9]' <<<"$CPROM" || { echo "exposition missing notifications sent"; exit 1; }
+grep -q '^stemsd_build_info{' <<<"$CPROM" || { echo "exposition missing build info gauge"; exit 1; }
+
+echo "== third SIGTERM drains cleanly (scheduler stops, notifications flush)"
+kill -TERM "$PID"
+EXIT=0
+wait "$PID" || EXIT=$?
+if [[ "$EXIT" -ne 0 ]]; then
+  echo "daemon exited $EXIT after config-file SIGTERM:"; cat "$LOG"; exit 1
+fi
+PID=""
+grep -q "drained, exiting" "$LOG" || { echo "no clean-drain log line:"; cat "$LOG"; exit 1; }
 
 echo "== smoke OK"
