@@ -264,8 +264,10 @@ func (f *File) Validate() error {
 			bad(field+".name", "duplicate schedule %q", s.Name)
 		}
 		schedNames[s.Name] = true
-		if _, err := sched.ParseCron(s.Cron); err != nil {
+		if c, err := sched.ParseCron(s.Cron); err != nil {
 			bad(field+".cron", "%v", err)
+		} else if c.Next(time.Now()).IsZero() {
+			bad(field+".cron", "%q never fires (no matching date)", s.Cron)
 		}
 		if s.Job == nil {
 			bad(field+".job", "must be set")

@@ -48,15 +48,27 @@ type GridSpec struct {
 	Axes []GridAxis `json:"axes"`
 }
 
-// Cells returns the grid's cartesian-product size (0 when any axis is
-// empty).
+// Cells returns the grid's cartesian-product size: 0 when any axis is
+// empty, MaxGridCells+1 when the true product exceeds MaxGridCells. The
+// clamp keeps the arithmetic overflow-free no matter how many axes or
+// values a request carries — callers only ever compare against the limit.
 func (g GridSpec) Cells() int {
 	if len(g.Axes) == 0 {
 		return 0
 	}
 	n := 1
 	for _, ax := range g.Axes {
+		if len(ax.Values) == 0 {
+			return 0
+		}
+		if n > MaxGridCells || len(ax.Values) > MaxGridCells {
+			n = MaxGridCells + 1
+			continue
+		}
 		n *= len(ax.Values)
+	}
+	if n > MaxGridCells {
+		return MaxGridCells + 1
 	}
 	return n
 }
@@ -91,7 +103,9 @@ func (g GridSpec) Expand() ([]RunSpec, error) {
 	}
 	cells := g.Cells()
 	if cells > MaxGridCells {
-		return nil, fmt.Errorf("grid: %d cells exceed the limit of %d", cells, MaxGridCells)
+		// cells is clamped to MaxGridCells+1, so report only the limit —
+		// the true product may be astronomically larger.
+		return nil, fmt.Errorf("grid: cells exceed the limit of %d", MaxGridCells)
 	}
 
 	runs := make([]RunSpec, 0, cells)

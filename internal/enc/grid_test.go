@@ -2,6 +2,7 @@ package enc
 
 import (
 	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -97,6 +98,31 @@ func TestGridExpandErrors(t *testing.T) {
 		if _, err := tc.grid.Expand(); err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
 		}
+	}
+}
+
+func TestGridCellsOverflowClamped(t *testing.T) {
+	// 64 axes of 2 values: the true product (2^64) would wrap to 0 with
+	// naive int arithmetic, slipping past the limit check and letting the
+	// odometer loop in Expand allocate without bound. Cells must clamp to
+	// MaxGridCells+1 and Expand must reject.
+	g := GridSpec{}
+	for i := 0; i < 64; i++ {
+		g.Axes = append(g.Axes, GridAxis{
+			Knob:   fmt.Sprintf("k%d", i),
+			Values: []sim.Value{iv(0), iv(1)},
+		})
+	}
+	if got := g.Cells(); got != MaxGridCells+1 {
+		t.Fatalf("Cells() = %d, want clamp to %d", got, MaxGridCells+1)
+	}
+	if _, err := g.Expand(); err == nil || !strings.Contains(err.Error(), "exceed") {
+		t.Fatalf("Expand() = %v, want cell-limit error", err)
+	}
+	// An empty axis still zeroes the product, even past the clamp point.
+	g.Axes = append(g.Axes, GridAxis{Knob: "empty"})
+	if got := g.Cells(); got != 0 {
+		t.Errorf("Cells() with a trailing empty axis = %d, want 0", got)
 	}
 }
 

@@ -124,8 +124,10 @@ func parseField(field string, min, max int) (set uint64, star bool, err error) {
 // String returns the original expression text.
 func (c Cron) String() string { return c.text }
 
-// Next returns the first fire time strictly after t. Cron fields have
-// minute granularity; @every intervals tick from t exactly.
+// Next returns the first fire time strictly after t, or the zero time
+// when the expression has no match within five years of t (impossible
+// date combinations like "0 0 30 2 *"). Cron fields have minute
+// granularity; @every intervals tick from t exactly.
 func (c Cron) Next(t time.Time) time.Time {
 	if c.every > 0 {
 		return t.Add(c.every)
@@ -156,7 +158,7 @@ func (c Cron) Next(t time.Time) time.Time {
 		}
 		return t
 	}
-	return limit
+	return time.Time{}
 }
 
 // dayMatches applies the vixie day rule: with both day fields

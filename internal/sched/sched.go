@@ -74,6 +74,16 @@ type Scheduler struct {
 
 	mu      sync.Mutex
 	entries map[string]*entry
+	// persisted is the state file's contents: loaded once at New, then
+	// kept current as schedules register, fire, and are removed. Persist
+	// writes this map, not the live entries — so re-registering schedules
+	// one at a time at startup never clobbers the saved state of the ones
+	// not yet re-added.
+	persisted map[string]persistedEntry
+	// jobs maps every outstanding fired job ID to its schedule, so a
+	// completion attributes correctly even after the schedule has fired
+	// again (or been removed) in the meantime. Pruned on completion.
+	jobs    map[string]*entry
 	stopped bool
 	wake    chan struct{} // buffered(1): nudges the loop after Add/Remove
 	done    chan struct{} // closed when the fire loop exits
@@ -88,7 +98,10 @@ type Scheduler struct {
 	parks atomic.Uint64
 }
 
-// entry is one registered schedule plus its live state.
+// entry is one registered schedule plus its live state. A zero nextFire
+// means disarmed: the expression has no future match (possible only when
+// cadence advances past its last real fire — Add rejects specs that
+// never fire at all).
 type entry struct {
 	spec      enc.ScheduleSpec
 	cron      Cron
@@ -123,12 +136,14 @@ func New(cfg Config) (*Scheduler, error) {
 		cfg.Logger = slog.New(slog.DiscardHandler)
 	}
 	s := &Scheduler{
-		cfg:     cfg,
-		clock:   cfg.Clock,
-		log:     cfg.Logger,
-		entries: make(map[string]*entry),
-		wake:    make(chan struct{}, 1),
-		done:    make(chan struct{}),
+		cfg:       cfg,
+		clock:     cfg.Clock,
+		log:       cfg.Logger,
+		entries:   make(map[string]*entry),
+		persisted: loadState(cfg.StatePath, cfg.Logger),
+		jobs:      make(map[string]*entry),
+		wake:      make(chan struct{}, 1),
+		done:      make(chan struct{}),
 	}
 	if cfg.Obs != nil {
 		s.fires = cfg.Obs.Counter("stemsd_schedule_fires_total",
@@ -166,6 +181,9 @@ func (s *Scheduler) Add(spec enc.ScheduleSpec) (enc.ScheduleStatus, error) {
 		return enc.ScheduleStatus{}, fmt.Errorf("%w: %q", ErrExists, spec.Name)
 	}
 	e := &entry{spec: spec, cron: cron, nextFire: cron.Next(s.clock.Now())}
+	if e.nextFire.IsZero() {
+		return enc.ScheduleStatus{}, fmt.Errorf("%w: %q: cron %q never fires", ErrInvalid, spec.Name, spec.Cron)
+	}
 	s.entries[spec.Name] = e
 	s.restoreLocked(e)
 	s.persistLocked()
@@ -205,6 +223,7 @@ func (s *Scheduler) Remove(name string) error {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	delete(s.entries, name)
+	delete(s.persisted, name)
 	s.persistLocked()
 	return nil
 }
@@ -233,19 +252,23 @@ func (s *Scheduler) List() []enc.ScheduleStatus {
 }
 
 // JobCompleted records a terminal job status against the schedule that
-// fired it, returning that schedule's name and notify list. ok is false
-// for jobs no schedule owns (interactive submissions) — the caller still
-// fans out to all-jobs notifiers either way.
+// fired it, returning that schedule's name and notify list. Every
+// outstanding fire is tracked, so an earlier job completing after the
+// schedule has fired again (or been removed) still attributes. ok is
+// false for jobs no schedule owns (interactive submissions) — the caller
+// still fans out to all-jobs notifiers either way.
 func (s *Scheduler) JobCompleted(st enc.JobStatus) (schedule string, notify []string, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, e := range s.entries {
-		if e.lastJob == st.ID {
-			e.lastState = st.State
-			return e.spec.Name, append([]string(nil), e.spec.Notify...), true
-		}
+	e, ok := s.jobs[st.ID]
+	if !ok {
+		return "", nil, false
 	}
-	return "", nil, false
+	delete(s.jobs, st.ID)
+	if e.lastJob == st.ID {
+		e.lastState = st.State
+	}
+	return e.spec.Name, append([]string(nil), e.spec.Notify...), true
 }
 
 // Metrics snapshots the scheduler section of the JSON /metrics document.
@@ -298,6 +321,9 @@ func (s *Scheduler) loop() {
 		s.fireDueLocked(now)
 		sleep := maxSleep
 		for _, e := range s.entries {
+			if e.nextFire.IsZero() {
+				continue // disarmed: no future match
+			}
 			if d := e.nextFire.Sub(now); d < sleep {
 				sleep = d
 			}
@@ -314,11 +340,12 @@ func (s *Scheduler) loop() {
 
 // fireDueLocked submits every schedule whose next fire has arrived and
 // advances its cadence. Holding mu across Submit is deliberate: the
-// completion hook's JobCompleted blocks until lastJob is recorded, so
-// even a job that finishes instantly attributes to its schedule.
+// completion hook's JobCompleted blocks until the job is recorded in
+// s.jobs, so even a job that finishes instantly attributes to its
+// schedule.
 func (s *Scheduler) fireDueLocked(now time.Time) {
 	for _, e := range s.entries {
-		if e.nextFire.After(now) {
+		if e.nextFire.IsZero() || e.nextFire.After(now) {
 			continue
 		}
 		id, err := s.cfg.Submit(*e.spec.Job)
@@ -334,6 +361,7 @@ func (s *Scheduler) fireDueLocked(now time.Time) {
 			e.lastState = ""
 			e.lastErr = ""
 			e.fires++
+			s.jobs[id] = e
 			s.firesN++
 			if s.fires != nil {
 				s.fires.Inc()
@@ -341,26 +369,38 @@ func (s *Scheduler) fireDueLocked(now time.Time) {
 			s.log.Info("schedule fired", "schedule", e.spec.Name, "job", id)
 		}
 		e.nextFire = e.cron.Next(now)
+		if e.nextFire.IsZero() {
+			s.log.Warn("schedule has no future fire; disarmed", "schedule", e.spec.Name, "cron", e.spec.Cron)
+		}
 	}
 	s.persistLocked()
 }
 
-// restoreLocked overlays persisted fire state onto a just-added entry.
-// Errors only log — a corrupt state file must not block registration.
-func (s *Scheduler) restoreLocked(e *entry) {
-	if s.cfg.StatePath == "" {
-		return
+// loadState reads the state file once at startup. Errors only log — a
+// missing or corrupt state file must not block the scheduler.
+func loadState(path string, log *slog.Logger) map[string]persistedEntry {
+	out := make(map[string]persistedEntry)
+	if path == "" {
+		return out
 	}
-	data, err := os.ReadFile(s.cfg.StatePath)
+	data, err := os.ReadFile(path)
 	if err != nil {
-		return // first run, or unreadable: start fresh
+		return out // first run, or unreadable: start fresh
 	}
 	var st persistedState
 	if err := json.Unmarshal(data, &st); err != nil {
-		s.log.Warn("schedule state file unreadable", "path", s.cfg.StatePath, "err", err)
-		return
+		log.Warn("schedule state file unreadable", "path", path, "err", err)
+		return out
 	}
-	p, ok := st.Schedules[e.spec.Name]
+	for name, p := range st.Schedules {
+		out[name] = p
+	}
+	return out
+}
+
+// restoreLocked overlays persisted fire state onto a just-added entry.
+func (s *Scheduler) restoreLocked(e *entry) {
+	p, ok := s.persisted[e.spec.Name]
 	if !ok {
 		return
 	}
@@ -372,16 +412,19 @@ func (s *Scheduler) restoreLocked(e *entry) {
 	}
 }
 
-// persistLocked rewrites the state file atomically (tmp + rename). A nil
-// StatePath disables persistence.
+// persistLocked folds live fire state into the persisted map and rewrites
+// the state file atomically (tmp + rename). Writing the merged map, not
+// just the live entries, keeps loaded state for schedules not (yet)
+// registered this run — startup re-registers them one Add at a time. A
+// nil StatePath disables persistence.
 func (s *Scheduler) persistLocked() {
 	if s.cfg.StatePath == "" {
 		return
 	}
-	st := persistedState{Schedules: make(map[string]persistedEntry, len(s.entries))}
 	for name, e := range s.entries {
-		st.Schedules[name] = persistedEntry{NextFire: e.nextFire, Fires: e.fires}
+		s.persisted[name] = persistedEntry{NextFire: e.nextFire, Fires: e.fires}
 	}
+	st := persistedState{Schedules: s.persisted}
 	data, err := json.MarshalIndent(st, "", "  ")
 	if err != nil {
 		s.log.Warn("schedule state encode failed", "err", err)

@@ -181,6 +181,45 @@ func TestJobCompletedAttribution(t *testing.T) {
 	}
 }
 
+func TestJobCompletedOverlappingFires(t *testing.T) {
+	clk := NewFakeClock(at("2026-08-08 10:00"))
+	sub := newFakeSubmitter()
+	h := newHarness(t, clk, Config{Submit: sub.submit})
+	s := h.s
+	spec := testSpec("nightly", "@every 1m")
+	spec.Notify = []string{"hook"}
+	if _, err := s.Add(spec); err != nil {
+		t.Fatal(err)
+	}
+	h.advance(t, time.Minute)
+	id1 := waitFire(t, sub)
+	h.advance(t, time.Minute)
+	id2 := waitFire(t, sub)
+
+	// The older job completes after the newer fire: it must still
+	// attribute (its notifiers depend on it) ...
+	name, notify, ok := s.JobCompleted(enc.JobStatus{ID: id1, State: enc.JobDone})
+	if !ok || name != "nightly" || len(notify) != 1 {
+		t.Fatalf("older fire lost attribution: %q/%v/%v", name, notify, ok)
+	}
+	// ... without overwriting the newer, still-running job's state.
+	st, _ := s.Get("nightly")
+	if st.LastJob != id2 || st.LastState != "" {
+		t.Errorf("status after old completion = %q/%q, want %q pending", st.LastJob, st.LastState, id2)
+	}
+	// A completed job is pruned: a duplicate completion no longer attributes.
+	if _, _, ok := s.JobCompleted(enc.JobStatus{ID: id1, State: enc.JobDone}); ok {
+		t.Error("completed job attributed twice")
+	}
+	if name, _, ok := s.JobCompleted(enc.JobStatus{ID: id2, State: enc.JobFailed}); !ok || name != "nightly" {
+		t.Fatalf("newest fire lost attribution: %q/%v", name, ok)
+	}
+	st, _ = s.Get("nightly")
+	if st.LastState != enc.JobFailed {
+		t.Errorf("LastState = %q, want failed", st.LastState)
+	}
+}
+
 func TestFireErrorRecorded(t *testing.T) {
 	clk := NewFakeClock(at("2026-08-08 10:00"))
 	sub := newFakeSubmitter()
@@ -257,6 +296,9 @@ func TestAddRemoveValidation(t *testing.T) {
 	if _, err := s2.Add(bad); !errors.Is(err, ErrInvalid) {
 		t.Errorf("unknown notifier: %v", err)
 	}
+	if _, err := s2.Add(testSpec("never", "0 0 30 2 *")); !errors.Is(err, ErrInvalid) {
+		t.Errorf("never-firing cron accepted: %v", err)
+	}
 	if err := s2.Remove("dup"); err != nil {
 		t.Fatal(err)
 	}
@@ -312,6 +354,47 @@ func TestStatePersistsAcrossRestart(t *testing.T) {
 	}
 	if !got.NextFire.Equal(at("2026-08-08 14:00")) {
 		t.Errorf("NextFire after catch-up = %s, want 14:00", got.NextFire)
+	}
+}
+
+func TestStatePersistsAllSchedulesAcrossRestart(t *testing.T) {
+	// Startup re-registers config schedules one Add at a time; the first
+	// Add's persist must not clobber the saved state of schedules not yet
+	// re-added.
+	path := filepath.Join(t.TempDir(), "schedules.json")
+	clk := NewFakeClock(at("2026-08-08 10:00"))
+	sub := newFakeSubmitter()
+	h := newHarness(t, clk, Config{Submit: sub.submit, StatePath: path})
+	if _, err := h.s.Add(testSpec("alpha", "@every 1h")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.s.Add(testSpec("beta", "@every 1h")); err != nil {
+		t.Fatal(err)
+	}
+	h.advance(t, time.Hour)
+	waitFire(t, sub)
+	waitFire(t, sub)
+	h.s.Stop()
+
+	// Restart at 13:00 and re-add in the same order: alpha's Add rewrites
+	// the state file before beta registers, so beta's restore must come
+	// from state loaded at New, not from the file.
+	clk2 := NewFakeClock(at("2026-08-08 13:00"))
+	sub2 := newFakeSubmitter()
+	s2 := newHarness(t, clk2, Config{Submit: sub2.submit, StatePath: path}).s
+	stA, err := s2.Add(testSpec("alpha", "@every 1h"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stB, err := s2.Add(testSpec("beta", "@every 1h"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stA.Fires != 1 || !stA.NextFire.Equal(at("2026-08-08 12:00")) {
+		t.Errorf("alpha restored = %d fires, next %s; want 1 fire, next 12:00", stA.Fires, stA.NextFire)
+	}
+	if stB.Fires != 1 || !stB.NextFire.Equal(at("2026-08-08 12:00")) {
+		t.Errorf("beta restored = %d fires, next %s; want 1 fire, next 12:00", stB.Fires, stB.NextFire)
 	}
 }
 
